@@ -1,0 +1,770 @@
+//! Plan execution against a view catalog.
+//!
+//! A straightforward pull-free (materialize-everything) evaluator: every
+//! operator consumes and produces a [`NestedRelation`]. Structural joins
+//! use the stack-tree algorithm from [`crate::struct_join`]; ID equality
+//! joins hash on the canonical ID encoding.
+
+use crate::plan::{NavStep, Plan, Predicate};
+use crate::relation::{AttrKind, Cell, ColKind, Column, NestedRelation, Row, Schema};
+use crate::struct_join::stack_tree_join;
+#[cfg(test)]
+use crate::struct_join::StructRel;
+use smv_pattern::Axis;
+use smv_xml::{parse_document, serialize_subtree, Document, NodeId, StructId};
+use std::collections::HashMap;
+
+/// Supplies view extents by name.
+pub trait ViewProvider {
+    /// The materialized extent of `name`, if the view exists.
+    fn extent(&self, name: &str) -> Option<&NestedRelation>;
+}
+
+/// A trivial provider backed by a map (tests, examples).
+#[derive(Default)]
+pub struct MapProvider {
+    map: HashMap<String, NestedRelation>,
+}
+
+impl MapProvider {
+    /// Registers a view extent.
+    pub fn insert(&mut self, name: &str, rel: NestedRelation) {
+        self.map.insert(name.to_owned(), rel);
+    }
+}
+
+impl ViewProvider for MapProvider {
+    fn extent(&self, name: &str) -> Option<&NestedRelation> {
+        self.map.get(name)
+    }
+}
+
+/// Execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The plan scans a view the provider does not know.
+    UnknownView(String),
+    /// Union branches with different schemas, bad column index, etc.
+    Schema(String),
+    /// A cell had an unexpected type for the operator.
+    Type(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnknownView(v) => write!(f, "unknown view `{v}`"),
+            ExecError::Schema(m) => write!(f, "schema error: {m}"),
+            ExecError::Type(m) => write!(f, "type error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Executes `plan` against `views`, returning a normalized relation.
+pub fn execute(plan: &Plan, views: &dyn ViewProvider) -> Result<NestedRelation, ExecError> {
+    let mut rel = eval(plan, views)?;
+    rel.normalize();
+    Ok(rel)
+}
+
+fn eval(plan: &Plan, views: &dyn ViewProvider) -> Result<NestedRelation, ExecError> {
+    match plan {
+        Plan::Scan { view } => views
+            .extent(view)
+            .cloned()
+            .ok_or_else(|| ExecError::UnknownView(view.clone())),
+        Plan::Select { input, pred } => {
+            let mut rel = eval(input, views)?;
+            let keep = |row: &Row| -> Result<bool, ExecError> {
+                match pred {
+                    Predicate::Value { col, formula } => match &row.cells[*col] {
+                        Cell::Atom(v) => Ok(formula.accepts(v)),
+                        Cell::Null => Ok(false),
+                        other => Err(ExecError::Type(format!(
+                            "value predicate on non-atom cell {other}"
+                        ))),
+                    },
+                    Predicate::LabelEq { col, label } => match &row.cells[*col] {
+                        Cell::Label(l) => Ok(l == label),
+                        Cell::Null => Ok(false),
+                        other => Err(ExecError::Type(format!(
+                            "label predicate on non-label cell {other}"
+                        ))),
+                    },
+                    Predicate::NotNull { col } => Ok(!row.cells[*col].is_null()),
+                }
+            };
+            let mut rows = Vec::with_capacity(rel.rows.len());
+            for r in rel.rows {
+                if keep(&r)? {
+                    rows.push(r);
+                }
+            }
+            rel.rows = rows;
+            Ok(rel)
+        }
+        Plan::Project { input, cols } => {
+            let rel = eval(input, views)?;
+            for &c in cols {
+                if c >= rel.schema.len() {
+                    return Err(ExecError::Schema(format!(
+                        "project column {c} out of range (schema {})",
+                        rel.schema
+                    )));
+                }
+            }
+            Ok(NestedRelation {
+                schema: Schema {
+                    cols: cols.iter().map(|&c| rel.schema.cols[c].clone()).collect(),
+                },
+                rows: rel
+                    .rows
+                    .into_iter()
+                    .map(|r| Row::new(cols.iter().map(|&c| r.cells[c].clone()).collect()))
+                    .collect(),
+            })
+        }
+        Plan::IdJoin {
+            left,
+            right,
+            lcol,
+            rcol,
+        } => {
+            let l = eval(left, views)?;
+            let r = eval(right, views)?;
+            let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+            for (i, row) in l.rows.iter().enumerate() {
+                if let Cell::Id(id) = &row.cells[*lcol] {
+                    index.entry(id.to_string()).or_default().push(i);
+                }
+            }
+            let mut rows = Vec::new();
+            for rrow in &r.rows {
+                if let Cell::Id(id) = &rrow.cells[*rcol] {
+                    if let Some(ls) = index.get(&id.to_string()) {
+                        for &li in ls {
+                            let mut cells = l.rows[li].cells.clone();
+                            cells.extend(rrow.cells.iter().cloned());
+                            rows.push(Row::new(cells));
+                        }
+                    }
+                }
+            }
+            Ok(NestedRelation {
+                schema: concat_schemas(&l.schema, &r.schema),
+                rows,
+            })
+        }
+        Plan::StructJoin {
+            left,
+            right,
+            lcol,
+            rcol,
+            rel,
+        } => {
+            let l = eval(left, views)?;
+            let r = eval(right, views)?;
+            let (lids, lrows): (Vec<StructId>, Vec<usize>) = gather_ids(&l, *lcol);
+            let (rids, rrows): (Vec<StructId>, Vec<usize>) = gather_ids(&r, *rcol);
+            let pairs = stack_tree_join(&lids, &rids, *rel);
+            let mut rows = Vec::with_capacity(pairs.len());
+            for (a, b) in pairs {
+                let mut cells = l.rows[lrows[a]].cells.clone();
+                cells.extend(r.rows[rrows[b]].cells.iter().cloned());
+                rows.push(Row::new(cells));
+            }
+            Ok(NestedRelation {
+                schema: concat_schemas(&l.schema, &r.schema),
+                rows,
+            })
+        }
+        Plan::Union { inputs } => {
+            let mut it = inputs.iter();
+            let first = it
+                .next()
+                .ok_or_else(|| ExecError::Schema("empty union".into()))?;
+            let mut acc = eval(first, views)?;
+            for p in it {
+                let r = eval(p, views)?;
+                if r.schema.cols.len() != acc.schema.cols.len() {
+                    return Err(ExecError::Schema(format!(
+                        "union arity mismatch: {} vs {}",
+                        acc.schema, r.schema
+                    )));
+                }
+                acc.rows.extend(r.rows);
+            }
+            acc.normalize();
+            Ok(acc)
+        }
+        Plan::Nest {
+            input,
+            key_cols,
+            nested_cols,
+            name,
+        } => {
+            let rel = eval(input, views)?;
+            let inner_schema = Schema {
+                cols: nested_cols
+                    .iter()
+                    .map(|&c| rel.schema.cols[c].clone())
+                    .collect(),
+            };
+            let mut schema = Schema {
+                cols: key_cols
+                    .iter()
+                    .map(|&c| rel.schema.cols[c].clone())
+                    .collect(),
+            };
+            schema.cols.push(Column {
+                name: name.clone(),
+                kind: ColKind::Nested(inner_schema.clone()),
+            });
+            let mut groups: HashMap<String, (Row, NestedRelation)> = HashMap::new();
+            let mut order: Vec<String> = Vec::new();
+            for r in &rel.rows {
+                let key_row = Row::new(key_cols.iter().map(|&c| r.cells[c].clone()).collect());
+                let key = key_row.encode_key();
+                let entry = groups.entry(key.clone()).or_insert_with(|| {
+                    order.push(key);
+                    (key_row, NestedRelation::empty(inner_schema.clone()))
+                });
+                let inner = Row::new(nested_cols.iter().map(|&c| r.cells[c].clone()).collect());
+                // all-null inner tuples encode "no binding" and are not
+                // materialized in the group (Fig. 12's empty tables)
+                if !inner.cells.iter().all(Cell::is_null) {
+                    entry.1.rows.push(inner);
+                }
+            }
+            let rows = order
+                .into_iter()
+                .map(|k| {
+                    let (mut key_row, table) = groups.remove(&k).expect("group exists");
+                    key_row.cells.push(Cell::Table(table));
+                    key_row
+                })
+                .collect();
+            Ok(NestedRelation { schema, rows })
+        }
+        Plan::Unnest { input, col, outer } => {
+            let rel = eval(input, views)?;
+            let ColKind::Nested(inner_schema) = rel.schema.cols[*col].kind.clone() else {
+                return Err(ExecError::Type(format!(
+                    "unnest on non-nested column {}",
+                    rel.schema.cols[*col].name
+                )));
+            };
+            let mut schema = Schema { cols: Vec::new() };
+            for (i, c) in rel.schema.cols.iter().enumerate() {
+                if i == *col {
+                    schema.cols.extend(inner_schema.cols.iter().cloned());
+                } else {
+                    schema.cols.push(c.clone());
+                }
+            }
+            let mut rows = Vec::new();
+            for r in rel.rows {
+                let Cell::Table(table) = &r.cells[*col] else {
+                    return Err(ExecError::Type("unnest on non-table cell".into()));
+                };
+                if table.rows.is_empty() {
+                    if *outer {
+                        rows.push(splice(&r, *col, &vec![Cell::Null; inner_schema.len()]));
+                    }
+                    continue;
+                }
+                for inner in &table.rows {
+                    rows.push(splice(&r, *col, &inner.cells));
+                }
+            }
+            Ok(NestedRelation { schema, rows })
+        }
+        Plan::NavigateContent {
+            input,
+            content_col,
+            base_id_col,
+            steps,
+            attrs,
+            optional,
+            name,
+        } => {
+            let rel = eval(input, views)?;
+            let mut schema = rel.schema.clone();
+            for a in attrs {
+                schema.cols.push(Column {
+                    name: format!("{name}.{a}"),
+                    kind: ColKind::Atom(*a),
+                });
+            }
+            let mut rows = Vec::new();
+            for r in rel.rows {
+                let reached: Vec<(Document, Vec<NodeId>)> = match &r.cells[*content_col] {
+                    Cell::Content(xml) => {
+                        let doc = parse_document(xml).map_err(|e| {
+                            ExecError::Type(format!("stored content is not parseable: {e}"))
+                        })?;
+                        let nodes = navigate(&doc, steps);
+                        vec![(doc, nodes)]
+                    }
+                    Cell::Null => vec![],
+                    other => {
+                        return Err(ExecError::Type(format!(
+                            "navigation on non-content cell {other}"
+                        )))
+                    }
+                };
+                let base_id = base_id_col.and_then(|c| match &r.cells[c] {
+                    Cell::Id(id) => Some(id.clone()),
+                    _ => None,
+                });
+                let mut any = false;
+                for (doc, nodes) in &reached {
+                    for &n in nodes {
+                        any = true;
+                        let mut cells = r.cells.clone();
+                        for a in attrs {
+                            cells.push(attr_cell(doc, n, *a, base_id.as_ref()));
+                        }
+                        rows.push(Row::new(cells));
+                    }
+                }
+                if !any && *optional {
+                    let mut cells = r.cells;
+                    cells.extend(std::iter::repeat(Cell::Null).take(attrs.len()));
+                    rows.push(Row::new(cells));
+                }
+            }
+            Ok(NestedRelation { schema, rows })
+        }
+        Plan::DeriveParentId {
+            input,
+            col,
+            levels,
+            name,
+        } => {
+            let mut rel = eval(input, views)?;
+            rel.schema.cols.push(Column {
+                name: name.clone(),
+                kind: ColKind::Atom(AttrKind::Id),
+            });
+            for r in &mut rel.rows {
+                let cell = match &r.cells[*col] {
+                    Cell::Id(id) => {
+                        let mut cur = Some(id.clone());
+                        for _ in 0..*levels {
+                            cur = cur.and_then(|c| c.derive_parent());
+                        }
+                        cur.map(Cell::Id).unwrap_or(Cell::Null)
+                    }
+                    Cell::Null => Cell::Null,
+                    other => {
+                        return Err(ExecError::Type(format!(
+                            "parent derivation on non-id cell {other}"
+                        )))
+                    }
+                };
+                r.cells.push(cell);
+            }
+            Ok(rel)
+        }
+        Plan::DupElim { input } => {
+            let mut rel = eval(input, views)?;
+            rel.normalize();
+            Ok(rel)
+        }
+    }
+}
+
+fn splice(row: &Row, at: usize, replacement: &[Cell]) -> Row {
+    let mut cells = Vec::with_capacity(row.cells.len() - 1 + replacement.len());
+    for (i, c) in row.cells.iter().enumerate() {
+        if i == at {
+            cells.extend(replacement.iter().cloned());
+        } else {
+            cells.push(c.clone());
+        }
+    }
+    Row::new(cells)
+}
+
+fn concat_schemas(a: &Schema, b: &Schema) -> Schema {
+    let mut cols = a.cols.clone();
+    cols.extend(b.cols.iter().cloned());
+    Schema { cols }
+}
+
+/// Collects `(id, row index)` for non-null ID cells.
+fn gather_ids(rel: &NestedRelation, col: usize) -> (Vec<StructId>, Vec<usize>) {
+    let mut ids = Vec::new();
+    let mut rows = Vec::new();
+    for (i, r) in rel.rows.iter().enumerate() {
+        if let Cell::Id(id) = &r.cells[col] {
+            ids.push(id.clone());
+            rows.push(i);
+        }
+    }
+    (ids, rows)
+}
+
+/// Runs the navigation steps from the content root.
+fn navigate(doc: &Document, steps: &[NavStep]) -> Vec<NodeId> {
+    let mut frontier = vec![doc.root()];
+    for step in steps {
+        let mut next = Vec::new();
+        for &x in &frontier {
+            match step.axis {
+                Axis::Child => {
+                    for &c in doc.children(x) {
+                        if step.label.is_none_or(|l| doc.label(c) == l) {
+                            next.push(c);
+                        }
+                    }
+                }
+                Axis::Descendant => {
+                    for c in doc.descendants(x) {
+                        if step.label.is_none_or(|l| doc.label(c) == l) {
+                            next.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        frontier = next;
+    }
+    frontier
+}
+
+/// Emits one attribute cell for a node inside stored content; IDs are
+/// reconstructed from the content root's ID through child ranks (possible
+/// exactly for the parent-derivable schemes, §4.6).
+fn attr_cell(doc: &Document, n: NodeId, attr: AttrKind, base_id: Option<&StructId>) -> Cell {
+    match attr {
+        AttrKind::Label => Cell::Label(doc.label(n)),
+        AttrKind::Value => doc
+            .value(n)
+            .map(|v| Cell::Atom(v.clone()))
+            .unwrap_or(Cell::Null),
+        AttrKind::Content => Cell::Content(serialize_subtree(doc, n)),
+        AttrKind::Id => {
+            let Some(base) = base_id else {
+                return Cell::Null;
+            };
+            // ranks from the content root down to n
+            let mut ranks = Vec::new();
+            let mut cur = n;
+            while let Some(p) = doc.parent(cur) {
+                ranks.push(doc.child_rank(cur) as usize);
+                cur = p;
+            }
+            ranks.reverse();
+            let mut id = base.clone();
+            for rank in ranks {
+                id = match id {
+                    StructId::Ord(o) => StructId::Ord(o.child(rank)),
+                    StructId::Dewey(d) => StructId::Dewey(d.child(rank)),
+                    StructId::Seq(_) => return Cell::Null,
+                };
+            }
+            Cell::Id(id)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smv_xml::{IdAssignment, IdScheme, Value};
+
+    fn ids(doc: &Document) -> IdAssignment {
+        IdAssignment::assign(doc, IdScheme::OrdPath)
+    }
+
+    /// items: a(item(name) item(name) other)
+    fn provider() -> (MapProvider, Document) {
+        let doc = Document::from_parens(
+            r#"a(item(name="pen" mail) item(name="ink") other="x")"#,
+        );
+        let ia = ids(&doc);
+        let mut items = NestedRelation {
+            schema: Schema::atoms(&[("item.ID", AttrKind::Id)]),
+            rows: vec![],
+        };
+        let mut names = NestedRelation {
+            schema: Schema::atoms(&[("name.ID", AttrKind::Id), ("name.V", AttrKind::Value)]),
+            rows: vec![],
+        };
+        for n in doc.iter() {
+            match doc.label(n).as_str() {
+                "item" => items
+                    .rows
+                    .push(Row::new(vec![Cell::Id(ia.id(n).clone())])),
+                "name" => names.rows.push(Row::new(vec![
+                    Cell::Id(ia.id(n).clone()),
+                    doc.value(n).map(|v| Cell::Atom(v.clone())).unwrap_or(Cell::Null),
+                ])),
+                _ => {}
+            }
+        }
+        let mut p = MapProvider::default();
+        p.insert("items", items);
+        p.insert("names", names);
+        (p, doc)
+    }
+
+    #[test]
+    fn scan_select_project() {
+        let (p, _) = provider();
+        let plan = Plan::Project {
+            input: Box::new(Plan::Select {
+                input: Box::new(Plan::Scan {
+                    view: "names".into(),
+                }),
+                pred: Predicate::Value {
+                    col: 1,
+                    formula: smv_pattern::Formula::eq(Value::str("pen")),
+                },
+            }),
+            cols: vec![1],
+        };
+        let out = execute(&plan, &p).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows[0].cells[0], Cell::Atom(Value::str("pen")));
+    }
+
+    #[test]
+    fn structural_join_pairs_items_with_names() {
+        let (p, _) = provider();
+        let plan = Plan::StructJoin {
+            left: Box::new(Plan::Scan {
+                view: "items".into(),
+            }),
+            right: Box::new(Plan::Scan {
+                view: "names".into(),
+            }),
+            lcol: 0,
+            rcol: 0,
+            rel: StructRel::Parent,
+        };
+        let out = execute(&plan, &p).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.schema.len(), 3);
+    }
+
+    #[test]
+    fn id_join_on_equal_ids() {
+        let (p, _) = provider();
+        let plan = Plan::IdJoin {
+            left: Box::new(Plan::Scan {
+                view: "names".into(),
+            }),
+            right: Box::new(Plan::Scan {
+                view: "names".into(),
+            }),
+            lcol: 0,
+            rcol: 0,
+        };
+        let out = execute(&plan, &p).unwrap();
+        assert_eq!(out.len(), 2, "each name joins itself only");
+    }
+
+    #[test]
+    fn union_dedups() {
+        let (p, _) = provider();
+        let plan = Plan::Union {
+            inputs: vec![
+                Plan::Scan {
+                    view: "names".into(),
+                },
+                Plan::Scan {
+                    view: "names".into(),
+                },
+            ],
+        };
+        let out = execute(&plan, &p).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn nest_then_unnest_round_trips() {
+        let (p, _) = provider();
+        let nest = Plan::Nest {
+            input: Box::new(Plan::Scan {
+                view: "names".into(),
+            }),
+            key_cols: vec![0],
+            nested_cols: vec![1],
+            name: "A".into(),
+        };
+        let nested = execute(&nest, &p).unwrap();
+        assert_eq!(nested.len(), 2);
+        assert!(matches!(nested.rows[0].cells[1], Cell::Table(_)));
+        let unnest = Plan::Unnest {
+            input: Box::new(nest),
+            col: 1,
+            outer: false,
+        };
+        let flat = execute(&unnest, &p).unwrap();
+        let orig = execute(
+            &Plan::Scan {
+                view: "names".into(),
+            },
+            &p,
+        )
+        .unwrap();
+        assert!(flat.set_eq(&orig));
+    }
+
+    #[test]
+    fn outer_unnest_keeps_empty_groups() {
+        let inner = Schema::atoms(&[("x.V", AttrKind::Value)]);
+        let rel = NestedRelation {
+            schema: Schema {
+                cols: vec![
+                    Column {
+                        name: "k.ID".into(),
+                        kind: ColKind::Atom(AttrKind::Id),
+                    },
+                    Column {
+                        name: "A".into(),
+                        kind: ColKind::Nested(inner.clone()),
+                    },
+                ],
+            },
+            rows: vec![Row::new(vec![
+                Cell::Id(StructId::Seq(1)),
+                Cell::Table(NestedRelation::empty(inner)),
+            ])],
+        };
+        let mut p = MapProvider::default();
+        p.insert("v", rel);
+        let inner_plan = Plan::Unnest {
+            input: Box::new(Plan::Scan { view: "v".into() }),
+            col: 1,
+            outer: true,
+        };
+        let out = execute(&inner_plan, &p).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.rows[0].cells[1].is_null());
+        let dropped = execute(
+            &Plan::Unnest {
+                input: Box::new(Plan::Scan { view: "v".into() }),
+                col: 1,
+                outer: false,
+            },
+            &p,
+        )
+        .unwrap();
+        assert!(dropped.is_empty());
+    }
+
+    #[test]
+    fn navigate_content_extracts_descendants_with_ids() {
+        // store content of <item> and navigate to name, reconstructing ids
+        let doc = Document::from_parens(r#"a(item(name="pen"))"#);
+        let ia = ids(&doc);
+        let item = NodeId(1);
+        let rel = NestedRelation {
+            schema: Schema::atoms(&[("item.ID", AttrKind::Id), ("item.C", AttrKind::Content)]),
+            rows: vec![Row::new(vec![
+                Cell::Id(ia.id(item).clone()),
+                Cell::Content(serialize_subtree(&doc, item)),
+            ])],
+        };
+        let mut p = MapProvider::default();
+        p.insert("v", rel);
+        let plan = Plan::NavigateContent {
+            input: Box::new(Plan::Scan { view: "v".into() }),
+            content_col: 1,
+            base_id_col: Some(0),
+            steps: vec![NavStep {
+                axis: Axis::Child,
+                label: Some(smv_xml::Label::intern("name")),
+            }],
+            attrs: vec![AttrKind::Id, AttrKind::Value],
+            optional: false,
+            name: "name".into(),
+        };
+        let out = execute(&plan, &p).unwrap();
+        assert_eq!(out.len(), 1);
+        // reconstructed id equals the real assignment
+        assert_eq!(out.rows[0].cells[2], Cell::Id(ia.id(NodeId(2)).clone()));
+        assert_eq!(out.rows[0].cells[3], Cell::Atom(Value::str("pen")));
+    }
+
+    #[test]
+    fn navigate_content_optional_keeps_rows() {
+        let doc = Document::from_parens("a(item)");
+        let ia = ids(&doc);
+        let rel = NestedRelation {
+            schema: Schema::atoms(&[("item.ID", AttrKind::Id), ("item.C", AttrKind::Content)]),
+            rows: vec![Row::new(vec![
+                Cell::Id(ia.id(NodeId(1)).clone()),
+                Cell::Content(serialize_subtree(&doc, NodeId(1))),
+            ])],
+        };
+        let mut p = MapProvider::default();
+        p.insert("v", rel);
+        let mk = |optional| Plan::NavigateContent {
+            input: Box::new(Plan::Scan { view: "v".into() }),
+            content_col: 1,
+            base_id_col: None,
+            steps: vec![NavStep {
+                axis: Axis::Descendant,
+                label: Some(smv_xml::Label::intern("zz")),
+            }],
+            attrs: vec![AttrKind::Value],
+            optional,
+            name: "z".into(),
+        };
+        assert_eq!(execute(&mk(true), &p).unwrap().len(), 1);
+        assert_eq!(execute(&mk(false), &p).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn derive_parent_id_walks_up() {
+        let doc = Document::from_parens("a(b(c))");
+        let ia = ids(&doc);
+        let rel = NestedRelation {
+            schema: Schema::atoms(&[("c.ID", AttrKind::Id)]),
+            rows: vec![Row::new(vec![Cell::Id(ia.id(NodeId(2)).clone())])],
+        };
+        let mut p = MapProvider::default();
+        p.insert("v", rel);
+        let plan = Plan::DeriveParentId {
+            input: Box::new(Plan::Scan { view: "v".into() }),
+            col: 0,
+            levels: 1,
+            name: "b.ID".into(),
+        };
+        let out = execute(&plan, &p).unwrap();
+        assert_eq!(out.rows[0].cells[1], Cell::Id(ia.id(NodeId(1)).clone()));
+        // two levels: root
+        let plan2 = Plan::DeriveParentId {
+            input: Box::new(Plan::Scan { view: "v".into() }),
+            col: 0,
+            levels: 2,
+            name: "a.ID".into(),
+        };
+        let out2 = execute(&plan2, &p).unwrap();
+        assert_eq!(out2.rows[0].cells[1], Cell::Id(ia.id(NodeId(0)).clone()));
+        // past the root: null
+        let plan3 = Plan::DeriveParentId {
+            input: Box::new(Plan::Scan { view: "v".into() }),
+            col: 0,
+            levels: 5,
+            name: "x".into(),
+        };
+        assert!(execute(&plan3, &p).unwrap().rows[0].cells[1].is_null());
+    }
+
+    #[test]
+    fn unknown_view_errors() {
+        let p = MapProvider::default();
+        let e = execute(&Plan::Scan { view: "zz".into() }, &p).unwrap_err();
+        assert_eq!(e, ExecError::UnknownView("zz".into()));
+    }
+}

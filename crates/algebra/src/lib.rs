@@ -1,0 +1,17 @@
+//! # smv-algebra — logical plans and execution
+//!
+//! The algebraic layer the rewriting algorithm targets (paper §3.2): plans
+//! over materialized views built from scans, `σ`, `π`, ID-equality joins,
+//! structural joins (`⋈_≺`, `⋈_≺≺` — the stack-tree algorithm of [1]),
+//! unions, nest/unnest, content navigation and `nav_fID` parent-ID
+//! derivation (§4.6), plus the nested-relation values views materialize.
+
+pub mod exec;
+pub mod plan;
+pub mod relation;
+pub mod struct_join;
+
+pub use exec::{execute, ExecError, MapProvider, ViewProvider};
+pub use plan::{NavStep, Plan, Predicate};
+pub use relation::{AttrKind, Cell, ColKind, Column, NestedRelation, Row, Schema};
+pub use struct_join::{nested_loop_join, stack_tree_join, StructRel};

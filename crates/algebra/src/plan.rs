@@ -1,0 +1,356 @@
+//! Logical algebraic plans (paper §3.2, §4.6).
+//!
+//! Rewritings are *plans* built from view scans with `⋈_=` (ID equality),
+//! `⋈_≺` / `⋈_≺≺` (structural joins), `σ`, `π`, `∪`, plus the adaptation
+//! operators of §4.6: nest (group-by) / unnest, navigation inside stored
+//! `C` attributes (XPath over content), and `nav_fID` — deriving an
+//! ancestor's ID from a stored descendant ID when the ID scheme allows it
+//! (ORDPATH / Dewey).
+
+use crate::relation::AttrKind;
+use crate::struct_join::StructRel;
+use smv_pattern::{Axis, Formula};
+use smv_xml::Label;
+
+/// A navigation step inside a stored content column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NavStep {
+    /// Child or descendant.
+    pub axis: Axis,
+    /// Required label (`None` = any).
+    pub label: Option<Label>,
+}
+
+/// Row predicates for `σ`.
+#[derive(Clone, Debug)]
+pub enum Predicate {
+    /// The value in an atom column satisfies a formula (nulls fail).
+    Value {
+        /// Column index.
+        col: usize,
+        /// The predicate formula.
+        formula: Formula,
+    },
+    /// The label in a label column equals `label`.
+    LabelEq {
+        /// Column index.
+        col: usize,
+        /// Required label.
+        label: Label,
+    },
+    /// The column is not `⊥`.
+    NotNull {
+        /// Column index.
+        col: usize,
+    },
+}
+
+/// A logical plan over materialized views.
+#[derive(Clone, Debug)]
+pub enum Plan {
+    /// Scan a named view's extent.
+    Scan {
+        /// View name in the catalog.
+        view: String,
+    },
+    /// `σ` — filter rows.
+    Select {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Predicate.
+        pred: Predicate,
+    },
+    /// `π` — keep the given columns, in the given order.
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Column indices to keep.
+        cols: Vec<usize>,
+    },
+    /// `⋈_=` — equality join on ID columns.
+    IdJoin {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Left join column.
+        lcol: usize,
+        /// Right join column.
+        rcol: usize,
+    },
+    /// `⋈_≺` / `⋈_≺≺` — structural join on ID columns.
+    StructJoin {
+        /// Left (ancestor side) input.
+        left: Box<Plan>,
+        /// Right (descendant side) input.
+        right: Box<Plan>,
+        /// Left join column.
+        lcol: usize,
+        /// Right join column.
+        rcol: usize,
+        /// Parent or ancestor.
+        rel: StructRel,
+    },
+    /// `∪` — union of same-schema inputs (set semantics).
+    Union {
+        /// The branches.
+        inputs: Vec<Plan>,
+    },
+    /// Group-by: group on `key_cols`, nest the `nested_cols` into a
+    /// table-valued column named `name` (§4.6 nesting adaptation).
+    Nest {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Grouping key columns.
+        key_cols: Vec<usize>,
+        /// Columns gathered into the nested table.
+        nested_cols: Vec<usize>,
+        /// Name of the new nested column.
+        name: String,
+    },
+    /// Flatten a table-valued column; `outer` keeps rows whose table is
+    /// empty (yielding nulls).
+    Unnest {
+        /// Input plan.
+        input: Box<Plan>,
+        /// The table-valued column.
+        col: usize,
+        /// Keep empty groups as null rows.
+        outer: bool,
+    },
+    /// Navigate inside a stored `C` column, producing new attribute
+    /// columns for the nodes reached (§4.6 C-unfolding support).
+    NavigateContent {
+        /// Input plan.
+        input: Box<Plan>,
+        /// The content column.
+        content_col: usize,
+        /// Column holding the ID of the content root, if available —
+        /// enables reconstructing structural IDs for inner nodes.
+        base_id_col: Option<usize>,
+        /// Navigation steps from the content root.
+        steps: Vec<NavStep>,
+        /// Attributes to emit for each reached node.
+        attrs: Vec<AttrKind>,
+        /// If true, rows with no reached node survive with nulls.
+        optional: bool,
+        /// Prefix for the new columns' names.
+        name: String,
+    },
+    /// `nav_fID` — derive the ID of the `levels`-up ancestor from a stored
+    /// structural ID (§4.6 virtual IDs).
+    DeriveParentId {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Source ID column.
+        col: usize,
+        /// How many parent steps to take.
+        levels: usize,
+        /// Name of the new column.
+        name: String,
+    },
+    /// Explicit duplicate elimination.
+    DupElim {
+        /// Input plan.
+        input: Box<Plan>,
+    },
+}
+
+impl Plan {
+    /// Number of `Scan` leaves — the plan "size" of Proposition 3.6.
+    pub fn scan_count(&self) -> usize {
+        match self {
+            Plan::Scan { .. } => 1,
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Nest { input, .. }
+            | Plan::Unnest { input, .. }
+            | Plan::NavigateContent { input, .. }
+            | Plan::DeriveParentId { input, .. }
+            | Plan::DupElim { input } => input.scan_count(),
+            Plan::IdJoin { left, right, .. } | Plan::StructJoin { left, right, .. } => {
+                left.scan_count() + right.scan_count()
+            }
+            Plan::Union { inputs } => inputs.iter().map(Plan::scan_count).sum(),
+        }
+    }
+
+    /// The distinct view names scanned.
+    pub fn views_used(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        fn rec(p: &Plan, out: &mut Vec<String>) {
+            match p {
+                Plan::Scan { view } => {
+                    if !out.contains(view) {
+                        out.push(view.clone());
+                    }
+                }
+                Plan::Select { input, .. }
+                | Plan::Project { input, .. }
+                | Plan::Nest { input, .. }
+                | Plan::Unnest { input, .. }
+                | Plan::NavigateContent { input, .. }
+                | Plan::DeriveParentId { input, .. }
+                | Plan::DupElim { input } => rec(input, out),
+                Plan::IdJoin { left, right, .. } | Plan::StructJoin { left, right, .. } => {
+                    rec(left, out);
+                    rec(right, out);
+                }
+                Plan::Union { inputs } => inputs.iter().for_each(|i| rec(i, out)),
+            }
+        }
+        rec(self, &mut out);
+        out
+    }
+
+    fn fmt_indent(&self, f: &mut std::fmt::Formatter<'_>, indent: usize) -> std::fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            Plan::Scan { view } => writeln!(f, "{pad}Scan({view})"),
+            Plan::Select { input, pred } => {
+                let p = match pred {
+                    Predicate::Value { col, formula } => format!("#{col} sat {formula}"),
+                    Predicate::LabelEq { col, label } => format!("#{col} = <{label}>"),
+                    Predicate::NotNull { col } => format!("#{col} not null"),
+                };
+                writeln!(f, "{pad}Select[{p}]")?;
+                input.fmt_indent(f, indent + 1)
+            }
+            Plan::Project { input, cols } => {
+                writeln!(f, "{pad}Project{cols:?}")?;
+                input.fmt_indent(f, indent + 1)
+            }
+            Plan::IdJoin {
+                left,
+                right,
+                lcol,
+                rcol,
+            } => {
+                writeln!(f, "{pad}IdJoin[#{lcol} = #{rcol}]")?;
+                left.fmt_indent(f, indent + 1)?;
+                right.fmt_indent(f, indent + 1)
+            }
+            Plan::StructJoin {
+                left,
+                right,
+                lcol,
+                rcol,
+                rel,
+            } => {
+                let sym = match rel {
+                    StructRel::Parent => "≺",
+                    StructRel::Ancestor => "≺≺",
+                };
+                writeln!(f, "{pad}StructJoin[#{lcol} {sym} #{rcol}]")?;
+                left.fmt_indent(f, indent + 1)?;
+                right.fmt_indent(f, indent + 1)
+            }
+            Plan::Union { inputs } => {
+                writeln!(f, "{pad}Union")?;
+                for i in inputs {
+                    i.fmt_indent(f, indent + 1)?;
+                }
+                Ok(())
+            }
+            Plan::Nest {
+                input,
+                key_cols,
+                nested_cols,
+                name,
+            } => {
+                writeln!(f, "{pad}Nest[key={key_cols:?} nest={nested_cols:?} as {name}]")?;
+                input.fmt_indent(f, indent + 1)
+            }
+            Plan::Unnest { input, col, outer } => {
+                writeln!(
+                    f,
+                    "{pad}Unnest[#{col}{}]",
+                    if *outer { " outer" } else { "" }
+                )?;
+                input.fmt_indent(f, indent + 1)
+            }
+            Plan::NavigateContent {
+                input,
+                content_col,
+                steps,
+                attrs,
+                optional,
+                name,
+                ..
+            } => {
+                let path: String = steps
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "{}{}",
+                            if s.axis == Axis::Child { "/" } else { "//" },
+                            s.label.map(|l| l.as_str()).unwrap_or("*")
+                        )
+                    })
+                    .collect();
+                writeln!(
+                    f,
+                    "{pad}NavigateC[#{content_col}{path} → {name}.{attrs:?}{}]",
+                    if *optional { " optional" } else { "" }
+                )?;
+                input.fmt_indent(f, indent + 1)
+            }
+            Plan::DeriveParentId {
+                input,
+                col,
+                levels,
+                name,
+            } => {
+                writeln!(f, "{pad}navfID[#{col} ↑{levels} as {name}]")?;
+                input.fmt_indent(f, indent + 1)
+            }
+            Plan::DupElim { input } => {
+                writeln!(f, "{pad}DupElim")?;
+                input.fmt_indent(f, indent + 1)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Plan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.fmt_indent(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Plan {
+        Plan::IdJoin {
+            left: Box::new(Plan::Scan { view: "V1".into() }),
+            right: Box::new(Plan::Select {
+                input: Box::new(Plan::Scan { view: "V2".into() }),
+                pred: Predicate::NotNull { col: 0 },
+            }),
+            lcol: 0,
+            rcol: 0,
+        }
+    }
+
+    #[test]
+    fn scan_count_and_views() {
+        let p = sample();
+        assert_eq!(p.scan_count(), 2);
+        assert_eq!(p.views_used(), vec!["V1".to_string(), "V2".to_string()]);
+        let u = Plan::Union {
+            inputs: vec![sample(), Plan::Scan { view: "V1".into() }],
+        };
+        assert_eq!(u.scan_count(), 3);
+        assert_eq!(u.views_used().len(), 2, "views deduplicated");
+    }
+
+    #[test]
+    fn display_is_indented() {
+        let txt = sample().to_string();
+        assert!(txt.contains("IdJoin"));
+        assert!(txt.contains("  Scan(V1)"));
+        assert!(txt.contains("    Scan(V2)"));
+    }
+}

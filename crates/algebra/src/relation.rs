@@ -1,0 +1,378 @@
+//! Nested relations — the data produced by materialized views.
+//!
+//! A view evaluates to a *nested table which may include null values*
+//! (paper §1, Fig. 1c): one column per (return node, stored attribute),
+//! plus one *table-valued* column per nested edge (§4.5, Fig. 12). Set
+//! semantics throughout; [`NestedRelation::normalize`] sorts and
+//! deduplicates recursively so equality is structural.
+
+use smv_xml::{Label, StructId, Value};
+
+/// Which stored attribute a column carries (§4.4).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AttrKind {
+    /// Node identifier.
+    Id,
+    /// Node label.
+    Label,
+    /// Node value.
+    Value,
+    /// Node content (serialized subtree).
+    Content,
+}
+
+impl std::fmt::Display for AttrKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AttrKind::Id => "ID",
+            AttrKind::Label => "L",
+            AttrKind::Value => "V",
+            AttrKind::Content => "C",
+        })
+    }
+}
+
+/// A column: either an atomic attribute or a nested table.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Column {
+    /// Human-readable name, e.g. `item.ID`.
+    pub name: String,
+    /// Atomic or nested.
+    pub kind: ColKind,
+}
+
+/// Column kind.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ColKind {
+    /// An atomic attribute cell.
+    Atom(AttrKind),
+    /// A nested table with its own schema.
+    Nested(Schema),
+}
+
+/// A relation schema.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Schema {
+    /// The columns, in order.
+    pub cols: Vec<Column>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, kind)` pairs of atomic columns.
+    pub fn atoms(cols: &[(&str, AttrKind)]) -> Schema {
+        Schema {
+            cols: cols
+                .iter()
+                .map(|(n, k)| Column {
+                    name: (*n).to_owned(),
+                    kind: ColKind::Atom(*k),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Index of the column named `name`.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.cols.iter().position(|c| c.name == name)
+    }
+}
+
+impl std::fmt::Display for Schema {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("(")?;
+        for (i, c) in self.cols.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match &c.kind {
+                ColKind::Atom(k) => write!(f, "{}:{k}", c.name)?,
+                ColKind::Nested(s) => write!(f, "{}:{s}", c.name)?,
+            }
+        }
+        f.write_str(")")
+    }
+}
+
+/// One cell of a row.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Cell {
+    /// `⊥` — produced by optional edges that did not bind.
+    Null,
+    /// A structural (or sequential) identifier.
+    Id(StructId),
+    /// An element label.
+    Label(Label),
+    /// An atomic value.
+    Atom(Value),
+    /// Serialized subtree content.
+    Content(String),
+    /// A nested table.
+    Table(NestedRelation),
+}
+
+impl Cell {
+    /// Is this `⊥`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Cell::Null)
+    }
+
+    /// A canonical encoding used for sorting/dedup (total order over all
+    /// cell variants; recursion handles nested tables).
+    fn encode(&self, out: &mut String) {
+        match self {
+            Cell::Null => out.push('N'),
+            Cell::Id(id) => {
+                out.push('I');
+                out.push_str(&id.to_string());
+            }
+            Cell::Label(l) => {
+                out.push('L');
+                out.push_str(l.as_str());
+            }
+            Cell::Atom(Value::Int(i)) => {
+                // left-pad so lexicographic = numeric for same sign
+                out.push('a');
+                out.push_str(&format!("{:+021}", i));
+            }
+            Cell::Atom(Value::Str(s)) => {
+                out.push('s');
+                out.push_str(s);
+            }
+            Cell::Content(c) => {
+                out.push('C');
+                out.push_str(c);
+            }
+            Cell::Table(t) => {
+                out.push('T');
+                out.push('[');
+                let mut keys: Vec<String> = t.rows.iter().map(Row::encode_key).collect();
+                keys.sort();
+                for k in keys {
+                    out.push_str(&k);
+                    out.push(';');
+                }
+                out.push(']');
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Cell::Null => f.write_str("⊥"),
+            Cell::Id(id) => write!(f, "{id}"),
+            Cell::Label(l) => write!(f, "{l}"),
+            Cell::Atom(v) => write!(f, "{v}"),
+            Cell::Content(c) => {
+                if c.len() > 32 {
+                    write!(f, "{}…", &c[..32])
+                } else {
+                    f.write_str(c)
+                }
+            }
+            Cell::Table(t) => {
+                f.write_str("{")?;
+                for (i, r) in t.rows.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("; ")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// One row.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Row {
+    /// The cells, aligned with the schema.
+    pub cells: Vec<Cell>,
+}
+
+impl Row {
+    /// Builds a row.
+    pub fn new(cells: Vec<Cell>) -> Row {
+        Row { cells }
+    }
+
+    /// Canonical sort/dedup key.
+    pub fn encode_key(&self) -> String {
+        let mut s = String::new();
+        for c in &self.cells {
+            c.encode(&mut s);
+            s.push('|');
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for Row {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("⟨")?;
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        f.write_str("⟩")
+    }
+}
+
+/// A (possibly nested) relation: schema + rows, set semantics.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct NestedRelation {
+    /// The schema.
+    pub schema: Schema,
+    /// The rows (normalize before comparing).
+    pub rows: Vec<Row>,
+}
+
+impl NestedRelation {
+    /// An empty relation over `schema`.
+    pub fn empty(schema: Schema) -> NestedRelation {
+        NestedRelation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Sorts rows by canonical key and removes duplicates, recursively
+    /// normalizing nested tables first.
+    pub fn normalize(&mut self) {
+        for r in &mut self.rows {
+            for c in &mut r.cells {
+                if let Cell::Table(t) = c {
+                    t.normalize();
+                }
+            }
+        }
+        self.rows.sort_by_cached_key(Row::encode_key);
+        self.rows.dedup();
+    }
+
+    /// Normalized copy.
+    pub fn normalized(&self) -> NestedRelation {
+        let mut c = self.clone();
+        c.normalize();
+        c
+    }
+
+    /// Set equality (ignores row order at every nesting level).
+    pub fn set_eq(&self, other: &NestedRelation) -> bool {
+        self.normalized().rows == other.normalized().rows
+    }
+}
+
+impl std::fmt::Display for NestedRelation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for r in &self.rows {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> NestedRelation {
+        NestedRelation {
+            schema: Schema::atoms(&[("a.ID", AttrKind::Id), ("a.V", AttrKind::Value)]),
+            rows: vec![
+                Row::new(vec![Cell::Id(StructId::Seq(2)), Cell::Atom(Value::int(5))]),
+                Row::new(vec![Cell::Id(StructId::Seq(1)), Cell::Null]),
+                Row::new(vec![Cell::Id(StructId::Seq(2)), Cell::Atom(Value::int(5))]),
+            ],
+        }
+    }
+
+    #[test]
+    fn normalize_dedups_and_sorts() {
+        let mut r = rel();
+        r.normalize();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn set_equality_ignores_order() {
+        let r1 = rel();
+        let mut r2 = rel();
+        r2.rows.reverse();
+        assert!(r1.set_eq(&r2));
+        let mut r3 = rel();
+        r3.rows.pop();
+        r3.rows.pop();
+        assert!(!r1.set_eq(&r3));
+    }
+
+    #[test]
+    fn nested_tables_compare_as_sets() {
+        let inner_schema = Schema::atoms(&[("k.V", AttrKind::Value)]);
+        let mk = |vals: &[i64]| {
+            Cell::Table(NestedRelation {
+                schema: inner_schema.clone(),
+                rows: vals
+                    .iter()
+                    .map(|&v| Row::new(vec![Cell::Atom(Value::int(v))]))
+                    .collect(),
+            })
+        };
+        let schema = Schema {
+            cols: vec![Column {
+                name: "A".into(),
+                kind: ColKind::Nested(inner_schema.clone()),
+            }],
+        };
+        let r1 = NestedRelation {
+            schema: schema.clone(),
+            rows: vec![Row::new(vec![mk(&[1, 2])])],
+        };
+        let r2 = NestedRelation {
+            schema,
+            rows: vec![Row::new(vec![mk(&[2, 1, 1])])],
+        };
+        assert!(r1.set_eq(&r2));
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::atoms(&[("x.ID", AttrKind::Id), ("y.V", AttrKind::Value)]);
+        assert_eq!(s.col("y.V"), Some(1));
+        assert_eq!(s.col("zz"), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        let r = rel();
+        let txt = r.to_string();
+        assert!(txt.contains("a.ID:ID"));
+        assert!(txt.contains("⊥"));
+    }
+}

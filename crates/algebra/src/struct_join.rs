@@ -1,0 +1,193 @@
+//! Structural joins over structural identifiers.
+//!
+//! The paper's plans use `⋈_≺` (parent) and `⋈_≺≺` (ancestor) joins, and
+//! cite the stack-tree algorithm of Al-Khalifa et al. [1] as the
+//! primitive. We implement the stack-based merge over inputs sorted in
+//! document order, plus a naive nested-loop variant used as a correctness
+//! oracle and as the baseline in the ablation benchmark.
+//!
+//! Both require IDs of a *structural* scheme (ORDPATH / Dewey); the
+//! sequential scheme cannot answer ancestor tests and is rejected.
+
+use smv_xml::StructId;
+use std::cmp::Ordering;
+
+/// Structural relationship tested by the join.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StructRel {
+    /// Left is the parent of right (`≺`).
+    Parent,
+    /// Left is a proper ancestor of right (`≺≺`).
+    Ancestor,
+}
+
+/// Output pairs `(left index, right index)` such that `left[l] rel
+/// right[r]`. Naive O(n·m) loop; the oracle for tests and the ablation
+/// baseline.
+pub fn nested_loop_join(
+    left: &[StructId],
+    right: &[StructId],
+    rel: StructRel,
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (i, a) in left.iter().enumerate() {
+        for (j, b) in right.iter().enumerate() {
+            let hit = match rel {
+                StructRel::Parent => a.is_parent_of(b),
+                StructRel::Ancestor => a.is_ancestor_of(b),
+            };
+            if hit == Some(true) {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+/// Stack-tree structural join [1]: both inputs are first sorted in
+/// document order, then merged with a stack of open ancestors.
+/// O(n + m + output).
+pub fn stack_tree_join(
+    left: &[StructId],
+    right: &[StructId],
+    rel: StructRel,
+) -> Vec<(usize, usize)> {
+    // sort index arrays by document order
+    let mut li: Vec<usize> = (0..left.len()).collect();
+    let mut ri: Vec<usize> = (0..right.len()).collect();
+    li.sort_by(|&a, &b| {
+        left[a]
+            .cmp_doc_order(&left[b])
+            .expect("structural join requires a uniform structural ID scheme")
+    });
+    ri.sort_by(|&a, &b| {
+        right[a]
+            .cmp_doc_order(&right[b])
+            .expect("structural join requires a uniform structural ID scheme")
+    });
+
+    let mut out = Vec::new();
+    let mut stack: Vec<usize> = Vec::new(); // indices into `left`
+    let mut l = 0usize;
+    let mut r = 0usize;
+    while r < ri.len() {
+        let rid = &right[ri[r]];
+        // push all left ids that start before rid and are its ancestors;
+        // pop those that end before rid starts.
+        while l < li.len()
+            && left[li[l]].cmp_doc_order(rid).expect("uniform scheme") != Ordering::Greater
+        {
+            // maintain the stack invariant: the stack is a chain of
+            // ancestors of the incoming left id
+            while let Some(&top) = stack.last() {
+                if left[top].is_ancestor_of(&left[li[l]]) == Some(true) || left[top] == left[li[l]]
+                {
+                    break;
+                }
+                stack.pop();
+            }
+            stack.push(li[l]);
+            l += 1;
+        }
+        // pop stack entries whose subtree ended strictly before rid; an
+        // entry *equal* to rid has not ended (its descendants follow rid)
+        while let Some(&top) = stack.last() {
+            if left[top].is_ancestor_of(rid) == Some(true) || left[top] == *rid {
+                break;
+            }
+            stack.pop();
+        }
+        // the stack is an ancestor chain; entries below a possible
+        // rid-equal top are ancestors of rid
+        for &a in stack.iter() {
+            if left[a].is_ancestor_of(rid) != Some(true) {
+                continue;
+            }
+            match rel {
+                StructRel::Ancestor => out.push((a, ri[r])),
+                StructRel::Parent => {
+                    if left[a].is_parent_of(rid) == Some(true) {
+                        out.push((a, ri[r]));
+                    }
+                }
+            }
+        }
+        r += 1;
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smv_xml::{Document, IdAssignment, IdScheme};
+
+    fn ids_of(doc: &Document, scheme: IdScheme, label: &str) -> Vec<StructId> {
+        let ids = IdAssignment::assign(doc, scheme);
+        doc.iter()
+            .filter(|&n| doc.label(n).as_str() == label)
+            .map(|n| ids.id(n).clone())
+            .collect()
+    }
+
+    fn check_agreement(doc: &Document, scheme: IdScheme, l: &str, r: &str) {
+        let left = ids_of(doc, scheme, l);
+        let right = ids_of(doc, scheme, r);
+        for rel in [StructRel::Parent, StructRel::Ancestor] {
+            let mut naive = nested_loop_join(&left, &right, rel);
+            naive.sort_unstable();
+            let stacked = stack_tree_join(&left, &right, rel);
+            assert_eq!(naive, stacked, "{scheme:?} {rel:?} {l}/{r}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_nested_loop_on_samples() {
+        let docs = [
+            "a(b(c(b) b) c(b(c)) b)",
+            "a(b(b(b(b))))",
+            "a(c c c)",
+            "a(b(c) c(b) b(c(b(c))))",
+        ];
+        for d in docs {
+            let doc = Document::from_parens(d);
+            for scheme in [IdScheme::OrdPath, IdScheme::Dewey] {
+                check_agreement(&doc, scheme, "b", "c");
+                check_agreement(&doc, scheme, "a", "b");
+                check_agreement(&doc, scheme, "b", "b");
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_vs_parent_difference() {
+        let doc = Document::from_parens("a(b(x(c)))");
+        let left = ids_of(&doc, IdScheme::OrdPath, "b");
+        let right = ids_of(&doc, IdScheme::OrdPath, "c");
+        assert_eq!(
+            stack_tree_join(&left, &right, StructRel::Ancestor).len(),
+            1
+        );
+        assert_eq!(stack_tree_join(&left, &right, StructRel::Parent).len(), 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(stack_tree_join(&[], &[], StructRel::Ancestor).is_empty());
+        let doc = Document::from_parens("a(b)");
+        let left = ids_of(&doc, IdScheme::Dewey, "a");
+        assert!(stack_tree_join(&left, &[], StructRel::Parent).is_empty());
+        assert!(stack_tree_join(&[], &left, StructRel::Parent).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform structural ID scheme")]
+    fn mixed_schemes_rejected() {
+        let doc = Document::from_parens("a(b b)");
+        let mut left = ids_of(&doc, IdScheme::OrdPath, "b");
+        left.push(StructId::Seq(1));
+        let right = ids_of(&doc, IdScheme::OrdPath, "b");
+        stack_tree_join(&left, &right, StructRel::Ancestor);
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 13: containment on the XMark summary — the 20 query patterns
+//! (self-containment + canonical model) and the synthetic n-sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smv_bench::{contain_opts, xmark_summary};
+use smv_core::contained;
+use smv_datagen::{random_patterns, xmark_query_patterns, SynthConfig};
+use smv_pattern::canonical_model;
+use std::hint::black_box;
+
+fn bench_queries(c: &mut Criterion) {
+    let s = xmark_summary();
+    let opts = contain_opts();
+    let qs = xmark_query_patterns();
+    let mut g = c.benchmark_group("fig13_xmark_queries");
+    g.sample_size(10);
+    // the paper highlights Q6, Q7 (the outlier), Q10 and Q19
+    for &i in &[0usize, 5, 6, 9, 18] {
+        g.bench_with_input(BenchmarkId::new("self_containment", i + 1), &i, |b, &i| {
+            b.iter(|| contained(black_box(&qs[i]), black_box(&qs[i]), &s, &opts))
+        });
+        g.bench_with_input(BenchmarkId::new("canonical_model", i + 1), &i, |b, &i| {
+            b.iter(|| canonical_model(black_box(&qs[i]), &s, &opts.canon).size())
+        });
+    }
+    g.finish();
+}
+
+fn bench_synthetic(c: &mut Criterion) {
+    let s = xmark_summary();
+    let opts = contain_opts();
+    let mut g = c.benchmark_group("fig13_synthetic");
+    g.sample_size(10);
+    for n in [3usize, 7, 11] {
+        let cfg = SynthConfig {
+            nodes: n,
+            returns: 1,
+            seed: n as u64,
+            ..Default::default()
+        };
+        let pats = random_patterns(&s, &cfg, 8);
+        g.bench_with_input(BenchmarkId::new("pairwise", n), &n, |b, _| {
+            b.iter(|| {
+                let mut count = 0usize;
+                for i in 0..pats.len() {
+                    for j in i..pats.len() {
+                        if contained(&pats[i], &pats[j], &s, &opts).is_contained() {
+                            count += 1;
+                        }
+                    }
+                }
+                count
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_synthetic);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 14: containment on the DBLP summary (≈4× faster than XMark in
+//! the paper) and the optional-edge ablation (0% vs 50% optional).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smv_bench::{contain_opts, dblp_summary};
+use smv_core::contained;
+use smv_datagen::{random_patterns, SynthConfig};
+
+fn bench_dblp(c: &mut Criterion) {
+    let s = dblp_summary();
+    let opts = contain_opts();
+    let mut g = c.benchmark_group("fig14_dblp");
+    g.sample_size(10);
+    for n in [5usize, 9] {
+        for p_opt in [0.0f64, 0.5] {
+            let cfg = SynthConfig {
+                nodes: n,
+                returns: 1,
+                p_opt,
+                return_labels: vec!["author".into(), "title".into(), "year".into()],
+                seed: n as u64,
+                ..Default::default()
+            };
+            let pats = random_patterns(&s, &cfg, 8);
+            let id = format!("n{n}_opt{}", (p_opt * 100.0) as u32);
+            g.bench_with_input(BenchmarkId::new("pairwise", id), &n, |b, _| {
+                b.iter(|| {
+                    let mut count = 0;
+                    for i in 0..pats.len() {
+                        for j in i..pats.len() {
+                            if contained(&pats[i], &pats[j], &s, &opts).is_contained() {
+                                count += 1;
+                            }
+                        }
+                    }
+                    count
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dblp);
+criterion_main!(benches);

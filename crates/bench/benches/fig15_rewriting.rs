@@ -1,0 +1,31 @@
+//! Figure 15: rewriting the XMark query patterns against the §5 view set
+//! (seed 2-node views + 100 random 3-node views), measuring total time
+//! and the stop-at-first-rewriting mode the paper reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smv_bench::{fig15_opts, fig15_views, xmark_summary};
+use smv_core::rewrite;
+use smv_datagen::xmark_query_patterns;
+
+fn bench_rewriting(c: &mut Criterion) {
+    let s = xmark_summary();
+    let views = fig15_views(&s, 30);
+    let qs = xmark_query_patterns();
+    let mut g = c.benchmark_group("fig15_rewriting");
+    g.sample_size(10);
+    // representative queries: cheap (Q1), join-heavy (Q8), optional (Q17)
+    for &i in &[0usize, 7, 16] {
+        g.bench_with_input(BenchmarkId::new("total", i + 1), &i, |b, &i| {
+            b.iter(|| rewrite(&qs[i], &views, &s, &fig15_opts()).rewritings.len())
+        });
+        g.bench_with_input(BenchmarkId::new("first_only", i + 1), &i, |b, &i| {
+            let mut o = fig15_opts();
+            o.first_only = true;
+            b.iter(|| rewrite(&qs[i], &views, &s, &o).rewritings.len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rewriting);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Table 1 regeneration: summary construction cost per dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smv_datagen::{dblp, xmark, DblpSnapshot, XmarkConfig};
+use smv_summary::Summary;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_summary_build");
+    g.sample_size(10);
+    let xm = xmark(&XmarkConfig::default());
+    g.bench_function("xmark", |b| b.iter(|| Summary::of(black_box(&xm)).len()));
+    let db = dblp(DblpSnapshot::Y2005, 3000, 7);
+    g.bench_function("dblp05", |b| b.iter(|| Summary::of(black_box(&db)).len()));
+    let sh = smv_datagen::corpora::shakespeare(10, 1);
+    g.bench_function("shakespeare", |b| {
+        b.iter(|| Summary::of(black_box(&sh)).len())
+    });
+    let sp = smv_datagen::corpora::swissprot(500, 3);
+    g.bench_function("swissprot", |b| b.iter(|| Summary::of(black_box(&sp)).len()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

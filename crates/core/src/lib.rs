@@ -1,0 +1,23 @@
+//! # smv-core — containment and view-based rewriting
+//!
+//! The paper's primary contribution:
+//!
+//! * [`containment`] — deciding `p ⊆_S q`, `p ⊆_S q_1 ∪ … ∪ q_m` and
+//!   `p ≡_S q` under Dataguide (and integrity-constraint) constraints, for
+//!   the full extended pattern language (Propositions 3.1/3.2, §4).
+//! * [`rewriting`] — Algorithm 1: given a query pattern and a set of
+//!   materialized view patterns, produce the algebraic plans over the
+//!   views that are `S`-equivalent to the query, with the pruning rules of
+//!   Propositions 3.4-3.7, C-attribute unfolding and virtual-ID
+//!   derivation (§4.6).
+
+pub mod containment;
+
+pub use containment::{
+    contained, contained_in_union, equivalent, is_satisfiable, one_to_one_connected, ContainOpts,
+    Decision,
+};
+
+pub mod rewriting;
+
+pub use rewriting::{rewrite, RewriteOpts, RewriteResult, RewriteStats, Rewriter, Rewriting};

@@ -1,0 +1,1581 @@
+//! View-based rewriting under summary constraints — Algorithm 1.
+//!
+//! Given a query pattern `q`, a set of materialized views and a summary
+//! `S`, produce algebraic plans over the views that are `S`-equivalent to
+//! `q`.
+//!
+//! ## Search-space representation
+//!
+//! Following Proposition 3.3, every join plan over views is `S`-equivalent
+//! to a **union of conjunctive patterns**; under the paper's §4.2
+//! simplification these are *S-subtrees with per-path formulas* — exactly
+//! canonical-model trees. We therefore represent the pattern side of each
+//! (plan, pattern) pair as a union of [`Member`]s: ancestor-closed sets of
+//! summary paths with formulas, plus the per-column binding (`None` = the
+//! column is `⊥` in rows of this member). Scanning a view yields one
+//! member per canonical tree of its (unnested) pattern; joins merge
+//! members pairwise — and because every node carries a single summary
+//! path, the Fig. 5 merge ambiguity disappears: the structural relation
+//! between any two paths is determined by `S`.
+//!
+//! ## Algorithm 1 correspondence
+//!
+//! * line 1 — `M0` = per-view base pairs, pre-pruned by Proposition 3.4,
+//!   extended with virtual-ID columns (§4.6, `nav_fID`) and C-navigation
+//!   columns (§4.6 unfolding, restricted to query-relevant paths);
+//! * lines 2-11 — left-deep join enumeration over `⋈_=`, `⋈_≺`, `⋈_≺≺`,
+//!   with satisfiability pruning (dead member sets), the Proposition 3.5
+//!   fingerprint test, and the Proposition 3.6 size bound;
+//! * line 7 — the `≡_S q` test runs both directions on members: every
+//!   member (strong-closed) must realize its designated tuple in `q`
+//!   (Prop 3.1 / §4.2 decorated embeddings), and every tree of
+//!   `mod_S(q)` must be covered by some member with value coverage
+//!   (Prop 3.2 / §4.2 condition 2);
+//! * line 7 adaptations — `σ_{L=l}` and `σ_{φ(v)}` selections are inserted
+//!   per §4.6 before testing;
+//! * lines 13-14 — minimal unions of pairs that jointly cover `mod_S(q)`;
+//! * output — plans are completed with the §4.6 nesting adaptation: a
+//!   group-by (`Nest`) per nested query edge, keyed on the nesting
+//!   anchor's ID (the anchor must store `ID`, per the paper's "otherwise
+//!   this nesting step cannot be obtained").
+
+use crate::containment::{implies_disjunction, tuple_in, FormulaMode};
+use smv_algebra::{AttrKind, ColKind, NavStep, Plan, Predicate, StructRel};
+use smv_pattern::canonical::{canonical_model, CTree, CanonOpts};
+use smv_pattern::{associated_paths, Axis, Formula, PNodeId, Pattern};
+use smv_summary::Summary;
+use smv_views::{schema_of, View};
+use smv_xml::{IdScheme, NodeId};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Options bounding the rewriting search.
+#[derive(Clone, Debug)]
+pub struct RewriteOpts {
+    /// Canonical-model options.
+    pub canon: CanonOpts,
+    /// Cap on members per (plan, pattern) pair.
+    pub max_members: usize,
+    /// Cap on view scans per plan (min-ed with the Prop 3.6 bound).
+    pub max_scans: usize,
+    /// Cap on the working set `M`.
+    pub max_pairs: usize,
+    /// Stop after this many rewritings.
+    pub max_rewritings: usize,
+    /// Stop at the first rewriting (the "stopped early" mode of §5).
+    pub first_only: bool,
+    /// Derive virtual ancestor IDs (§4.6).
+    pub enable_virtual_ids: bool,
+    /// Unfold stored `C` content by navigation (§4.6), restricted to
+    /// query-relevant paths.
+    pub enable_content_navigation: bool,
+    /// Build union rewritings (lines 13-14).
+    pub enable_unions: bool,
+}
+
+impl Default for RewriteOpts {
+    fn default() -> Self {
+        RewriteOpts {
+            canon: CanonOpts::default(),
+            max_members: 64,
+            max_scans: 4,
+            max_pairs: 4000,
+            max_rewritings: 8,
+            first_only: false,
+            enable_virtual_ids: true,
+            enable_content_navigation: true,
+            enable_unions: true,
+        }
+    }
+}
+
+/// One produced rewriting.
+#[derive(Clone, Debug)]
+pub struct Rewriting {
+    /// The executable plan (output schema = the query's schema).
+    pub plan: Plan,
+    /// Number of view scans (plan size in the Prop 3.6 sense).
+    pub scans: usize,
+}
+
+/// Timings and counters matching the paper's Figure 15.
+#[derive(Clone, Debug, Default)]
+pub struct RewriteStats {
+    /// Views before Proposition 3.4 pruning.
+    pub views_total: usize,
+    /// Views kept after pruning.
+    pub views_kept: usize,
+    /// Setup time (canonical models, pruning, derived columns).
+    pub setup: Duration,
+    /// Time until the first rewriting was found.
+    pub first_rewriting: Option<Duration>,
+    /// Total rewriting time.
+    pub total: Duration,
+    /// (plan, pattern) pairs explored.
+    pub pairs_explored: usize,
+}
+
+/// The outcome of a rewriting run.
+#[derive(Clone, Debug, Default)]
+pub struct RewriteResult {
+    /// Equivalent rewritings, in discovery order.
+    pub rewritings: Vec<Rewriting>,
+    /// Run statistics.
+    pub stats: RewriteStats,
+}
+
+/// A column of a flattened view plan.
+#[derive(Clone, Debug)]
+struct ColInfo {
+    attr: AttrKind,
+    scheme: IdScheme,
+}
+
+/// One instantiated conjunctive pattern of a pair's union.
+#[derive(Clone, Debug)]
+struct Member {
+    /// Ancestor-closed `(summary path, formula)` set, sorted by path.
+    nodes: Vec<(NodeId, Formula)>,
+    /// Per plan column: the path its values sit on (`None` = `⊥`).
+    col_path: Vec<Option<NodeId>>,
+}
+
+impl Member {
+    fn formula_map(&self) -> HashMap<NodeId, Formula> {
+        self.nodes
+            .iter()
+            .filter(|(_, f)| !f.is_top())
+            .map(|(n, f)| (*n, f.clone()))
+            .collect()
+    }
+
+    fn signature(&self) -> String {
+        let mut s = String::new();
+        for (n, f) in &self.nodes {
+            s.push_str(&n.0.to_string());
+            if !f.is_top() {
+                s.push('[');
+                s.push_str(&f.to_string());
+                s.push(']');
+            }
+            s.push(' ');
+        }
+        s
+    }
+}
+
+/// A (plan, pattern) pair of Algorithm 1.
+#[derive(Clone, Debug)]
+struct Pair {
+    plan: Plan,
+    cols: Vec<ColInfo>,
+    /// Same-node equivalence classes over columns (merged by `⋈_=`).
+    groups: Vec<u32>,
+    members: Vec<Member>,
+    views: Vec<usize>,
+}
+
+impl Pair {
+    /// Prop 3.5-style identity: members + per-group offered (attr, path)
+    /// sets; a join that does not change this opens no new rewritings.
+    fn fingerprint(&self) -> String {
+        let mut msigs: Vec<String> = self
+            .members
+            .iter()
+            .map(|m| {
+                let mut s = m.signature();
+                s.push('|');
+                // per group: attrs offered and member binding
+                let mut per_group: HashMap<u32, Vec<String>> = HashMap::new();
+                for (c, info) in self.cols.iter().enumerate() {
+                    per_group.entry(self.groups[c]).or_default().push(format!(
+                        "{}@{:?}",
+                        info.attr, m.col_path[c]
+                    ));
+                }
+                let mut gs: Vec<String> = per_group
+                    .into_values()
+                    .map(|mut v| {
+                        v.sort();
+                        v.join(",")
+                    })
+                    .collect();
+                gs.sort();
+                s.push_str(&gs.join(";"));
+                s
+            })
+            .collect();
+        msigs.sort();
+        msigs.join("\n")
+    }
+}
+
+/// Context precomputed from the query.
+struct QueryCtx<'a> {
+    /// The original query (with nesting).
+    q: &'a Pattern,
+    /// The unnested query.
+    qf: Pattern,
+    /// `mod_S(qf)` with strong closure.
+    qmodel: Vec<CTree>,
+    /// Flat output columns: (return node, attr) in schema order.
+    out_cols: Vec<(PNodeId, AttrKind)>,
+    /// Return nodes in order.
+    returns: Vec<PNodeId>,
+    /// Associated paths per qf node.
+    qpaths: Vec<Vec<NodeId>>,
+    /// Whether any query node carries a predicate.
+    decorated: bool,
+}
+
+/// Rewrites `q` over `views` under `s`. See module docs.
+pub fn rewrite(q: &Pattern, views: &[View], s: &Summary, opts: &RewriteOpts) -> RewriteResult {
+    Rewriter::new(q, views, s, opts.clone()).run()
+}
+
+/// The rewriting engine (reusable across runs for benchmarks).
+pub struct Rewriter<'a> {
+    q: &'a Pattern,
+    views: &'a [View],
+    s: &'a Summary,
+    opts: RewriteOpts,
+}
+
+impl<'a> Rewriter<'a> {
+    /// Creates an engine.
+    pub fn new(q: &'a Pattern, views: &'a [View], s: &'a Summary, opts: RewriteOpts) -> Self {
+        Rewriter { q, views, s, opts }
+    }
+
+    /// Runs Algorithm 1.
+    pub fn run(&self) -> RewriteResult {
+        let t0 = Instant::now();
+        let mut result = RewriteResult::default();
+        result.stats.views_total = self.views.len();
+
+        let qf = self.q.unnest_copy();
+        let qmodel_full = canonical_model(&qf, self.s, &self.opts.canon);
+        let qpaths = associated_paths(&qf, self.s);
+        let out_cols = flat_out_cols(&qf);
+        let ctx = QueryCtx {
+            q: self.q,
+            qf: qf.clone(),
+            qmodel: qmodel_full.trees,
+            out_cols,
+            returns: qf.return_nodes(),
+            qpaths,
+            decorated: qf.iter().any(|n| !qf.node(n).predicate.is_top()),
+        };
+        if ctx.qmodel.is_empty() {
+            // unsatisfiable query: rewriting is the empty plan; report none
+            result.stats.total = t0.elapsed();
+            return result;
+        }
+
+        // ---- setup: base pairs (M0), Prop 3.4 pruning, derived columns
+        let mut m0: Vec<Pair> = Vec::new();
+        for (vi, v) in self.views.iter().enumerate() {
+            if let Some(pair) = self.base_pair(vi, v, &ctx) {
+                m0.push(pair);
+            }
+        }
+        result.stats.views_kept = m0.len();
+        result.stats.setup = t0.elapsed();
+
+        // Prop 3.6 plan-size bound
+        let bound = ((self.q.len().saturating_sub(1)) * self.s.len()).max(1);
+        let max_scans = self.opts.max_scans.min(bound);
+
+        // collect union candidates: (pair, designations, coverage bitset)
+        let mut union_candidates: Vec<(Plan, Vec<bool>)> = Vec::new();
+
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut m: Vec<Pair> = Vec::new();
+        for p in &m0 {
+            seen.insert(p.fingerprint());
+            m.push(p.clone());
+        }
+
+        // line 7 test on the initial single-view pairs first
+        let emit = |pair: &Pair,
+                        result: &mut RewriteResult,
+                        union_candidates: &mut Vec<(Plan, Vec<bool>)>|
+         -> bool {
+            result.stats.pairs_explored += 1;
+            for plan_or_cand in self.try_pair(pair, &ctx) {
+                match plan_or_cand {
+                    Candidate::Equivalent(plan) => {
+                        if result.stats.first_rewriting.is_none() {
+                            result.stats.first_rewriting = Some(t0.elapsed());
+                        }
+                        result.rewritings.push(Rewriting {
+                            scans: plan.scan_count(),
+                            plan,
+                        });
+                        if self.opts.first_only
+                            || result.rewritings.len() >= self.opts.max_rewritings
+                        {
+                            return true; // stop the whole search
+                        }
+                    }
+                    Candidate::Partial(plan, coverage) => {
+                        if self.opts.enable_unions && union_candidates.len() < 64 {
+                            union_candidates.push((plan, coverage));
+                        }
+                    }
+                }
+            }
+            false
+        };
+
+        let mut stop = false;
+        for pair in &m0 {
+            if emit(pair, &mut result, &mut union_candidates) {
+                stop = true;
+                break;
+            }
+        }
+
+        // ---- lines 2-11: left-deep join enumeration to a fixpoint
+        let mut frontier = 0usize;
+        while !stop && frontier < m.len() {
+            let i = frontier;
+            frontier += 1;
+            if m[i].plan.scan_count() >= max_scans {
+                continue;
+            }
+            let mut created: Vec<Pair> = Vec::new();
+            for j in 0..m0.len() {
+                for joined in self.join_options(&m[i], &m0[j]) {
+                    if joined.plan.scan_count() > max_scans {
+                        continue;
+                    }
+                    let fp = joined.fingerprint();
+                    // Prop 3.5: no new pattern information
+                    if seen.contains(&fp) {
+                        continue;
+                    }
+                    seen.insert(fp);
+                    created.push(joined);
+                }
+            }
+            for pair in created {
+                if emit(&pair, &mut result, &mut union_candidates) {
+                    stop = true;
+                    break;
+                }
+                if m.len() < self.opts.max_pairs {
+                    m.push(pair);
+                }
+            }
+        }
+
+        // ---- lines 13-14: minimal unions of partial candidates
+        if !stop && self.opts.enable_unions && result.rewritings.len() < self.opts.max_rewritings {
+            self.build_unions(&ctx, &union_candidates, &mut result, t0);
+        }
+
+        result.stats.total = t0.elapsed();
+        result
+    }
+
+    /// Builds the base (plan, pattern) pair for a view: flatten nested
+    /// columns, enumerate members, prune by Prop 3.4, add §4.6 derived
+    /// columns.
+    fn base_pair(&self, vi: usize, v: &View, ctx: &QueryCtx<'_>) -> Option<Pair> {
+        let pf = v.pattern.unnest_copy();
+        // Prop 3.4: every non-root view node unrelated to every non-root
+        // query node ⇒ the view is useless.
+        let vpaths = associated_paths(&pf, self.s);
+        let mut q_all: Vec<NodeId> = Vec::new();
+        for n in ctx.qf.iter().skip(1) {
+            q_all.extend(ctx.qpaths[n.idx()].iter().copied());
+        }
+        q_all.sort();
+        q_all.dedup();
+        let related = pf.iter().skip(1).any(|n| {
+            !smv_pattern::annotate::unrelated_to(self.s, &vpaths[n.idx()], &q_all)
+        });
+        if pf.len() > 1 && !related {
+            return None;
+        }
+        // members from the canonical model of the flat pattern (strong
+        // closure matches the conformance regime of the equivalence test)
+        let model = canonical_model(
+            &pf,
+            self.s,
+            &CanonOpts {
+                use_strong: self.opts.canon.use_strong,
+                max_trees: self.opts.max_members * 8,
+            },
+        );
+        if model.truncated || model.trees.is_empty() {
+            return None;
+        }
+        // plan: scan + outer-unnest every nested column
+        let mut plan = Plan::Scan {
+            view: v.name.clone(),
+        };
+        let mut schema = schema_of(&v.pattern);
+        loop {
+            let Some(i) = schema
+                .cols
+                .iter()
+                .position(|c| matches!(c.kind, ColKind::Nested(_)))
+            else {
+                break;
+            };
+            let ColKind::Nested(inner) = schema.cols[i].kind.clone() else {
+                unreachable!()
+            };
+            plan = Plan::Unnest {
+                input: Box::new(plan),
+                col: i,
+                outer: true,
+            };
+            let mut cols = schema.cols[..i].to_vec();
+            cols.extend(inner.cols);
+            cols.extend(schema.cols[i + 1..].iter().cloned());
+            schema = smv_algebra::Schema { cols };
+        }
+        // flat column metadata: return nodes in pre-order × attr order
+        let returns = pf.return_nodes();
+        let mut cols: Vec<ColInfo> = Vec::new();
+        let mut groups: Vec<u32> = Vec::new();
+        let mut ret_col_ranges: Vec<(usize, usize)> = Vec::new();
+        for (g, &r) in returns.iter().enumerate() {
+            let start = cols.len();
+            let a = pf.node(r).attrs;
+            for kind in [
+                AttrKind::Id,
+                AttrKind::Label,
+                AttrKind::Value,
+                AttrKind::Content,
+            ] {
+                let stored = match kind {
+                    AttrKind::Id => a.id,
+                    AttrKind::Label => a.label,
+                    AttrKind::Value => a.value,
+                    AttrKind::Content => a.content,
+                };
+                if stored {
+                    cols.push(ColInfo {
+                        attr: kind,
+                        scheme: v.scheme,
+                    });
+                    groups.push(g as u32);
+                }
+            }
+            ret_col_ranges.push((start, cols.len()));
+        }
+        debug_assert_eq!(cols.len(), schema.cols.len(), "flat layout mismatch");
+        let mut members: Vec<Member> = Vec::new();
+        for t in &model.trees {
+            let rp = t.return_paths();
+            let mut col_path = Vec::with_capacity(cols.len());
+            for (g, _) in returns.iter().enumerate() {
+                let (a, b) = ret_col_ranges[g];
+                for _ in a..b {
+                    col_path.push(rp[g]);
+                }
+            }
+            members.push(Member {
+                nodes: t.path_set(),
+                col_path,
+            });
+        }
+        dedup_members(&mut members);
+        if members.len() > self.opts.max_members {
+            return None;
+        }
+        let mut pair = Pair {
+            plan,
+            cols,
+            groups,
+            members,
+            views: vec![vi],
+        };
+        if self.opts.enable_virtual_ids && v.scheme.derives_parent() {
+            self.add_virtual_ids(&mut pair, ctx);
+        }
+        if self.opts.enable_content_navigation {
+            self.add_content_navigation(&mut pair, ctx);
+        }
+        Some(pair)
+    }
+
+    /// §4.6 virtual IDs: for each stored structural ID column, derive
+    /// ancestor IDs at the levels that land on query-relevant paths.
+    fn add_virtual_ids(&self, pair: &mut Pair, ctx: &QueryCtx<'_>) {
+        let useful: HashSet<NodeId> = ctx
+            .returns
+            .iter()
+            .flat_map(|r| ctx.qpaths[r.idx()].iter().copied())
+            .collect();
+        let base_cols: Vec<usize> = (0..pair.cols.len())
+            .filter(|&c| pair.cols[c].attr == AttrKind::Id)
+            .collect();
+        let mut next_group = pair.groups.iter().copied().max().unwrap_or(0) + 1;
+        for c in base_cols {
+            for level in 1..=4usize {
+                // derived path per member; useful if any lands on a query path
+                let derived: Vec<Option<NodeId>> = pair
+                    .members
+                    .iter()
+                    .map(|m| {
+                        m.col_path[c].and_then(|p| {
+                            let mut cur = p;
+                            for _ in 0..level {
+                                cur = self.s.parent(cur)?;
+                            }
+                            Some(cur)
+                        })
+                    })
+                    .collect();
+                if !derived.iter().flatten().any(|p| useful.contains(p)) {
+                    continue;
+                }
+                pair.plan = Plan::DeriveParentId {
+                    input: Box::new(pair.plan.clone()),
+                    col: c,
+                    levels: level,
+                    name: format!("vid{c}u{level}"),
+                };
+                pair.cols.push(ColInfo {
+                    attr: AttrKind::Id,
+                    scheme: pair.cols[c].scheme,
+                });
+                pair.groups.push(next_group);
+                next_group += 1;
+                for (m, d) in pair.members.iter_mut().zip(derived) {
+                    m.col_path.push(d);
+                }
+            }
+        }
+    }
+
+    /// §4.6 C-unfolding, restricted to summary paths associated with some
+    /// query node: each unfolded path becomes a set of derived columns
+    /// produced by `NavigateContent`.
+    fn add_content_navigation(&self, pair: &mut Pair, ctx: &QueryCtx<'_>) {
+        let useful: HashSet<NodeId> = ctx
+            .qf
+            .iter()
+            .flat_map(|n| ctx.qpaths[n.idx()].iter().copied())
+            .collect();
+        let content_cols: Vec<usize> = (0..pair.cols.len())
+            .filter(|&c| pair.cols[c].attr == AttrKind::Content)
+            .collect();
+        let mut next_group = pair.groups.iter().copied().max().unwrap_or(0) + 1;
+        let mut nav_count = 0usize;
+        for c in content_cols {
+            // single-path content columns only (multi-path unfolding needs
+            // the union decomposition of §4.6; see DESIGN.md)
+            let paths: HashSet<Option<NodeId>> =
+                pair.members.iter().map(|m| m.col_path[c]).collect();
+            let bound: Vec<NodeId> = paths.iter().copied().flatten().collect();
+            if bound.len() != 1 {
+                continue;
+            }
+            let base = bound[0];
+            // ID base column from the same group, if any
+            let base_id_col = (0..pair.cols.len()).find(|&k| {
+                pair.groups[k] == pair.groups[c]
+                    && pair.cols[k].attr == AttrKind::Id
+                    && pair.cols[k].scheme.derives_parent()
+            });
+            // descendants of `base` that the query cares about
+            let mut targets: Vec<NodeId> = useful
+                .iter()
+                .copied()
+                .filter(|&u| self.s.is_ancestor(base, u))
+                .collect();
+            targets.sort();
+            for sd in targets {
+                if nav_count >= 4 || pair.members.len() * 2 > self.opts.max_members {
+                    return;
+                }
+                nav_count += 1;
+                // child-axis step chain base → sd
+                let chain = chain_labels(self.s, base, sd);
+                let steps: Vec<NavStep> = chain
+                    .iter()
+                    .map(|&p| NavStep {
+                        axis: Axis::Child,
+                        label: Some(self.s.label(p)),
+                    })
+                    .collect();
+                let attrs = vec![
+                    AttrKind::Id,
+                    AttrKind::Label,
+                    AttrKind::Value,
+                    AttrKind::Content,
+                ];
+                pair.plan = Plan::NavigateContent {
+                    input: Box::new(pair.plan.clone()),
+                    content_col: c,
+                    base_id_col,
+                    steps,
+                    attrs: attrs.clone(),
+                    optional: true,
+                    name: format!("nav{c}p{}", sd.0),
+                };
+                let g = next_group;
+                next_group += 1;
+                for kind in attrs {
+                    pair.cols.push(ColInfo {
+                        attr: kind,
+                        scheme: pair.cols[c].scheme,
+                    });
+                    pair.groups.push(g);
+                }
+                // member splitting: navigation bound vs missing
+                let mut split = Vec::with_capacity(pair.members.len() * 2);
+                for m in &pair.members {
+                    if m.col_path[c].is_none() {
+                        let mut mm = m.clone();
+                        mm.col_path.extend([None, None, None, None]);
+                        split.push(mm);
+                        continue;
+                    }
+                    let mut bound_m = m.clone();
+                    for p in chain_with(self.s, base, sd) {
+                        upsert_node(&mut bound_m.nodes, p, Formula::top());
+                    }
+                    bound_m
+                        .col_path
+                        .extend([Some(sd), Some(sd), Some(sd), Some(sd)]);
+                    split.push(bound_m);
+                    let mut null_m = m.clone();
+                    null_m.col_path.extend([None, None, None, None]);
+                    split.push(null_m);
+                }
+                dedup_members(&mut split);
+                pair.members = split;
+            }
+        }
+    }
+
+    /// All joins of `a` with `b` (line 4: "each possible way of joining").
+    fn join_options(&self, a: &Pair, b: &Pair) -> Vec<Pair> {
+        let mut out = Vec::new();
+        let a_ids: Vec<usize> = (0..a.cols.len())
+            .filter(|&c| a.cols[c].attr == AttrKind::Id)
+            .collect();
+        let b_ids: Vec<usize> = (0..b.cols.len())
+            .filter(|&c| b.cols[c].attr == AttrKind::Id)
+            .collect();
+        for &ca in &a_ids {
+            for &cb in &b_ids {
+                if a.cols[ca].scheme != b.cols[cb].scheme {
+                    continue;
+                }
+                // ⋈_=
+                if let Some(p) = self.merge(a, b, ca, cb, JoinKind::IdEq) {
+                    out.push(p);
+                }
+                if a.cols[ca].scheme.is_structural() {
+                    for rel in [StructRel::Parent, StructRel::Ancestor] {
+                        if let Some(p) = self.merge(a, b, ca, cb, JoinKind::Struct(rel, false)) {
+                            out.push(p);
+                        }
+                        if let Some(p) = self.merge(a, b, ca, cb, JoinKind::Struct(rel, true)) {
+                            out.push(p);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn merge(&self, a: &Pair, b: &Pair, ca: usize, cb: usize, kind: JoinKind) -> Option<Pair> {
+        // merge members pairwise; drop inconsistent combinations
+        let mut members = Vec::new();
+        for ma in &a.members {
+            for mb in &b.members {
+                let (Some(pa), Some(pb)) = (ma.col_path[ca], mb.col_path[cb]) else {
+                    continue; // nulls never join
+                };
+                let ok = match kind {
+                    JoinKind::IdEq => pa == pb,
+                    JoinKind::Struct(StructRel::Parent, false) => self.s.is_parent(pa, pb),
+                    JoinKind::Struct(StructRel::Ancestor, false) => self.s.is_ancestor(pa, pb),
+                    JoinKind::Struct(StructRel::Parent, true) => self.s.is_parent(pb, pa),
+                    JoinKind::Struct(StructRel::Ancestor, true) => self.s.is_ancestor(pb, pa),
+                };
+                if !ok {
+                    continue;
+                }
+                let mut nodes = ma.nodes.clone();
+                let mut sat = true;
+                for (n, f) in &mb.nodes {
+                    if !upsert_node(&mut nodes, *n, f.clone()) {
+                        sat = false;
+                        break;
+                    }
+                }
+                if !sat {
+                    continue;
+                }
+                let mut col_path = ma.col_path.clone();
+                col_path.extend(mb.col_path.iter().copied());
+                members.push(Member { nodes, col_path });
+            }
+        }
+        if members.is_empty() {
+            return None; // S-unsatisfiable join — discarded (line 5 remark)
+        }
+        dedup_members(&mut members);
+        if members.len() > self.opts.max_members {
+            return None;
+        }
+        let plan = match kind {
+            JoinKind::IdEq => Plan::IdJoin {
+                left: Box::new(a.plan.clone()),
+                right: Box::new(b.plan.clone()),
+                lcol: ca,
+                rcol: cb,
+            },
+            JoinKind::Struct(rel, false) => Plan::StructJoin {
+                left: Box::new(a.plan.clone()),
+                right: Box::new(b.plan.clone()),
+                lcol: ca,
+                rcol: cb,
+                rel,
+            },
+            JoinKind::Struct(rel, true) => Plan::StructJoin {
+                // descendant side on the left input: swap roles by joining
+                // b as the ancestor side, then the schema order is b ++ a;
+                // to keep column order a ++ b we instead keep a left and
+                // express the reversed relation by swapping operands.
+                left: Box::new(b.plan.clone()),
+                right: Box::new(a.plan.clone()),
+                lcol: cb,
+                rcol: ca,
+                rel,
+            },
+        };
+        // reversed struct joins put b's columns first
+        let (cols, groups, members) = if matches!(kind, JoinKind::Struct(_, true)) {
+            let mut cols = b.cols.clone();
+            cols.extend(a.cols.iter().cloned());
+            let mut groups = b.groups.clone();
+            let off = groups.iter().copied().max().unwrap_or(0) + 1;
+            groups.extend(a.groups.iter().map(|g| g + off));
+            let members = members
+                .into_iter()
+                .map(|m| {
+                    // member col_path was built a ++ b; rotate to b ++ a
+                    let (av, bv) = m.col_path.split_at(a.cols.len());
+                    let mut cp = bv.to_vec();
+                    cp.extend(av.iter().copied());
+                    Member {
+                        nodes: m.nodes,
+                        col_path: cp,
+                    }
+                })
+                .collect();
+            (cols, groups, members)
+        } else {
+            let mut cols = a.cols.clone();
+            cols.extend(b.cols.iter().cloned());
+            let mut groups = a.groups.clone();
+            let off = groups.iter().copied().max().unwrap_or(0) + 1;
+            let mut bg: Vec<u32> = b.groups.iter().map(|g| g + off).collect();
+            if kind == JoinKind::IdEq {
+                // same node on both sides: merge the groups
+                let target = groups[ca];
+                let src = bg[cb];
+                for g in &mut bg {
+                    if *g == src {
+                        *g = target;
+                    }
+                }
+            }
+            groups.extend(bg);
+            (cols, groups, members)
+        };
+        let mut views = a.views.clone();
+        views.extend(b.views.iter().copied());
+        views.sort_unstable();
+        views.dedup();
+        Some(Pair {
+            plan,
+            cols,
+            groups,
+            members,
+            views,
+        })
+    }
+
+    /// Line 7: tests a pair against the query for every admissible output
+    /// column assignment; returns full rewritings and union candidates.
+    fn try_pair(&self, pair: &Pair, ctx: &QueryCtx<'_>) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        // candidate groups per query return node (Prop 3.7 + Prop 4.1)
+        let mut cand_groups: Vec<Vec<u32>> = Vec::new();
+        for &r in &ctx.returns {
+            let want = ctx.qf.node(r).attrs;
+            let rp = &ctx.qpaths[r.idx()];
+            let mut groups: Vec<u32> = Vec::new();
+            let all_groups: HashSet<u32> = pair.groups.iter().copied().collect();
+            'g: for g in all_groups {
+                let g_cols: Vec<usize> = (0..pair.cols.len())
+                    .filter(|&c| pair.groups[c] == g)
+                    .collect();
+                // every wanted attr offered?
+                for kind in [
+                    AttrKind::Id,
+                    AttrKind::Label,
+                    AttrKind::Value,
+                    AttrKind::Content,
+                ] {
+                    let need = match kind {
+                        AttrKind::Id => want.id,
+                        AttrKind::Label => want.label,
+                        AttrKind::Value => want.value,
+                        AttrKind::Content => want.content,
+                    };
+                    if need && !g_cols.iter().any(|&c| pair.cols[c].attr == kind) {
+                        continue 'g;
+                    }
+                }
+                // Prop 3.7 (relaxed pre-σ form): some member must bind the
+                // column on a query-compatible path; members on other
+                // paths may still be filtered by the σ adaptations, so the
+                // strict subset check is left to the equivalence test.
+                let some_compatible = pair.members.iter().any(|m| {
+                    m.col_path[g_cols[0]].is_some_and(|p| rp.contains(&p))
+                });
+                if !some_compatible {
+                    continue 'g;
+                }
+                groups.push(g);
+            }
+            if groups.is_empty() {
+                return out;
+            }
+            groups.sort_unstable();
+            cand_groups.push(groups);
+        }
+        // enumerate assignments (bounded product). Distinct query return
+        // nodes must take **distinct** column groups: two returns on the
+        // same summary path may still bind different document nodes, and
+        // reusing one column would silently equate them (collapsing the
+        // (x, y) tuples of q into (x, x)).
+        let mut combos: Vec<Vec<u32>> = vec![Vec::new()];
+        for groups in &cand_groups {
+            let mut next = Vec::new();
+            for c in &combos {
+                for &g in groups {
+                    if c.contains(&g) {
+                        continue;
+                    }
+                    if next.len() >= 64 {
+                        break;
+                    }
+                    let mut cc = c.clone();
+                    cc.push(g);
+                    next.push(cc);
+                }
+            }
+            combos = next;
+        }
+        for combo in combos {
+            if let Some(c) = self.test_combo(pair, ctx, &combo) {
+                let full = matches!(c, Candidate::Equivalent(_));
+                out.push(c);
+                if full {
+                    break; // one equivalent assignment per pair suffices
+                }
+            }
+        }
+        out
+    }
+
+    /// Tests one output assignment; applies §4.6 σ-adaptations first.
+    fn test_combo(&self, pair: &Pair, ctx: &QueryCtx<'_>, combo: &[u32]) -> Option<Candidate> {
+        let mut pair = pair.clone();
+        // chosen column per (return, attr) in flat output order
+        let mut chosen: Vec<usize> = Vec::with_capacity(ctx.out_cols.len());
+        for (r, kind) in &ctx.out_cols {
+            let g = combo[ctx.returns.iter().position(|x| x == r).expect("return")];
+            let c = (0..pair.cols.len())
+                .find(|&c| pair.groups[c] == g && pair.cols[c].attr == *kind)?;
+            chosen.push(c);
+        }
+        // σ adaptations per query return node
+        for (ri, &r) in ctx.returns.iter().enumerate() {
+            let g = combo[ri];
+            let rep = (0..pair.cols.len()).find(|&c| pair.groups[c] == g)?;
+            let qn = ctx.qf.node(r);
+            let under_optional = node_or_ancestor_optional(&ctx.qf, r);
+            // label selection (σ_{n.L=l}) when a * view column feeds a
+            // labeled query node
+            if let Some(l) = qn.label {
+                let mismatched = pair
+                    .members
+                    .iter()
+                    .any(|m| m.col_path[rep].is_some_and(|p| self.s.label(p) != l));
+                if mismatched && !under_optional {
+                    let lcol = (0..pair.cols.len())
+                        .find(|&c| pair.groups[c] == g && pair.cols[c].attr == AttrKind::Label);
+                    let lcol = lcol?;
+                    pair.plan = Plan::Select {
+                        input: Box::new(pair.plan.clone()),
+                        pred: Predicate::LabelEq { col: lcol, label: l },
+                    };
+                    pair.members
+                        .retain(|m| m.col_path[rep].is_none_or(|p| self.s.label(p) == l));
+                    if pair.members.is_empty() {
+                        return None;
+                    }
+                }
+            }
+            // value selection (σ_{φ(v)})
+            if !qn.predicate.is_top() && !under_optional {
+                let needs = pair.members.iter().any(|m| {
+                    m.col_path[rep].is_some_and(|p| {
+                        let mf = m
+                            .nodes
+                            .iter()
+                            .find(|(n, _)| *n == p)
+                            .map(|(_, f)| f.clone())
+                            .unwrap_or_else(Formula::top);
+                        !mf.implies(&qn.predicate)
+                    })
+                });
+                if needs {
+                    let vcol = (0..pair.cols.len())
+                        .find(|&c| pair.groups[c] == g && pair.cols[c].attr == AttrKind::Value)?;
+                    pair.plan = Plan::Select {
+                        input: Box::new(pair.plan.clone()),
+                        pred: Predicate::Value {
+                            col: vcol,
+                            formula: qn.predicate.clone(),
+                        },
+                    };
+                    let mut refined = Vec::new();
+                    for m in &pair.members {
+                        let mut mm = m.clone();
+                        if let Some(p) = mm.col_path[rep] {
+                            if !conj_node(&mut mm.nodes, p, &qn.predicate) {
+                                continue; // unsatisfiable member filtered out
+                            }
+                        }
+                        refined.push(mm);
+                    }
+                    if refined.is_empty() {
+                        return None;
+                    }
+                    pair.members = refined;
+                }
+            }
+        }
+        // designations per member, in query-return order
+        let designations: Vec<Vec<Option<NodeId>>> = pair
+            .members
+            .iter()
+            .map(|m| {
+                ctx.returns
+                    .iter()
+                    .enumerate()
+                    .map(|(ri, _)| {
+                        let g = combo[ri];
+                        let rep = (0..pair.cols.len())
+                            .find(|&c| pair.groups[c] == g)
+                            .expect("group non-empty");
+                        m.col_path[rep]
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // direction A: union of members ⊆ q (each member individually)
+        for (m, des) in pair.members.iter().zip(designations.iter()) {
+            let te = CTree::from_path_set(self.s, &m.nodes, des, self.opts.canon.use_strong);
+            if !tuple_in(&ctx.qf, &te, self.s, FormulaMode::Implication) {
+                return None;
+            }
+        }
+        // direction B: every tq ∈ mod_S(q) covered by some member
+        let mut coverage = vec![false; ctx.qmodel.len()];
+        let mut all = true;
+        for (ti, tq) in ctx.qmodel.iter().enumerate() {
+            let tq_paths: HashMap<NodeId, Formula> = tq.path_set().into_iter().collect();
+            let tq_ret = tq.return_paths();
+            let mut matching: Vec<HashMap<NodeId, Formula>> = Vec::new();
+            'mem: for (m, des) in pair.members.iter().zip(designations.iter()) {
+                if des != &tq_ret {
+                    continue;
+                }
+                for (n, f) in &m.nodes {
+                    match tq_paths.get(n) {
+                        Some(tf) => {
+                            if !tf.and(f).is_sat() {
+                                continue 'mem;
+                            }
+                        }
+                        None => continue 'mem,
+                    }
+                }
+                matching.push(m.formula_map());
+            }
+            if matching.is_empty() {
+                all = false;
+                continue;
+            }
+            if ctx.decorated || matching.iter().any(|m| !m.is_empty()) {
+                let lhs: HashMap<NodeId, Formula> = tq
+                    .path_set()
+                    .into_iter()
+                    .filter(|(_, f)| !f.is_top())
+                    .collect();
+                if !implies_disjunction(&lhs, &matching) {
+                    all = false;
+                    continue;
+                }
+            }
+            coverage[ti] = true;
+        }
+        let projected = self.output_plan(&pair, ctx, &chosen)?;
+        if all {
+            Some(Candidate::Equivalent(projected))
+        } else if coverage.iter().any(|&c| c) {
+            Some(Candidate::Partial(projected, coverage))
+        } else {
+            None
+        }
+    }
+
+    /// Builds the final plan: projection to the query's flat output, then
+    /// the §4.6 nesting adaptation (group-by per nested edge, keyed on the
+    /// anchor's stored ID).
+    fn output_plan(&self, pair: &Pair, ctx: &QueryCtx<'_>, chosen: &[usize]) -> Option<Plan> {
+        let mut plan = Plan::Project {
+            input: Box::new(pair.plan.clone()),
+            cols: chosen.to_vec(),
+        };
+        let nested: Vec<PNodeId> = ctx.q.nested_edges();
+        if nested.is_empty() {
+            return Some(Plan::DupElim {
+                input: Box::new(plan),
+            });
+        }
+        // every nesting anchor must expose an ID in the output
+        for &c in &nested {
+            let anchor = ctx.q.parent(c).expect("nested edge has a parent");
+            let ok = anchor == ctx.q.root()
+                || ctx
+                    .out_cols
+                    .iter()
+                    .any(|(r, k)| *r == anchor && *k == AttrKind::Id);
+            if !ok {
+                return None; // "this nesting step cannot be obtained"
+            }
+        }
+        // current layout: one slot per flat output column
+        #[derive(Clone, PartialEq)]
+        enum Slot {
+            Flat(usize),
+            Table(PNodeId),
+        }
+        let mut layout: Vec<Slot> = (0..ctx.out_cols.len()).map(Slot::Flat).collect();
+        // deepest-first nesting
+        let mut order = nested.clone();
+        order.sort_by_key(|&c| std::cmp::Reverse(depth_of(ctx.q, c)));
+        for c in order {
+            let in_subtree = |s: &Slot| -> bool {
+                match s {
+                    Slot::Flat(i) => {
+                        let (r, _) = ctx.out_cols[*i];
+                        r == c || ctx.q.is_ancestor(c, r)
+                    }
+                    Slot::Table(t) => *t == c || ctx.q.is_ancestor(c, *t),
+                }
+            };
+            let key_cols: Vec<usize> = (0..layout.len())
+                .filter(|&i| !in_subtree(&layout[i]))
+                .collect();
+            let nested_cols: Vec<usize> =
+                (0..layout.len()).filter(|&i| in_subtree(&layout[i])).collect();
+            plan = Plan::Nest {
+                input: Box::new(plan),
+                key_cols: key_cols.clone(),
+                nested_cols,
+                name: format!("A#{}", c.0),
+            };
+            let mut new_layout: Vec<Slot> = key_cols.iter().map(|&i| layout[i].clone()).collect();
+            new_layout.push(Slot::Table(c));
+            layout = new_layout;
+        }
+        // final reorder to match schema_of(q)
+        let target = target_layout(ctx.q);
+        let perm: Option<Vec<usize>> = target
+            .iter()
+            .map(|t| {
+                layout.iter().position(|s| match (s, t) {
+                    (Slot::Flat(i), TargetSlot::Flat(r, k)) => {
+                        ctx.out_cols[*i].0 == *r && ctx.out_cols[*i].1 == *k
+                    }
+                    (Slot::Table(a), TargetSlot::Table(b)) => a == b,
+                    _ => false,
+                })
+            })
+            .collect();
+        let perm = perm?;
+        Some(Plan::DupElim {
+            input: Box::new(Plan::Project {
+                input: Box::new(plan),
+                cols: perm,
+            }),
+        })
+    }
+
+    /// Lines 13-14: minimal unions of partial candidates covering
+    /// `mod_S(q)`.
+    fn build_unions(
+        &self,
+        ctx: &QueryCtx<'_>,
+        candidates: &[(Plan, Vec<bool>)],
+        result: &mut RewriteResult,
+        t0: Instant,
+    ) {
+        let n = ctx.qmodel.len();
+        let k = candidates.len();
+        if n == 0 || k == 0 {
+            return;
+        }
+        // greedy + exhaustive over small subsets (≤ 3)
+        let covers = |sel: &[usize]| -> bool {
+            (0..n).all(|t| sel.iter().any(|&i| candidates[i].1[t]))
+        };
+        let mut found: Vec<Vec<usize>> = Vec::new();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if covers(&[i, j]) {
+                    found.push(vec![i, j]);
+                }
+            }
+        }
+        if found.is_empty() {
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    for l in (j + 1)..k {
+                        if covers(&[i, j, l]) {
+                            found.push(vec![i, j, l]);
+                        }
+                    }
+                }
+            }
+        }
+        // minimality: drop supersets whose proper subsets cover
+        found.retain(|sel| {
+            (0..sel.len()).all(|drop| {
+                let sub: Vec<usize> = sel
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != drop)
+                    .map(|(_, &x)| x)
+                    .collect();
+                !covers(&sub)
+            })
+        });
+        for sel in found.into_iter().take(4) {
+            let plan = Plan::DupElim {
+                input: Box::new(Plan::Union {
+                    inputs: sel.iter().map(|&i| candidates[i].0.clone()).collect(),
+                }),
+            };
+            if result.stats.first_rewriting.is_none() {
+                result.stats.first_rewriting = Some(t0.elapsed());
+            }
+            result.rewritings.push(Rewriting {
+                scans: plan.scan_count(),
+                plan,
+            });
+            if result.rewritings.len() >= self.opts.max_rewritings {
+                return;
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum JoinKind {
+    IdEq,
+    /// (relation, reversed): reversed means the *b* side is the ancestor.
+    Struct(StructRel, bool),
+}
+
+enum Candidate {
+    Equivalent(Plan),
+    Partial(Plan, Vec<bool>),
+}
+
+/// Flat output columns of the query: (return node, attr) in schema order.
+fn flat_out_cols(qf: &Pattern) -> Vec<(PNodeId, AttrKind)> {
+    let mut out = Vec::new();
+    for r in qf.return_nodes() {
+        let a = qf.node(r).attrs;
+        if a.id {
+            out.push((r, AttrKind::Id));
+        }
+        if a.label {
+            out.push((r, AttrKind::Label));
+        }
+        if a.value {
+            out.push((r, AttrKind::Value));
+        }
+        if a.content {
+            out.push((r, AttrKind::Content));
+        }
+        if !a.any() {
+            // bare `ret` nodes need an identity; require ID semantics
+            out.push((r, AttrKind::Id));
+        }
+    }
+    out
+}
+
+enum TargetSlot {
+    Flat(PNodeId, AttrKind),
+    Table(PNodeId),
+}
+
+/// The top-level slot layout of `schema_of(q)`.
+fn target_layout(q: &Pattern) -> Vec<TargetSlot> {
+    fn rec(q: &Pattern, n: PNodeId, out: &mut Vec<TargetSlot>) {
+        let a = q.node(n).attrs;
+        if a.id || q.node(n).ret && !a.any() {
+            out.push(TargetSlot::Flat(n, AttrKind::Id));
+        }
+        if a.label {
+            out.push(TargetSlot::Flat(n, AttrKind::Label));
+        }
+        if a.value {
+            out.push(TargetSlot::Flat(n, AttrKind::Value));
+        }
+        if a.content {
+            out.push(TargetSlot::Flat(n, AttrKind::Content));
+        }
+        for &c in q.children(n) {
+            if q.node(c).nested {
+                out.push(TargetSlot::Table(c));
+            } else {
+                rec(q, c, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    rec(q, q.root(), &mut out);
+    out
+}
+
+fn depth_of(p: &Pattern, n: PNodeId) -> usize {
+    let mut d = 0;
+    let mut cur = n;
+    while let Some(par) = p.parent(cur) {
+        d += 1;
+        cur = par;
+    }
+    d
+}
+
+fn node_or_ancestor_optional(p: &Pattern, n: PNodeId) -> bool {
+    let mut cur = Some(n);
+    while let Some(x) = cur {
+        if p.node(x).optional {
+            return true;
+        }
+        cur = p.parent(x);
+    }
+    false
+}
+
+/// Inserts/conjoins a formula at a path; returns false when unsatisfiable.
+/// Also inserts all missing ancestors (ancestor closure is maintained by
+/// construction of the inputs; this is a safety net for derived paths).
+fn upsert_node(nodes: &mut Vec<(NodeId, Formula)>, path: NodeId, f: Formula) -> bool {
+    match nodes.binary_search_by_key(&path.0, |(n, _)| n.0) {
+        Ok(i) => {
+            let merged = nodes[i].1.and(&f);
+            if !merged.is_sat() {
+                return false;
+            }
+            nodes[i].1 = merged;
+            true
+        }
+        Err(i) => {
+            if !f.is_sat() {
+                return false;
+            }
+            nodes.insert(i, (path, f));
+            true
+        }
+    }
+}
+
+fn conj_node(nodes: &mut Vec<(NodeId, Formula)>, path: NodeId, f: &Formula) -> bool {
+    upsert_node(nodes, path, f.clone())
+}
+
+fn dedup_members(members: &mut Vec<Member>) {
+    let mut seen = HashSet::new();
+    members.retain(|m| {
+        let key = format!("{}§{:?}", m.signature(), m.col_path);
+        seen.insert(key)
+    });
+}
+
+/// The chain of summary nodes strictly between `a` (exclusive) and `b`
+/// (inclusive).
+fn chain_labels(s: &Summary, a: NodeId, b: NodeId) -> Vec<NodeId> {
+    use smv_xml::LabeledTree;
+    s.tree_chain_down(a, b)
+}
+
+/// The chain including intermediate nodes, used for member extension.
+fn chain_with(s: &Summary, a: NodeId, b: NodeId) -> Vec<NodeId> {
+    chain_labels(s, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smv_algebra::execute;
+    use smv_pattern::parse_pattern;
+    use smv_views::{materialize, Catalog};
+    use smv_xml::Document;
+
+    fn opts() -> RewriteOpts {
+        RewriteOpts::default()
+    }
+
+    /// End-to-end: rewrite, execute, compare against direct evaluation.
+    fn check_roundtrip(
+        doc: &Document,
+        q_src: &str,
+        views_src: &[(&str, &str)],
+        expect_rewriting: bool,
+    ) {
+        let s = Summary::of(doc);
+        let q = parse_pattern(q_src).unwrap();
+        let mut catalog = Catalog::new();
+        let mut defs = Vec::new();
+        for (name, src) in views_src {
+            let v = View::new(name, parse_pattern(src).unwrap(), IdScheme::OrdPath);
+            catalog.add(v.clone(), doc);
+            defs.push(v);
+        }
+        let result = rewrite(&q, &defs, &s, &opts());
+        if !expect_rewriting {
+            assert!(
+                result.rewritings.is_empty(),
+                "unexpected rewriting for {q_src}: {}",
+                result.rewritings[0].plan
+            );
+            return;
+        }
+        assert!(
+            !result.rewritings.is_empty(),
+            "no rewriting found for {q_src} using {views_src:?}"
+        );
+        let expected = materialize(&q, doc, IdScheme::OrdPath);
+        for rw in &result.rewritings {
+            let got = execute(&rw.plan, &catalog).expect("plan executes");
+            assert!(
+                got.set_eq(&expected),
+                "plan output differs for {q_src}\nplan:\n{}\ngot:\n{got}\nexpected:\n{expected}",
+                rw.plan
+            );
+        }
+    }
+
+    #[test]
+    fn identity_rewriting_single_view() {
+        let doc = Document::from_parens(r#"a(b="1" b="2" c)"#);
+        check_roundtrip(&doc, "a(/b{id,v})", &[("v1", "a(/b{id,v})")], true);
+    }
+
+    #[test]
+    fn summary_narrows_wildcard_view() {
+        // the §1 motivating case: the view stores `*` children but the
+        // summary proves they are all `b`
+        let doc = Document::from_parens(r#"a(b="1" b="2")"#);
+        check_roundtrip(&doc, "a(/b{id,v})", &[("v1", "a(/*{id,v})")], true);
+    }
+
+    #[test]
+    fn label_selection_adaptation() {
+        // summary has b and c children: σ_L is required
+        let doc = Document::from_parens(r#"a(b="1" c="2")"#);
+        check_roundtrip(&doc, "a(/b{id,v})", &[("v1", "a(/*{id,l,v})")], true);
+        // without an L column the σ cannot be applied
+        check_roundtrip(&doc, "a(/b{id,v})", &[("v1", "a(/*{id,v})")], false);
+    }
+
+    #[test]
+    fn value_selection_adaptation() {
+        let doc = Document::from_parens(r#"a(b="1" b="5" b="9")"#);
+        check_roundtrip(
+            &doc,
+            "a(/b{id,v}[v>2 and v<8])",
+            &[("v1", "a(/b{id,v})")],
+            true,
+        );
+    }
+
+    #[test]
+    fn structural_join_combines_two_views() {
+        // V1 stores items, V2 stores names; a structural join reassembles
+        let doc = Document::from_parens(
+            r#"r(item(name="p1") item(name="p2"))"#,
+        );
+        check_roundtrip(
+            &doc,
+            "r(/item{id}(/name{id,v}))",
+            &[("vi", "r(/item{id})"), ("vn", "r(//name{id,v})")],
+            true,
+        );
+    }
+
+    #[test]
+    fn id_join_combines_attribute_sets() {
+        // the §4.6 example: p1 = //*{id,l}, p2 = //*{id,v}; join gives {id,l,v}
+        let doc = Document::from_parens(r#"a(x="1" y="2")"#);
+        check_roundtrip(
+            &doc,
+            "a(/*{id,l,v})",
+            &[("p1", "a(/*{id,l})"), ("p2", "a(/*{id,v})")],
+            true,
+        );
+    }
+
+    #[test]
+    fn optional_view_serves_optional_query() {
+        let doc = Document::from_parens(r#"a(item(bold="g") item)"#);
+        check_roundtrip(
+            &doc,
+            "a(/item{id}(?/bold{v}))",
+            &[("v1", "a(/item{id}(?/bold{v}))")],
+            true,
+        );
+    }
+
+    #[test]
+    fn required_view_cannot_serve_optional_query() {
+        // the view loses items without bold; the optional query needs them
+        let doc = Document::from_parens(r#"a(item(bold="g") item)"#);
+        check_roundtrip(
+            &doc,
+            "a(/item{id}(?/bold{v}))",
+            &[("v1", "a(/item{id}(/bold{v}))")],
+            false,
+        );
+    }
+
+    #[test]
+    fn nested_query_from_flat_views() {
+        // §4.6(ii): nesting reconstructed by group-by on the anchor's ID
+        let doc = Document::from_parens(
+            r#"a(item(li="x" li="y") item(li="z") item)"#,
+        );
+        check_roundtrip(
+            &doc,
+            "a(/item{id}(?%/li{v}))",
+            &[("v1", "a(/item{id}(?/li{v}))")],
+            true,
+        );
+    }
+
+    #[test]
+    fn nested_view_serves_flat_query_by_unnesting() {
+        let doc = Document::from_parens(
+            r#"a(item(li="x" li="y") item)"#,
+        );
+        check_roundtrip(
+            &doc,
+            "a(/item{id}(?/li{v}))",
+            &[("v1", "a(/item{id}(?%/li{v}))")],
+            true,
+        );
+    }
+
+    #[test]
+    fn content_navigation_extracts_descendants() {
+        // keywords live only inside the stored content of li (the paper's
+        // second motivating bullet in §1)
+        let doc = Document::from_parens(
+            r#"a(item(li(kw="k1") li(kw="k2")))"#,
+        );
+        check_roundtrip(
+            &doc,
+            "a(//kw{v})",
+            &[("v1", "a(//li{id,c})")],
+            true,
+        );
+    }
+
+    #[test]
+    fn virtual_ids_join_through_derived_ancestor() {
+        // V1 stores name IDs; the query wants item IDs: derive the parent
+        // ID from the name ID (§4.6 virtual IDs)
+        let doc = Document::from_parens(r#"r(item(name="a") item(name="b"))"#);
+        check_roundtrip(
+            &doc,
+            "r(/item{id})",
+            &[("vn", "r(/item(/name{id}))")],
+            true,
+        );
+    }
+
+    #[test]
+    fn union_rewriting_covers_wildcard() {
+        let doc = Document::from_parens(r#"a(b="1" c="2")"#);
+        check_roundtrip(
+            &doc,
+            "a(/*{id,v})",
+            &[("vb", "a(/b{id,v})"), ("vc", "a(/c{id,v})")],
+            true,
+        );
+    }
+
+    #[test]
+    fn no_rewriting_when_data_is_missing() {
+        let doc = Document::from_parens(r#"a(b="1" c="2")"#);
+        check_roundtrip(&doc, "a(/b{id,v})", &[("vc", "a(/c{id,v})")], false);
+    }
+
+    #[test]
+    fn prop_3_4_prunes_unrelated_views() {
+        let doc = Document::from_parens(r#"r(a(b="1") c(d="2"))"#);
+        let s = Summary::of(&doc);
+        let q = parse_pattern("r(/a(/b{id,v}))").unwrap();
+        let views = vec![
+            View::new("vb", parse_pattern("r(//b{id,v})").unwrap(), IdScheme::OrdPath),
+            View::new("vd", parse_pattern("r(//d{id,v})").unwrap(), IdScheme::OrdPath),
+        ];
+        let result = rewrite(&q, &views, &s, &opts());
+        assert_eq!(result.stats.views_total, 2);
+        assert_eq!(result.stats.views_kept, 1, "vd pruned by Prop 3.4");
+        assert!(!result.rewritings.is_empty());
+    }
+
+    #[test]
+    fn first_only_stops_early() {
+        let doc = Document::from_parens(r#"a(b="1")"#);
+        let s = Summary::of(&doc);
+        let q = parse_pattern("a(/b{id,v})").unwrap();
+        let views = vec![
+            View::new("v1", parse_pattern("a(/b{id,v})").unwrap(), IdScheme::OrdPath),
+            View::new("v2", parse_pattern("a(/*{id,v})").unwrap(), IdScheme::OrdPath),
+        ];
+        let mut o = opts();
+        o.first_only = true;
+        let result = rewrite(&q, &views, &s, &o);
+        assert_eq!(result.rewritings.len(), 1);
+        assert!(result.stats.first_rewriting.is_some());
+    }
+}

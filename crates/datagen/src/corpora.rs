@@ -1,0 +1,185 @@
+//! Shape-faithful generators for the remaining Table 1 corpora:
+//! Shakespeare plays, the NASA datasets and SwissProt entries.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use smv_xml::{Document, Label, TreeBuilder, Value};
+
+fn l(name: &str) -> Label {
+    Label::intern(name)
+}
+
+/// A Shakespeare-plays-like document (`PLAY/ACT/SCENE/SPEECH/LINE`).
+pub fn shakespeare(acts: usize, seed: u64) -> Document {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TreeBuilder::new();
+    b.open(l("PLAY"));
+    b.leaf(l("TITLE"), Some(Value::str("The Tragedy of Benchmarks")));
+    b.open(l("FM"));
+    for _ in 0..3 {
+        b.leaf(l("P"), Some(Value::str("Text placed in the public domain.")));
+    }
+    b.close();
+    b.open(l("PERSONAE"));
+    b.leaf(l("TITLE"), Some(Value::str("Dramatis Personae")));
+    for i in 0..6 {
+        b.leaf(l("PERSONA"), Some(Value::str(&format!("PERSON {i}"))));
+    }
+    b.open(l("PGROUP"));
+    b.leaf(l("PERSONA"), Some(Value::str("A crowd")));
+    b.leaf(l("GRPDESCR"), Some(Value::str("citizens")));
+    b.close();
+    b.close();
+    b.leaf(l("SCNDESCR"), Some(Value::str("A stage.")));
+    b.leaf(l("PLAYSUBT"), Some(Value::str("BENCHMARKS")));
+    for a in 0..acts.max(1) {
+        b.open(l("ACT"));
+        b.leaf(l("TITLE"), Some(Value::str(&format!("ACT {a}"))));
+        let scenes = rng.random_range(2..=4);
+        for sc in 0..scenes {
+            b.open(l("SCENE"));
+            b.leaf(l("TITLE"), Some(Value::str(&format!("SCENE {sc}"))));
+            if rng.random_bool(0.6) {
+                b.leaf(l("STAGEDIR"), Some(Value::str("Enter PERSON")));
+            }
+            let speeches = rng.random_range(3..=8);
+            for _ in 0..speeches {
+                b.open(l("SPEECH"));
+                b.leaf(l("SPEAKER"), Some(Value::str("PERSON")));
+                let lines = rng.random_range(1..=5);
+                for _ in 0..lines {
+                    b.leaf(l("LINE"), Some(Value::str("To bench, or not to bench")));
+                }
+                if rng.random_bool(0.2) {
+                    b.leaf(l("STAGEDIR"), Some(Value::str("Exit")));
+                }
+                b.close();
+            }
+            b.close();
+        }
+        b.close();
+    }
+    b.close();
+    b.finish()
+}
+
+/// A NASA-datasets-like document.
+pub fn nasa(datasets: usize, seed: u64) -> Document {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TreeBuilder::new();
+    b.open(l("datasets"));
+    for i in 0..datasets.max(1) {
+        b.open(l("dataset"));
+        b.leaf(l("@subject"), Some(Value::str("astronomy")));
+        b.leaf(l("title"), Some(Value::str(&format!("Survey {i}"))));
+        if rng.random_bool(0.5) {
+            b.leaf(l("altname"), Some(Value::str("ADC")));
+        }
+        b.open(l("reference"));
+        b.open(l("source"));
+        b.open(l("other"));
+        b.leaf(l("title"), Some(Value::str("Catalogue")));
+        b.open(l("author"));
+        b.open(l("name"));
+        b.leaf(l("lastName"), Some(Value::str("Kepler")));
+        b.leaf(l("firstName"), Some(Value::str("J")));
+        b.close();
+        b.close();
+        b.open(l("date"));
+        b.leaf(l("year"), Some(Value::int(rng.random_range(1970..2000))));
+        b.close();
+        b.close();
+        b.close();
+        b.close();
+        if rng.random_bool(0.7) {
+            b.open(l("keywords"));
+            let n = rng.random_range(1..=3);
+            for _ in 0..n {
+                b.leaf(l("keyword"), Some(Value::str("stars")));
+            }
+            b.close();
+        }
+        b.leaf(l("identifier"), Some(Value::str(&format!("I_{i}"))));
+        b.close();
+    }
+    b.close();
+    b.finish()
+}
+
+/// A SwissProt-like document.
+pub fn swissprot(entries: usize, seed: u64) -> Document {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TreeBuilder::new();
+    b.open(l("root"));
+    for i in 0..entries.max(1) {
+        b.open(l("Entry"));
+        b.leaf(l("@id"), Some(Value::str(&format!("P{i:05}"))));
+        b.leaf(l("AC"), Some(Value::str(&format!("Q{i:05}"))));
+        let mods = rng.random_range(1..=3);
+        for _ in 0..mods {
+            b.leaf(l("Mod"), Some(Value::str("01-JAN-1998")));
+        }
+        b.leaf(l("Descr"), Some(Value::str("Protein kinase")));
+        b.leaf(l("Species"), Some(Value::str("Homo sapiens")));
+        b.leaf(l("Org"), Some(Value::str("Eukaryota")));
+        let refs = rng.random_range(1..=3);
+        for r in 0..refs {
+            b.open(l("Ref"));
+            b.leaf(l("@num"), Some(Value::int(r as i64 + 1)));
+            let auth = rng.random_range(1..=4);
+            for _ in 0..auth {
+                b.leaf(l("Author"), Some(Value::str("Smith J.")));
+            }
+            b.leaf(l("Cite"), Some(Value::str("J. Biol. Chem.")));
+            if rng.random_bool(0.5) {
+                b.leaf(l("MedlineID"), Some(Value::int(rng.random_range(90000000..99999999))));
+            }
+            b.close();
+        }
+        let kws = rng.random_range(0..=4);
+        for _ in 0..kws {
+            b.leaf(l("Keyword"), Some(Value::str("Transferase")));
+        }
+        b.open(l("Features"));
+        for tag in ["DOMAIN", "BINDING", "MOD_RES"] {
+            if rng.random_bool(0.6) {
+                b.open(l(tag));
+                b.leaf(l("Descr"), Some(Value::str("ATP")));
+                b.leaf(l("From"), Some(Value::int(rng.random_range(1..100))));
+                b.leaf(l("To"), Some(Value::int(rng.random_range(100..500))));
+                b.close();
+            }
+        }
+        b.close();
+        b.close();
+    }
+    b.close();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smv_summary::{Summary, SummaryStats};
+
+    #[test]
+    fn corpora_summaries_are_compact() {
+        let sh = Summary::of(&shakespeare(5, 3));
+        let na = Summary::of(&nasa(50, 3));
+        let sp = Summary::of(&swissprot(50, 3));
+        let (a, b, c) = (sh.len(), na.len(), sp.len());
+        assert!((10..90).contains(&a), "shakespeare |S| = {a}");
+        assert!((10..60).contains(&b), "nasa |S| = {b}");
+        assert!((10..120).contains(&c), "swissprot |S| = {c}");
+        // strong / one-to-one edges are frequent (the Table 1 observation)
+        let st = SummaryStats::of(&sp);
+        assert!(st.strong_edges > 0);
+        assert!(st.one_to_one_edges > 0);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(shakespeare(3, 9).len(), shakespeare(3, 9).len());
+        assert_ne!(nasa(10, 1).len(), nasa(10, 2).len());
+    }
+}

@@ -1,0 +1,167 @@
+//! DBLP-like bibliography generator — two snapshot vocabularies
+//! corresponding to the paper's DBLP'02 and DBLP'05 rows of Table 1.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use smv_xml::{Document, Label, TreeBuilder, Value};
+
+/// Which snapshot vocabulary to use ('05 adds entry kinds and fields,
+/// which is why the paper's `|S|` grows from 145 to 159).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DblpSnapshot {
+    /// The 2002 snapshot (fewer element kinds).
+    Y2002,
+    /// The 2005 snapshot.
+    Y2005,
+}
+
+fn l(name: &str) -> Label {
+    Label::intern(name)
+}
+
+/// Generates a DBLP-like document with roughly `entries` bibliography
+/// records.
+pub fn dblp(snapshot: DblpSnapshot, entries: usize, seed: u64) -> Document {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TreeBuilder::new();
+    b.open(l("dblp"));
+    let names = ["Levy", "Suciu", "Widom", "Goldman", "Halevy", "Papakonstantinou"];
+    let emit_common = |b: &mut TreeBuilder, rng: &mut StdRng, kind: &str| {
+        b.open(l(kind));
+        b.leaf(l("@key"), Some(Value::str(&format!("{}/{}", kind, rng.random_range(0..99999)))));
+        if rng.random_bool(0.3) {
+            b.leaf(l("@mdate"), Some(Value::str("2002-01-03")));
+        }
+        let n_auth = rng.random_range(1..=3);
+        for _ in 0..n_auth {
+            b.leaf(l("author"), Some(Value::str(names[rng.random_range(0..names.len())])));
+        }
+        b.leaf(l("title"), Some(Value::str("Answering queries using views")));
+        b.leaf(l("year"), Some(Value::int(rng.random_range(1980..2006))));
+    };
+    for _ in 0..entries.max(1) {
+        let kind_roll: f64 = rng.random();
+        match snapshot {
+            DblpSnapshot::Y2002 => {
+                if kind_roll < 0.45 {
+                    emit_common(&mut b, &mut rng, "article");
+                    b.leaf(l("journal"), Some(Value::str("VLDB J.")));
+                    b.leaf(l("volume"), Some(Value::int(rng.random_range(1..30))));
+                    if rng.random_bool(0.5) {
+                        b.leaf(l("pages"), Some(Value::str("1-20")));
+                    }
+                    if rng.random_bool(0.4) {
+                        b.leaf(l("ee"), Some(Value::str("db/journals/vldb")));
+                    }
+                    b.close();
+                } else if kind_roll < 0.85 {
+                    emit_common(&mut b, &mut rng, "inproceedings");
+                    b.leaf(l("booktitle"), Some(Value::str("VLDB")));
+                    if rng.random_bool(0.5) {
+                        b.leaf(l("pages"), Some(Value::str("95-104")));
+                    }
+                    if rng.random_bool(0.3) {
+                        b.leaf(l("crossref"), Some(Value::str("conf/vldb/2002")));
+                    }
+                    b.close();
+                } else if kind_roll < 0.95 {
+                    emit_common(&mut b, &mut rng, "proceedings");
+                    b.leaf(l("publisher"), Some(Value::str("Morgan Kaufmann")));
+                    if rng.random_bool(0.5) {
+                        b.leaf(l("isbn"), Some(Value::str("1-55860-869-9")));
+                    }
+                    b.close();
+                } else {
+                    emit_common(&mut b, &mut rng, "phdthesis");
+                    b.leaf(l("school"), Some(Value::str("Stanford")));
+                    b.close();
+                }
+            }
+            DblpSnapshot::Y2005 => {
+                if kind_roll < 0.40 {
+                    emit_common(&mut b, &mut rng, "article");
+                    b.leaf(l("journal"), Some(Value::str("VLDB J.")));
+                    b.leaf(l("volume"), Some(Value::int(rng.random_range(1..30))));
+                    b.leaf(l("number"), Some(Value::int(rng.random_range(1..4))));
+                    if rng.random_bool(0.5) {
+                        b.leaf(l("pages"), Some(Value::str("1-20")));
+                    }
+                    if rng.random_bool(0.6) {
+                        b.leaf(l("ee"), Some(Value::str("db/journals/vldb")));
+                    }
+                    if rng.random_bool(0.4) {
+                        b.leaf(l("url"), Some(Value::str("http://dblp.uni-trier.de")));
+                    }
+                    b.close();
+                } else if kind_roll < 0.78 {
+                    emit_common(&mut b, &mut rng, "inproceedings");
+                    b.leaf(l("booktitle"), Some(Value::str("VLDB")));
+                    if rng.random_bool(0.5) {
+                        b.leaf(l("pages"), Some(Value::str("95-104")));
+                    }
+                    if rng.random_bool(0.3) {
+                        b.leaf(l("crossref"), Some(Value::str("conf/vldb/2005")));
+                    }
+                    if rng.random_bool(0.4) {
+                        b.leaf(l("ee"), Some(Value::str("db/conf/vldb")));
+                    }
+                    b.close();
+                } else if kind_roll < 0.86 {
+                    emit_common(&mut b, &mut rng, "proceedings");
+                    b.leaf(l("publisher"), Some(Value::str("ACM")));
+                    if rng.random_bool(0.5) {
+                        b.leaf(l("isbn"), Some(Value::str("1-59593-063-0")));
+                    }
+                    if rng.random_bool(0.5) {
+                        b.leaf(l("series"), Some(Value::str("LNCS")));
+                    }
+                    b.close();
+                } else if kind_roll < 0.93 {
+                    emit_common(&mut b, &mut rng, "www");
+                    b.leaf(l("url"), Some(Value::str("http://example.org")));
+                    b.close();
+                } else if kind_roll < 0.97 {
+                    emit_common(&mut b, &mut rng, "phdthesis");
+                    b.leaf(l("school"), Some(Value::str("Stanford")));
+                    b.close();
+                } else {
+                    emit_common(&mut b, &mut rng, "mastersthesis");
+                    b.leaf(l("school"), Some(Value::str("MIT")));
+                    b.close();
+                }
+            }
+        }
+    }
+    b.close();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smv_summary::Summary;
+
+    #[test]
+    fn snapshots_differ_in_vocabulary() {
+        let d02 = dblp(DblpSnapshot::Y2002, 500, 7);
+        let d05 = dblp(DblpSnapshot::Y2005, 500, 7);
+        let s02 = Summary::of(&d02);
+        let s05 = Summary::of(&d05);
+        assert!(
+            s05.len() > s02.len(),
+            "'05 has more paths: {} vs {}",
+            s05.len(),
+            s02.len()
+        );
+        assert!(s02.node_by_path("/dblp/article/author").is_some());
+        assert!(s05.node_by_path("/dblp/www/url").is_some());
+        assert!(s02.node_by_path("/dblp/www").is_none());
+    }
+
+    #[test]
+    fn summary_is_flat_and_small() {
+        let d = dblp(DblpSnapshot::Y2005, 2000, 1);
+        let s = Summary::of(&d);
+        assert!(s.len() < 100, "|S| = {}", s.len());
+    }
+}

@@ -1,0 +1,241 @@
+//! Random satisfiable pattern generation — the §5 workload.
+//!
+//! "We generated synthetic, satisfiable patterns of 3-13 nodes, based on
+//! the 548-node XMark summary. Pattern node fanout is f = 3. Nodes were
+//! labeled * with probability 0.1, and with a value predicate of the form
+//! v = c with probability 0.2. We used 10 different values. Edges are
+//! labeled // with probability 0.5, and are optional with probability
+//! 0.5. [...] we fixed the labels of the return nodes."
+//!
+//! Satisfiability by construction: patterns are grown along a random
+//! embedding into the summary.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use smv_pattern::{Axis, Formula, PNodeId, Pattern};
+use smv_summary::Summary;
+use smv_xml::{Label, NodeId, Value};
+
+/// Generation parameters (§5 defaults).
+#[derive(Clone, Debug)]
+pub struct SynthConfig {
+    /// Total pattern nodes (3-13 in the paper).
+    pub nodes: usize,
+    /// Number of return nodes (1-3 in the paper).
+    pub returns: usize,
+    /// Labels the return nodes must carry (cycled); empty = free.
+    pub return_labels: Vec<String>,
+    /// Max fanout per pattern node.
+    pub fanout: usize,
+    /// P(node is `*`).
+    pub p_star: f64,
+    /// P(node carries `v = c`).
+    pub p_pred: f64,
+    /// Distinct predicate constants.
+    pub n_values: usize,
+    /// P(edge is `//`).
+    pub p_desc: f64,
+    /// P(edge is optional).
+    pub p_opt: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            nodes: 6,
+            returns: 1,
+            return_labels: vec!["item".into(), "name".into(), "initial".into()],
+            fanout: 3,
+            p_star: 0.1,
+            p_pred: 0.2,
+            n_values: 10,
+            p_desc: 0.5,
+            p_opt: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates `count` satisfiable patterns over `s`.
+pub fn random_patterns(s: &Summary, cfg: &SynthConfig, count: usize) -> Vec<Pattern> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(count);
+    let mut guard = 0usize;
+    while out.len() < count && guard < count * 200 {
+        guard += 1;
+        if let Some(p) = try_generate(s, cfg, &mut rng) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+fn try_generate(s: &Summary, cfg: &SynthConfig, rng: &mut StdRng) -> Option<Pattern> {
+    // grow along an embedding: pattern node -> summary node
+    let mut p = Pattern::new(Some(s.label(s.root())));
+    let mut emb: Vec<NodeId> = vec![s.root()];
+    let body = cfg.nodes.saturating_sub(1 + cfg.returns);
+    for _ in 0..body {
+        add_random_node(s, cfg, rng, &mut p, &mut emb, None)?;
+    }
+    // return nodes with fixed labels
+    for i in 0..cfg.returns {
+        let want = if cfg.return_labels.is_empty() {
+            None
+        } else {
+            Some(Label::intern(
+                &cfg.return_labels[i % cfg.return_labels.len()],
+            ))
+        };
+        let n = add_random_node(s, cfg, rng, &mut p, &mut emb, want)?;
+        let nd = p.node_mut(n);
+        nd.attrs.id = true;
+        nd.attrs.value = true;
+        nd.optional = false; // return nodes stay required in the workload
+        nd.predicate = Formula::top();
+    }
+    Some(p)
+}
+
+/// Attaches one node along the embedding; returns its id.
+fn add_random_node(
+    s: &Summary,
+    cfg: &SynthConfig,
+    rng: &mut StdRng,
+    p: &mut Pattern,
+    emb: &mut Vec<NodeId>,
+    want_label: Option<Label>,
+) -> Option<PNodeId> {
+    // pick an anchor with room
+    let mut anchors: Vec<usize> = (0..p.len())
+        .filter(|&i| p.children(PNodeId(i as u32)).len() < cfg.fanout)
+        .collect();
+    if anchors.is_empty() {
+        return None;
+    }
+    // prefer anchors that can actually reach a target
+    anchors.reverse();
+    for _ in 0..anchors.len().min(8) {
+        let ai = anchors[rng.random_range(0..anchors.len())];
+        let sx = emb[ai];
+        // candidate summary targets below sx
+        let mut targets: Vec<NodeId> = Vec::new();
+        collect_descendants(s, sx, &mut targets);
+        if let Some(l) = want_label {
+            targets.retain(|&t| s.label(t) == l);
+        }
+        if targets.is_empty() {
+            continue;
+        }
+        let st = targets[rng.random_range(0..targets.len())];
+        let axis = if s.is_parent(sx, st) && !rng.random_bool(cfg.p_desc) {
+            Axis::Child
+        } else {
+            Axis::Descendant
+        };
+        // `/` is only sound for direct children
+        let axis = if axis == Axis::Child && !s.is_parent(sx, st) {
+            Axis::Descendant
+        } else {
+            axis
+        };
+        let label = if want_label.is_none() && rng.random_bool(cfg.p_star) {
+            None
+        } else {
+            Some(s.label(st))
+        };
+        let n = p.add_child(PNodeId(ai as u32), axis, label);
+        emb.push(st);
+        let nd = p.node_mut(n);
+        nd.optional = rng.random_bool(cfg.p_opt);
+        if want_label.is_none() && rng.random_bool(cfg.p_pred) {
+            let c = rng.random_range(0..cfg.n_values as i64);
+            nd.predicate = Formula::eq(Value::int(c));
+            // predicates on required nodes can make the pattern empty on
+            // real data but never S-unsatisfiable; keep them
+        }
+        return Some(n);
+    }
+    None
+}
+
+fn collect_descendants(s: &Summary, n: NodeId, out: &mut Vec<NodeId>) {
+    for &c in s.children(n) {
+        out.push(c);
+        collect_descendants(s, c, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xmark::{xmark, XmarkConfig};
+    use smv_pattern::{canonical_model, CanonOpts};
+
+    #[test]
+    fn generated_patterns_are_satisfiable() {
+        let s = Summary::of(&xmark(&XmarkConfig::default()));
+        let cfg = SynthConfig {
+            nodes: 7,
+            returns: 2,
+            seed: 11,
+            ..Default::default()
+        };
+        let pats = random_patterns(&s, &cfg, 20);
+        assert_eq!(pats.len(), 20);
+        let opts = CanonOpts {
+            use_strong: false,
+            max_trees: 100_000,
+        };
+        for p in &pats {
+            assert!(
+                canonical_model(p, &s, &opts).is_satisfiable(),
+                "unsatisfiable generated pattern {p}"
+            );
+            assert_eq!(p.arity(), 2);
+        }
+    }
+
+    #[test]
+    fn respects_size_and_determinism() {
+        let s = Summary::of(&xmark(&XmarkConfig::default()));
+        let cfg = SynthConfig {
+            nodes: 5,
+            returns: 1,
+            seed: 3,
+            ..Default::default()
+        };
+        let a = random_patterns(&s, &cfg, 5);
+        let b = random_patterns(&s, &cfg, 5);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.to_string(), y.to_string());
+        }
+        for p in &a {
+            assert!(p.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn optional_share_is_configurable() {
+        let s = Summary::of(&xmark(&XmarkConfig::default()));
+        let none = SynthConfig {
+            nodes: 8,
+            p_opt: 0.0,
+            seed: 5,
+            ..Default::default()
+        };
+        for p in random_patterns(&s, &none, 10) {
+            assert!(p.optional_edges().is_empty());
+        }
+        let all = SynthConfig {
+            nodes: 8,
+            p_opt: 1.0,
+            seed: 5,
+            ..Default::default()
+        };
+        let pats = random_patterns(&s, &all, 10);
+        assert!(pats.iter().any(|p| !p.optional_edges().is_empty()));
+    }
+}

@@ -1,0 +1,152 @@
+//! Associated paths (paper Definition 2.1).
+//!
+//! The set of summary paths associated to a pattern node `n` consists of
+//! the `S` nodes `e(n)` over all embeddings `e : p → S`. The paper
+//! computes these in `O(|p| × |S|)`; we do the same with a bottom-up
+//! candidate pass (shared with [`crate::matching::Matcher`]) followed by a
+//! top-down consistency pruning — for tree-shaped patterns the two passes
+//! are exact, because sibling subtrees are independent once the parent's
+//! image is fixed.
+//!
+//! Optional subtrees participate like ordinary ones: a path is associated
+//! to an optional node if *some* embedding maps it there (Definition 2.1
+//! quantifies over embeddings that do map the node).
+
+use crate::ast::{Axis, Pattern};
+use crate::matching::Matcher;
+use smv_summary::Summary;
+use smv_xml::NodeId;
+
+/// Per pattern node (indexed by id), the sorted set of associated summary
+/// paths.
+pub fn associated_paths(p: &Pattern, s: &Summary) -> Vec<Vec<NodeId>> {
+    let matcher = Matcher::new(p, s);
+    let mut keep: Vec<Vec<NodeId>> = vec![Vec::new(); p.len()];
+    keep[p.root().idx()] = matcher.candidates(p.root()).to_vec();
+    for m in p.iter().skip(1) {
+        let parent = p.parent(m).expect("non-root");
+        let axis = p.node(m).axis;
+        let parents = &keep[parent.idx()];
+        let mut list: Vec<NodeId> = matcher
+            .candidates(m)
+            .iter()
+            .copied()
+            .filter(|&y| {
+                parents.iter().any(|&x| match axis {
+                    Axis::Child => s.is_parent(x, y),
+                    Axis::Descendant => s.is_ancestor(x, y),
+                })
+            })
+            .collect();
+        list.sort();
+        list.dedup();
+        keep[m.idx()] = list;
+    }
+    keep
+}
+
+/// Associated paths restricted to the pattern's return nodes, in return
+/// order — the sets compared by Proposition 3.7.
+pub fn return_paths(p: &Pattern, s: &Summary) -> Vec<Vec<NodeId>> {
+    let all = associated_paths(p, s);
+    p.return_nodes()
+        .into_iter()
+        .map(|r| all[r.idx()].clone())
+        .collect()
+}
+
+/// True when node `n` of `p` is *unrelated* to every path in `qpaths`:
+/// no associated path of `n` equals, is an ancestor of, or is a descendant
+/// of any path in `qpaths`. This is the per-node test of Proposition 3.4
+/// (view pruning).
+pub fn unrelated_to(
+    s: &Summary,
+    npaths: &[NodeId],
+    qpaths: &[NodeId],
+) -> bool {
+    for &x in npaths {
+        for &y in qpaths {
+            if x == y || s.is_ancestor(x, y) || s.is_ancestor(y, x) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_pattern;
+    use smv_xml::Document;
+
+    #[test]
+    fn paths_follow_embeddings() {
+        // S: a(b c(b d(e)))
+        let d = Document::from_parens("a(b c(b d(e)))");
+        let s = Summary::of(&d);
+        let p = parse_pattern("a(//b{ret})").unwrap();
+        let paths = associated_paths(&p, &s);
+        let b_paths: Vec<String> = paths[1].iter().map(|&n| s.path_string(n)).collect();
+        assert_eq!(b_paths, vec!["/a/b", "/a/c/b"]);
+        assert_eq!(paths[0], vec![s.root()]);
+    }
+
+    #[test]
+    fn top_down_pruning_removes_inconsistent_candidates() {
+        // S: a(b(c) d(c)); pattern a(/b(/c{ret})): c's candidates include
+        // /a/d/c bottom-up, but no embedding maps b's child there.
+        let d = Document::from_parens("a(b(c) d(c))");
+        let s = Summary::of(&d);
+        let p = parse_pattern("a(/b(/c{ret}))").unwrap();
+        let paths = associated_paths(&p, &s);
+        let c_paths: Vec<String> = paths[2].iter().map(|&n| s.path_string(n)).collect();
+        assert_eq!(c_paths, vec!["/a/b/c"]);
+    }
+
+    #[test]
+    fn unsatisfiable_pattern_has_empty_paths() {
+        let s = Summary::of(&Document::from_parens("a(b)"));
+        let p = parse_pattern("a(/z{ret})").unwrap();
+        let paths = associated_paths(&p, &s);
+        assert!(paths[1].is_empty());
+        assert!(
+            paths[0].is_empty(),
+            "root keeps no candidates when a required child is unsatisfiable"
+        );
+    }
+
+    #[test]
+    fn wildcards_fan_out() {
+        let d = Document::from_parens("a(b(x) c(x))");
+        let s = Summary::of(&d);
+        let p = parse_pattern("a(/*(/x{ret}))").unwrap();
+        let paths = associated_paths(&p, &s);
+        assert_eq!(paths[1].len(), 2);
+        assert_eq!(paths[2].len(), 2);
+    }
+
+    #[test]
+    fn unrelated_test_matches_prop_3_4() {
+        let d = Document::from_parens("r(a(b) c(d))");
+        let s = Summary::of(&d);
+        let a = s.node_by_path("/r/a").unwrap();
+        let b = s.node_by_path("/r/a/b").unwrap();
+        let c = s.node_by_path("/r/c").unwrap();
+        let d_ = s.node_by_path("/r/c/d").unwrap();
+        assert!(unrelated_to(&s, &[a, b], &[c, d_]));
+        assert!(!unrelated_to(&s, &[a], &[b]), "ancestor is related");
+        assert!(!unrelated_to(&s, &[b], &[b]), "equal is related");
+    }
+
+    #[test]
+    fn return_paths_in_return_order() {
+        let d = Document::from_parens("a(b c)");
+        let s = Summary::of(&d);
+        let p = parse_pattern("a(/c{id}, /b{v})").unwrap();
+        let rp = return_paths(&p, &s);
+        assert_eq!(rp.len(), 2);
+        assert_eq!(s.path_string(rp[0][0]), "/a/c");
+        assert_eq!(s.path_string(rp[1][0]), "/a/b");
+    }
+}

@@ -1,0 +1,738 @@
+//! Summary-based canonical models — `mod_S(p)` (paper §2.4, §4.1-§4.5).
+//!
+//! For every embedding `e : p → S`, the *canonical tree* `t_e` contains one
+//! distinguished node per pattern node, connected by the label chains that
+//! link their images in `S`; under an enhanced summary the tree is closed
+//! under **strong edges** (§4.1). Decorated patterns put each node's
+//! formula on its distinguished node and `T` elsewhere (§4.2). Optional
+//! edges contribute *cut variants* `t_{e,F}` in which the subtrees hanging
+//! below a subset `F` of the optional edges are erased (§4.3) — together
+//! with embeddings that never mapped the optional subtree at all (its
+//! paths may simply be absent from a conforming document).
+//!
+//! The model is **duplicate-free**: trees are hashed structurally
+//! (summary path + formula + return designation, children unordered).
+//!
+//! Canonical trees implement [`MatchTarget`], so the containment test
+//! (Proposition 3.1) evaluates `p'(t_e)` with the ordinary matcher using
+//! decorated-embedding formula implication.
+
+use crate::ast::{Axis, PNodeId, Pattern};
+use crate::formula::Formula;
+use crate::matching::{Assignment, MatchTarget, Matcher};
+use smv_summary::Summary;
+use smv_xml::{Label, LabeledTree, NodeId, Value};
+use std::collections::{HashMap, HashSet};
+
+/// One node of a canonical tree.
+#[derive(Clone, Debug)]
+pub struct CNode {
+    /// Label (copied from the summary node).
+    pub label: Label,
+    /// The summary node (path) this canonical node sits on.
+    pub spath: NodeId,
+    /// The decoration formula (`T` on chain/closure nodes).
+    pub formula: Formula,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+}
+
+/// A canonical-model tree with its designated return nodes.
+#[derive(Clone, Debug)]
+pub struct CTree {
+    nodes: Vec<CNode>,
+    /// Per return index of the source pattern: the designated canonical
+    /// node (`None` = `⊥`, the return node was cut or unmappable).
+    ret: Vec<Option<NodeId>>,
+    /// Per return index: the nesting sequence `ns(n_i, e)` as summary
+    /// nodes, root-to-leaf (§4.5). Empty for unmapped returns.
+    ret_nesting: Vec<Vec<NodeId>>,
+}
+
+impl CTree {
+    /// Builds a canonical tree from an **ancestor-closed set of summary
+    /// paths** with per-path formulas, designating return nodes by path.
+    ///
+    /// This is the representation the rewriting engine works in: any
+    /// algebraic plan over views is `S`-equivalent to a union of such
+    /// trees (Proposition 3.3, under the paper's §4.2 simplification that
+    /// canonical trees are `S`-subtrees). Optionally closes the tree
+    /// under strong edges.
+    pub fn from_path_set(
+        s: &Summary,
+        nodes: &[(NodeId, Formula)],
+        ret_paths: &[Option<NodeId>],
+        strong: bool,
+    ) -> CTree {
+        let mut sorted: Vec<(NodeId, Formula)> = nodes.to_vec();
+        sorted.sort_by_key(|(n, _)| n.0);
+        sorted.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                b.1 = b.1.and(&a.1);
+                true
+            } else {
+                false
+            }
+        });
+        let mut t = CTree {
+            nodes: Vec::new(),
+            ret: vec![None; ret_paths.len()],
+            ret_nesting: vec![Vec::new(); ret_paths.len()],
+        };
+        let mut spath_to_cnode: HashMap<NodeId, NodeId> = HashMap::new();
+        for (sp, formula) in &sorted {
+            let parent = s.parent(*sp).map(|p| {
+                *spath_to_cnode
+                    .get(&p)
+                    .expect("path set must be ancestor-closed")
+            });
+            let id = NodeId(t.nodes.len() as u32);
+            t.nodes.push(CNode {
+                label: s.label(*sp),
+                spath: *sp,
+                formula: formula.clone(),
+                parent,
+                children: Vec::new(),
+            });
+            if let Some(p) = parent {
+                t.nodes[p.idx()].children.push(id);
+            }
+            spath_to_cnode.insert(*sp, id);
+        }
+        assert!(
+            !t.nodes.is_empty(),
+            "from_path_set requires at least the root path"
+        );
+        for (i, rp) in ret_paths.iter().enumerate() {
+            if let Some(p) = rp {
+                t.ret[i] = Some(
+                    *spath_to_cnode
+                        .get(p)
+                        .expect("designated return path must be in the node set"),
+                );
+            }
+        }
+        if strong {
+            strong_closure(s, &mut t);
+        }
+        t
+    }
+
+    /// The set of summary paths used by this tree, with conjoined
+    /// formulas (`T` entries included).
+    pub fn path_set(&self) -> Vec<(NodeId, Formula)> {
+        let mut map: HashMap<NodeId, Formula> = HashMap::new();
+        for n in &self.nodes {
+            map.entry(n.spath)
+                .and_modify(|f| *f = f.and(&n.formula))
+                .or_insert_with(|| n.formula.clone());
+        }
+        let mut v: Vec<(NodeId, Formula)> = map.into_iter().collect();
+        v.sort_by_key(|(n, _)| n.0);
+        v
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false (a canonical tree has at least its root).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The designated return nodes (canonical-node ids; `None` = `⊥`).
+    pub fn return_nodes(&self) -> &[Option<NodeId>] {
+        &self.ret
+    }
+
+    /// The designated return nodes as summary paths.
+    pub fn return_paths(&self) -> Vec<Option<NodeId>> {
+        self.ret
+            .iter()
+            .map(|o| o.map(|c| self.nodes[c.idx()].spath))
+            .collect()
+    }
+
+    /// Nesting sequence of return `i` (§4.5).
+    pub fn nesting_sequence(&self, i: usize) -> &[NodeId] {
+        &self.ret_nesting[i]
+    }
+
+    /// The summary path of a canonical node.
+    pub fn spath(&self, n: NodeId) -> NodeId {
+        self.nodes[n.idx()].spath
+    }
+
+    /// The formula of a canonical node.
+    pub fn formula(&self, n: NodeId) -> &Formula {
+        &self.nodes[n.idx()].formula
+    }
+
+    /// Conjunction of all node formulas, as a per-summary-path map — the
+    /// paper's `φ_te(v_1, …, v_{|S|})` (§4.2). Multiple canonical nodes on
+    /// the same path conjoin.
+    pub fn path_formula(&self) -> HashMap<NodeId, Formula> {
+        let mut map: HashMap<NodeId, Formula> = HashMap::new();
+        for n in &self.nodes {
+            if n.formula.is_top() {
+                continue;
+            }
+            map.entry(n.spath)
+                .and_modify(|f| *f = f.and(&n.formula))
+                .or_insert_with(|| n.formula.clone());
+        }
+        map
+    }
+
+    /// Structural dedup key: children unordered, includes path, formula and
+    /// return designation.
+    fn key(&self) -> String {
+        fn rec(t: &CTree, n: NodeId, out: &mut String) {
+            let nd = &t.nodes[n.idx()];
+            out.push('(');
+            out.push_str(&nd.spath.0.to_string());
+            if !nd.formula.is_top() {
+                out.push('[');
+                out.push_str(&nd.formula.to_string());
+                out.push(']');
+            }
+            let marks: Vec<String> = t
+                .ret
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| **r == Some(n))
+                .map(|(i, _)| i.to_string())
+                .collect();
+            if !marks.is_empty() {
+                out.push('!');
+                out.push_str(&marks.join(","));
+            }
+            let mut kids: Vec<String> = nd
+                .children
+                .iter()
+                .map(|&c| {
+                    let mut s = String::new();
+                    rec(t, c, &mut s);
+                    s
+                })
+                .collect();
+            kids.sort();
+            for k in kids {
+                out.push_str(&k);
+            }
+            out.push(')');
+        }
+        let mut out = String::new();
+        rec(self, NodeId(0), &mut out);
+        // nesting sequences participate in identity (Prop 4.2 checks)
+        for ns in &self.ret_nesting {
+            out.push('|');
+            for s in ns {
+                out.push_str(&s.0.to_string());
+                out.push('.');
+            }
+        }
+        out
+    }
+
+    /// Renders the tree in parenthesized `label@path` notation (debugging).
+    pub fn render(&self) -> String {
+        fn rec(t: &CTree, n: NodeId, out: &mut String) {
+            let nd = &t.nodes[n.idx()];
+            out.push_str(nd.label.as_str());
+            if !nd.formula.is_top() {
+                out.push('[');
+                out.push_str(&nd.formula.to_string());
+                out.push(']');
+            }
+            if t.ret.contains(&Some(n)) {
+                out.push('!');
+            }
+            if !nd.children.is_empty() {
+                out.push('(');
+                for (i, &c) in nd.children.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    rec(t, c, out);
+                }
+                out.push(')');
+            }
+        }
+        let mut out = String::new();
+        rec(self, NodeId(0), &mut out);
+        out
+    }
+}
+
+impl LabeledTree for CTree {
+    fn tree_root(&self) -> NodeId {
+        NodeId(0)
+    }
+    fn tree_label(&self, n: NodeId) -> Label {
+        self.nodes[n.idx()].label
+    }
+    fn tree_children(&self, n: NodeId) -> &[NodeId] {
+        &self.nodes[n.idx()].children
+    }
+    fn tree_parent(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.idx()].parent
+    }
+    fn tree_value(&self, _n: NodeId) -> Option<&Value> {
+        None
+    }
+    fn tree_is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        // canonical trees are small; parent chasing beats bookkeeping
+        let mut cur = self.nodes[b.idx()].parent;
+        while let Some(p) = cur {
+            if p == a {
+                return true;
+            }
+            cur = self.nodes[p.idx()].parent;
+        }
+        false
+    }
+    fn tree_len(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl MatchTarget for CTree {
+    /// Decorated embedding condition (§4.2): `φ_{e(n)}(v) ⇒ φ_n(v)`.
+    fn admits(&self, n: NodeId, f: &Formula) -> bool {
+        self.nodes[n.idx()].formula.implies(f)
+    }
+}
+
+/// Options controlling canonical-model construction.
+#[derive(Clone, Debug)]
+pub struct CanonOpts {
+    /// Close trees under strong edges (enhanced summaries, §4.1).
+    pub use_strong: bool,
+    /// Cap on the number of (pre-dedup) trees materialized; exceeding it
+    /// sets [`CanonicalModel::truncated`].
+    pub max_trees: usize,
+}
+
+impl Default for CanonOpts {
+    fn default() -> Self {
+        CanonOpts {
+            use_strong: true,
+            max_trees: 100_000,
+        }
+    }
+}
+
+/// The duplicate-free canonical model `mod_S(p)`.
+#[derive(Clone, Debug)]
+pub struct CanonicalModel {
+    /// The canonical trees.
+    pub trees: Vec<CTree>,
+    /// True when enumeration hit [`CanonOpts::max_trees`]; containment
+    /// tests must then answer conservatively.
+    pub truncated: bool,
+}
+
+impl CanonicalModel {
+    /// Is the pattern `S`-satisfiable? (`mod_S(p) ≠ ∅`, §2.4.)
+    pub fn is_satisfiable(&self) -> bool {
+        !self.trees.is_empty()
+    }
+
+    /// Number of distinct canonical trees — the `|mod_S(p)|` measured in
+    /// the paper's Figure 13.
+    pub fn size(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+/// Computes `mod_S(p)`.
+pub fn canonical_model(p: &Pattern, s: &Summary, opts: &CanonOpts) -> CanonicalModel {
+    let matcher = Matcher::new(p, s);
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut trees = Vec::new();
+    let mut truncated = false;
+    let mut count = 0usize;
+    // Enumerate *partial* embeddings: optional subtrees may be cut even
+    // when a summary match exists (documents need not contain every path).
+    let mut asg: Assignment = vec![None; p.len()];
+    rec_partial(p, s, &matcher, 0, &mut asg, &mut |asg| {
+        count += 1;
+        if count > opts.max_trees {
+            truncated = true;
+            return false;
+        }
+        let t = build_ctree(p, s, asg, opts.use_strong);
+        if seen.insert(t.key()) && designation_realizable(p, &t) {
+            trees.push(t);
+        }
+        true
+    });
+    CanonicalModel { trees, truncated }
+}
+
+/// Is the designated return tuple actually produced by `p` evaluated on
+/// the canonical tree itself (the tuple-level form of the paper's
+/// `p(t_{e,F}) ≠ ∅` condition, §4.3)?
+///
+/// A cut variant may become unrealizable when another branch of the tree
+/// — or a strong-closure node (§4.1) — matches the cut optional subtree:
+/// Definition 4.1's maximality then *forces* a binding in every document
+/// containing the tree, so the `⊥` designation can never arise and the
+/// tree must not witness containment failures. The check is exact: a
+/// pattern node with a non-`T` predicate never matches a `T`-formula
+/// closure node (implication fails), so predicate-guarded optional
+/// branches keep their `⊥` variants.
+fn designation_realizable(p: &Pattern, t: &CTree) -> bool {
+    if t.ret.iter().all(|r| r.is_some()) {
+        // the identity embedding realizes a fully-mapped designation
+        return true;
+    }
+    Matcher::new(p, t).has_tuple(&t.ret)
+}
+
+/// Enumerates assignments where optional subtrees may be mapped *or cut*.
+fn rec_partial(
+    p: &Pattern,
+    s: &Summary,
+    matcher: &Matcher<'_, '_, Summary>,
+    idx: usize,
+    asg: &mut Assignment,
+    f: &mut impl FnMut(&Assignment) -> bool,
+) -> bool {
+    if idx == p.len() {
+        return f(asg);
+    }
+    let m = PNodeId(idx as u32);
+    let mnode = p.node(m);
+    let parent_img = match p.parent(m) {
+        None => {
+            for &x in matcher.candidates(m) {
+                asg[m.idx()] = Some(x);
+                if !rec_partial(p, s, matcher, idx + 1, asg, f) {
+                    return false;
+                }
+            }
+            asg[m.idx()] = None;
+            return true;
+        }
+        Some(par) => asg[par.idx()],
+    };
+    let Some(x) = parent_img else {
+        asg[m.idx()] = None;
+        return rec_partial(p, s, matcher, idx + 1, asg, f);
+    };
+    let ys: Vec<NodeId> = matcher
+        .candidates(m)
+        .iter()
+        .copied()
+        .filter(|&y| match mnode.axis {
+            Axis::Child => s.is_parent(x, y),
+            Axis::Descendant => s.is_ancestor(x, y),
+        })
+        .collect();
+    if mnode.optional {
+        // cut variant first (documents lacking the branch)
+        asg[m.idx()] = None;
+        if !rec_partial(p, s, matcher, idx + 1, asg, f) {
+            return false;
+        }
+    } else if ys.is_empty() {
+        return true; // dead branch
+    }
+    for y in ys {
+        asg[m.idx()] = Some(y);
+        if !rec_partial(p, s, matcher, idx + 1, asg, f) {
+            return false;
+        }
+    }
+    asg[m.idx()] = None;
+    true
+}
+
+/// Materializes the canonical tree of one (partial) embedding.
+fn build_ctree(p: &Pattern, s: &Summary, asg: &Assignment, use_strong: bool) -> CTree {
+    let returns = p.return_nodes();
+    let mut t = CTree {
+        nodes: Vec::new(),
+        ret: vec![None; returns.len()],
+        ret_nesting: vec![Vec::new(); returns.len()],
+    };
+    let sroot = asg[p.root().idx()].expect("root is always mapped");
+    t.nodes.push(CNode {
+        label: s.label(sroot),
+        spath: sroot,
+        formula: p.node(p.root()).predicate.clone(),
+        parent: None,
+        children: Vec::new(),
+    });
+    mark_return(p, &returns, p.root(), NodeId(0), asg, s, &mut t);
+    add_children(p, s, asg, p.root(), NodeId(0), &returns, &mut t);
+    if use_strong {
+        strong_closure(s, &mut t);
+    }
+    t
+}
+
+fn mark_return(
+    p: &Pattern,
+    returns: &[PNodeId],
+    pn: PNodeId,
+    cn: NodeId,
+    asg: &Assignment,
+    _s: &Summary,
+    t: &mut CTree,
+) {
+    if let Some(i) = returns.iter().position(|&r| r == pn) {
+        t.ret[i] = Some(cn);
+        t.ret_nesting[i] = p
+            .nesting_anchors(pn)
+            .iter()
+            .map(|&a| asg[a.idx()].expect("anchors of a mapped node are mapped"))
+            .collect();
+    }
+}
+
+fn add_children(
+    p: &Pattern,
+    s: &Summary,
+    asg: &Assignment,
+    pn: PNodeId,
+    cn: NodeId,
+    returns: &[PNodeId],
+    t: &mut CTree,
+) {
+    for &m in p.children(pn) {
+        let Some(sm) = asg[m.idx()] else {
+            continue; // cut or unmappable optional subtree
+        };
+        let sx = t.nodes[cn.idx()].spath;
+        let chain = s.tree_chain_down(sx, sm);
+        let mut cur = cn;
+        for (i, &sn) in chain.iter().enumerate() {
+            let is_last = i == chain.len() - 1;
+            let formula = if is_last {
+                p.node(m).predicate.clone()
+            } else {
+                Formula::top()
+            };
+            let id = NodeId(t.nodes.len() as u32);
+            t.nodes.push(CNode {
+                label: s.label(sn),
+                spath: sn,
+                formula,
+                parent: Some(cur),
+                children: Vec::new(),
+            });
+            t.nodes[cur.idx()].children.push(id);
+            cur = id;
+        }
+        mark_return(p, returns, m, cur, asg, s, t);
+        add_children(p, s, asg, m, cur, returns, t);
+    }
+}
+
+/// Adds, under every tree node, the summary subtrees reachable through
+/// chains of strong edges only (enhanced canonical model, §4.1).
+fn strong_closure(s: &Summary, t: &mut CTree) {
+    let mut queue: Vec<NodeId> = (0..t.nodes.len() as u32).map(NodeId).collect();
+    while let Some(cn) = queue.pop() {
+        let sp = t.nodes[cn.idx()].spath;
+        for &sc in s.children(sp) {
+            if !s.is_strong_edge(sc) {
+                continue;
+            }
+            let already = t.nodes[cn.idx()]
+                .children
+                .iter()
+                .any(|&c| t.nodes[c.idx()].spath == sc);
+            if already {
+                continue;
+            }
+            let id = NodeId(t.nodes.len() as u32);
+            t.nodes.push(CNode {
+                label: s.label(sc),
+                spath: sc,
+                formula: Formula::top(),
+                parent: Some(cn),
+                children: Vec::new(),
+            });
+            t.nodes[cn.idx()].children.push(id);
+            queue.push(id);
+        }
+        // existing children also need their own strong children — they are
+        // in the initial queue already (or pushed when created).
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_pattern;
+    use smv_xml::Document;
+
+    fn opts_plain() -> CanonOpts {
+        CanonOpts {
+            use_strong: false,
+            max_trees: 100_000,
+        }
+    }
+
+    /// The Figure 3 situation: a pattern with two `*` nodes has exactly the
+    /// embeddings the summary allows.
+    #[test]
+    fn fig3_two_embeddings() {
+        // S of the Fig. 2 document: a(b c(b d(e)) d(c(b) b(d e)))-ish;
+        // build a document realizing it.
+        let d = Document::from_parens("a(b c(b d(e)) d(c(b) b(d e)))");
+        let s = Summary::of(&d);
+        // p = a(//*(/b, //*{ret})) — upper * with a b child and a returning
+        // descendant *.
+        let p = parse_pattern("a(//*(/b, //*{ret}))").unwrap();
+        let m = canonical_model(&p, &s, &opts_plain());
+        assert!(m.is_satisfiable());
+        // upper * can be c (child b, descendants b/d/e) or d (child... d's
+        // children are c and b; c has child b ⇒ only d has /b child? both
+        // c and d have b children); enumerate and sanity check bounds.
+        assert!(m.size() >= 2, "at least two distinct canonical trees");
+        for t in &m.trees {
+            assert_eq!(t.return_nodes().len(), 1);
+            assert!(t.return_nodes()[0].is_some());
+        }
+    }
+
+    #[test]
+    fn satisfiability_detects_impossible_patterns() {
+        let s = Summary::of(&Document::from_parens("a(b(c))"));
+        let sat = parse_pattern("a(//c{ret})").unwrap();
+        assert!(canonical_model(&sat, &s, &opts_plain()).is_satisfiable());
+        let unsat = parse_pattern("a(/c{ret})").unwrap();
+        assert!(
+            !canonical_model(&unsat, &s, &opts_plain()).is_satisfiable(),
+            "c is not a direct child of a"
+        );
+        let unsat2 = parse_pattern("a(//z{ret})").unwrap();
+        assert!(!canonical_model(&unsat2, &s, &opts_plain()).is_satisfiable());
+    }
+
+    #[test]
+    fn chains_materialize_intermediate_nodes() {
+        let s = Summary::of(&Document::from_parens("a(b(c(d)))"));
+        let p = parse_pattern("a(//d{ret})").unwrap();
+        let m = canonical_model(&p, &s, &opts_plain());
+        assert_eq!(m.size(), 1);
+        let t = &m.trees[0];
+        // chain a -> b -> c -> d fully materialized
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.render(), "a(b(c(d!)))");
+    }
+
+    #[test]
+    fn duplicate_embeddings_collapse() {
+        // p' = /a//*//e: both intermediate choices yield the same tree
+        // (the paper's duplicate-free remark in §2.4).
+        let d = Document::from_parens("a(b(c(e)))");
+        let s = Summary::of(&d);
+        let p = parse_pattern("a(//*(//e{ret}))").unwrap();
+        let m = canonical_model(&p, &s, &opts_plain());
+        assert_eq!(m.size(), 1, "trees for *=b and *=c coincide: {:?}",
+            m.trees.iter().map(|t| t.render()).collect::<Vec<_>>());
+        assert_eq!(m.trees[0].render(), "a(b(c(e!)))");
+    }
+
+    #[test]
+    fn optional_edges_produce_cut_variants() {
+        // Figure 10: modS(p1) = {t1, t2, t3}
+        let d = Document::from_parens("a(c(d(b e) b) c)");
+        let s = Summary::of(&d); // S: a(c(d(b e) b))
+        let p = parse_pattern("a(/c{ret}(?/d(/b{ret}, ?/e)))").unwrap();
+        let m = canonical_model(&p, &s, &opts_plain());
+        // variants: full (c,d,b,e), no-e (c,d,b), no-d-subtree (c)
+        let renders: HashSet<String> = m.trees.iter().map(|t| t.render()).collect();
+        assert_eq!(
+            renders,
+            HashSet::from([
+                "a(c!(d(b! e)))".to_string(),
+                "a(c!(d(b!)))".to_string(),
+                "a(c!)".to_string(),
+            ]),
+            "got {renders:?}"
+        );
+        // the cut variant designates ⊥ for the b return
+        assert!(m
+            .trees
+            .iter()
+            .any(|t| t.return_nodes()[1].is_none() && t.return_nodes()[0].is_some()));
+    }
+
+    #[test]
+    fn strong_edges_extend_trees() {
+        // every b has a c child (strong); pattern only mentions a//b
+        let d = Document::from_parens("a(b(c) b(c d))");
+        let s = Summary::of(&d);
+        assert!(s.is_strong_edge(s.node_by_path("/a/b/c").unwrap()));
+        let p = parse_pattern("a(/b{ret})").unwrap();
+        let plain = canonical_model(&p, &s, &opts_plain());
+        assert_eq!(plain.trees[0].render(), "a(b!)");
+        let enhanced = canonical_model(&p, &s, &CanonOpts::default());
+        assert_eq!(enhanced.trees[0].render(), "a(b!(c))");
+    }
+
+    #[test]
+    fn strong_closure_is_recursive() {
+        let d = Document::from_parens("a(b(c(d)) b(c(d)))");
+        let s = Summary::of(&d);
+        let p = parse_pattern("a(/b{ret})").unwrap();
+        let m = canonical_model(&p, &s, &CanonOpts::default());
+        assert_eq!(m.trees[0].render(), "a(b!(c(d)))");
+    }
+
+    #[test]
+    fn decorated_nodes_carry_formulas() {
+        let d = Document::from_parens(r#"a(b="1")"#);
+        let s = Summary::of(&d);
+        let p = parse_pattern("a(/b{ret}[v>2])").unwrap();
+        let m = canonical_model(&p, &s, &opts_plain());
+        assert_eq!(m.size(), 1);
+        let t = &m.trees[0];
+        let b = t.return_nodes()[0].unwrap();
+        assert_eq!(t.formula(b).to_string(), "v>2");
+        let pf = t.path_formula();
+        assert_eq!(pf.len(), 1);
+    }
+
+    #[test]
+    fn nesting_sequences_recorded() {
+        let d = Document::from_parens("a(b(c))");
+        let s = Summary::of(&d);
+        let p = parse_pattern("a(%//b(/c{ret}))").unwrap();
+        let m = canonical_model(&p, &s, &opts_plain());
+        assert_eq!(m.size(), 1);
+        let t = &m.trees[0];
+        // the nested edge hangs below `a`, so the anchor's image is /a
+        assert_eq!(t.nesting_sequence(0), &[s.root()]);
+    }
+
+    #[test]
+    fn model_size_bounded_by_cap() {
+        // wildcard-heavy pattern on a wide summary
+        let d = Document::from_parens("a(b(x) c(x) d(x) e(x) f(x))");
+        let s = Summary::of(&d);
+        let p = parse_pattern("a(//*{ret}, //*{ret})").unwrap();
+        let m = canonical_model(&p, &s, &CanonOpts { use_strong: false, max_trees: 5 });
+        assert!(m.truncated);
+        assert!(m.size() <= 5);
+    }
+
+    #[test]
+    fn worst_case_is_product_not_power_here() {
+        // the Figure 4 shape: |modS(p)| grows with |S| × returns
+        let d = Document::from_parens("r(a(a(a(a))))");
+        let s = Summary::of(&d);
+        let p = parse_pattern("r(//a{ret})").unwrap();
+        let m = canonical_model(&p, &s, &opts_plain());
+        assert_eq!(m.size(), 4, "one tree per a-depth");
+    }
+}

@@ -1,0 +1,24 @@
+//! # smv-pattern — extended tree patterns
+//!
+//! The pattern formalism at the center of the paper: conjunctive tree
+//! patterns (§2.2) extended with value predicates (§4.2), optional edges
+//! (§4.3), stored attributes `ID`/`L`/`V`/`C` (§4.4) and nested edges
+//! (§4.5); embeddings into documents, summaries and canonical trees; the
+//! summary-based canonical model `mod_S(p)` (§2.4, extended per §4); and
+//! associated-path annotation (Definition 2.1).
+//!
+//! Containment and rewriting build on these primitives in `smv-core`.
+
+pub mod annotate;
+pub mod ast;
+pub mod canonical;
+pub mod formula;
+pub mod matching;
+pub mod parser;
+
+pub use annotate::{associated_paths, return_paths};
+pub use ast::{Attrs, Axis, PNode, PNodeId, Pattern};
+pub use canonical::{canonical_model, CTree, CanonOpts, CanonicalModel};
+pub use formula::{Bound, Formula, Interval};
+pub use matching::{evaluate, Assignment, MatchTarget, Matcher};
+pub use parser::{parse_pattern, PatternParseError};

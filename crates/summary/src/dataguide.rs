@@ -1,0 +1,504 @@
+//! Strong Dataguide construction and queries.
+
+use smv_xml::{Document, Label, LabeledTree, NodeId, Value};
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+struct SNode {
+    label: Label,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    /// Pre-order rank (node *ids* are creation-order, which interleaves
+    /// sibling subtrees when paths are discovered out of order, so the
+    /// ancestor test needs explicit ranks).
+    pre: u32,
+    /// Pre-order rank of the last descendant.
+    last_desc: u32,
+    depth: u32,
+    /// Number of document nodes on this path.
+    count: u64,
+    /// Number of document nodes on the *parent* path having at least one
+    /// child on this path.
+    parents_with: u64,
+    /// Edge from the parent is strong (§4.1).
+    strong: bool,
+    /// Edge from the parent is one-to-one (§4.5).
+    one_to_one: bool,
+}
+
+/// The strong Dataguide of one or more documents, with enhanced-summary
+/// (integrity-constraint) annotations.
+///
+/// Summary nodes are [`NodeId`]s into the summary's own arena, in
+/// pre-order; the paper's "paths" *are* these nodes (§2.3 identifies a path
+/// with its summary node).
+#[derive(Clone, Debug)]
+pub struct Summary {
+    nodes: Vec<SNode>,
+    /// Documents folded into this summary (for conformance bookkeeping).
+    docs: usize,
+}
+
+impl Summary {
+    /// Builds the summary of a document in one linear pass.
+    pub fn of(doc: &Document) -> Summary {
+        let mut s = Summary {
+            nodes: Vec::new(),
+            docs: 0,
+        };
+        s.extend_with(doc);
+        s
+    }
+
+    /// Folds another document into the summary (linear time, as [15]
+    /// promises for Dataguides over tree data). The root labels must agree.
+    pub fn extend_with(&mut self, doc: &Document) {
+        if self.nodes.is_empty() {
+            self.nodes.push(SNode {
+                label: doc.label(doc.root()),
+                parent: None,
+                children: Vec::new(),
+                pre: 0,
+                last_desc: 0,
+                depth: 0,
+                count: 0,
+                parents_with: 0,
+                strong: false,
+                one_to_one: false,
+            });
+        }
+        assert_eq!(
+            self.nodes[0].label,
+            doc.label(doc.root()),
+            "summary and document root labels must agree"
+        );
+        self.docs += 1;
+        // map document node -> summary node, exploiting document order:
+        // a node's parent is processed before the node itself.
+        let mut doc2sum: Vec<NodeId> = vec![NodeId(0); doc.len()];
+        // (summary parent, label) -> summary child
+        let mut edge: HashMap<(u32, Label), NodeId> = HashMap::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            for &c in &n.children {
+                edge.insert((i as u32, self.nodes[c.idx()].label), c);
+            }
+        }
+        self.nodes[0].count += 1;
+        for dn in doc.iter().skip(1) {
+            let sp = doc2sum[doc.parent(dn).expect("non-root has parent").idx()];
+            let label = doc.label(dn);
+            let sn = match edge.get(&(sp.0, label)) {
+                Some(&sn) => sn,
+                None => {
+                    let sn = NodeId(self.nodes.len() as u32);
+                    self.nodes.push(SNode {
+                        label,
+                        parent: Some(sp),
+                        children: Vec::new(),
+                        pre: 0,
+                        last_desc: 0,
+                        depth: self.nodes[sp.idx()].depth + 1,
+                        count: 0,
+                        parents_with: 0,
+                        strong: false,
+                        one_to_one: false,
+                    });
+                    self.nodes[sp.idx()].children.push(sn);
+                    edge.insert((sp.0, label), sn);
+                    sn
+                }
+            };
+            doc2sum[dn.idx()] = sn;
+            self.nodes[sn.idx()].count += 1;
+        }
+        // strong / one-to-one detection: for every document node, count its
+        // children per summary child.
+        let mut with_child: HashMap<(u32, u32), u64> = HashMap::new(); // (doc node, summary child) -> #children
+        for dn in doc.iter() {
+            for &c in doc.children(dn) {
+                *with_child.entry((dn.0, doc2sum[c.idx()].0)).or_insert(0) += 1;
+            }
+        }
+        let mut parents_with: HashMap<u32, u64> = HashMap::new();
+        for &(_, sc) in with_child.keys() {
+            *parents_with.entry(sc).or_insert(0) += 1;
+        }
+        for (sc, pw) in parents_with {
+            self.nodes[sc as usize].parents_with += pw;
+        }
+        self.refresh_edge_classes();
+        self.recompute_order();
+    }
+
+    /// Recomputes strong/one-to-one flags from counts.
+    fn refresh_edge_classes(&mut self) {
+        for i in 1..self.nodes.len() {
+            let parent = self.nodes[i].parent.expect("non-root").idx();
+            let parent_count = self.nodes[parent].count;
+            let n = &mut self.nodes[i];
+            n.strong = n.parents_with == parent_count && parent_count > 0;
+            n.one_to_one = n.strong && n.count == parent_count;
+        }
+    }
+
+    /// Rebuilds the pre-order ranks and descendant intervals after
+    /// extension. Node ids remain stable (creation order); ancestor tests
+    /// use the ranks.
+    fn recompute_order(&mut self) {
+        fn walk(nodes: &mut Vec<SNode>, n: usize, next: &mut u32) -> u32 {
+            let pre = *next;
+            *next += 1;
+            nodes[n].pre = pre;
+            let mut last = pre;
+            let children = nodes[n].children.clone();
+            for c in children {
+                last = last.max(walk(nodes, c.idx(), next));
+            }
+            nodes[n].last_desc = last;
+            last
+        }
+        let mut next = 0;
+        walk(&mut self.nodes, 0, &mut next);
+    }
+
+    /// Number of summary nodes (`|S|`).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no document has been summarized yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The root path node.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Label of a summary node.
+    pub fn label(&self, n: NodeId) -> Label {
+        self.nodes[n.idx()].label
+    }
+
+    /// Parent path.
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.idx()].parent
+    }
+
+    /// Child paths.
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.nodes[n.idx()].children
+    }
+
+    /// Depth (root = 0); also the number of `/`-steps in the path.
+    pub fn depth(&self, n: NodeId) -> u32 {
+        self.nodes[n.idx()].depth
+    }
+
+    /// Number of document nodes on this path.
+    pub fn count(&self, n: NodeId) -> u64 {
+        self.nodes[n.idx()].count
+    }
+
+    /// Is the edge from `n`'s parent to `n` strong (§4.1)?
+    pub fn is_strong_edge(&self, n: NodeId) -> bool {
+        self.nodes[n.idx()].strong
+    }
+
+    /// Is the edge from `n`'s parent to `n` one-to-one (§4.5)?
+    pub fn is_one_to_one_edge(&self, n: NodeId) -> bool {
+        self.nodes[n.idx()].one_to_one
+    }
+
+    /// Overrides the strong flag (used by tests and by DTD-derived
+    /// constraints that are not observable from one sample document).
+    pub fn set_strong_edge(&mut self, n: NodeId, strong: bool) {
+        self.nodes[n.idx()].strong = strong;
+        if !strong {
+            self.nodes[n.idx()].one_to_one = false;
+        }
+    }
+
+    /// Overrides the one-to-one flag.
+    pub fn set_one_to_one_edge(&mut self, n: NodeId, one: bool) {
+        self.nodes[n.idx()].one_to_one = one;
+        if one {
+            self.nodes[n.idx()].strong = true;
+        }
+    }
+
+    /// Proper-ancestor test between paths, O(1) via pre-order intervals.
+    pub fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        let an = &self.nodes[a.idx()];
+        let bp = self.nodes[b.idx()].pre;
+        an.pre < bp && bp <= an.last_desc
+    }
+
+    /// Parent test between paths.
+    pub fn is_parent(&self, a: NodeId, b: NodeId) -> bool {
+        self.nodes[b.idx()].parent == Some(a)
+    }
+
+    /// Iterates all paths in pre-order... of creation order; use
+    /// [`Summary::children`] for structure.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The `/l1/l2/.../lk` string for a path node.
+    pub fn path_string(&self, n: NodeId) -> String {
+        let mut labels = Vec::new();
+        let mut cur = Some(n);
+        while let Some(c) = cur {
+            labels.push(self.label(c));
+            cur = self.parent(c);
+        }
+        labels.reverse();
+        let mut out = String::new();
+        for l in labels {
+            out.push('/');
+            out.push_str(l.as_str());
+        }
+        out
+    }
+
+    /// Looks up a path node by its `/l1/l2/...` string.
+    pub fn node_by_path(&self, path: &str) -> Option<NodeId> {
+        let mut cur = self.root();
+        let mut steps = path.split('/').filter(|s| !s.is_empty());
+        match steps.next() {
+            Some(first) if first == self.label(cur).as_str() => {}
+            _ => return None,
+        }
+        for step in steps {
+            let label = Label::intern(step);
+            cur = *self
+                .children(cur)
+                .iter()
+                .find(|&&c| self.label(c) == label)?;
+        }
+        Some(cur)
+    }
+
+    /// The summary node for each document node — the mapping `φ : d → S(d)`
+    /// of §2.3. Returns `None` if some document path is absent from the
+    /// summary (the document does not conform).
+    pub fn classify(&self, doc: &Document) -> Option<Vec<NodeId>> {
+        if self.nodes.is_empty() || self.nodes[0].label != doc.label(doc.root()) {
+            return None;
+        }
+        let mut map = vec![NodeId(0); doc.len()];
+        for dn in doc.iter().skip(1) {
+            let sp = map[doc.parent(dn).unwrap().idx()];
+            let label = doc.label(dn);
+            let sn = self
+                .children(sp)
+                .iter()
+                .copied()
+                .find(|&c| self.label(c) == label)?;
+            map[dn.idx()] = sn;
+        }
+        Some(map)
+    }
+
+    /// `S |= d` in the *plain* sense: every path of `d` occurs in `S`.
+    ///
+    /// Note the paper defines conformance as `S(d) = S` exactly; for
+    /// containment soundness only the ⊆ direction matters (a document
+    /// using fewer paths cannot create new matches), and the ⊆ form is
+    /// what the rewriting engine needs when a store holds many documents.
+    /// [`Summary::conforms_exactly`] provides the strict check.
+    pub fn conforms(&self, doc: &Document) -> bool {
+        self.classify(doc).is_some()
+    }
+
+    /// Strict `S(d) = S` conformance.
+    pub fn conforms_exactly(&self, doc: &Document) -> bool {
+        match self.classify(doc) {
+            None => false,
+            Some(map) => {
+                let mut seen = vec![false; self.nodes.len()];
+                for s in map {
+                    seen[s.idx()] = true;
+                }
+                seen.into_iter().all(|b| b)
+            }
+        }
+    }
+
+    /// Enhanced conformance: plain conformance plus every strong /
+    /// one-to-one constraint holds in `d` (§4.1).
+    pub fn conforms_enhanced(&self, doc: &Document) -> bool {
+        let Some(map) = self.classify(doc) else {
+            return false;
+        };
+        for dn in doc.iter() {
+            let sn = map[dn.idx()];
+            for &sc in self.children(sn) {
+                let need_strong = self.is_strong_edge(sc);
+                let need_one = self.is_one_to_one_edge(sc);
+                if !need_strong && !need_one {
+                    continue;
+                }
+                let k = doc
+                    .children(dn)
+                    .iter()
+                    .filter(|&&c| map[c.idx()] == sc)
+                    .count();
+                if need_strong && k == 0 {
+                    return false;
+                }
+                if need_one && k != 1 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of documents folded in.
+    pub fn document_count(&self) -> usize {
+        self.docs
+    }
+}
+
+impl LabeledTree for Summary {
+    fn tree_root(&self) -> NodeId {
+        self.root()
+    }
+    fn tree_label(&self, n: NodeId) -> Label {
+        self.label(n)
+    }
+    fn tree_children(&self, n: NodeId) -> &[NodeId] {
+        self.children(n)
+    }
+    fn tree_parent(&self, n: NodeId) -> Option<NodeId> {
+        self.parent(n)
+    }
+    fn tree_value(&self, _n: NodeId) -> Option<&Value> {
+        None
+    }
+    fn tree_is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        self.is_ancestor(a, b)
+    }
+    fn tree_len(&self) -> usize {
+        self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Document {
+        // every `a` has a `b` child (strong), exactly one `c` child
+        // (one-to-one); `d` appears under only some `c`s (weak edge).
+        Document::from_parens("r(a(b b c(d)) a(b c))")
+    }
+
+    #[test]
+    fn builds_all_paths_once() {
+        let d = doc();
+        let s = Summary::of(&d);
+        // paths: /r /r/a /r/a/b /r/a/c /r/a/c/d
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.path_string(NodeId(2)), "/r/a/b");
+        assert_eq!(s.node_by_path("/r/a/c/d"), Some(NodeId(4)));
+        assert_eq!(s.node_by_path("/r/z"), None);
+        assert_eq!(s.count(s.node_by_path("/r/a/b").unwrap()), 3);
+    }
+
+    #[test]
+    fn strong_and_one_to_one_edges() {
+        let s = Summary::of(&doc());
+        let b = s.node_by_path("/r/a/b").unwrap();
+        let c = s.node_by_path("/r/a/c").unwrap();
+        let d = s.node_by_path("/r/a/c/d").unwrap();
+        let a = s.node_by_path("/r/a").unwrap();
+        assert!(s.is_strong_edge(b), "every a has a b child");
+        assert!(!s.is_one_to_one_edge(b), "one a has two b children");
+        assert!(s.is_one_to_one_edge(c), "every a has exactly one c");
+        assert!(!s.is_strong_edge(d), "only one c has a d child");
+        assert!(s.is_strong_edge(a), "r has a children");
+    }
+
+    #[test]
+    fn ancestor_relations_between_paths() {
+        let s = Summary::of(&doc());
+        let r = s.root();
+        let d = s.node_by_path("/r/a/c/d").unwrap();
+        let c = s.node_by_path("/r/a/c").unwrap();
+        assert!(s.is_ancestor(r, d));
+        assert!(s.is_parent(c, d));
+        assert!(!s.is_ancestor(d, c));
+    }
+
+    #[test]
+    fn conformance() {
+        let s = Summary::of(&doc());
+        assert!(s.conforms(&doc()));
+        assert!(s.conforms_exactly(&doc()));
+        assert!(s.conforms_enhanced(&doc()));
+        // fewer paths: conforms (plain) but not exactly
+        let d2 = Document::from_parens("r(a(b))");
+        assert!(s.conforms(&d2));
+        assert!(!s.conforms_exactly(&d2));
+        // violates one-to-one for c
+        let d3 = Document::from_parens("r(a(b c c))");
+        assert!(!s.conforms_enhanced(&d3));
+        // violates strong for b
+        let d4 = Document::from_parens("r(a(c))");
+        assert!(!s.conforms_enhanced(&d4));
+        // unknown path: does not conform at all
+        let d5 = Document::from_parens("r(a(z))");
+        assert!(!s.conforms(&d5));
+    }
+
+    #[test]
+    fn extension_keeps_summary_stable_when_no_new_paths() {
+        let mut s = Summary::of(&doc());
+        let before = s.len();
+        s.extend_with(&Document::from_parens("r(a(b c))"));
+        assert_eq!(s.len(), before);
+        // b is still strong (the new a has a b child)
+        assert!(s.is_strong_edge(s.node_by_path("/r/a/b").unwrap()));
+    }
+
+    #[test]
+    fn extension_adds_new_paths_and_weakens_edges() {
+        let mut s = Summary::of(&doc());
+        s.extend_with(&Document::from_parens("r(a(c x))"));
+        assert!(s.node_by_path("/r/a/x").is_some());
+        // b no longer strong: the new a lacks a b child
+        assert!(!s.is_strong_edge(s.node_by_path("/r/a/b").unwrap()));
+        // c remains one-to-one
+        assert!(s.is_one_to_one_edge(s.node_by_path("/r/a/c").unwrap()));
+    }
+
+    #[test]
+    fn classify_maps_nodes_to_paths() {
+        let d = doc();
+        let s = Summary::of(&d);
+        let map = s.classify(&d).unwrap();
+        for n in d.iter() {
+            assert_eq!(s.label(map[n.idx()]), d.label(n));
+            let expect: Vec<_> = d.path_labels(n);
+            let got_path = s.path_string(map[n.idx()]);
+            let expect_path: String =
+                expect.iter().map(|l| format!("/{}", l.as_str())).collect();
+            assert_eq!(got_path, expect_path);
+        }
+    }
+
+    #[test]
+    fn recursion_unfolds_into_distinct_paths() {
+        // recursive listitem-like structure: each nesting level is its own
+        // Dataguide path (the paper's point about DTD recursion vs
+        // Dataguides, §1).
+        let d = Document::from_parens("a(p(l(p(l))) p(l))");
+        let s = Summary::of(&d);
+        assert!(s.node_by_path("/a/p/l/p/l").is_some());
+        assert_eq!(s.len(), 5);
+    }
+}

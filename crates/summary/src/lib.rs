@@ -1,0 +1,24 @@
+//! # smv-summary — structural summaries (strong Dataguides)
+//!
+//! The paper's containment and rewriting algorithms operate *under the
+//! constraints of a structural summary* (§2.3): the strong Dataguide [15]
+//! of a document `d` is the tree `S(d)` containing exactly the rooted
+//! simple paths occurring in `d`. We build it in a single linear pass, and
+//! simultaneously derive the **enhanced summary** information of §4.1:
+//!
+//! * **strong edges** — every document node on the parent path has at
+//!   least one child on the child path (a parent-child integrity
+//!   constraint; drawn as thick edges in the paper's figures);
+//! * **one-to-one edges** — every document node on the parent path has
+//!   *exactly* one child on the child path (used to relax the nesting
+//!   condition 2(b) of Proposition 4.2).
+//!
+//! The crate also provides conformance testing (`S |= d`), path lookup and
+//! pretty-printing, incremental extension, and the statistics reported in
+//! the paper's Table 1.
+
+pub mod dataguide;
+pub mod stats;
+
+pub use dataguide::Summary;
+pub use stats::SummaryStats;

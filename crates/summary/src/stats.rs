@@ -1,0 +1,85 @@
+//! Summary statistics — the quantities of the paper's Table 1.
+
+use crate::dataguide::Summary;
+
+/// The per-dataset statistics reported in Table 1 of the paper.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SummaryStats {
+    /// `|S|` — number of summary nodes (distinct rooted paths).
+    pub nodes: usize,
+    /// `n_s` — number of strong edges.
+    pub strong_edges: usize,
+    /// `n_1` — number of one-to-one edges.
+    pub one_to_one_edges: usize,
+    /// Maximum path depth.
+    pub max_depth: u32,
+    /// Total document nodes summarized.
+    pub doc_nodes: u64,
+}
+
+impl SummaryStats {
+    /// Computes the statistics of a summary.
+    pub fn of(s: &Summary) -> SummaryStats {
+        let mut strong = 0;
+        let mut one = 0;
+        let mut max_depth = 0;
+        let mut doc_nodes = 0;
+        for n in s.iter() {
+            if n != s.root() {
+                if s.is_strong_edge(n) {
+                    strong += 1;
+                }
+                if s.is_one_to_one_edge(n) {
+                    one += 1;
+                }
+            }
+            max_depth = max_depth.max(s.depth(n));
+            doc_nodes += s.count(n);
+        }
+        SummaryStats {
+            nodes: s.len(),
+            strong_edges: strong,
+            one_to_one_edges: one,
+            max_depth,
+            doc_nodes,
+        }
+    }
+}
+
+impl std::fmt::Display for SummaryStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|S|={} ns={} (n1={}) depth={} nodes={}",
+            self.nodes, self.strong_edges, self.one_to_one_edges, self.max_depth, self.doc_nodes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smv_xml::Document;
+
+    #[test]
+    fn stats_count_edges() {
+        let d = Document::from_parens("r(a(b b c(d)) a(b c))");
+        let s = Summary::of(&d);
+        let st = SummaryStats::of(&s);
+        assert_eq!(st.nodes, 5);
+        // strong: a (r has a), b (both a's have b), c (both a's have c)
+        assert_eq!(st.strong_edges, 3);
+        // one-to-one: c only (a is 2-per-r, b is sometimes 2)
+        assert_eq!(st.one_to_one_edges, 1);
+        assert_eq!(st.max_depth, 3);
+        assert_eq!(st.doc_nodes, d.len() as u64);
+    }
+
+    #[test]
+    fn one_to_one_is_counted_as_strong_too() {
+        let d = Document::from_parens("r(a(c))");
+        let st = SummaryStats::of(&Summary::of(&d));
+        assert_eq!(st.strong_edges, 2);
+        assert_eq!(st.one_to_one_edges, 2);
+    }
+}

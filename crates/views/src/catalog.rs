@@ -1,0 +1,112 @@
+//! View catalog: definitions + materialized extents.
+
+use crate::materialize::{materialize, schema_of};
+use smv_algebra::{NestedRelation, Schema, ViewProvider};
+use smv_pattern::Pattern;
+use smv_xml::{Document, IdScheme};
+use std::collections::HashMap;
+
+/// A view definition: a named extended tree pattern with an ID scheme.
+#[derive(Clone, Debug)]
+pub struct View {
+    /// Catalog name.
+    pub name: String,
+    /// The defining pattern.
+    pub pattern: Pattern,
+    /// The identifier scheme stored in `ID` columns.
+    pub scheme: IdScheme,
+}
+
+impl View {
+    /// Creates a view definition.
+    pub fn new(name: &str, pattern: Pattern, scheme: IdScheme) -> View {
+        View {
+            name: name.to_owned(),
+            pattern,
+            scheme,
+        }
+    }
+
+    /// The relational schema of the view.
+    pub fn schema(&self) -> Schema {
+        schema_of(&self.pattern)
+    }
+}
+
+/// Definitions plus materialized extents; the [`ViewProvider`] rewriting
+/// plans run against.
+#[derive(Default)]
+pub struct Catalog {
+    views: Vec<View>,
+    extents: HashMap<String, NestedRelation>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers a view and materializes it over `doc`.
+    pub fn add(&mut self, view: View, doc: &Document) {
+        let extent = materialize(&view.pattern, doc, view.scheme);
+        self.extents.insert(view.name.clone(), extent);
+        self.views.push(view);
+    }
+
+    /// Registers a view with a precomputed extent (tests / remote stores).
+    pub fn add_with_extent(&mut self, view: View, extent: NestedRelation) {
+        self.extents.insert(view.name.clone(), extent);
+        self.views.push(view);
+    }
+
+    /// All view definitions.
+    pub fn views(&self) -> &[View] {
+        &self.views
+    }
+
+    /// Definition lookup.
+    pub fn view(&self, name: &str) -> Option<&View> {
+        self.views.iter().find(|v| v.name == name)
+    }
+
+    /// Number of views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True when no views are registered.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+}
+
+impl ViewProvider for Catalog {
+    fn extent(&self, name: &str) -> Option<&NestedRelation> {
+        self.extents.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smv_pattern::parse_pattern;
+
+    #[test]
+    fn catalog_materializes_on_add() {
+        let doc = Document::from_parens(r#"a(b="1" b="2")"#);
+        let mut cat = Catalog::new();
+        cat.add(
+            View::new(
+                "v_b",
+                parse_pattern("a(/b{id,v})").unwrap(),
+                IdScheme::OrdPath,
+            ),
+            &doc,
+        );
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.extent("v_b").unwrap().len(), 2);
+        assert!(cat.extent("zz").is_none());
+        assert_eq!(cat.view("v_b").unwrap().schema().len(), 2);
+    }
+}

@@ -1,0 +1,360 @@
+//! Pattern → nested relation evaluation.
+//!
+//! The semantics of attribute patterns (§4.4) and nested patterns (§4.5):
+//! a tuple per embedding, concatenating `tup(n_i, n^t_i)` for each return
+//! node, with data under a nested edge grouped into one table per outer
+//! tuple and optional subtrees contributing `⊥` when unmatched.
+
+use smv_algebra::{AttrKind, Cell, ColKind, Column, NestedRelation, Row, Schema};
+use smv_pattern::{Axis, Matcher, PNodeId, Pattern};
+use smv_xml::{serialize_subtree, Document, IdAssignment, IdScheme, NodeId};
+
+/// The relational schema a pattern produces (shared convention between
+/// materialization and the rewriting engine).
+///
+/// Columns appear in pattern-node (pre-order) id order; a node's own
+/// attribute columns are ordered `ID`, `L`, `V`, `C`; a nested edge
+/// produces a single table-valued column holding its subtree's schema.
+pub fn schema_of(p: &Pattern) -> Schema {
+    fn attr_cols(p: &Pattern, n: PNodeId, out: &mut Vec<Column>) {
+        let nd = p.node(n);
+        let base = match nd.label {
+            Some(l) => format!("{}#{}", l.as_str(), n.0),
+            None => format!("*#{}", n.0),
+        };
+        let mut push = |kind: AttrKind| {
+            out.push(Column {
+                name: format!("{base}.{kind}"),
+                kind: ColKind::Atom(kind),
+            })
+        };
+        if nd.attrs.id {
+            push(AttrKind::Id);
+        }
+        if nd.attrs.label {
+            push(AttrKind::Label);
+        }
+        if nd.attrs.value {
+            push(AttrKind::Value);
+        }
+        if nd.attrs.content {
+            push(AttrKind::Content);
+        }
+    }
+    fn rec(p: &Pattern, n: PNodeId, out: &mut Vec<Column>) {
+        attr_cols(p, n, out);
+        for &c in p.children(n) {
+            if p.node(c).nested {
+                let mut inner = Vec::new();
+                rec(p, c, &mut inner);
+                out.push(Column {
+                    name: format!("A#{}", c.0),
+                    kind: ColKind::Nested(Schema { cols: inner }),
+                });
+            } else {
+                rec(p, c, out);
+            }
+        }
+    }
+    let mut cols = Vec::new();
+    rec(p, p.root(), &mut cols);
+    Schema { cols }
+}
+
+/// Number of (top-level) columns the subtree rooted at `n` contributes.
+fn width(p: &Pattern, n: PNodeId) -> usize {
+    let mut w = p.node(n).attrs.count();
+    for &c in p.children(n) {
+        if p.node(c).nested {
+            w += 1;
+        } else {
+            w += width(p, c);
+        }
+    }
+    w
+}
+
+/// Evaluates `p(doc, f_ID)` into a nested relation.
+pub fn materialize(p: &Pattern, doc: &Document, scheme: IdScheme) -> NestedRelation {
+    let ids = IdAssignment::assign(doc, scheme);
+    let matcher = Matcher::new(p, doc);
+    let schema = schema_of(p);
+    let mut rows = Vec::new();
+    for &x in matcher.candidates(p.root()) {
+        rows.extend(eval_node(p, p.root(), doc, &ids, &matcher, x));
+    }
+    let mut rel = NestedRelation { schema, rows };
+    rel.normalize();
+    rel
+}
+
+/// Rows (fragments) for the subtree rooted at pattern node `n` bound to
+/// document node `x`.
+fn eval_node(
+    p: &Pattern,
+    n: PNodeId,
+    doc: &Document,
+    ids: &IdAssignment,
+    matcher: &Matcher<'_, '_, Document>,
+    x: NodeId,
+) -> Vec<Row> {
+    // own attribute cells
+    let nd = p.node(n);
+    let mut own = Vec::new();
+    if nd.attrs.id {
+        own.push(Cell::Id(ids.id(x).clone()));
+    }
+    if nd.attrs.label {
+        own.push(Cell::Label(doc.label(x)));
+    }
+    if nd.attrs.value {
+        own.push(
+            doc.value(x)
+                .map(|v| Cell::Atom(v.clone()))
+                .unwrap_or(Cell::Null),
+        );
+    }
+    if nd.attrs.content {
+        own.push(Cell::Content(serialize_subtree(doc, x)));
+    }
+    let mut fragments: Vec<Vec<Cell>> = vec![own];
+    for &c in p.children(n) {
+        let ys: Vec<NodeId> = matcher
+            .candidates(c)
+            .iter()
+            .copied()
+            .filter(|&y| match p.node(c).axis {
+                Axis::Child => doc.is_parent(x, y),
+                Axis::Descendant => doc.is_ancestor(x, y),
+            })
+            .collect();
+        let mut sub_rows: Vec<Row> = Vec::new();
+        for y in &ys {
+            sub_rows.extend(eval_node(p, c, doc, ids, matcher, *y));
+        }
+        if p.node(c).nested {
+            // one table-valued cell per outer fragment (§4.5); empty table
+            // when nothing matched (Fig. 12)
+            if sub_rows.is_empty() && !p.node(c).optional && !ys.is_empty() {
+                // matched ys but all failed deeper: kills this binding
+                return Vec::new();
+            }
+            if sub_rows.is_empty() && !p.node(c).optional {
+                return Vec::new();
+            }
+            let mut inner = Vec::new();
+            schema_cols(p, c, &mut inner);
+            let table = NestedRelation {
+                schema: Schema { cols: inner },
+                rows: sub_rows,
+            };
+            for f in &mut fragments {
+                f.push(Cell::Table(table.clone()));
+            }
+        } else if sub_rows.is_empty() {
+            if p.node(c).optional {
+                // Def 4.1: ⊥ for the whole optional subtree
+                let nulls = vec![Cell::Null; width(p, c)];
+                for f in &mut fragments {
+                    f.extend(nulls.iter().cloned());
+                }
+            } else {
+                return Vec::new(); // required subtree failed
+            }
+        } else {
+            // cartesian combination with sibling fragments
+            let mut next = Vec::with_capacity(fragments.len() * sub_rows.len());
+            for f in &fragments {
+                for sr in &sub_rows {
+                    let mut g = f.clone();
+                    g.extend(sr.cells.iter().cloned());
+                    next.push(g);
+                }
+            }
+            fragments = next;
+        }
+    }
+    fragments.into_iter().map(Row::new).collect()
+}
+
+fn schema_cols(p: &Pattern, n: PNodeId, out: &mut Vec<Column>) {
+    let sub = p.extract(n);
+    // extract() renumbers nodes but preserves shape; recompute names from
+    // the original ids to stay consistent with schema_of
+    let _ = sub;
+    let full = schema_of_sub(p, n);
+    out.extend(full.cols);
+}
+
+/// schema_of restricted to the subtree rooted at `n` (names keep the
+/// original node ids).
+fn schema_of_sub(p: &Pattern, n: PNodeId) -> Schema {
+    fn rec(p: &Pattern, n: PNodeId, out: &mut Vec<Column>) {
+        let nd = p.node(n);
+        let base = match nd.label {
+            Some(l) => format!("{}#{}", l.as_str(), n.0),
+            None => format!("*#{}", n.0),
+        };
+        let mut push = |kind: AttrKind| {
+            out.push(Column {
+                name: format!("{base}.{kind}"),
+                kind: ColKind::Atom(kind),
+            })
+        };
+        if nd.attrs.id {
+            push(AttrKind::Id);
+        }
+        if nd.attrs.label {
+            push(AttrKind::Label);
+        }
+        if nd.attrs.value {
+            push(AttrKind::Value);
+        }
+        if nd.attrs.content {
+            push(AttrKind::Content);
+        }
+        for &c in p.children(n) {
+            if p.node(c).nested {
+                let mut inner = Vec::new();
+                rec(p, c, &mut inner);
+                out.push(Column {
+                    name: format!("A#{}", c.0),
+                    kind: ColKind::Nested(Schema { cols: inner }),
+                });
+            } else {
+                rec(p, c, out);
+            }
+        }
+    }
+    let mut cols = Vec::new();
+    rec(p, n, &mut cols);
+    Schema { cols }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smv_pattern::parse_pattern;
+    use smv_xml::Value;
+
+    #[test]
+    fn schema_layout_follows_preorder() {
+        let p = parse_pattern("a{id}(//b{id,v}, /c{l}(?%/d{c}))").unwrap();
+        let s = schema_of(&p);
+        let names: Vec<&str> = s.cols.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["a#0.ID", "b#1.ID", "b#1.V", "c#2.L", "A#3"]
+        );
+        assert!(matches!(s.cols[4].kind, ColKind::Nested(_)));
+    }
+
+    #[test]
+    fn flat_materialization_matches_fig11_style() {
+        // Figure 11's p1: a(/c(/b{l}, //*{id,v}(/e{v,c})))-ish, simplified
+        let doc = Document::from_parens(r#"a(c(b d(e="3")) c)"#);
+        let p = parse_pattern("a(/c(/b{l}, //d{id}(/e{v,c})))").unwrap();
+        let rel = materialize(&p, &doc, IdScheme::OrdPath);
+        assert_eq!(rel.len(), 1);
+        let row = &rel.rows[0];
+        assert_eq!(row.cells[0], Cell::Label(smv_xml::Label::intern("b")));
+        assert!(matches!(row.cells[1], Cell::Id(_)));
+        assert_eq!(row.cells[2], Cell::Atom(Value::int(3)));
+        assert_eq!(row.cells[3], Cell::Content("<e>3</e>".into()));
+    }
+
+    #[test]
+    fn optional_yields_nulls() {
+        let doc = Document::from_parens("a(c(b) c)");
+        let p = parse_pattern("a(/c{id}(?/b{id}))").unwrap();
+        let rel = materialize(&p, &doc, IdScheme::Dewey);
+        assert_eq!(rel.len(), 2);
+        let nulls: usize = rel
+            .rows
+            .iter()
+            .filter(|r| r.cells[1].is_null())
+            .count();
+        assert_eq!(nulls, 1, "the childless c yields ⊥: {rel}");
+    }
+
+    #[test]
+    fn nested_edge_groups_bindings() {
+        // the paper's V1 shape: items group their listitem contents
+        let doc = Document::from_parens(
+            r#"a(item(name="p1" li="x" li="y") item(name="p2"))"#,
+        );
+        let p = parse_pattern("a(/item{id}(%?/li{v}))").unwrap();
+        let rel = materialize(&p, &doc, IdScheme::OrdPath);
+        assert_eq!(rel.len(), 2);
+        // first item: table with 2 rows; second: empty table
+        let tables: Vec<usize> = rel
+            .rows
+            .iter()
+            .map(|r| match &r.cells[1] {
+                Cell::Table(t) => t.len(),
+                other => panic!("expected table, got {other}"),
+            })
+            .collect();
+        let mut sorted = tables.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 2]);
+    }
+
+    #[test]
+    fn nested_inside_nested() {
+        let doc = Document::from_parens(r#"r(x(y(z="1") y(z="2")) x)"#);
+        let p = parse_pattern("r(%/x{id}(%/y{id}(/z{v})))").unwrap();
+        let rel = materialize(&p, &doc, IdScheme::OrdPath);
+        assert_eq!(rel.len(), 1, "one row for the root binding");
+        let Cell::Table(outer) = &rel.rows[0].cells[0] else {
+            panic!("outer nested column expected");
+        };
+        // the second x has no y child and the nested y edge is required,
+        // so only the first x survives — with a 2-row inner table
+        assert_eq!(outer.len(), 1);
+        let Cell::Table(inner) = &outer.rows[0].cells[1] else {
+            panic!("inner nested column expected");
+        };
+        assert_eq!(inner.len(), 2);
+    }
+
+    #[test]
+    fn required_branch_failure_removes_binding() {
+        let doc = Document::from_parens("a(item(name) item)");
+        let p = parse_pattern("a(/item{id}(/name{l}))").unwrap();
+        let rel = materialize(&p, &doc, IdScheme::OrdPath);
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn flat_materialization_agrees_with_tuple_evaluation() {
+        use smv_pattern::evaluate;
+        let doc = Document::from_parens(r#"a(b(c="1") b(c="2") b)"#);
+        let p = parse_pattern("a(/b{id}(?/c{id}))").unwrap();
+        let rel = materialize(&p, &doc, IdScheme::Sequential);
+        let tuples = evaluate(&p, &doc);
+        assert_eq!(rel.len(), tuples.len());
+        // sequential ids are the node pre-order indices, so compare directly
+        let mut from_rel: Vec<Vec<Option<u32>>> = rel
+            .rows
+            .iter()
+            .map(|r| {
+                r.cells
+                    .iter()
+                    .map(|c| match c {
+                        Cell::Id(smv_xml::StructId::Seq(s)) => Some(*s as u32),
+                        Cell::Null => None,
+                        other => panic!("unexpected cell {other}"),
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut from_eval: Vec<Vec<Option<u32>>> = tuples
+            .into_iter()
+            .map(|t| t.into_iter().map(|o| o.map(|n| n.0)).collect())
+            .collect();
+        from_rel.sort();
+        from_eval.sort();
+        assert_eq!(from_rel, from_eval);
+    }
+}

@@ -1,0 +1,129 @@
+//! Process-wide label interning.
+//!
+//! Element and attribute names come from a small vocabulary (a few hundred
+//! distinct names even across all benchmark datasets), so we intern them
+//! once into a process-global pool and compare labels as `u32`s everywhere:
+//! documents, Dataguides, and tree patterns all share the same `Label`
+//! space, which makes cross-structure matching a plain integer compare.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned element/attribute name.
+///
+/// Two labels are equal iff their names are equal, process-wide.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(u32);
+
+struct Pool {
+    map: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+static POOL: OnceLock<Mutex<Pool>> = OnceLock::new();
+
+fn pool() -> &'static Mutex<Pool> {
+    POOL.get_or_init(|| {
+        Mutex::new(Pool {
+            map: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+impl Label {
+    /// Interns `name` and returns its label. Idempotent.
+    ///
+    /// Interned names are leaked; the vocabulary is small and lives for the
+    /// whole process, so this is the standard trade-off for `&'static str`
+    /// access without lifetimes threading through every structure.
+    pub fn intern(name: &str) -> Label {
+        let mut p = pool().lock().expect("label pool poisoned");
+        if let Some(&id) = p.map.get(name) {
+            return Label(id);
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = p.names.len() as u32;
+        p.names.push(leaked);
+        p.map.insert(leaked, id);
+        Label(id)
+    }
+
+    /// The interned name.
+    pub fn as_str(self) -> &'static str {
+        pool().lock().expect("label pool poisoned").names[self.0 as usize]
+    }
+
+    /// Raw interner index (stable for the process lifetime).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Debug for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Label::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = Label::intern("item");
+        let b = Label::intern("item");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "item");
+    }
+
+    #[test]
+    fn distinct_names_distinct_labels() {
+        let a = Label::intern("alpha-x");
+        let b = Label::intern("alpha-y");
+        assert_ne!(a, b);
+        assert_eq!(a.as_str(), "alpha-x");
+        assert_eq!(b.as_str(), "alpha-y");
+    }
+
+    #[test]
+    fn from_str_matches_intern() {
+        let a: Label = "keyword".into();
+        assert_eq!(a, Label::intern("keyword"));
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|j| Label::intern(&format!("t{}", (i + j) % 10)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<Label>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results[1..] {
+            // same name sequence modulo offset must intern to consistent ids
+            for (x, y) in r.iter().zip(results[0].iter()) {
+                if x.as_str() == y.as_str() {
+                    assert_eq!(x, y);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! A from-scratch XML parser for data-oriented documents.
+//!
+//! Supports elements, attributes (modeled as `@name` child nodes carrying a
+//! value), character data with the five predefined entities plus numeric
+//! character references, CDATA sections, comments, processing instructions,
+//! and a skipped DOCTYPE. This covers all documents the benchmark
+//! generators and the paper's examples produce; full XML (namespaces, DTD
+//! entity expansion, …) is out of scope and rejected gracefully.
+
+use crate::label::Label;
+use crate::tree::{Document, TreeBuilder};
+use crate::value::Value;
+
+/// A parse failure with byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    builder: TreeBuilder,
+    text_buf: String,
+}
+
+/// Parses an XML document into a [`Document`].
+pub fn parse_document(input: &str) -> Result<Document, ParseError> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+        builder: TreeBuilder::new(),
+        text_buf: String::new(),
+    };
+    p.parse()?;
+    Ok(p.builder.finish())
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            position: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            Ok(())
+        } else {
+            self.err(format!("expected `{s}`"))
+        }
+    }
+
+    fn skip_until(&mut self, s: &str) -> Result<(), ParseError> {
+        match self.input[self.pos..]
+            .windows(s.len())
+            .position(|w| w == s.as_bytes())
+        {
+            Some(i) => {
+                self.pos += i + s.len();
+                Ok(())
+            }
+            None => self.err(format!("unterminated construct, `{s}` not found")),
+        }
+    }
+
+    fn parse(&mut self) -> Result<(), ParseError> {
+        self.skip_misc()?;
+        if self.peek() != Some(b'<') {
+            return self.err("expected root element");
+        }
+        self.parse_element()?;
+        self.skip_misc()?;
+        if self.pos != self.input.len() {
+            return self.err("trailing content after root element");
+        }
+        Ok(())
+    }
+
+    /// Skips whitespace, comments, PIs, XML declaration and DOCTYPE.
+    fn skip_misc(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                // skip to the matching '>' handling one level of [ ... ]
+                let mut depth = 0usize;
+                while let Some(b) = self.peek() {
+                    self.pos += 1;
+                    match b {
+                        b'[' => depth += 1,
+                        b']' => depth = depth.saturating_sub(1),
+                        b'>' if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' || b == b':')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| ParseError {
+                position: start,
+                message: "invalid UTF-8 in name".into(),
+            })?
+            .to_owned())
+    }
+
+    fn flush_text(&mut self) {
+        // whitespace-only runs between elements are formatting, not data
+        if !self.text_buf.trim().is_empty() {
+            let text = std::mem::take(&mut self.text_buf);
+            self.builder.append_text(text.trim());
+        } else {
+            self.text_buf.clear();
+        }
+    }
+
+    fn parse_element(&mut self) -> Result<(), ParseError> {
+        self.expect("<")?;
+        let name = self.read_name()?;
+        self.builder.open(Label::intern(&name));
+        // attributes
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.expect("/>")?;
+                    self.builder.close();
+                    return Ok(());
+                }
+                _ => {
+                    let attr = self.read_name()?;
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => {
+                            self.pos += 1;
+                            q
+                        }
+                        _ => return self.err("expected quoted attribute value"),
+                    };
+                    let start = self.pos;
+                    while self.peek() != Some(quote) {
+                        if self.peek().is_none() {
+                            return self.err("unterminated attribute value");
+                        }
+                        self.pos += 1;
+                    }
+                    let raw = std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| {
+                        ParseError {
+                            position: start,
+                            message: "invalid UTF-8 in attribute".into(),
+                        }
+                    })?;
+                    let decoded = decode_entities(raw, start)?;
+                    self.pos += 1; // closing quote
+                    self.builder
+                        .leaf(Label::intern(&format!("@{attr}")), Some(Value::from_text(&decoded)));
+                }
+            }
+        }
+        // content
+        loop {
+            if self.starts_with("</") {
+                self.flush_text();
+                self.pos += 2;
+                let close = self.read_name()?;
+                if close != name {
+                    return self.err(format!("mismatched close tag `{close}` for `{name}`"));
+                }
+                self.skip_ws();
+                self.expect(">")?;
+                self.builder.close();
+                return Ok(());
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<![CDATA[") {
+                self.pos += "<![CDATA[".len();
+                let start = self.pos;
+                self.skip_until("]]>")?;
+                let text =
+                    std::str::from_utf8(&self.input[start..self.pos - 3]).map_err(|_| ParseError {
+                        position: start,
+                        message: "invalid UTF-8 in CDATA".into(),
+                    })?;
+                self.text_buf.push_str(text);
+            } else if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.peek() == Some(b'<') {
+                self.flush_text();
+                self.parse_element()?;
+            } else if self.peek().is_none() {
+                return self.err(format!("unexpected end of input inside `{name}`"));
+            } else {
+                let start = self.pos;
+                while !matches!(self.peek(), Some(b'<') | None) {
+                    self.pos += 1;
+                }
+                let raw = std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| {
+                    ParseError {
+                        position: start,
+                        message: "invalid UTF-8 in text".into(),
+                    }
+                })?;
+                let decoded = decode_entities(raw, start)?;
+                self.text_buf.push_str(&decoded);
+            }
+        }
+    }
+}
+
+/// Decodes the predefined entities and numeric character references.
+fn decode_entities(raw: &str, base: usize) -> Result<String, ParseError> {
+    if !raw.contains('&') {
+        return Ok(raw.to_owned());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = rest.find(';').ok_or(ParseError {
+            position: base,
+            message: "unterminated entity reference".into(),
+        })?;
+        let ent = &rest[1..semi];
+        match ent {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                let code = u32::from_str_radix(&ent[2..], 16).map_err(|_| ParseError {
+                    position: base,
+                    message: format!("bad character reference `&{ent};`"),
+                })?;
+                out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+            }
+            _ if ent.starts_with('#') => {
+                let code: u32 = ent[1..].parse().map_err(|_| ParseError {
+                    position: base,
+                    message: format!("bad character reference `&{ent};`"),
+                })?;
+                out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+            }
+            _ => {
+                return Err(ParseError {
+                    position: base,
+                    message: format!("unknown entity `&{ent};`"),
+                })
+            }
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::NodeId;
+
+    #[test]
+    fn parses_simple_document() {
+        let d = parse_document("<a><b>1</b><c><d>2</d></c></a>").unwrap();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.label(NodeId(0)).as_str(), "a");
+        assert_eq!(d.value(NodeId(1)), Some(&Value::Int(1)));
+        assert_eq!(d.value(NodeId(3)), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn attributes_become_at_children() {
+        let d = parse_document(r#"<item id="7" featured="yes"><name>pen</name></item>"#).unwrap();
+        let kids: Vec<&str> = d
+            .children(d.root())
+            .iter()
+            .map(|&c| d.label(c).as_str())
+            .collect();
+        assert_eq!(kids, vec!["@id", "@featured", "name"]);
+        assert_eq!(d.value(NodeId(1)), Some(&Value::Int(7)));
+        assert_eq!(d.value(NodeId(2)), Some(&Value::str("yes")));
+    }
+
+    #[test]
+    fn entities_and_charrefs() {
+        let d = parse_document("<t>&lt;a&gt; &amp; &#65;&#x42;</t>").unwrap();
+        assert_eq!(d.value(d.root()), Some(&Value::str("<a> & AB")));
+    }
+
+    #[test]
+    fn cdata_comments_pis_doctype() {
+        let d = parse_document(
+            "<?xml version=\"1.0\"?><!DOCTYPE site [<!ELEMENT a (b)>]>\n<a><!-- c --><![CDATA[x<y]]><?pi data?><b/></a>",
+        )
+        .unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.value(d.root()), Some(&Value::str("x<y")));
+    }
+
+    #[test]
+    fn self_closing_and_whitespace() {
+        let d = parse_document("<a>\n  <b/>\n  <c></c>\n</a>").unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.value(d.root()), None);
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let e = parse_document("<a><b></c></a>").unwrap_err();
+        assert!(e.message.contains("mismatched"), "{e}");
+    }
+
+    #[test]
+    fn trailing_garbage_error() {
+        assert!(parse_document("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn unterminated_error_positions() {
+        let e = parse_document("<a><b>").unwrap_err();
+        assert!(e.position > 0);
+    }
+}

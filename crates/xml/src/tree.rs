@@ -1,0 +1,414 @@
+//! Arena-based unranked ordered labeled trees (the paper's data model, §2.1).
+//!
+//! A [`Document`] stores nodes in **document (pre-)order**: [`NodeId`] is the
+//! arena index and simultaneously the node's pre-order rank, so document
+//! order is integer comparison. Each node additionally records the index of
+//! its last descendant, making ancestor tests O(1): `a ≺≺ b` iff
+//! `a < b && b <= last_descendant(a)`.
+//!
+//! Attributes are modeled as children labeled `@name` carrying a value, per
+//! the paper's remark that a node's label "corresponds to the element or
+//! attribute name".
+
+use crate::label::Label;
+use crate::treelike::LabeledTree;
+use crate::value::Value;
+
+/// Index of a node in a [`Document`] arena; equals the node's pre-order rank.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The root of every document.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Arena index as `usize`.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    label: Label,
+    parent: Option<NodeId>,
+    /// Pre-order rank of this node's last descendant (itself if a leaf).
+    last_desc: u32,
+    value: Option<Value>,
+    children: Vec<NodeId>,
+    /// 0-based position among the parent's children.
+    child_rank: u32,
+    depth: u32,
+}
+
+/// An XML document: an unranked, ordered, labeled tree with optional atomic
+/// values on nodes.
+#[derive(Clone, Debug)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Document {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the document has no nodes (only possible before building).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        NodeId::ROOT
+    }
+
+    /// The node's label.
+    pub fn label(&self, n: NodeId) -> Label {
+        self.nodes[n.idx()].label
+    }
+
+    /// The node's atomic value, if any.
+    pub fn value(&self, n: NodeId) -> Option<&Value> {
+        self.nodes[n.idx()].value.as_ref()
+    }
+
+    /// The node's parent (`None` for the root).
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.idx()].parent
+    }
+
+    /// The node's children, in document order.
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.nodes[n.idx()].children
+    }
+
+    /// 0-based rank of `n` among its siblings.
+    pub fn child_rank(&self, n: NodeId) -> u32 {
+        self.nodes[n.idx()].child_rank
+    }
+
+    /// Depth of `n` (root = 0).
+    pub fn depth(&self, n: NodeId) -> u32 {
+        self.nodes[n.idx()].depth
+    }
+
+    /// Pre-order rank of the last descendant of `n`.
+    pub fn last_descendant(&self, n: NodeId) -> NodeId {
+        NodeId(self.nodes[n.idx()].last_desc)
+    }
+
+    /// `a ≺ b`: is `a` the parent of `b`?
+    pub fn is_parent(&self, a: NodeId, b: NodeId) -> bool {
+        self.nodes[b.idx()].parent == Some(a)
+    }
+
+    /// `a ≺≺ b`: is `a` a proper ancestor of `b`? O(1).
+    pub fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        a.0 < b.0 && b.0 <= self.nodes[a.idx()].last_desc
+    }
+
+    /// Iterates over all nodes in document order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over the descendants of `n` (excluding `n`), document order.
+    pub fn descendants(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        (n.0 + 1..=self.nodes[n.idx()].last_desc).map(NodeId)
+    }
+
+    /// Iterates over `n` plus its descendants, in document order.
+    pub fn subtree(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        (n.0..=self.nodes[n.idx()].last_desc).map(NodeId)
+    }
+
+    /// The sequence of labels from the root down to `n` (the node's *rooted
+    /// simple path*, §2.3).
+    pub fn path_labels(&self, n: NodeId) -> Vec<Label> {
+        let mut labels = Vec::with_capacity(self.depth(n) as usize + 1);
+        let mut cur = Some(n);
+        while let Some(c) = cur {
+            labels.push(self.label(c));
+            cur = self.parent(c);
+        }
+        labels.reverse();
+        labels
+    }
+
+    /// Builds a document from a parenthesized notation like `a(b c(d))`,
+    /// with optional `label="value"` values: `a(b="1" c(d="2"))`.
+    ///
+    /// This is the notation the paper uses for examples; handy in tests.
+    pub fn from_parens(s: &str) -> Document {
+        let mut b = TreeBuilder::new();
+        let mut chars = s.chars().peekable();
+        parse_parens(&mut chars, &mut b, true);
+        b.finish()
+    }
+}
+
+fn parse_parens(chars: &mut std::iter::Peekable<std::str::Chars>, b: &mut TreeBuilder, _top: bool) {
+    loop {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        match chars.peek() {
+            None | Some(')') => return,
+            _ => {}
+        }
+        let mut name = String::new();
+        while matches!(chars.peek(), Some(c) if c.is_alphanumeric() || *c == '_' || *c == '@' || *c == '-')
+        {
+            name.push(chars.next().unwrap());
+        }
+        assert!(!name.is_empty(), "expected node label in parens notation");
+        let mut value = None;
+        if matches!(chars.peek(), Some('=')) {
+            chars.next();
+            assert_eq!(chars.next(), Some('"'), "expected opening quote");
+            let mut v = String::new();
+            for c in chars.by_ref() {
+                if c == '"' {
+                    break;
+                }
+                v.push(c);
+            }
+            value = Some(Value::from_text(&v));
+        }
+        b.open(Label::intern(&name));
+        if let Some(v) = value {
+            b.set_value(v);
+        }
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        if matches!(chars.peek(), Some('(')) {
+            chars.next();
+            parse_parens(chars, b, false);
+            assert_eq!(chars.next(), Some(')'), "unbalanced parens");
+        }
+        b.close();
+    }
+}
+
+/// Incremental builder producing nodes in document order.
+///
+/// Call [`TreeBuilder::open`] / [`TreeBuilder::close`] in well-nested pairs;
+/// the first `open` creates the root.
+#[derive(Default)]
+pub struct TreeBuilder {
+    nodes: Vec<Node>,
+    stack: Vec<NodeId>,
+}
+
+impl TreeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> TreeBuilder {
+        TreeBuilder::default()
+    }
+
+    /// Opens a new element as the next child of the currently open element
+    /// (or as the root). Returns its id.
+    pub fn open(&mut self, label: Label) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let (parent, child_rank, depth) = match self.stack.last() {
+            Some(&p) => {
+                let rank = self.nodes[p.idx()].children.len() as u32;
+                let depth = self.nodes[p.idx()].depth + 1;
+                (Some(p), rank, depth)
+            }
+            None => {
+                assert!(
+                    self.nodes.is_empty(),
+                    "a document has exactly one root element"
+                );
+                (None, 0, 0)
+            }
+        };
+        self.nodes.push(Node {
+            label,
+            parent,
+            last_desc: id.0,
+            value: None,
+            children: Vec::new(),
+            child_rank,
+            depth,
+        });
+        if let Some(p) = parent {
+            self.nodes[p.idx()].children.push(id);
+        }
+        self.stack.push(id);
+        id
+    }
+
+    /// Sets the atomic value of the currently open element.
+    pub fn set_value(&mut self, v: Value) {
+        let &n = self.stack.last().expect("no open element");
+        self.nodes[n.idx()].value = Some(v);
+    }
+
+    /// Appends text to the currently open element's value (concatenating
+    /// mixed content).
+    pub fn append_text(&mut self, text: &str) {
+        let &n = self.stack.last().expect("no open element");
+        let node = &mut self.nodes[n.idx()];
+        match &mut node.value {
+            None => node.value = Some(Value::from_text(text)),
+            Some(v) => {
+                let mut s = v.as_text();
+                s.push_str(text);
+                *v = Value::from_text(&s);
+            }
+        }
+    }
+
+    /// Convenience: `open`, set value, `close`.
+    pub fn leaf(&mut self, label: Label, value: Option<Value>) -> NodeId {
+        let id = self.open(label);
+        if let Some(v) = value {
+            self.set_value(v);
+        }
+        self.close();
+        id
+    }
+
+    /// Closes the currently open element, fixing its descendant interval.
+    pub fn close(&mut self) {
+        let n = self.stack.pop().expect("close without open");
+        let last = (self.nodes.len() - 1) as u32;
+        self.nodes[n.idx()].last_desc = last;
+    }
+
+    /// Current nesting depth of open elements.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Finishes the build; panics if elements remain open or nothing was
+    /// built.
+    pub fn finish(self) -> Document {
+        assert!(self.stack.is_empty(), "unclosed elements remain");
+        assert!(!self.nodes.is_empty(), "empty document");
+        Document { nodes: self.nodes }
+    }
+}
+
+impl LabeledTree for Document {
+    fn tree_root(&self) -> NodeId {
+        self.root()
+    }
+    fn tree_label(&self, n: NodeId) -> Label {
+        self.label(n)
+    }
+    fn tree_children(&self, n: NodeId) -> &[NodeId] {
+        self.children(n)
+    }
+    fn tree_parent(&self, n: NodeId) -> Option<NodeId> {
+        self.parent(n)
+    }
+    fn tree_value(&self, n: NodeId) -> Option<&Value> {
+        self.value(n)
+    }
+    fn tree_is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        self.is_ancestor(a, b)
+    }
+    fn tree_len(&self) -> usize {
+        self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Document {
+        // Figure 2's document: a(b="1" c(b="2" d(e="3")) d(c(b="4") b(d="5") b e="6") ... )
+        Document::from_parens(r#"a(b="1" c(b="2" d(e="3")) d(c(b="4")) c(d="6"))"#)
+    }
+
+    #[test]
+    fn builds_in_document_order() {
+        let d = sample();
+        assert_eq!(d.label(NodeId(0)).as_str(), "a");
+        assert_eq!(d.label(NodeId(1)).as_str(), "b");
+        assert_eq!(d.value(NodeId(1)), Some(&Value::Int(1)));
+        // children of root
+        let kids: Vec<&str> = d
+            .children(d.root())
+            .iter()
+            .map(|&c| d.label(c).as_str())
+            .collect();
+        assert_eq!(kids, vec!["b", "c", "d", "c"]);
+    }
+
+    #[test]
+    fn ancestor_and_parent_tests() {
+        let d = sample();
+        let root = d.root();
+        for n in d.iter().skip(1) {
+            assert!(d.is_ancestor(root, n));
+            assert!(!d.is_ancestor(n, root));
+        }
+        assert!(!d.is_ancestor(root, root));
+        // c (node 2) is parent of b (node 3)
+        assert!(d.is_parent(NodeId(2), NodeId(3)));
+        assert!(d.is_ancestor(NodeId(2), NodeId(5)));
+        assert!(!d.is_parent(NodeId(2), NodeId(5)));
+    }
+
+    #[test]
+    fn descendant_intervals() {
+        let d = sample();
+        let c = NodeId(2); // first c child
+        let desc: Vec<u32> = d.descendants(c).map(|n| n.0).collect();
+        assert_eq!(desc, vec![3, 4, 5]);
+        assert_eq!(d.last_descendant(c), NodeId(5));
+    }
+
+    #[test]
+    fn path_labels_walk_to_root() {
+        let d = sample();
+        let e = d
+            .iter()
+            .find(|&n| d.label(n).as_str() == "e")
+            .expect("e node");
+        let path: Vec<&str> = d.path_labels(e).iter().map(|l| l.as_str()).collect();
+        assert_eq!(path, vec!["a", "c", "d", "e"]);
+    }
+
+    #[test]
+    fn depth_and_rank() {
+        let d = sample();
+        assert_eq!(d.depth(d.root()), 0);
+        assert_eq!(d.depth(NodeId(1)), 1);
+        assert_eq!(d.child_rank(NodeId(1)), 0);
+        assert_eq!(d.child_rank(NodeId(2)), 1);
+    }
+
+    #[test]
+    fn append_text_concatenates() {
+        let mut b = TreeBuilder::new();
+        b.open(Label::intern("t"));
+        b.append_text("hello ");
+        b.append_text("world");
+        b.close();
+        let d = b.finish();
+        assert_eq!(d.value(d.root()), Some(&Value::str("hello world")));
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unclosed_build_panics() {
+        let mut b = TreeBuilder::new();
+        b.open(Label::intern("x"));
+        let _ = b.finish();
+    }
+}

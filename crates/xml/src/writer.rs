@@ -1,0 +1,113 @@
+//! XML serialization.
+//!
+//! Inverse of [`crate::parser`]: `@name` children are written back as
+//! attributes, node values as leading text content, and the five predefined
+//! entities are escaped. Subtree serialization backs the `C` (content)
+//! attribute of patterns — the paper stores a node's content "in a compact
+//! encoding, or as a reference to some repository"; we store the serialized
+//! form and re-parse when navigating (see `smv-algebra`'s C-navigation).
+
+use crate::tree::{Document, NodeId};
+
+/// Serializes a whole document.
+pub fn serialize_document(doc: &Document) -> String {
+    let mut out = String::new();
+    write_node(doc, doc.root(), &mut out);
+    out
+}
+
+/// Serializes the subtree rooted at `n` (used to materialize `C`
+/// attributes).
+pub fn serialize_subtree(doc: &Document, n: NodeId) -> String {
+    let mut out = String::new();
+    write_node(doc, n, &mut out);
+    out
+}
+
+fn escape_into(text: &str, out: &mut String, attr: bool) {
+    for c in text.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if attr => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn write_node(doc: &Document, n: NodeId, out: &mut String) {
+    let label = doc.label(n).as_str();
+    debug_assert!(!label.starts_with('@'), "attribute nodes are inlined");
+    out.push('<');
+    out.push_str(label);
+    let (attrs, elems): (Vec<NodeId>, Vec<NodeId>) = doc
+        .children(n)
+        .iter()
+        .copied()
+        .partition(|&c| doc.label(c).as_str().starts_with('@'));
+    for a in &attrs {
+        out.push(' ');
+        out.push_str(&doc.label(*a).as_str()[1..]);
+        out.push_str("=\"");
+        if let Some(v) = doc.value(*a) {
+            escape_into(&v.as_text(), out, true);
+        }
+        out.push('"');
+    }
+    let text = doc.value(n);
+    if elems.is_empty() && text.is_none() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    if let Some(v) = text {
+        escape_into(&v.as_text(), out, false);
+    }
+    for c in elems {
+        write_node(doc, c, out);
+    }
+    out.push_str("</");
+    out.push_str(label);
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    fn structurally_equal(a: &Document, b: &Document) -> bool {
+        if a.len() != b.len() {
+            return false;
+        }
+        a.iter().all(|n| {
+            a.label(n) == b.label(n)
+                && a.value(n) == b.value(n)
+                && a.parent(n) == b.parent(n)
+        })
+    }
+
+    #[test]
+    fn round_trip_simple() {
+        let src = r#"<site><item id="3"><name>pen &amp; ink</name><desc/></item></site>"#;
+        let d1 = parse_document(src).unwrap();
+        let out = serialize_document(&d1);
+        let d2 = parse_document(&out).unwrap();
+        assert!(structurally_equal(&d1, &d2), "{out}");
+    }
+
+    #[test]
+    fn escapes_special_chars() {
+        let d = Document::from_parens(r#"a="x<y&z""#);
+        let out = serialize_document(&d);
+        assert_eq!(out, "<a>x&lt;y&amp;z</a>");
+    }
+
+    #[test]
+    fn subtree_serialization() {
+        let d = parse_document("<a><b><c>1</c></b><d/></a>").unwrap();
+        let b = d.iter().find(|&n| d.label(n).as_str() == "b").unwrap();
+        assert_eq!(serialize_subtree(&d, b), "<b><c>1</c></b>");
+    }
+}

@@ -1,0 +1,16 @@
+//! # smv-xquery — an XQuery FLWR subset and its pattern translation
+//!
+//! The paper's tree patterns are designed so that *nested FLWR XQuery
+//! blocks translate into single patterns* (§1): for-bindings become
+//! pattern nodes storing `ID`, `[...]` existence/value predicates become
+//! required branches, returned expressions become **optional** branches
+//! (the query outputs a row even when they are missing), `.../text()`
+//! projections store `V` while element-valued returns store `C`, and a
+//! nested `for` inside a `return` becomes a **nested, optional** edge —
+//! the `n`-edge of Figure 1's view `V1`.
+
+pub mod parser;
+pub mod translate;
+
+pub use parser::{parse_xquery, Flwr, PathExpr, RetExpr, Step, XqError};
+pub use translate::translate;

@@ -1,0 +1,67 @@
+//! Containment under Dataguide constraints, feature by feature: the
+//! summary-implied-node case of §3.2, value predicates (§4.2), optional
+//! edges (§4.3), integrity constraints (§4.1) and union coverage (§3.1).
+//!
+//! ```sh
+//! cargo run --example containment_explorer
+//! ```
+
+use smv::prelude::*;
+
+fn show(label: &str, d: Decision) {
+    println!("{label:<68} {d:?}");
+}
+
+fn main() {
+    let opts = ContainOpts::default();
+
+    // §3.2: S = r(a(b)) makes r//b equivalent to r//a//b
+    let s = Summary::of(&Document::from_parens("r(a(b))"));
+    let q = parse_pattern("r(//a(//b{ret}))").unwrap();
+    let p = parse_pattern("r(//b{ret})").unwrap();
+    show("r//b ⊆S r//a//b  (a is implied by the summary)", contained(&p, &q, &s, &opts));
+    show("r//a//b ⊆S r//b", contained(&q, &p, &s, &opts));
+
+    // §4.2: decorated patterns
+    let s2 = Summary::of(&Document::from_parens(r#"a(b="1")"#));
+    let tight = parse_pattern("a(/b{ret}[v=3])").unwrap();
+    let loose = parse_pattern("a(/b{ret}[v>1])").unwrap();
+    show("b[v=3] ⊆S b[v>1]", contained(&tight, &loose, &s2, &opts));
+    show("b[v>1] ⊆S b[v=3]", contained(&loose, &tight, &s2, &opts));
+
+    // union value coverage: v>=0 ⊆ (v<5 ∪ v>=5)
+    let p0 = parse_pattern("a(/b{ret}[v>=0])").unwrap();
+    let u1 = parse_pattern("a(/b{ret}[v<5])").unwrap();
+    let u2 = parse_pattern("a(/b{ret}[v>=5])").unwrap();
+    show(
+        "b[v>=0] ⊆S b[v<5] ∪ b[v>=5]",
+        contained_in_union(&p0, &[&u1, &u2], &s2, &opts),
+    );
+
+    // §4.1: a strong edge guarantees the child exists
+    let s3 = Summary::of(&Document::from_parens("a(b(c) b(c))"));
+    let pb = parse_pattern("a(/b{ret})").unwrap();
+    let pbc = parse_pattern("a(/b{ret}(/c))").unwrap();
+    show("b ⊆S b[c]  with strong edge b→c", contained(&pb, &pbc, &s3, &opts));
+    let plain = ContainOpts {
+        canon: CanonOpts {
+            use_strong: false,
+            max_trees: 100_000,
+        },
+    };
+    show("b ⊆S b[c]  ignoring integrity constraints", contained(&pb, &pbc, &s3, &plain));
+
+    // §4.3: optional edges
+    let s4 = Summary::of(&Document::from_parens("a(b(c) b)"));
+    let req = parse_pattern("a(/b{ret}(/c))").unwrap();
+    let opt = parse_pattern("a(/b{ret}(?/c))").unwrap();
+    show("b[c] ⊆S b[c?]", contained(&req, &opt, &s4, &opts));
+    show("b[c?] ⊆S b[c]", contained(&opt, &req, &s4, &opts));
+
+    // satisfiability
+    let bad = parse_pattern("a(/zzz{ret})").unwrap();
+    println!(
+        "\nsatisfiable under S? {}  (pattern {bad})",
+        is_satisfiable(&bad, &s4, &opts)
+    );
+}

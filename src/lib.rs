@@ -1,0 +1,69 @@
+//! # smv — Structured Materialized Views for XML Queries
+//!
+//! A Rust implementation of the system described in *"Structured
+//! Materialized Views for XML Queries"* (Manolescu, Benzaken, Arion,
+//! Papakonstantinou; INRIA research report inria-00001233, 2006 — the
+//! ULoad prototype line of work): **containment and rewriting of extended
+//! tree-pattern queries using materialized tree-pattern views, under the
+//! constraints of a structural summary (strong Dataguide)**.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use smv::prelude::*;
+//!
+//! // a document and its strong Dataguide
+//! let doc = Document::from_parens(r#"site(item(name="pen") item(name="ink"))"#);
+//! let summary = Summary::of(&doc);
+//!
+//! // a materialized view and a query, both extended tree patterns
+//! let view = View::new("v", parse_pattern("site(//*{id,l,v})").unwrap(), IdScheme::OrdPath);
+//! let query = parse_pattern("site(//name{id,v})").unwrap();
+//!
+//! // rewrite the query over the view under the summary's constraints …
+//! let result = rewrite(&query, &[view.clone()], &summary, &RewriteOpts::default());
+//! assert!(!result.rewritings.is_empty());
+//!
+//! // … and execute the plan against the materialized extent
+//! let mut catalog = Catalog::new();
+//! catalog.add(view, &doc);
+//! let out = execute(&result.rewritings[0].plan, &catalog).unwrap();
+//! assert_eq!(out.len(), 2);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`xml`] | tree model, parser/serializer, ORDPATH & Dewey IDs |
+//! | [`summary`] | strong Dataguides + integrity constraints (§2.3, §4.1) |
+//! | [`pattern`] | extended tree patterns, embeddings, canonical models |
+//! | [`algebra`] | logical plans, structural joins, nested relations |
+//! | [`views`] | view definitions, materialization, catalog |
+//! | [`core`] | containment (§3-§4) and rewriting (Algorithm 1) |
+//! | [`xquery`] | FLWR-subset parser + pattern translation (§1) |
+//! | [`datagen`] | XMark/DBLP/… generators and §5 workloads |
+
+pub use smv_algebra as algebra;
+pub use smv_core as core;
+pub use smv_datagen as datagen;
+pub use smv_pattern as pattern;
+pub use smv_summary as summary;
+pub use smv_views as views;
+pub use smv_xml as xml;
+pub use smv_xquery as xquery;
+
+/// The commonly used surface of the library, re-exported flat.
+pub mod prelude {
+    pub use smv_algebra::{execute, NestedRelation, Plan, StructRel};
+    pub use smv_core::{
+        contained, contained_in_union, equivalent, is_satisfiable, rewrite, ContainOpts, Decision,
+        RewriteOpts,
+    };
+    pub use smv_datagen::{xmark, xmark_query_patterns, XmarkConfig};
+    pub use smv_pattern::{canonical_model, evaluate, parse_pattern, CanonOpts, Formula, Pattern};
+    pub use smv_summary::{Summary, SummaryStats};
+    pub use smv_views::{materialize, Catalog, View};
+    pub use smv_xml::{parse_document, serialize_document, Document, IdScheme, Label, Value};
+    pub use smv_xquery::{parse_xquery, translate};
+}

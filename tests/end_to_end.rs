@@ -1,0 +1,216 @@
+//! Integration tests spanning the whole stack: XML → summary → views →
+//! containment → rewriting → plan execution, on the paper's running
+//! example (Figure 1) and on generated XMark data.
+
+use smv::prelude::*;
+
+/// A document shaped like the paper's Figure 1(a).
+fn figure1_doc() -> Document {
+    parse_document(
+        r#"<site><regions><asia>
+             <item>
+               <name>Columbus pen</name>
+               <mailbox><mail><from>bill@aol.com</from><to>jane@u2.com</to></mail></mailbox>
+               <description><parlist>
+                 <listitem><keyword>Columbus</keyword><text>Italic
+                   <keyword>fountain pen</keyword></text></listitem>
+                 <listitem><text>Stainless steel, <bold>gold plated</bold></text></listitem>
+               </parlist></description>
+             </item>
+             <item>
+               <name>Monteverdi pen</name>
+               <description><parlist>
+                 <listitem><text>Monteverdi Invincia pen</text></listitem>
+               </parlist></description>
+             </item>
+           </asia></regions></site>"#,
+    )
+    .expect("figure 1 document parses")
+}
+
+#[test]
+fn figure1_views_materialize_like_the_paper() {
+    let doc = figure1_doc();
+    // V1: regions//*{ID}(description/parlist/listitem? nested {C}, bold? {V})
+    let v1 = parse_pattern(
+        "site(/regions(//*{id}(/description(/parlist(?%/listitem{c})), ?//bold{v})))",
+    )
+    .unwrap();
+    let rel = materialize(&v1, &doc, IdScheme::OrdPath);
+    // two items → two tuples; one has a bold value, the other ⊥
+    assert_eq!(rel.len(), 2);
+    let bolds: Vec<bool> = rel.rows.iter().map(|r| r.cells[2].is_null()).collect();
+    assert!(bolds.contains(&true) && bolds.contains(&false));
+    // V2: regions//*{ID}(name {V})
+    let v2 = parse_pattern("site(/regions(//item{id}(/name{v})))").unwrap();
+    let rel2 = materialize(&v2, &doc, IdScheme::OrdPath);
+    assert_eq!(rel2.len(), 2);
+}
+
+#[test]
+fn figure1_summary_reasoning() {
+    let doc = figure1_doc();
+    let s = Summary::of(&doc);
+    let opts = ContainOpts::default();
+    // "all children of regions-regions that have description children are
+    // labeled item": a * view over them is equivalent to item
+    let star = parse_pattern("site(/regions(//*{id}(/description)))").unwrap();
+    let item = parse_pattern("site(/regions(//item{id}(/description)))").unwrap();
+    assert_eq!(equivalent(&star, &item, &s, &opts), Decision::Contained);
+    // "all /regions//item//keyword nodes are descendants of listitem"
+    let kw_any = parse_pattern("site(/regions(//item(//keyword{id})))").unwrap();
+    let kw_li = parse_pattern("site(/regions(//item(//listitem(//keyword{id}))))").unwrap();
+    assert_eq!(equivalent(&kw_any, &kw_li, &s, &opts), Decision::Contained);
+}
+
+#[test]
+fn xquery_to_rewriting_pipeline() {
+    let doc = figure1_doc();
+    let s = Summary::of(&doc);
+    // the paper's §1 query, via the XQuery front-end
+    let flwr = parse_xquery(
+        r#"for $x in doc("x")//item[//mail] return
+           <res>{ $x/name/text() }</res>"#,
+    )
+    .unwrap();
+    let q = translate(&flwr).unwrap();
+    // a view storing item ids + names (optional), item content for the
+    // mail check
+    let v = View::new(
+        "v1",
+        parse_pattern("*(//item{id}(//mail, ?/name{v}))").unwrap(),
+        IdScheme::OrdPath,
+    );
+    let r = rewrite(&q, &[v.clone()], &s, &RewriteOpts::default());
+    assert!(
+        !r.rewritings.is_empty(),
+        "the §1 query rewrites over a matching view"
+    );
+    let mut catalog = Catalog::new();
+    catalog.add(v, &doc);
+    let out = execute(&r.rewritings[0].plan, &catalog).unwrap();
+    let direct = materialize(&q, &doc, IdScheme::OrdPath);
+    assert!(out.set_eq(&direct), "got {out}\nexpected {direct}");
+    assert_eq!(out.len(), 1, "only the mail-ed item qualifies");
+}
+
+#[test]
+fn nested_query_rewrites_over_flat_views_on_xmark() {
+    let doc = xmark(&XmarkConfig {
+        scale: 0.05,
+        ..Default::default()
+    });
+    let s = Summary::of(&doc);
+    let q = parse_pattern("site(//mail{id}(?%/from{v}))").unwrap();
+    let v = View::new(
+        "vm",
+        parse_pattern("site(//mail{id}(?/from{v}))").unwrap(),
+        IdScheme::OrdPath,
+    );
+    let r = rewrite(&q, &[v.clone()], &s, &RewriteOpts::default());
+    assert!(!r.rewritings.is_empty());
+    let mut catalog = Catalog::new();
+    catalog.add(v, &doc);
+    let out = execute(&r.rewritings[0].plan, &catalog).unwrap();
+    let direct = materialize(&q, &doc, IdScheme::OrdPath);
+    assert!(out.set_eq(&direct));
+}
+
+#[test]
+fn structural_join_rewriting_on_xmark() {
+    let doc = xmark(&XmarkConfig {
+        scale: 0.05,
+        ..Default::default()
+    });
+    let s = Summary::of(&doc);
+    // query: open auctions with their initial — from two separate views
+    let q = parse_pattern("site(/open_auctions(/open_auction{id}(/initial{id,v})))").unwrap();
+    let va = View::new(
+        "va",
+        parse_pattern("site(//open_auction{id})").unwrap(),
+        IdScheme::OrdPath,
+    );
+    let vi = View::new(
+        "vi",
+        parse_pattern("site(//initial{id,v})").unwrap(),
+        IdScheme::OrdPath,
+    );
+    let r = rewrite(&q, &[va.clone(), vi.clone()], &s, &RewriteOpts::default());
+    assert!(!r.rewritings.is_empty(), "structural join rewriting exists");
+    assert!(
+        r.rewritings.iter().any(|rw| rw.scans == 2),
+        "some rewriting joins both views"
+    );
+    let mut catalog = Catalog::new();
+    catalog.add(va, &doc);
+    catalog.add(vi, &doc);
+    for rw in &r.rewritings {
+        let out = execute(&rw.plan, &catalog).unwrap();
+        let direct = materialize(&q, &doc, IdScheme::OrdPath);
+        assert!(out.set_eq(&direct), "plan:\n{}", rw.plan);
+    }
+}
+
+#[test]
+fn containment_decisions_respect_evaluation_on_xmark() {
+    // sanity at scale: if p ⊆S q is decided, then p(d) ⊆ q(d) on the
+    // generated document (soundness spot-check on real data)
+    let doc = xmark(&XmarkConfig {
+        scale: 0.05,
+        ..Default::default()
+    });
+    let s = Summary::of(&doc);
+    let opts = ContainOpts::default();
+    let pairs = [
+        ("site(/regions(//item{id}))", "site(//item{id})"),
+        (
+            "site(//item{id}(/description(/parlist)))",
+            "site(//item{id}(/description))",
+        ),
+        ("site(//keyword{id})", "site(//*{id})"),
+        (
+            "site(//open_auction{id}(/initial[v>100]))",
+            "site(//open_auction{id}(/initial))",
+        ),
+    ];
+    for (psrc, qsrc) in pairs {
+        let p = parse_pattern(psrc).unwrap();
+        let q = parse_pattern(qsrc).unwrap();
+        assert_eq!(
+            contained(&p, &q, &s, &opts),
+            Decision::Contained,
+            "{psrc} ⊆ {qsrc}"
+        );
+        let pt = evaluate(&p, &doc);
+        let qt = evaluate(&q, &doc);
+        assert!(pt.is_subset(&qt), "evaluation contradicts {psrc} ⊆ {qsrc}");
+    }
+}
+
+#[test]
+fn all_xmark_queries_self_contain() {
+    let s = Summary::of(&xmark(&XmarkConfig::default()));
+    let opts = ContainOpts::default();
+    for (i, q) in xmark_query_patterns().iter().enumerate() {
+        assert_eq!(
+            contained(q, q, &s, &opts),
+            Decision::Contained,
+            "Q{}",
+            i + 1
+        );
+    }
+}
+
+#[test]
+fn serializer_parser_round_trip_on_xmark() {
+    let doc = xmark(&XmarkConfig {
+        scale: 0.02,
+        ..Default::default()
+    });
+    let xml = serialize_document(&doc);
+    let doc2 = parse_document(&xml).unwrap();
+    assert_eq!(doc.len(), doc2.len());
+    let s1 = Summary::of(&doc);
+    let s2 = Summary::of(&doc2);
+    assert_eq!(s1.len(), s2.len());
+}

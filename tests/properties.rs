@@ -1,0 +1,242 @@
+//! Property-based tests on the core invariants, with proptest.
+
+use proptest::prelude::*;
+use smv::prelude::*;
+use smv::xml::{IdAssignment, OrdPath};
+use std::collections::HashSet;
+
+/// A strategy for small random labeled trees in parenthesized notation.
+fn tree_strategy() -> impl Strategy<Value = String> {
+    // recursive tree over a 4-label alphabet with optional small values
+    let leaf = (0u8..4, proptest::option::of(0i64..5))
+        .prop_map(|(l, v)| match v {
+            Some(v) => format!("{}=\"{v}\"", (b'a' + l) as char),
+            None => format!("{}", (b'a' + l) as char),
+        });
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        (0u8..4, proptest::collection::vec(inner, 1..4)).prop_map(|(l, kids)| {
+            format!("{}({})", (b'a' + l) as char, kids.join(" "))
+        })
+    })
+    .prop_map(|body| format!("r({body})"))
+}
+
+/// A strategy for small conjunctive patterns over the same alphabet.
+fn pattern_strategy() -> impl Strategy<Value = String> {
+    let node = (0u8..4, 0u8..3).prop_map(|(l, kind)| {
+        let name = if kind == 2 { "*".to_string() } else { format!("{}", (b'a' + l) as char) };
+        name
+    });
+    node.prop_recursive(2, 8, 2, |inner| {
+        (
+            (0u8..4, 0u8..3).prop_map(|(l, kind)| {
+                if kind == 2 {
+                    "*".to_string()
+                } else {
+                    format!("{}", (b'a' + l) as char)
+                }
+            }),
+            proptest::collection::vec((inner, 0u8..2, 0u8..2), 1..3),
+        )
+            .prop_map(|(label, kids)| {
+                let children: Vec<String> = kids
+                    .into_iter()
+                    .map(|(k, ax, opt)| {
+                        format!(
+                            "{}{}{}",
+                            if opt == 1 { "?" } else { "" },
+                            if ax == 0 { "/" } else { "//" },
+                            k
+                        )
+                    })
+                    .collect();
+                format!("{label}({})", children.join(", "))
+            })
+    })
+    .prop_map(|body| format!("r({}{body}{})", "//", ""))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parser ↔ serializer round trip preserves structure.
+    #[test]
+    fn xml_round_trip(src in tree_strategy()) {
+        let d1 = Document::from_parens(&src);
+        let xml = serialize_document(&d1);
+        let d2 = parse_document(&xml).unwrap();
+        prop_assert_eq!(d1.len(), d2.len());
+        for n in d1.iter() {
+            prop_assert_eq!(d1.label(n), d2.label(n));
+            prop_assert_eq!(d1.parent(n), d2.parent(n));
+        }
+    }
+
+    /// ORDPATH / Dewey order and ancestry agree with the tree.
+    #[test]
+    fn ids_encode_structure(src in tree_strategy()) {
+        let d = Document::from_parens(&src);
+        for scheme in [IdScheme::OrdPath, IdScheme::Dewey] {
+            let ids = IdAssignment::assign(&d, scheme);
+            for a in d.iter() {
+                for b in d.iter() {
+                    prop_assert_eq!(
+                        ids.id(a).is_ancestor_of(ids.id(b)),
+                        Some(d.is_ancestor(a, b))
+                    );
+                }
+            }
+        }
+    }
+
+    /// ORDPATH parent derivation matches the tree parent.
+    #[test]
+    fn ordpath_parent_derivation(src in tree_strategy()) {
+        let d = Document::from_parens(&src);
+        let ids = IdAssignment::assign(&d, IdScheme::OrdPath);
+        for n in d.iter() {
+            let derived = ids.id(n).derive_parent();
+            let expected = d.parent(n).map(|p| ids.id(p).clone());
+            prop_assert_eq!(derived, expected);
+        }
+    }
+
+    /// OrdPath::between produces a sibling strictly in between.
+    #[test]
+    fn ordpath_between(a in 0usize..20, b in 0usize..20) {
+        prop_assume!(a < b);
+        let base = OrdPath::root();
+        let l = base.child(a);
+        let r = base.child(b);
+        let m = l.between(&r);
+        prop_assert!(l < m && m < r);
+        prop_assert_eq!(m.parent().unwrap(), base);
+    }
+
+    /// Every document conforms to its own summary, exactly.
+    #[test]
+    fn summary_conformance(src in tree_strategy()) {
+        let d = Document::from_parens(&src);
+        let s = Summary::of(&d);
+        prop_assert!(s.conforms_exactly(&d));
+        prop_assert!(s.conforms_enhanced(&d));
+        // summary is never larger than the document
+        prop_assert!(s.len() <= d.len());
+    }
+
+    /// Containment soundness: a positive decision is never contradicted
+    /// by evaluation on a conforming document.
+    #[test]
+    fn containment_soundness(
+        doc_src in tree_strategy(),
+        p_src in pattern_strategy(),
+        q_src in pattern_strategy(),
+    ) {
+        let d = Document::from_parens(&doc_src);
+        let s = Summary::of(&d);
+        let mut p = parse_pattern(&p_src).unwrap();
+        let mut q = parse_pattern(&q_src).unwrap();
+        // mark the deepest node of each as the return node
+        let pl = p.iter().last().unwrap();
+        p.node_mut(pl).ret = true;
+        let ql = q.iter().last().unwrap();
+        q.node_mut(ql).ret = true;
+        let opts = ContainOpts::default();
+        if contained(&p, &q, &s, &opts) == Decision::Contained {
+            let pt = evaluate(&p, &d);
+            let qt = evaluate(&q, &d);
+            prop_assert!(
+                pt.is_subset(&qt),
+                "decided {p} ⊆S {q} but p(d) ⊄ q(d) on {doc_src}"
+            );
+        }
+    }
+
+    /// Self-containment always holds for satisfiable patterns.
+    #[test]
+    fn self_containment(doc_src in tree_strategy(), p_src in pattern_strategy()) {
+        let d = Document::from_parens(&doc_src);
+        let s = Summary::of(&d);
+        let mut p = parse_pattern(&p_src).unwrap();
+        let pl = p.iter().last().unwrap();
+        p.node_mut(pl).ret = true;
+        let opts = ContainOpts::default();
+        let sat = is_satisfiable(&p, &s, &opts);
+        if sat {
+            prop_assert_eq!(contained(&p, &p, &s, &opts), Decision::Contained);
+        }
+    }
+
+    /// Rewriting soundness: every produced plan evaluates exactly to the
+    /// query result (identity-view setting over random documents).
+    #[test]
+    fn rewriting_soundness(doc_src in tree_strategy(), q_src in pattern_strategy()) {
+        let d = Document::from_parens(&doc_src);
+        let s = Summary::of(&d);
+        let mut q = parse_pattern(&q_src).unwrap();
+        // give every non-optional leaf id+v attributes to make a view-able query
+        let leaves: Vec<_> = q.iter().filter(|&n| q.children(n).is_empty()).collect();
+        for leaf in leaves {
+            let nd = q.node_mut(leaf);
+            nd.attrs.id = true;
+        }
+        prop_assume!(q.arity() > 0);
+        let view = View::new("v", q.clone(), IdScheme::OrdPath);
+        let r = rewrite(&q, &[view.clone()], &s, &RewriteOpts::default());
+        let mut catalog = Catalog::new();
+        catalog.add(view, &d);
+        let direct = materialize(&q, &d, IdScheme::OrdPath);
+        for rw in &r.rewritings {
+            let out = execute(&rw.plan, &catalog).unwrap();
+            prop_assert!(
+                out.set_eq(&direct),
+                "plan output diverges for {q} on {doc_src}:\n{}",
+                rw.plan
+            );
+        }
+    }
+
+    /// Structural join agrees with the nested-loop oracle on random trees.
+    #[test]
+    fn struct_join_agreement(src in tree_strategy()) {
+        use smv::algebra::{nested_loop_join, stack_tree_join};
+        let d = Document::from_parens(&src);
+        let ids = IdAssignment::assign(&d, IdScheme::OrdPath);
+        let evens: Vec<_> = d.iter().step_by(2).map(|n| ids.id(n).clone()).collect();
+        let odds: Vec<_> = d.iter().skip(1).step_by(2).map(|n| ids.id(n).clone()).collect();
+        for rel in [StructRel::Parent, StructRel::Ancestor] {
+            let mut a = nested_loop_join(&evens, &odds, rel);
+            a.sort_unstable();
+            let b = stack_tree_join(&evens, &odds, rel);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Pattern text syntax round-trips through Display.
+    #[test]
+    fn pattern_display_round_trip(p_src in pattern_strategy()) {
+        let p = parse_pattern(&p_src).unwrap();
+        let rendered = p.to_string();
+        let p2 = parse_pattern(&rendered).unwrap();
+        prop_assert_eq!(p2.to_string(), rendered);
+    }
+
+    /// The canonical model only contains conforming, satisfiable shapes:
+    /// every canonical tree's return tuple is realized when the tree is
+    /// treated as a document.
+    #[test]
+    fn canonical_trees_are_templates(doc_src in tree_strategy(), p_src in pattern_strategy()) {
+        let d = Document::from_parens(&doc_src);
+        let s = Summary::of(&d);
+        let mut p = parse_pattern(&p_src).unwrap();
+        let pl = p.iter().last().unwrap();
+        p.node_mut(pl).ret = true;
+        let model = canonical_model(&p, &s, &CanonOpts { use_strong: false, max_trees: 20_000 });
+        let labels: HashSet<String> = model
+            .trees
+            .iter()
+            .map(|t| t.render())
+            .collect();
+        prop_assert_eq!(labels.len(), model.size(), "models are duplicate-free");
+    }
+}
