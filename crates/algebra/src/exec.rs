@@ -1,17 +1,30 @@
 //! Plan execution against a view catalog.
 //!
-//! A straightforward pull-free (materialize-everything) evaluator: every
-//! operator consumes and produces a [`NestedRelation`]. Structural joins
-//! use the stack-tree algorithm from [`crate::struct_join`]; ID equality
-//! joins hash on the canonical ID encoding.
+//! A materialize-everything evaluator: every operator consumes and
+//! produces a [`NestedRelation`]. The hot path is engineered around three
+//! ideas (see the crate docs):
+//!
+//! * **borrowed inputs** — `eval` returns `Cow<NestedRelation>`; a view
+//!   scan borrows the catalog extent and operators clone only the cells
+//!   that survive into their output, never whole input relations;
+//! * **sort-based structural joins** — ancestor/parent predicates run the
+//!   stack-tree merge over inputs sorted once in document order, with
+//!   sortedness tracked on [`NestedRelation`] so chained joins (and scans
+//!   of normalized extents) skip re-sorting; the nested-loop variant
+//!   survives only as a test oracle and ablation baseline;
+//! * **hashed row keys** — ID-equality joins index `&StructId` directly
+//!   and grouping hashes rows structurally; no cell is ever encoded into
+//!   a string to be compared.
 
 use crate::plan::{NavStep, Plan, Predicate};
 use crate::relation::{AttrKind, Cell, ColKind, Column, NestedRelation, Row, Schema};
-use crate::struct_join::stack_tree_join;
+use crate::struct_join::{doc_sorted_indices, stack_tree_join_presorted};
 #[cfg(test)]
 use crate::struct_join::StructRel;
 use smv_pattern::Axis;
-use smv_xml::{parse_document, serialize_subtree, Document, NodeId, StructId};
+use smv_xml::{parse_document, serialize_subtree, Document, NodeId, StructId, Symbol};
+use std::borrow::Cow;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// Supplies view extents by name.
@@ -64,19 +77,22 @@ impl std::error::Error for ExecError {}
 
 /// Executes `plan` against `views`, returning a normalized relation.
 pub fn execute(plan: &Plan, views: &dyn ViewProvider) -> Result<NestedRelation, ExecError> {
-    let mut rel = eval(plan, views)?;
+    let mut rel = eval(plan, views)?.into_owned();
     rel.normalize();
     Ok(rel)
 }
 
-fn eval(plan: &Plan, views: &dyn ViewProvider) -> Result<NestedRelation, ExecError> {
+fn eval<'a>(
+    plan: &Plan,
+    views: &'a dyn ViewProvider,
+) -> Result<Cow<'a, NestedRelation>, ExecError> {
     match plan {
         Plan::Scan { view } => views
             .extent(view)
-            .cloned()
+            .map(Cow::Borrowed)
             .ok_or_else(|| ExecError::UnknownView(view.clone())),
         Plan::Select { input, pred } => {
-            let mut rel = eval(input, views)?;
+            let rel = eval(input, views)?;
             let keep = |row: &Row| -> Result<bool, ExecError> {
                 match pred {
                     Predicate::Value { col, formula } => match &row.cells[*col] {
@@ -96,14 +112,30 @@ fn eval(plan: &Plan, views: &dyn ViewProvider) -> Result<NestedRelation, ExecErr
                     Predicate::NotNull { col } => Ok(!row.cells[*col].is_null()),
                 }
             };
-            let mut rows = Vec::with_capacity(rel.rows.len());
-            for r in rel.rows {
-                if keep(&r)? {
-                    rows.push(r);
+            // filtering preserves row order, hence sortedness
+            match rel {
+                Cow::Owned(mut rel) => {
+                    let mut rows = Vec::with_capacity(rel.rows.len());
+                    for r in rel.rows {
+                        if keep(&r)? {
+                            rows.push(r);
+                        }
+                    }
+                    rel.rows = rows;
+                    Ok(Cow::Owned(rel))
+                }
+                Cow::Borrowed(rel) => {
+                    let mut rows = Vec::new();
+                    for r in &rel.rows {
+                        if keep(r)? {
+                            rows.push(r.clone());
+                        }
+                    }
+                    let mut out = NestedRelation::new(rel.schema.clone(), rows);
+                    out.sorted_on = rel.sorted_on;
+                    Ok(Cow::Owned(out))
                 }
             }
-            rel.rows = rows;
-            Ok(rel)
         }
         Plan::Project { input, cols } => {
             let rel = eval(input, views)?;
@@ -115,16 +147,39 @@ fn eval(plan: &Plan, views: &dyn ViewProvider) -> Result<NestedRelation, ExecErr
                     )));
                 }
             }
-            Ok(NestedRelation {
-                schema: Schema {
-                    cols: cols.iter().map(|&c| rel.schema.cols[c].clone()).collect(),
-                },
-                rows: rel
+            let schema = Schema {
+                cols: cols.iter().map(|&c| rel.schema.cols[c].clone()).collect(),
+            };
+            let sorted_on = rel
+                .sorted_on
+                .and_then(|s| cols.iter().position(|&c| c == s));
+            let distinct = {
+                let mut seen = vec![false; rel.schema.len()];
+                cols.iter().all(|&c| !std::mem::replace(&mut seen[c], true))
+            };
+            let rows: Vec<Row> = match rel {
+                // all-distinct projection over an owned input moves cells
+                Cow::Owned(rel) if distinct => rel
                     .rows
                     .into_iter()
+                    .map(|r| {
+                        let mut taken: Vec<Option<Cell>> = r.cells.into_iter().map(Some).collect();
+                        Row::new(
+                            cols.iter()
+                                .map(|&c| taken[c].take().expect("distinct cols"))
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+                rel => rel
+                    .rows
+                    .iter()
                     .map(|r| Row::new(cols.iter().map(|&c| r.cells[c].clone()).collect()))
                     .collect(),
-            })
+            };
+            let mut out = NestedRelation::new(schema, rows);
+            out.sorted_on = sorted_on;
+            Ok(Cow::Owned(out))
         }
         Plan::IdJoin {
             left,
@@ -134,28 +189,30 @@ fn eval(plan: &Plan, views: &dyn ViewProvider) -> Result<NestedRelation, ExecErr
         } => {
             let l = eval(left, views)?;
             let r = eval(right, views)?;
-            let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+            let mut index: HashMap<&StructId, Vec<usize>> = HashMap::new();
             for (i, row) in l.rows.iter().enumerate() {
                 if let Cell::Id(id) = &row.cells[*lcol] {
-                    index.entry(id.to_string()).or_default().push(i);
+                    index.entry(id).or_default().push(i);
                 }
             }
+            let width = l.schema.len() + r.schema.len();
             let mut rows = Vec::new();
             for rrow in &r.rows {
                 if let Cell::Id(id) = &rrow.cells[*rcol] {
-                    if let Some(ls) = index.get(&id.to_string()) {
+                    if let Some(ls) = index.get(id) {
                         for &li in ls {
-                            let mut cells = l.rows[li].cells.clone();
+                            let mut cells = Vec::with_capacity(width);
+                            cells.extend(l.rows[li].cells.iter().cloned());
                             cells.extend(rrow.cells.iter().cloned());
                             rows.push(Row::new(cells));
                         }
                     }
                 }
             }
-            Ok(NestedRelation {
-                schema: concat_schemas(&l.schema, &r.schema),
-                rows,
-            })
+            let mut out = NestedRelation::new(concat_schemas(&l.schema, &r.schema), rows);
+            // output follows the right side's row order
+            out.sorted_on = r.sorted_on.map(|c| l.schema.len() + c);
+            Ok(Cow::Owned(out))
         }
         Plan::StructJoin {
             left,
@@ -166,26 +223,29 @@ fn eval(plan: &Plan, views: &dyn ViewProvider) -> Result<NestedRelation, ExecErr
         } => {
             let l = eval(left, views)?;
             let r = eval(right, views)?;
-            let (lids, lrows): (Vec<StructId>, Vec<usize>) = gather_ids(&l, *lcol);
-            let (rids, rrows): (Vec<StructId>, Vec<usize>) = gather_ids(&r, *rcol);
-            let pairs = stack_tree_join(&lids, &rids, *rel);
+            let (lids, lrows) = gather_ids_sorted(&l, *lcol);
+            let (rids, rrows) = gather_ids_sorted(&r, *rcol);
+            let pairs = stack_tree_join_presorted(&lids, &rids, *rel);
+            let width = l.schema.len() + r.schema.len();
             let mut rows = Vec::with_capacity(pairs.len());
             for (a, b) in pairs {
-                let mut cells = l.rows[lrows[a]].cells.clone();
+                let mut cells = Vec::with_capacity(width);
+                cells.extend(l.rows[lrows[a]].cells.iter().cloned());
                 cells.extend(r.rows[rrows[b]].cells.iter().cloned());
                 rows.push(Row::new(cells));
             }
-            Ok(NestedRelation {
-                schema: concat_schemas(&l.schema, &r.schema),
-                rows,
-            })
+            let mut out = NestedRelation::new(concat_schemas(&l.schema, &r.schema), rows);
+            // the merge emits pairs grouped by the right side in document
+            // order, so the joined relation is born sorted on `rcol`
+            out.sorted_on = Some(l.schema.len() + *rcol);
+            Ok(Cow::Owned(out))
         }
         Plan::Union { inputs } => {
             let mut it = inputs.iter();
             let first = it
                 .next()
                 .ok_or_else(|| ExecError::Schema("empty union".into()))?;
-            let mut acc = eval(first, views)?;
+            let mut acc = eval(first, views)?.into_owned();
             for p in it {
                 let r = eval(p, views)?;
                 if r.schema.cols.len() != acc.schema.cols.len() {
@@ -194,10 +254,10 @@ fn eval(plan: &Plan, views: &dyn ViewProvider) -> Result<NestedRelation, ExecErr
                         acc.schema, r.schema
                     )));
                 }
-                acc.rows.extend(r.rows);
+                acc.rows.extend(r.into_owned().rows);
             }
             acc.normalize();
-            Ok(acc)
+            Ok(Cow::Owned(acc))
         }
         Plan::Nest {
             input,
@@ -219,37 +279,54 @@ fn eval(plan: &Plan, views: &dyn ViewProvider) -> Result<NestedRelation, ExecErr
                     .collect(),
             };
             schema.cols.push(Column {
-                name: name.clone(),
+                name: *name,
                 kind: ColKind::Nested(inner_schema.clone()),
             });
-            let mut groups: HashMap<String, (Row, NestedRelation)> = HashMap::new();
-            let mut order: Vec<String> = Vec::new();
-            for r in &rel.rows {
+            // group on hashed key rows (no string encoding), preserving
+            // first-occurrence order
+            let mut groups: HashMap<Row, usize> = HashMap::new();
+            let mut order: Vec<(Row, Vec<Row>)> = Vec::new();
+            for r in rel.rows.iter() {
                 let key_row = Row::new(key_cols.iter().map(|&c| r.cells[c].clone()).collect());
-                let key = key_row.encode_key();
-                let entry = groups.entry(key.clone()).or_insert_with(|| {
-                    order.push(key);
-                    (key_row, NestedRelation::empty(inner_schema.clone()))
-                });
+                let slot = match groups.entry(key_row) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        let i = order.len();
+                        order.push((e.key().clone(), Vec::new()));
+                        e.insert(i);
+                        i
+                    }
+                };
                 let inner = Row::new(nested_cols.iter().map(|&c| r.cells[c].clone()).collect());
                 // all-null inner tuples encode "no binding" and are not
                 // materialized in the group (Fig. 12's empty tables)
                 if !inner.cells.iter().all(Cell::is_null) {
-                    entry.1.rows.push(inner);
+                    order[slot].1.push(inner);
                 }
             }
+            // groups surface in first-occurrence order, so sortedness on a
+            // key column carries over to its position among the key columns
+            let sorted_on = rel
+                .sorted_on
+                .and_then(|s| key_cols.iter().position(|&c| c == s));
             let rows = order
                 .into_iter()
-                .map(|k| {
-                    let (mut key_row, table) = groups.remove(&k).expect("group exists");
-                    key_row.cells.push(Cell::Table(table));
+                .map(|(mut key_row, inner_rows)| {
+                    key_row
+                        .cells
+                        .push(Cell::Table(NestedRelation::new(
+                            inner_schema.clone(),
+                            inner_rows,
+                        )));
                     key_row
                 })
                 .collect();
-            Ok(NestedRelation { schema, rows })
+            let mut out = NestedRelation::new(schema, rows);
+            out.sorted_on = sorted_on;
+            Ok(Cow::Owned(out))
         }
         Plan::Unnest { input, col, outer } => {
-            let rel = eval(input, views)?;
+            let rel = eval(input, views)?.into_owned();
             let ColKind::Nested(inner_schema) = rel.schema.cols[*col].kind.clone() else {
                 return Err(ExecError::Type(format!(
                     "unnest on non-nested column {}",
@@ -264,22 +341,39 @@ fn eval(plan: &Plan, views: &dyn ViewProvider) -> Result<NestedRelation, ExecErr
                     schema.cols.push(c.clone());
                 }
             }
+            let sorted_on = rel.sorted_on.and_then(|s| match s.cmp(col) {
+                std::cmp::Ordering::Less => Some(s),
+                std::cmp::Ordering::Equal => None,
+                std::cmp::Ordering::Greater => Some(s + inner_schema.len() - 1),
+            });
             let mut rows = Vec::new();
             for r in rel.rows {
-                let Cell::Table(table) = &r.cells[*col] else {
+                let mut cells = r.cells;
+                let Cell::Table(table) = std::mem::replace(&mut cells[*col], Cell::Null) else {
                     return Err(ExecError::Type("unnest on non-table cell".into()));
                 };
                 if table.rows.is_empty() {
                     if *outer {
-                        rows.push(splice(&r, *col, &vec![Cell::Null; inner_schema.len()]));
+                        rows.push(splice_owned(
+                            cells,
+                            *col,
+                            vec![Cell::Null; inner_schema.len()],
+                        ));
                     }
                     continue;
                 }
-                for inner in &table.rows {
-                    rows.push(splice(&r, *col, &inner.cells));
+                let last = table.rows.len() - 1;
+                for (i, inner) in table.rows.into_iter().enumerate() {
+                    if i == last {
+                        rows.push(splice_owned(cells, *col, inner.cells));
+                        break; // `cells` moved
+                    }
+                    rows.push(splice_cloned(&cells, *col, &inner.cells));
                 }
             }
-            Ok(NestedRelation { schema, rows })
+            let mut out = NestedRelation::new(schema, rows);
+            out.sorted_on = sorted_on;
+            Ok(Cow::Owned(out))
         }
         Plan::NavigateContent {
             input,
@@ -294,12 +388,13 @@ fn eval(plan: &Plan, views: &dyn ViewProvider) -> Result<NestedRelation, ExecErr
             let mut schema = rel.schema.clone();
             for a in attrs {
                 schema.cols.push(Column {
-                    name: format!("{name}.{a}"),
+                    name: Symbol::intern(&format!("{name}.{a}")),
                     kind: ColKind::Atom(*a),
                 });
             }
+            let sorted_on = rel.sorted_on;
             let mut rows = Vec::new();
-            for r in rel.rows {
+            for r in rel.rows.iter() {
                 let reached: Vec<(Document, Vec<NodeId>)> = match &r.cells[*content_col] {
                     Cell::Content(xml) => {
                         let doc = parse_document(xml).map_err(|e| {
@@ -323,7 +418,8 @@ fn eval(plan: &Plan, views: &dyn ViewProvider) -> Result<NestedRelation, ExecErr
                 for (doc, nodes) in &reached {
                     for &n in nodes {
                         any = true;
-                        let mut cells = r.cells.clone();
+                        let mut cells = Vec::with_capacity(r.cells.len() + attrs.len());
+                        cells.extend(r.cells.iter().cloned());
                         for a in attrs {
                             cells.push(attr_cell(doc, n, *a, base_id.as_ref()));
                         }
@@ -331,12 +427,15 @@ fn eval(plan: &Plan, views: &dyn ViewProvider) -> Result<NestedRelation, ExecErr
                     }
                 }
                 if !any && *optional {
-                    let mut cells = r.cells;
-                    cells.extend(std::iter::repeat(Cell::Null).take(attrs.len()));
+                    let mut cells = Vec::with_capacity(r.cells.len() + attrs.len());
+                    cells.extend(r.cells.iter().cloned());
+                    cells.extend(std::iter::repeat_n(Cell::Null, attrs.len()));
                     rows.push(Row::new(cells));
                 }
             }
-            Ok(NestedRelation { schema, rows })
+            let mut out = NestedRelation::new(schema, rows);
+            out.sorted_on = sorted_on;
+            Ok(Cow::Owned(out))
         }
         Plan::DeriveParentId {
             input,
@@ -344,9 +443,9 @@ fn eval(plan: &Plan, views: &dyn ViewProvider) -> Result<NestedRelation, ExecErr
             levels,
             name,
         } => {
-            let mut rel = eval(input, views)?;
+            let mut rel = eval(input, views)?.into_owned();
             rel.schema.cols.push(Column {
-                name: name.clone(),
+                name: *name,
                 kind: ColKind::Atom(AttrKind::Id),
             });
             for r in &mut rel.rows {
@@ -367,26 +466,42 @@ fn eval(plan: &Plan, views: &dyn ViewProvider) -> Result<NestedRelation, ExecErr
                 };
                 r.cells.push(cell);
             }
-            Ok(rel)
+            Ok(Cow::Owned(rel))
         }
         Plan::DupElim { input } => {
-            let mut rel = eval(input, views)?;
+            let mut rel = eval(input, views)?.into_owned();
             rel.normalize();
-            Ok(rel)
+            Ok(Cow::Owned(rel))
         }
     }
 }
 
-fn splice(row: &Row, at: usize, replacement: &[Cell]) -> Row {
-    let mut cells = Vec::with_capacity(row.cells.len() - 1 + replacement.len());
-    for (i, c) in row.cells.iter().enumerate() {
+/// Splices `replacement` into `cells` at `at`, consuming both (no cell is
+/// cloned).
+fn splice_owned(cells: Vec<Cell>, at: usize, replacement: Vec<Cell>) -> Row {
+    let mut out = Vec::with_capacity(cells.len() - 1 + replacement.len());
+    let mut replacement = Some(replacement);
+    for (i, c) in cells.into_iter().enumerate() {
         if i == at {
-            cells.extend(replacement.iter().cloned());
+            out.extend(replacement.take().expect("splice position hit once"));
         } else {
-            cells.push(c.clone());
+            out.push(c);
         }
     }
-    Row::new(cells)
+    Row::new(out)
+}
+
+/// Splices `replacement` into a borrowed `cells` at `at`.
+fn splice_cloned(cells: &[Cell], at: usize, replacement: &[Cell]) -> Row {
+    let mut out = Vec::with_capacity(cells.len() - 1 + replacement.len());
+    for (i, c) in cells.iter().enumerate() {
+        if i == at {
+            out.extend(replacement.iter().cloned());
+        } else {
+            out.push(c.clone());
+        }
+    }
+    Row::new(out)
 }
 
 fn concat_schemas(a: &Schema, b: &Schema) -> Schema {
@@ -395,15 +510,22 @@ fn concat_schemas(a: &Schema, b: &Schema) -> Schema {
     Schema { cols }
 }
 
-/// Collects `(id, row index)` for non-null ID cells.
-fn gather_ids(rel: &NestedRelation, col: usize) -> (Vec<StructId>, Vec<usize>) {
+/// Collects `(&id, row index)` for non-null ID cells of `col`, in document
+/// order. When the relation is already sorted on `col` the pass is a plain
+/// scan; otherwise the (id, row) pairs — not the rows — are sorted.
+fn gather_ids_sorted(rel: &NestedRelation, col: usize) -> (Vec<&StructId>, Vec<usize>) {
     let mut ids = Vec::new();
     let mut rows = Vec::new();
     for (i, r) in rel.rows.iter().enumerate() {
         if let Cell::Id(id) = &r.cells[col] {
-            ids.push(id.clone());
+            ids.push(id);
             rows.push(i);
         }
+    }
+    if rel.sorted_on != Some(col) && !ids.is_empty() {
+        let perm = doc_sorted_indices(&ids);
+        ids = perm.iter().map(|&i| ids[i]).collect();
+        rows = perm.iter().map(|&i| rows[i]).collect();
     }
     (ids, rows)
 }
@@ -489,14 +611,11 @@ mod tests {
             r#"a(item(name="pen" mail) item(name="ink") other="x")"#,
         );
         let ia = ids(&doc);
-        let mut items = NestedRelation {
-            schema: Schema::atoms(&[("item.ID", AttrKind::Id)]),
-            rows: vec![],
-        };
-        let mut names = NestedRelation {
-            schema: Schema::atoms(&[("name.ID", AttrKind::Id), ("name.V", AttrKind::Value)]),
-            rows: vec![],
-        };
+        let mut items = NestedRelation::empty(Schema::atoms(&[("item.ID", AttrKind::Id)]));
+        let mut names = NestedRelation::empty(Schema::atoms(&[
+            ("name.ID", AttrKind::Id),
+            ("name.V", AttrKind::Value),
+        ]));
         for n in doc.iter() {
             match doc.label(n).as_str() {
                 "item" => items
@@ -552,6 +671,64 @@ mod tests {
         let out = execute(&plan, &p).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out.schema.len(), 3);
+    }
+
+    #[test]
+    fn structural_join_skips_sort_on_sorted_inputs() {
+        // identical results whether the inputs carry the sortedness tag
+        let (p, _) = provider();
+        let mut p_sorted = MapProvider::default();
+        for name in ["items", "names"] {
+            let mut rel = p.extent(name).unwrap().clone();
+            rel.normalize();
+            assert_eq!(rel.sorted_on, Some(0), "{name} extent is id-first");
+            p_sorted.insert(name, rel);
+        }
+        let plan = Plan::StructJoin {
+            left: Box::new(Plan::Scan {
+                view: "items".into(),
+            }),
+            right: Box::new(Plan::Scan {
+                view: "names".into(),
+            }),
+            lcol: 0,
+            rcol: 0,
+            rel: StructRel::Ancestor,
+        };
+        let a = execute(&plan, &p).unwrap();
+        let b = execute(&plan, &p_sorted).unwrap();
+        assert!(a.set_eq(&b));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn struct_join_output_is_born_sorted_on_right_col() {
+        let (p, _) = provider();
+        let plan = Plan::StructJoin {
+            left: Box::new(Plan::Scan {
+                view: "items".into(),
+            }),
+            right: Box::new(Plan::Scan {
+                view: "names".into(),
+            }),
+            lcol: 0,
+            rcol: 0,
+            rel: StructRel::Parent,
+        };
+        let out = eval(&plan, &p).unwrap();
+        assert_eq!(out.sorted_on, Some(1), "sorted on the right join column");
+        // rows really are in document order on that column
+        let ids: Vec<&StructId> = out
+            .rows
+            .iter()
+            .map(|r| match &r.cells[1] {
+                Cell::Id(id) => id,
+                other => panic!("expected id, got {other}"),
+            })
+            .collect();
+        assert!(ids
+            .windows(2)
+            .all(|w| w[0].cmp_doc_order(w[1]) != Some(std::cmp::Ordering::Greater)));
     }
 
     #[test]
@@ -621,24 +798,24 @@ mod tests {
     #[test]
     fn outer_unnest_keeps_empty_groups() {
         let inner = Schema::atoms(&[("x.V", AttrKind::Value)]);
-        let rel = NestedRelation {
-            schema: Schema {
+        let rel = NestedRelation::new(
+            Schema {
                 cols: vec![
                     Column {
-                        name: "k.ID".into(),
+                        name: Symbol::intern("k.ID"),
                         kind: ColKind::Atom(AttrKind::Id),
                     },
                     Column {
-                        name: "A".into(),
+                        name: Symbol::intern("A"),
                         kind: ColKind::Nested(inner.clone()),
                     },
                 ],
             },
-            rows: vec![Row::new(vec![
+            vec![Row::new(vec![
                 Cell::Id(StructId::Seq(1)),
                 Cell::Table(NestedRelation::empty(inner)),
             ])],
-        };
+        );
         let mut p = MapProvider::default();
         p.insert("v", rel);
         let inner_plan = Plan::Unnest {
@@ -667,13 +844,13 @@ mod tests {
         let doc = Document::from_parens(r#"a(item(name="pen"))"#);
         let ia = ids(&doc);
         let item = NodeId(1);
-        let rel = NestedRelation {
-            schema: Schema::atoms(&[("item.ID", AttrKind::Id), ("item.C", AttrKind::Content)]),
-            rows: vec![Row::new(vec![
+        let rel = NestedRelation::new(
+            Schema::atoms(&[("item.ID", AttrKind::Id), ("item.C", AttrKind::Content)]),
+            vec![Row::new(vec![
                 Cell::Id(ia.id(item).clone()),
                 Cell::Content(serialize_subtree(&doc, item)),
             ])],
-        };
+        );
         let mut p = MapProvider::default();
         p.insert("v", rel);
         let plan = Plan::NavigateContent {
@@ -699,13 +876,13 @@ mod tests {
     fn navigate_content_optional_keeps_rows() {
         let doc = Document::from_parens("a(item)");
         let ia = ids(&doc);
-        let rel = NestedRelation {
-            schema: Schema::atoms(&[("item.ID", AttrKind::Id), ("item.C", AttrKind::Content)]),
-            rows: vec![Row::new(vec![
+        let rel = NestedRelation::new(
+            Schema::atoms(&[("item.ID", AttrKind::Id), ("item.C", AttrKind::Content)]),
+            vec![Row::new(vec![
                 Cell::Id(ia.id(NodeId(1)).clone()),
                 Cell::Content(serialize_subtree(&doc, NodeId(1))),
             ])],
-        };
+        );
         let mut p = MapProvider::default();
         p.insert("v", rel);
         let mk = |optional| Plan::NavigateContent {
@@ -728,10 +905,10 @@ mod tests {
     fn derive_parent_id_walks_up() {
         let doc = Document::from_parens("a(b(c))");
         let ia = ids(&doc);
-        let rel = NestedRelation {
-            schema: Schema::atoms(&[("c.ID", AttrKind::Id)]),
-            rows: vec![Row::new(vec![Cell::Id(ia.id(NodeId(2)).clone())])],
-        };
+        let rel = NestedRelation::new(
+            Schema::atoms(&[("c.ID", AttrKind::Id)]),
+            vec![Row::new(vec![Cell::Id(ia.id(NodeId(2)).clone())])],
+        );
         let mut p = MapProvider::default();
         p.insert("v", rel);
         let plan = Plan::DeriveParentId {

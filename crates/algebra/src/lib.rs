@@ -14,4 +14,6 @@ pub mod struct_join;
 pub use exec::{execute, ExecError, MapProvider, ViewProvider};
 pub use plan::{NavStep, Plan, Predicate};
 pub use relation::{AttrKind, Cell, ColKind, Column, NestedRelation, Row, Schema};
-pub use struct_join::{nested_loop_join, stack_tree_join, StructRel};
+pub use struct_join::{
+    doc_sorted_indices, nested_loop_join, stack_tree_join, stack_tree_join_presorted, StructRel,
+};

@@ -10,7 +10,7 @@
 use crate::relation::AttrKind;
 use crate::struct_join::StructRel;
 use smv_pattern::{Axis, Formula};
-use smv_xml::Label;
+use smv_xml::{Label, Symbol};
 
 /// A navigation step inside a stored content column.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -105,8 +105,8 @@ pub enum Plan {
         key_cols: Vec<usize>,
         /// Columns gathered into the nested table.
         nested_cols: Vec<usize>,
-        /// Name of the new nested column.
-        name: String,
+        /// Interned name of the new nested column.
+        name: Symbol,
     },
     /// Flatten a table-valued column; `outer` keeps rows whose table is
     /// empty (yielding nulls).
@@ -134,8 +134,8 @@ pub enum Plan {
         attrs: Vec<AttrKind>,
         /// If true, rows with no reached node survive with nulls.
         optional: bool,
-        /// Prefix for the new columns' names.
-        name: String,
+        /// Interned prefix for the new columns' names.
+        name: Symbol,
     },
     /// `nav_fID` — derive the ID of the `levels`-up ancestor from a stored
     /// structural ID (§4.6 virtual IDs).
@@ -146,8 +146,8 @@ pub enum Plan {
         col: usize,
         /// How many parent steps to take.
         levels: usize,
-        /// Name of the new column.
-        name: String,
+        /// Interned name of the new column.
+        name: Symbol,
     },
     /// Explicit duplicate elimination.
     DupElim {

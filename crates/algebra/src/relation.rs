@@ -5,8 +5,21 @@
 //! plus one *table-valued* column per nested edge (§4.5, Fig. 12). Set
 //! semantics throughout; [`NestedRelation::normalize`] sorts and
 //! deduplicates recursively so equality is structural.
+//!
+//! ## Performance architecture
+//!
+//! Rows are sorted and deduplicated through a total [`Ord`] over cells and
+//! hashed through a structural [`Hash`] — there is no per-row string
+//! encoding anywhere on this path (the seed's `Row::encode_key` built a
+//! `String` per row per sort). Column names are interned [`Symbol`]s, so
+//! schema lookup is an integer compare. [`NestedRelation`] additionally
+//! tracks *sortedness*: when its rows are known to be ordered by document
+//! order on some ID column, repeated structural joins on that column skip
+//! re-sorting entirely.
 
-use smv_xml::{Label, StructId, Value};
+use smv_xml::{Label, StructId, Symbol, Value};
+use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
 
 /// Which stored attribute a column carries (§4.4).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -35,8 +48,8 @@ impl std::fmt::Display for AttrKind {
 /// A column: either an atomic attribute or a nested table.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Column {
-    /// Human-readable name, e.g. `item.ID`.
-    pub name: String,
+    /// Interned name, e.g. `item.ID`.
+    pub name: Symbol,
     /// Atomic or nested.
     pub kind: ColKind,
 }
@@ -64,7 +77,7 @@ impl Schema {
             cols: cols
                 .iter()
                 .map(|(n, k)| Column {
-                    name: (*n).to_owned(),
+                    name: Symbol::intern(n),
                     kind: ColKind::Atom(*k),
                 })
                 .collect(),
@@ -81,8 +94,15 @@ impl Schema {
         self.cols.is_empty()
     }
 
-    /// Index of the column named `name`.
+    /// Index of the column named `name` (pool probe, then
+    /// integer-compare; a name that was never interned cannot be a
+    /// column, so misses allocate nothing).
     pub fn col(&self, name: &str) -> Option<usize> {
+        self.col_sym(Symbol::lookup(name)?)
+    }
+
+    /// Index of the column with interned name `name`.
+    pub fn col_sym(&self, name: Symbol) -> Option<usize> {
         self.cols.iter().position(|c| c.name == name)
     }
 }
@@ -126,43 +146,54 @@ impl Cell {
         matches!(self, Cell::Null)
     }
 
-    /// A canonical encoding used for sorting/dedup (total order over all
-    /// cell variants; recursion handles nested tables).
-    fn encode(&self, out: &mut String) {
+    /// Canonical variant rank for the total order.
+    fn rank(&self) -> u8 {
         match self {
-            Cell::Null => out.push('N'),
-            Cell::Id(id) => {
-                out.push('I');
-                out.push_str(&id.to_string());
-            }
-            Cell::Label(l) => {
-                out.push('L');
-                out.push_str(l.as_str());
-            }
-            Cell::Atom(Value::Int(i)) => {
-                // left-pad so lexicographic = numeric for same sign
-                out.push('a');
-                out.push_str(&format!("{:+021}", i));
-            }
-            Cell::Atom(Value::Str(s)) => {
-                out.push('s');
-                out.push_str(s);
-            }
-            Cell::Content(c) => {
-                out.push('C');
-                out.push_str(c);
-            }
-            Cell::Table(t) => {
-                out.push('T');
-                out.push('[');
-                let mut keys: Vec<String> = t.rows.iter().map(Row::encode_key).collect();
-                keys.sort();
-                for k in keys {
-                    out.push_str(&k);
-                    out.push(';');
-                }
-                out.push(']');
-            }
+            Cell::Null => 0,
+            Cell::Id(_) => 1,
+            Cell::Label(_) => 2,
+            Cell::Atom(_) => 3,
+            Cell::Content(_) => 4,
+            Cell::Table(_) => 5,
+        }
+    }
+}
+
+impl PartialOrd for Cell {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Cell {
+    /// A total order over all cell variants, used for sorting/dedup.
+    ///
+    /// IDs order by (scheme, document order), labels by interner index,
+    /// nested tables lexicographically by rows — canonical once the tables
+    /// are normalized, but a valid total order regardless. No allocation.
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Cell::Null, Cell::Null) => Ordering::Equal,
+            (Cell::Id(a), Cell::Id(b)) => a.cmp(b),
+            (Cell::Label(a), Cell::Label(b)) => a.cmp(b),
+            (Cell::Atom(a), Cell::Atom(b)) => a.cmp(b),
+            (Cell::Content(a), Cell::Content(b)) => a.cmp(b),
+            (Cell::Table(a), Cell::Table(b)) => a.rows.cmp(&b.rows),
+            (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+}
+
+impl Hash for Cell {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.rank().hash(state);
+        match self {
+            Cell::Null => {}
+            Cell::Id(id) => id.hash(state),
+            Cell::Label(l) => l.hash(state),
+            Cell::Atom(v) => v.hash(state),
+            Cell::Content(c) => c.hash(state),
+            Cell::Table(t) => t.rows.hash(state),
         }
     }
 }
@@ -196,7 +227,7 @@ impl std::fmt::Display for Cell {
 }
 
 /// One row.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct Row {
     /// The cells, aligned with the schema.
     pub cells: Vec<Cell>,
@@ -208,14 +239,27 @@ impl Row {
         Row { cells }
     }
 
-    /// Canonical sort/dedup key.
-    pub fn encode_key(&self) -> String {
-        let mut s = String::new();
-        for c in &self.cells {
-            c.encode(&mut s);
-            s.push('|');
-        }
-        s
+    /// A 64-bit structural hash of the row — the allocation-free
+    /// replacement for the seed's string `encode_key`. Equal rows hash
+    /// equal; used for hash-based dedup and grouping.
+    pub fn hash_key(&self) -> u64 {
+        let mut h = std::hash::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+impl PartialOrd for Row {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Row {
+    /// Lexicographic cell order (canonical once nested tables are
+    /// normalized).
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cells.cmp(&other.cells)
     }
 }
 
@@ -233,21 +277,46 @@ impl std::fmt::Display for Row {
 }
 
 /// A (possibly nested) relation: schema + rows, set semantics.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+///
+/// `sorted_on` is executor metadata, not data: equality and hashing
+/// ignore it.
+#[derive(Clone, Eq, Debug, Default)]
 pub struct NestedRelation {
     /// The schema.
     pub schema: Schema,
     /// The rows (normalize before comparing).
     pub rows: Vec<Row>,
+    /// When `Some(i)`, the rows are known to be ordered by document order
+    /// on the ID cells of column `i` (nulls first, uniform scheme).
+    /// Structural joins on column `i` skip their sorting pass.
+    pub sorted_on: Option<usize>,
+}
+
+impl PartialEq for NestedRelation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
+}
+
+impl Hash for NestedRelation {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.rows.hash(state);
+    }
 }
 
 impl NestedRelation {
-    /// An empty relation over `schema`.
-    pub fn empty(schema: Schema) -> NestedRelation {
+    /// A relation over `schema` with the given rows.
+    pub fn new(schema: Schema, rows: Vec<Row>) -> NestedRelation {
         NestedRelation {
             schema,
-            rows: Vec::new(),
+            rows,
+            sorted_on: None,
         }
+    }
+
+    /// An empty relation over `schema`.
+    pub fn empty(schema: Schema) -> NestedRelation {
+        NestedRelation::new(schema, Vec::new())
     }
 
     /// Number of rows.
@@ -260,8 +329,9 @@ impl NestedRelation {
         self.rows.is_empty()
     }
 
-    /// Sorts rows by canonical key and removes duplicates, recursively
-    /// normalizing nested tables first.
+    /// Sorts rows by the canonical cell order and removes duplicates,
+    /// recursively normalizing nested tables first. Allocation-free per
+    /// row (comparator sort + adjacent dedup — no encoded keys).
     pub fn normalize(&mut self) {
         for r in &mut self.rows {
             for c in &mut r.cells {
@@ -270,8 +340,17 @@ impl NestedRelation {
                 }
             }
         }
-        self.rows.sort_by_cached_key(Row::encode_key);
+        self.rows.sort_unstable();
         self.rows.dedup();
+        // canonical order sorts the first column by (scheme, doc order),
+        // so an ID first column leaves the relation join-ready
+        self.sorted_on = match self.schema.cols.first() {
+            Some(Column {
+                kind: ColKind::Atom(AttrKind::Id),
+                ..
+            }) => Some(0),
+            _ => None,
+        };
     }
 
     /// Normalized copy.
@@ -302,14 +381,14 @@ mod tests {
     use super::*;
 
     fn rel() -> NestedRelation {
-        NestedRelation {
-            schema: Schema::atoms(&[("a.ID", AttrKind::Id), ("a.V", AttrKind::Value)]),
-            rows: vec![
+        NestedRelation::new(
+            Schema::atoms(&[("a.ID", AttrKind::Id), ("a.V", AttrKind::Value)]),
+            vec![
                 Row::new(vec![Cell::Id(StructId::Seq(2)), Cell::Atom(Value::int(5))]),
                 Row::new(vec![Cell::Id(StructId::Seq(1)), Cell::Null]),
                 Row::new(vec![Cell::Id(StructId::Seq(2)), Cell::Atom(Value::int(5))]),
             ],
-        }
+        )
     }
 
     #[test]
@@ -317,6 +396,7 @@ mod tests {
         let mut r = rel();
         r.normalize();
         assert_eq!(r.len(), 2);
+        assert_eq!(r.sorted_on, Some(0), "id-first relation is join-ready");
     }
 
     #[test]
@@ -332,31 +412,62 @@ mod tests {
     }
 
     #[test]
+    fn equality_ignores_sortedness_metadata() {
+        let plain = rel();
+        let mut tagged = rel();
+        tagged.sorted_on = Some(0);
+        assert_eq!(plain, tagged);
+        assert_eq!(
+            Row::new(vec![Cell::Table(plain)]).hash_key(),
+            Row::new(vec![Cell::Table(tagged)]).hash_key()
+        );
+    }
+
+    #[test]
+    fn hash_key_agrees_with_equality() {
+        let a = Row::new(vec![Cell::Id(StructId::Seq(2)), Cell::Atom(Value::int(5))]);
+        let b = Row::new(vec![Cell::Id(StructId::Seq(2)), Cell::Atom(Value::int(5))]);
+        let c = Row::new(vec![Cell::Id(StructId::Seq(3)), Cell::Atom(Value::int(5))]);
+        assert_eq!(a.hash_key(), b.hash_key());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cell_order_is_total_across_variants() {
+        let cells = [
+            Cell::Null,
+            Cell::Id(StructId::Seq(1)),
+            Cell::Label(Label::intern("x")),
+            Cell::Atom(Value::int(1)),
+            Cell::Content("c".into()),
+            Cell::Table(NestedRelation::default()),
+        ];
+        for (i, a) in cells.iter().enumerate() {
+            for (j, b) in cells.iter().enumerate() {
+                assert_eq!(a.cmp(b), i.cmp(&j), "variant rank order");
+            }
+        }
+    }
+
+    #[test]
     fn nested_tables_compare_as_sets() {
         let inner_schema = Schema::atoms(&[("k.V", AttrKind::Value)]);
         let mk = |vals: &[i64]| {
-            Cell::Table(NestedRelation {
-                schema: inner_schema.clone(),
-                rows: vals
-                    .iter()
+            Cell::Table(NestedRelation::new(
+                inner_schema.clone(),
+                vals.iter()
                     .map(|&v| Row::new(vec![Cell::Atom(Value::int(v))]))
                     .collect(),
-            })
+            ))
         };
         let schema = Schema {
             cols: vec![Column {
-                name: "A".into(),
+                name: Symbol::intern("A"),
                 kind: ColKind::Nested(inner_schema.clone()),
             }],
         };
-        let r1 = NestedRelation {
-            schema: schema.clone(),
-            rows: vec![Row::new(vec![mk(&[1, 2])])],
-        };
-        let r2 = NestedRelation {
-            schema,
-            rows: vec![Row::new(vec![mk(&[2, 1, 1])])],
-        };
+        let r1 = NestedRelation::new(schema.clone(), vec![Row::new(vec![mk(&[1, 2])])]);
+        let r2 = NestedRelation::new(schema, vec![Row::new(vec![mk(&[2, 1, 1])])]);
         assert!(r1.set_eq(&r2));
     }
 
@@ -365,6 +476,7 @@ mod tests {
         let s = Schema::atoms(&[("x.ID", AttrKind::Id), ("y.V", AttrKind::Value)]);
         assert_eq!(s.col("y.V"), Some(1));
         assert_eq!(s.col("zz"), None);
+        assert_eq!(s.col_sym(Symbol::intern("x.ID")), Some(0));
         assert_eq!(s.len(), 2);
     }
 

@@ -2,14 +2,19 @@
 //!
 //! The paper's plans use `⋈_≺` (parent) and `⋈_≺≺` (ancestor) joins, and
 //! cite the stack-tree algorithm of Al-Khalifa et al. [1] as the
-//! primitive. We implement the stack-based merge over inputs sorted in
-//! document order, plus a naive nested-loop variant used as a correctness
-//! oracle and as the baseline in the ablation benchmark.
+//! primitive. The executor's default path is
+//! [`stack_tree_join_presorted`]: a stack-based merge over inputs
+//! *already* sorted in document order (the executor sorts each input once
+//! and tracks sortedness, so chained joins pay for sorting at most once).
+//! [`stack_tree_join`] wraps it for unsorted inputs. [`nested_loop_join`]
+//! is the O(n·m) correctness oracle, kept for tests and as the ablation
+//! baseline — it is not reachable from `eval()`.
 //!
-//! Both require IDs of a *structural* scheme (ORDPATH / Dewey); the
-//! sequential scheme cannot answer ancestor tests and is rejected.
+//! All variants require IDs of a *structural* scheme (ORDPATH / Dewey);
+//! the sequential scheme cannot answer ancestor tests and is rejected.
 
 use smv_xml::StructId;
+use std::borrow::Borrow;
 use std::cmp::Ordering;
 
 /// Structural relationship tested by the join.
@@ -44,55 +49,54 @@ pub fn nested_loop_join(
     out
 }
 
-/// Stack-tree structural join [1]: both inputs are first sorted in
-/// document order, then merged with a stack of open ancestors.
-/// O(n + m + output).
-pub fn stack_tree_join(
-    left: &[StructId],
-    right: &[StructId],
+/// Stack-tree structural join [1] over inputs **already sorted in
+/// document order**: a single merge with a stack of open ancestors,
+/// O(n + m + output). Accepts owned or borrowed IDs so callers can join
+/// without cloning.
+///
+/// Output pairs index into the given slices and are emitted grouped by
+/// the right side in its (sorted) order — i.e. the output is sorted by
+/// the right index. Panics if the inputs mix ID schemes or use the
+/// non-structural sequential scheme.
+pub fn stack_tree_join_presorted<L, R>(
+    left: &[L],
+    right: &[R],
     rel: StructRel,
-) -> Vec<(usize, usize)> {
-    // sort index arrays by document order
-    let mut li: Vec<usize> = (0..left.len()).collect();
-    let mut ri: Vec<usize> = (0..right.len()).collect();
-    li.sort_by(|&a, &b| {
-        left[a]
-            .cmp_doc_order(&left[b])
-            .expect("structural join requires a uniform structural ID scheme")
-    });
-    ri.sort_by(|&a, &b| {
-        right[a]
-            .cmp_doc_order(&right[b])
-            .expect("structural join requires a uniform structural ID scheme")
-    });
-
+) -> Vec<(usize, usize)>
+where
+    L: Borrow<StructId>,
+    R: Borrow<StructId>,
+{
     let mut out = Vec::new();
     let mut stack: Vec<usize> = Vec::new(); // indices into `left`
     let mut l = 0usize;
-    let mut r = 0usize;
-    while r < ri.len() {
-        let rid = &right[ri[r]];
+    for (r, rid) in right.iter().enumerate() {
+        let rid = rid.borrow();
         // push all left ids that start before rid and are its ancestors;
         // pop those that end before rid starts.
-        while l < li.len()
-            && left[li[l]].cmp_doc_order(rid).expect("uniform scheme") != Ordering::Greater
+        while l < left.len()
+            && left[l].borrow().cmp_doc_order(rid).expect(
+                "structural join requires a uniform structural ID scheme",
+            ) != Ordering::Greater
         {
+            let lid = left[l].borrow();
             // maintain the stack invariant: the stack is a chain of
             // ancestors of the incoming left id
             while let Some(&top) = stack.last() {
-                if left[top].is_ancestor_of(&left[li[l]]) == Some(true) || left[top] == left[li[l]]
-                {
+                let tid = left[top].borrow();
+                if tid.is_ancestor_of(lid) == Some(true) || tid == lid {
                     break;
                 }
                 stack.pop();
             }
-            stack.push(li[l]);
+            stack.push(l);
             l += 1;
         }
         // pop stack entries whose subtree ended strictly before rid; an
         // entry *equal* to rid has not ended (its descendants follow rid)
         while let Some(&top) = stack.last() {
-            if left[top].is_ancestor_of(rid) == Some(true) || left[top] == *rid {
+            let tid = left[top].borrow();
+            if tid.is_ancestor_of(rid) == Some(true) || tid == rid {
                 break;
             }
             stack.pop();
@@ -100,22 +104,53 @@ pub fn stack_tree_join(
         // the stack is an ancestor chain; entries below a possible
         // rid-equal top are ancestors of rid
         for &a in stack.iter() {
-            if left[a].is_ancestor_of(rid) != Some(true) {
+            let aid = left[a].borrow();
+            if aid.is_ancestor_of(rid) != Some(true) {
                 continue;
             }
             match rel {
-                StructRel::Ancestor => out.push((a, ri[r])),
+                StructRel::Ancestor => out.push((a, r)),
                 StructRel::Parent => {
-                    if left[a].is_parent_of(rid) == Some(true) {
-                        out.push((a, ri[r]));
+                    if aid.is_parent_of(rid) == Some(true) {
+                        out.push((a, r));
                     }
                 }
             }
         }
-        r += 1;
     }
+    out
+}
+
+/// [`stack_tree_join_presorted`] for unsorted inputs: sorts index views of
+/// both sides in document order first. Output pairs index into the
+/// *original* slices, sorted ascending.
+pub fn stack_tree_join(
+    left: &[StructId],
+    right: &[StructId],
+    rel: StructRel,
+) -> Vec<(usize, usize)> {
+    let li = doc_sorted_indices(left);
+    let ri = doc_sorted_indices(right);
+    let lsorted: Vec<&StructId> = li.iter().map(|&i| &left[i]).collect();
+    let rsorted: Vec<&StructId> = ri.iter().map(|&i| &right[i]).collect();
+    let mut out: Vec<(usize, usize)> = stack_tree_join_presorted(&lsorted, &rsorted, rel)
+        .into_iter()
+        .map(|(a, b)| (li[a], ri[b]))
+        .collect();
     out.sort_unstable();
     out
+}
+
+/// Indices of `ids` in document order; panics on mixed schemes.
+pub fn doc_sorted_indices<T: Borrow<StructId>>(ids: &[T]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..ids.len()).collect();
+    idx.sort_by(|&a, &b| {
+        ids[a]
+            .borrow()
+            .cmp_doc_order(ids[b].borrow())
+            .expect("structural join requires a uniform structural ID scheme")
+    });
+    idx
 }
 
 #[cfg(test)]
@@ -158,6 +193,20 @@ mod tests {
                 check_agreement(&doc, scheme, "b", "b");
             }
         }
+    }
+
+    #[test]
+    fn presorted_emits_right_sorted_pairs() {
+        let doc = Document::from_parens("a(b(c c) b(c))");
+        let left = ids_of(&doc, IdScheme::OrdPath, "b");
+        let right = ids_of(&doc, IdScheme::OrdPath, "c");
+        // document-order extraction is already sorted
+        let pairs = stack_tree_join_presorted(&left, &right, StructRel::Parent);
+        assert_eq!(pairs.len(), 3);
+        let rs: Vec<usize> = pairs.iter().map(|&(_, r)| r).collect();
+        let mut sorted = rs.clone();
+        sorted.sort_unstable();
+        assert_eq!(rs, sorted, "output grouped by right side in order");
     }
 
     #[test]

@@ -2,8 +2,14 @@
 //! in the paper's layout.
 //!
 //! ```text
-//! experiments [table1|fig13|fig14|fig15|all] [--scale <f>]
+//! experiments [table1|fig13|fig14|fig15|bench-pr1|all] [--scale <f>] [--out <path>]
 //! ```
+//!
+//! `bench-pr1` micro-benchmarks the executor hot paths this repo's PR 1
+//! rebuilt — the sort-based structural join against the nested-loop
+//! oracle, and comparator/hash row dedup against the old string-key
+//! encoding — on an XMark document of ≥ 10k nodes, and writes the
+//! before/after numbers to `BENCH_PR1.json` (override with `--out`).
 
 use smv_bench::*;
 use smv_datagen::{dblp, xmark, DblpSnapshot, XmarkConfig};
@@ -19,11 +25,18 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(1.0);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR1.json".to_owned());
     match which {
         "table1" => table1(scale),
         "fig13" => fig13(),
         "fig14" => fig14(),
         "fig15" => fig15(),
+        "bench-pr1" => bench_pr1(&out),
         "all" => {
             table1(scale);
             fig13();
@@ -31,10 +44,136 @@ fn main() {
             fig15();
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use table1|fig13|fig14|fig15|all");
+            eprintln!("unknown experiment `{other}`; use table1|fig13|fig14|fig15|bench-pr1|all");
             std::process::exit(2);
         }
     }
+}
+
+/// PR 1 hot-path microbenches → `BENCH_PR1.json`.
+fn bench_pr1(out: &str) {
+    use smv_algebra::{
+        doc_sorted_indices, nested_loop_join, stack_tree_join_presorted, AttrKind, Cell,
+        NestedRelation, Row, Schema, StructRel,
+    };
+    use smv_xml::{IdAssignment, IdScheme, StructId};
+    use std::time::Instant;
+
+    /// Median-of-samples wall time of `f` in nanoseconds.
+    fn measure<O>(samples: usize, mut f: impl FnMut() -> O) -> u64 {
+        let mut times: Vec<u64> = (0..samples)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                t.elapsed().as_nanos() as u64
+            })
+            .collect();
+        times.sort_unstable();
+        times[times.len() / 2]
+    }
+
+    println!("== PR 1 hot-path microbenches ==");
+    let doc = xmark(&XmarkConfig {
+        scale: 1.5,
+        ..Default::default()
+    });
+    assert!(doc.len() >= 10_000, "need ≥10k nodes, got {}", doc.len());
+    println!("(XMark document: {} nodes)", doc.len());
+    let ids = IdAssignment::assign(&doc, IdScheme::OrdPath);
+    let items: Vec<StructId> = doc
+        .iter()
+        .filter(|&n| doc.label(n).as_str() == "item")
+        .map(|n| ids.id(n).clone())
+        .collect();
+    let keywords: Vec<StructId> = doc
+        .iter()
+        .filter(|&n| {
+            matches!(doc.label(n).as_str(), "keyword" | "bold" | "emph" | "text")
+        })
+        .map(|n| ids.id(n).clone())
+        .collect();
+
+    let mut lines: Vec<String> = Vec::new();
+    let samples = 9;
+    for (name, rel) in [
+        ("struct_join/ancestor", StructRel::Ancestor),
+        ("struct_join/parent", StructRel::Parent),
+    ] {
+        // "after": the executor's default path — sort once, merge
+        let after = measure(samples, || {
+            let lp = doc_sorted_indices(&items);
+            let rp = doc_sorted_indices(&keywords);
+            let ls: Vec<&StructId> = lp.iter().map(|&i| &items[i]).collect();
+            let rs: Vec<&StructId> = rp.iter().map(|&i| &keywords[i]).collect();
+            stack_tree_join_presorted(&ls, &rs, rel).len()
+        });
+        // "before": the nested-loop oracle the seed's eval fell back to
+        let before = measure(samples, || nested_loop_join(&items, &keywords, rel).len());
+        let speedup = before as f64 / after.max(1) as f64;
+        println!(
+            "{name:<24} left={} right={} before={}ns after={}ns speedup={speedup:.1}x",
+            items.len(),
+            keywords.len(),
+            before,
+            after
+        );
+        lines.push(format!(
+            "    {{\"name\": \"{name}\", \"left\": {}, \"right\": {}, \"before_ns\": {before}, \"after_ns\": {after}, \"speedup\": {speedup:.2}}}",
+            items.len(),
+            keywords.len()
+        ));
+    }
+
+    // dedup/sort: string-key encode (before) vs comparator sort + hash (after)
+    let rows: Vec<Row> = (0..2)
+        .flat_map(|_| {
+            doc.iter().map(|n| {
+                Row::new(vec![
+                    Cell::Id(ids.id(n).clone()),
+                    Cell::Label(doc.label(n)),
+                    doc.value(n)
+                        .map(|v| Cell::Atom(v.clone()))
+                        .unwrap_or(Cell::Null),
+                ])
+            })
+        })
+        .collect();
+    let schema = Schema::atoms(&[
+        ("n.ID", AttrKind::Id),
+        ("n.L", AttrKind::Label),
+        ("n.V", AttrKind::Value),
+    ]);
+    let before = measure(samples, || {
+        let mut rs = rows.clone();
+        rs.sort_by_cached_key(reference_string_key);
+        rs.dedup();
+        rs.len()
+    });
+    let after = measure(samples, || {
+        let mut rel = NestedRelation::new(schema.clone(), rows.clone());
+        rel.normalize();
+        rel.len()
+    });
+    let speedup = before as f64 / after.max(1) as f64;
+    println!(
+        "{:<24} rows={} before={}ns after={}ns speedup={speedup:.1}x",
+        "dedup_sort",
+        rows.len(),
+        before,
+        after
+    );
+    lines.push(format!(
+        "    {{\"name\": \"dedup_sort\", \"rows\": {}, \"before_ns\": {before}, \"after_ns\": {after}, \"speedup\": {speedup:.2}}}",
+        rows.len()
+    ));
+
+    let json = format!(
+        "{{\n  \"pr\": 1,\n  \"doc_nodes\": {},\n  \"benches\": [\n{}\n  ]\n}}\n",
+        doc.len(),
+        lines.join(",\n")
+    );
+    std::fs::write(out, json).expect("write bench json");
+    println!("wrote {out}");
 }
 
 /// Table 1: documents and their summaries.

@@ -28,6 +28,54 @@ pub fn xmark_summary() -> Summary {
     Summary::of(&xmark(&XmarkConfig::default()))
 }
 
+/// The seed executor's per-row string encoding (the removed
+/// `Row::encode_key`), kept in one place as the *baseline* for both the
+/// dedup microbench and the property test that checks the hashed/ordered
+/// path agrees with it. Not used by the executor.
+pub fn reference_string_key(row: &smv_algebra::Row) -> String {
+    use smv_algebra::Cell;
+    let mut s = String::new();
+    for c in &row.cells {
+        match c {
+            Cell::Null => s.push('N'),
+            Cell::Id(id) => {
+                s.push('I');
+                s.push_str(&id.to_string());
+            }
+            Cell::Label(l) => {
+                s.push('L');
+                s.push_str(l.as_str());
+            }
+            Cell::Atom(smv_xml::Value::Int(i)) => {
+                s.push('a');
+                s.push_str(&format!("{:+021}", i));
+            }
+            Cell::Atom(smv_xml::Value::Str(t)) => {
+                s.push('s');
+                s.push_str(t);
+            }
+            Cell::Content(c) => {
+                s.push('C');
+                s.push_str(c);
+            }
+            Cell::Table(t) => {
+                s.push('T');
+                s.push('[');
+                let mut keys: Vec<String> =
+                    t.rows.iter().map(reference_string_key).collect();
+                keys.sort();
+                for k in keys {
+                    s.push_str(&k);
+                    s.push(';');
+                }
+                s.push(']');
+            }
+        }
+        s.push('|');
+    }
+    s
+}
+
 /// The default DBLP'05 summary fixture.
 pub fn dblp_summary() -> Summary {
     Summary::of(&smv_datagen::dblp(smv_datagen::DblpSnapshot::Y2005, 2000, 7))

@@ -651,12 +651,12 @@ mod tests {
         // T ⇒ (v<5 ∨ v≥5)
         assert!(implies_disjunction(
             &f(&[]),
-            &[f(&[(pa, lt5.clone())]), f(&[(pa, ge5.clone())])]
+            &[f(&[(pa, lt5.clone())]), f(&[(pa, ge5)])]
         ));
         // multi-variable: (a=3 ∧ b>1) ⇒ (a=3) ∨ (b≤1)
         assert!(implies_disjunction(
             &f(&[(pa, v3.clone()), (pb, gt1.clone())]),
-            &[f(&[(pa, v3.clone())]), f(&[(pb, gt1.not())])]
+            &[f(&[(pa, v3)]), f(&[(pb, gt1.not())])]
         ));
         // (a>1) ⇏ (a<5): counter-model a=7
         assert!(!implies_disjunction(

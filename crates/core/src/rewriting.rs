@@ -45,7 +45,7 @@ use smv_pattern::canonical::{canonical_model, CTree, CanonOpts};
 use smv_pattern::{associated_paths, Axis, Formula, PNodeId, Pattern};
 use smv_summary::Summary;
 use smv_views::{schema_of, View};
-use smv_xml::{IdScheme, NodeId};
+use smv_xml::{IdScheme, NodeId, Symbol};
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
@@ -345,8 +345,8 @@ impl<'a> Rewriter<'a> {
                 continue;
             }
             let mut created: Vec<Pair> = Vec::new();
-            for j in 0..m0.len() {
-                for joined in self.join_options(&m[i], &m0[j]) {
+            for base in &m0 {
+                for joined in self.join_options(&m[i], base) {
                     if joined.plan.scan_count() > max_scans {
                         continue;
                     }
@@ -417,14 +417,11 @@ impl<'a> Rewriter<'a> {
             view: v.name.clone(),
         };
         let mut schema = schema_of(&v.pattern);
-        loop {
-            let Some(i) = schema
-                .cols
-                .iter()
-                .position(|c| matches!(c.kind, ColKind::Nested(_)))
-            else {
-                break;
-            };
+        while let Some(i) = schema
+            .cols
+            .iter()
+            .position(|c| matches!(c.kind, ColKind::Nested(_)))
+        {
             let ColKind::Nested(inner) = schema.cols[i].kind.clone() else {
                 unreachable!()
             };
@@ -539,7 +536,7 @@ impl<'a> Rewriter<'a> {
                     input: Box::new(pair.plan.clone()),
                     col: c,
                     levels: level,
-                    name: format!("vid{c}u{level}"),
+                    name: Symbol::intern(&format!("vid{c}u{level}")),
                 };
                 pair.cols.push(ColInfo {
                     attr: AttrKind::Id,
@@ -618,7 +615,7 @@ impl<'a> Rewriter<'a> {
                     steps,
                     attrs: attrs.clone(),
                     optional: true,
-                    name: format!("nav{c}p{}", sd.0),
+                    name: Symbol::intern(&format!("nav{c}p{}", sd.0)),
                 };
                 let g = next_group;
                 next_group += 1;
@@ -1083,7 +1080,7 @@ impl<'a> Rewriter<'a> {
         }
         let mut layout: Vec<Slot> = (0..ctx.out_cols.len()).map(Slot::Flat).collect();
         // deepest-first nesting
-        let mut order = nested.clone();
+        let mut order = nested;
         order.sort_by_key(|&c| std::cmp::Reverse(depth_of(ctx.q, c)));
         for c in order {
             let in_subtree = |s: &Slot| -> bool {
@@ -1104,7 +1101,7 @@ impl<'a> Rewriter<'a> {
                 input: Box::new(plan),
                 key_cols: key_cols.clone(),
                 nested_cols,
-                name: format!("A#{}", c.0),
+                name: Symbol::intern(&format!("A#{}", c.0)),
             };
             let mut new_layout: Vec<Slot> = key_cols.iter().map(|&i| layout[i].clone()).collect();
             new_layout.push(Slot::Table(c));

@@ -73,7 +73,7 @@ pub fn xmark(cfg: &XmarkConfig) -> Document {
         g.b.open(l(region));
         let share = n_items / REGIONS.len() + usize::from(ri < n_items % REGIONS.len());
         for i in 0..share.max(1) {
-            g.item(ri * 1000 + i);
+            g.item(ri * 1000 + i, i == 0);
         }
         g.b.close();
     }
@@ -190,7 +190,41 @@ impl Gen {
         self.b.close();
     }
 
-    fn item(&mut self, id: usize) {
+    /// Mixed text guaranteed to carry a `keyword` child.
+    fn text_with_keyword(&mut self) {
+        self.b.open(l("text"));
+        self.b.append_text(self.words[0]);
+        self.b.open(l("keyword"));
+        let w = self.word();
+        self.b.append_text(w);
+        self.b.close();
+        self.b.close();
+    }
+
+    /// A description with the DTD's characteristic recursion spelled out:
+    /// one `listitem` carrying `text/keyword` directly, and one unfolding
+    /// `parlist` a second level. Emitted at deterministic positions (first
+    /// item per region, first auction annotations) so the document summary
+    /// always exhibits the XMark paths the paper's workload navigates,
+    /// independent of the RNG stream.
+    fn description_deep(&mut self) {
+        self.b.open(l("description"));
+        self.b.open(l("parlist"));
+        self.b.open(l("listitem"));
+        self.text_with_keyword();
+        self.b.close();
+        self.b.open(l("listitem"));
+        self.b.open(l("parlist"));
+        self.b.open(l("listitem"));
+        self.text_with_keyword();
+        self.b.close();
+        self.b.close();
+        self.b.close();
+        self.b.close();
+        self.b.close();
+    }
+
+    fn item(&mut self, id: usize, deep: bool) {
         self.b.open(l("item"));
         self.attr("id", &format!("item{id}"));
         if self.rng.random_bool(0.1) {
@@ -200,7 +234,11 @@ impl Gen {
         self.leaf_int("quantity", 10);
         self.leaf_text("name");
         self.leaf_text("payment");
-        self.description(1);
+        if deep {
+            self.description_deep();
+        } else {
+            self.description(1);
+        }
         self.b.open(l("shipping"));
         self.b.append_text("will ship internationally");
         self.b.close();
@@ -281,13 +319,17 @@ impl Gen {
         self.b.close();
     }
 
-    fn annotation(&mut self, n_people: usize) {
+    fn annotation(&mut self, n_people: usize, deep: bool) {
         self.b.open(l("annotation"));
         self.b.open(l("author"));
         let pick = self.rng.random_range(0..n_people.max(1));
         self.attr("person", &format!("person{pick}"));
         self.b.close();
-        self.description(1);
+        if deep {
+            self.description_deep();
+        } else {
+            self.description(1);
+        }
         self.b.open(l("happiness"));
         let v = self.rng.random_range(1..=10);
         self.b.append_text(&v.to_string());
@@ -328,7 +370,7 @@ impl Gen {
         let pick = self.rng.random_range(0..n_people.max(1));
         self.attr("person", &format!("person{pick}"));
         self.b.close();
-        self.annotation(n_people);
+        self.annotation(n_people, id == 0);
         self.leaf_int("quantity", 10);
         self.b.open(l("type"));
         self.b.append_text("Regular");
@@ -340,7 +382,7 @@ impl Gen {
         self.b.close();
     }
 
-    fn closed_auction(&mut self, _id: usize, n_items: usize, n_people: usize) {
+    fn closed_auction(&mut self, id: usize, n_items: usize, n_people: usize) {
         self.b.open(l("closed_auction"));
         self.b.open(l("seller"));
         let pick = self.rng.random_range(0..n_people.max(1));
@@ -360,7 +402,7 @@ impl Gen {
         self.b.open(l("type"));
         self.b.append_text("Regular");
         self.b.close();
-        self.annotation(n_people);
+        self.annotation(n_people, id == 0);
         self.b.close();
     }
 }

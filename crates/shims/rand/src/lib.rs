@@ -1,0 +1,226 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so instead of the real
+//! `rand` we provide the small, deterministic surface `smv-datagen` needs:
+//! a seedable xoshiro256++ generator behind the `StdRng` name, plus the
+//! `SeedableRng` / `RngExt` traits with `random`, `random_bool`, and
+//! `random_range`. Streams are stable across runs and platforms, which is
+//! all the synthetic-workload generators require.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from the generator.
+pub trait Random {
+    /// A uniform sample.
+    fn random(rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl Random for f64 {
+    fn random(rng: &mut dyn FnMut() -> u64) -> f64 {
+        // 53 high bits → uniform in [0, 1)
+        (rng() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for u64 {
+    fn random(rng: &mut dyn FnMut() -> u64) -> u64 {
+        rng()
+    }
+}
+
+impl Random for bool {
+    fn random(rng: &mut dyn FnMut() -> u64) -> bool {
+        rng() & 1 == 1
+    }
+}
+
+/// Integer types usable with [`RngExt::random_range`].
+pub trait UniformInt: Copy {
+    /// Maps to an unsigned offset-from-minimum representation.
+    fn to_offset(self) -> u128;
+    /// Inverse of [`UniformInt::to_offset`].
+    fn from_offset(off: u128) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl UniformInt for $t {
+            fn to_offset(self) -> u128 {
+                (self as $u as u128) ^ ((<$t>::MIN as $u) as u128)
+            }
+            fn from_offset(off: u128) -> $t {
+                ((off as $u) ^ (<$t>::MIN as $u)) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+             i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Sampling conveniences, blanket-implemented for every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// A uniform sample of `T`.
+    fn random<T: Random>(&mut self) -> T {
+        let mut f = || self.next_u64();
+        T::random(&mut f)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        let x: f64 = self.random();
+        x < p
+    }
+
+    /// A uniform integer in `range` (`a..b` or `a..=b`). Panics on empty
+    /// ranges.
+    fn random_range<T: UniformInt, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, span) = range.offset_span();
+        assert!(span > 0, "random_range called with an empty range");
+        // rejection sampling over the widened space keeps the draw unbiased
+        let zone = u128::MAX - (u128::MAX - span + 1) % span;
+        loop {
+            let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+            if wide <= zone {
+                return T::from_offset(lo + wide % span);
+            }
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Range shapes accepted by [`RngExt::random_range`].
+pub trait SampleRange<T: UniformInt> {
+    /// `(offset of the low bound, number of admissible values)`.
+    fn offset_span(&self) -> (u128, u128);
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn offset_span(&self) -> (u128, u128) {
+        let lo = self.start.to_offset();
+        let hi = self.end.to_offset();
+        (lo, hi.saturating_sub(lo))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn offset_span(&self) -> (u128, u128) {
+        let lo = self.start().to_offset();
+        let hi = self.end().to_offset();
+        (lo, (hi + 1).saturating_sub(lo))
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — fast, high-quality, and fully deterministic.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 state expansion, the standard seeding procedure
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.random_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&y));
+        }
+        // singleton range
+        for _ in 0..10 {
+            assert_eq!(rng.random_range(4u8..5), 4);
+        }
+    }
+
+    #[test]
+    fn random_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((1_500..3_500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -7,7 +7,7 @@
 
 use smv_algebra::{AttrKind, Cell, ColKind, Column, NestedRelation, Row, Schema};
 use smv_pattern::{Axis, Matcher, PNodeId, Pattern};
-use smv_xml::{serialize_subtree, Document, IdAssignment, IdScheme, NodeId};
+use smv_xml::{serialize_subtree, Document, IdAssignment, IdScheme, NodeId, Symbol};
 
 /// The relational schema a pattern produces (shared convention between
 /// materialization and the rewriting engine).
@@ -24,7 +24,7 @@ pub fn schema_of(p: &Pattern) -> Schema {
         };
         let mut push = |kind: AttrKind| {
             out.push(Column {
-                name: format!("{base}.{kind}"),
+                name: Symbol::intern(&format!("{base}.{kind}")),
                 kind: ColKind::Atom(kind),
             })
         };
@@ -48,7 +48,7 @@ pub fn schema_of(p: &Pattern) -> Schema {
                 let mut inner = Vec::new();
                 rec(p, c, &mut inner);
                 out.push(Column {
-                    name: format!("A#{}", c.0),
+                    name: Symbol::intern(&format!("A#{}", c.0)),
                     kind: ColKind::Nested(Schema { cols: inner }),
                 });
             } else {
@@ -83,7 +83,7 @@ pub fn materialize(p: &Pattern, doc: &Document, scheme: IdScheme) -> NestedRelat
     for &x in matcher.candidates(p.root()) {
         rows.extend(eval_node(p, p.root(), doc, &ids, &matcher, x));
     }
-    let mut rel = NestedRelation { schema, rows };
+    let mut rel = NestedRelation::new(schema, rows);
     rel.normalize();
     rel
 }
@@ -144,10 +144,7 @@ fn eval_node(
             }
             let mut inner = Vec::new();
             schema_cols(p, c, &mut inner);
-            let table = NestedRelation {
-                schema: Schema { cols: inner },
-                rows: sub_rows,
-            };
+            let table = NestedRelation::new(Schema { cols: inner }, sub_rows);
             for f in &mut fragments {
                 f.push(Cell::Table(table.clone()));
             }
@@ -197,7 +194,7 @@ fn schema_of_sub(p: &Pattern, n: PNodeId) -> Schema {
         };
         let mut push = |kind: AttrKind| {
             out.push(Column {
-                name: format!("{base}.{kind}"),
+                name: Symbol::intern(&format!("{base}.{kind}")),
                 kind: ColKind::Atom(kind),
             })
         };
@@ -218,7 +215,7 @@ fn schema_of_sub(p: &Pattern, n: PNodeId) -> Schema {
                 let mut inner = Vec::new();
                 rec(p, c, &mut inner);
                 out.push(Column {
-                    name: format!("A#{}", c.0),
+                    name: Symbol::intern(&format!("A#{}", c.0)),
                     kind: ColKind::Nested(Schema { cols: inner }),
                 });
             } else {
@@ -295,7 +292,7 @@ mod tests {
                 other => panic!("expected table, got {other}"),
             })
             .collect();
-        let mut sorted = tables.clone();
+        let mut sorted = tables;
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 2]);
     }

@@ -308,7 +308,14 @@ impl std::fmt::Display for DeweyId {
 }
 
 /// A concrete structural identifier value, tagged by scheme.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// The derived total order groups by scheme (ORDPATH < Dewey < sequential)
+/// and orders by document order within a scheme — so sorting a uniform
+/// column of IDs yields document order, which the sort-based structural
+/// join relies on. Cross-scheme comparisons are *ordered* (the total order
+/// must be total) but carry no document meaning; use
+/// [`StructId::cmp_doc_order`] when mixed schemes must be rejected.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum StructId {
     /// ORDPATH label.
     Ord(OrdPath),

@@ -1,19 +1,28 @@
-//! Process-wide label interning.
+//! Process-wide string interning: [`Symbol`] and [`Label`].
 //!
-//! Element and attribute names come from a small vocabulary (a few hundred
-//! distinct names even across all benchmark datasets), so we intern them
-//! once into a process-global pool and compare labels as `u32`s everywhere:
-//! documents, Dataguides, and tree patterns all share the same `Label`
-//! space, which makes cross-structure matching a plain integer compare.
+//! Element/attribute names and relation column names come from small
+//! vocabularies (a few hundred distinct names even across all benchmark
+//! datasets), so we intern them once into a process-global pool and
+//! compare them as `u32`s everywhere: documents, Dataguides, tree
+//! patterns, and relation schemas all share the same symbol space, which
+//! makes cross-structure matching and column lookup a plain integer
+//! compare.
+//!
+//! [`Symbol`] is the raw interned string; [`Label`] is a newtype over it
+//! for element/attribute names, kept distinct so signatures say which
+//! vocabulary they mean.
 
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
-/// An interned element/attribute name.
+/// An interned string.
 ///
-/// Two labels are equal iff their names are equal, process-wide.
+/// Two symbols are equal iff their strings are equal, process-wide.
+/// `Ord` follows interning order (stable within a process), not
+/// lexicographic order — sort by [`Symbol::as_str`] when presentation
+/// order matters.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Label(u32);
+pub struct Symbol(u32);
 
 struct Pool {
     map: HashMap<&'static str, u32>,
@@ -31,32 +40,98 @@ fn pool() -> &'static Mutex<Pool> {
     })
 }
 
-impl Label {
-    /// Interns `name` and returns its label. Idempotent.
+impl Symbol {
+    /// Interns `name` and returns its symbol. Idempotent.
     ///
-    /// Interned names are leaked; the vocabulary is small and lives for the
-    /// whole process, so this is the standard trade-off for `&'static str`
-    /// access without lifetimes threading through every structure.
-    pub fn intern(name: &str) -> Label {
-        let mut p = pool().lock().expect("label pool poisoned");
+    /// Interned strings are leaked; the vocabulary is small and lives for
+    /// the whole process, so this is the standard trade-off for
+    /// `&'static str` access without lifetimes threading through every
+    /// structure.
+    pub fn intern(name: &str) -> Symbol {
+        let mut p = pool().lock().expect("symbol pool poisoned");
         if let Some(&id) = p.map.get(name) {
-            return Label(id);
+            return Symbol(id);
         }
         let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
         let id = p.names.len() as u32;
         p.names.push(leaked);
         p.map.insert(leaked, id);
-        Label(id)
+        Symbol(id)
     }
 
-    /// The interned name.
+    /// The symbol for `name` if it has already been interned — a pure
+    /// probe that neither inserts nor leaks. Lookups for strings that may
+    /// not be in the vocabulary (e.g. schema column probes) should use
+    /// this instead of [`Symbol::intern`].
+    pub fn lookup(name: &str) -> Option<Symbol> {
+        pool()
+            .lock()
+            .expect("symbol pool poisoned")
+            .map
+            .get(name)
+            .map(|&id| Symbol(id))
+    }
+
+    /// The interned string.
     pub fn as_str(self) -> &'static str {
-        pool().lock().expect("label pool poisoned").names[self.0 as usize]
+        pool().lock().expect("symbol pool poisoned").names[self.0 as usize]
     }
 
     /// Raw interner index (stable for the process lifetime).
     pub fn index(self) -> u32 {
         self.0
+    }
+}
+
+impl std::fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl std::fmt::Display for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::intern(&s)
+    }
+}
+
+/// An interned element/attribute name.
+///
+/// Two labels are equal iff their names are equal, process-wide.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(Symbol);
+
+impl Label {
+    /// Interns `name` and returns its label. Idempotent.
+    pub fn intern(name: &str) -> Label {
+        Label(Symbol::intern(name))
+    }
+
+    /// The interned name.
+    pub fn as_str(self) -> &'static str {
+        self.0.as_str()
+    }
+
+    /// The underlying symbol.
+    pub fn symbol(self) -> Symbol {
+        self.0
+    }
+
+    /// Raw interner index (stable for the process lifetime).
+    pub fn index(self) -> u32 {
+        self.0.index()
     }
 }
 
@@ -75,6 +150,12 @@ impl std::fmt::Display for Label {
 impl From<&str> for Label {
     fn from(s: &str) -> Self {
         Label::intern(s)
+    }
+}
+
+impl From<Symbol> for Label {
+    fn from(s: Symbol) -> Self {
+        Label(s)
     }
 }
 
@@ -103,6 +184,16 @@ mod tests {
     fn from_str_matches_intern() {
         let a: Label = "keyword".into();
         assert_eq!(a, Label::intern("keyword"));
+    }
+
+    #[test]
+    fn labels_and_symbols_share_the_pool() {
+        let l = Label::intern("shared-name");
+        let s = Symbol::intern("shared-name");
+        assert_eq!(l.symbol(), s);
+        assert_eq!(l.index(), s.index());
+        // same &'static str, not just equal contents
+        assert!(std::ptr::eq(l.as_str(), s.as_str()));
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod value;
 pub mod writer;
 
 pub use ids::{DeweyId, IdAssignment, IdScheme, OrdPath, StructId};
-pub use label::Label;
+pub use label::{Label, Symbol};
 pub use parser::{parse_document, ParseError};
 pub use tree::{Document, NodeId, TreeBuilder};
 pub use treelike::LabeledTree;

@@ -74,8 +74,6 @@ fn add_flwr(
                 let nd = p.node_mut(node);
                 if path.text {
                     nd.attrs.value = true;
-                } else if node == base {
-                    nd.attrs.content = true;
                 } else {
                     nd.attrs.content = true;
                 }

@@ -30,9 +30,13 @@ fn main() {
     println!("{} views in the set", views.len());
 
     let queries = xmark_query_patterns();
+    // the Figure 15 budget: bounded search keeps every query interactive
     let opts = RewriteOpts {
-        max_scans: 3,
+        max_scans: 2,
+        max_pairs: 300,
+        max_rewritings: 2,
         first_only: false,
+        enable_content_navigation: false,
         ..Default::default()
     };
     let mut found = 0;

@@ -81,7 +81,7 @@ fn xquery_to_rewriting_pipeline() {
         parse_pattern("*(//item{id}(//mail, ?/name{v}))").unwrap(),
         IdScheme::OrdPath,
     );
-    let r = rewrite(&q, &[v.clone()], &s, &RewriteOpts::default());
+    let r = rewrite(&q, std::slice::from_ref(&v), &s, &RewriteOpts::default());
     assert!(
         !r.rewritings.is_empty(),
         "the §1 query rewrites over a matching view"
@@ -107,7 +107,7 @@ fn nested_query_rewrites_over_flat_views_on_xmark() {
         parse_pattern("site(//mail{id}(?/from{v}))").unwrap(),
         IdScheme::OrdPath,
     );
-    let r = rewrite(&q, &[v.clone()], &s, &RewriteOpts::default());
+    let r = rewrite(&q, std::slice::from_ref(&v), &s, &RewriteOpts::default());
     assert!(!r.rewritings.is_empty());
     let mut catalog = Catalog::new();
     catalog.add(v, &doc);

@@ -69,7 +69,7 @@ fn virtual_ids_follow_scheme_capability() {
             parse_pattern("r(/item(/name{id}))").unwrap(),
             scheme,
         );
-        let r = rewrite(&q, &[v.clone()], &s, &RewriteOpts::default());
+        let r = rewrite(&q, std::slice::from_ref(&v), &s, &RewriteOpts::default());
         assert_eq!(
             !r.rewritings.is_empty(),
             expect,

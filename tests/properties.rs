@@ -182,7 +182,7 @@ proptest! {
         }
         prop_assume!(q.arity() > 0);
         let view = View::new("v", q.clone(), IdScheme::OrdPath);
-        let r = rewrite(&q, &[view.clone()], &s, &RewriteOpts::default());
+        let r = rewrite(&q, std::slice::from_ref(&view), &s, &RewriteOpts::default());
         let mut catalog = Catalog::new();
         catalog.add(view, &d);
         let direct = materialize(&q, &d, IdScheme::OrdPath);
@@ -196,19 +196,166 @@ proptest! {
         }
     }
 
-    /// Structural join agrees with the nested-loop oracle on random trees.
+    /// Structural join agrees with the nested-loop oracle on random trees,
+    /// for both structural ID schemes.
     #[test]
     fn struct_join_agreement(src in tree_strategy()) {
         use smv::algebra::{nested_loop_join, stack_tree_join};
         let d = Document::from_parens(&src);
-        let ids = IdAssignment::assign(&d, IdScheme::OrdPath);
-        let evens: Vec<_> = d.iter().step_by(2).map(|n| ids.id(n).clone()).collect();
-        let odds: Vec<_> = d.iter().skip(1).step_by(2).map(|n| ids.id(n).clone()).collect();
-        for rel in [StructRel::Parent, StructRel::Ancestor] {
-            let mut a = nested_loop_join(&evens, &odds, rel);
-            a.sort_unstable();
-            let b = stack_tree_join(&evens, &odds, rel);
-            prop_assert_eq!(a, b);
+        for scheme in [IdScheme::OrdPath, IdScheme::Dewey] {
+            let ids = IdAssignment::assign(&d, scheme);
+            let evens: Vec<_> = d.iter().step_by(2).map(|n| ids.id(n).clone()).collect();
+            let odds: Vec<_> = d.iter().skip(1).step_by(2).map(|n| ids.id(n).clone()).collect();
+            for rel in [StructRel::Parent, StructRel::Ancestor] {
+                let mut a = nested_loop_join(&evens, &odds, rel);
+                a.sort_unstable();
+                let b = stack_tree_join(&evens, &odds, rel);
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    /// The presorted stack-tree merge — the executor's default path —
+    /// agrees with the nested-loop oracle once inputs are in document
+    /// order, for both structural ID schemes.
+    #[test]
+    fn presorted_join_agrees_with_oracle(src in tree_strategy()) {
+        use smv::algebra::{doc_sorted_indices, nested_loop_join, stack_tree_join_presorted};
+        let d = Document::from_parens(&src);
+        for scheme in [IdScheme::OrdPath, IdScheme::Dewey] {
+            let ids = IdAssignment::assign(&d, scheme);
+            let left: Vec<_> = d.iter().step_by(2).map(|n| ids.id(n).clone()).collect();
+            let right: Vec<_> = d.iter().skip(1).step_by(2).map(|n| ids.id(n).clone()).collect();
+            let lp = doc_sorted_indices(&left);
+            let rp = doc_sorted_indices(&right);
+            let ls: Vec<_> = lp.iter().map(|&i| left[i].clone()).collect();
+            let rs: Vec<_> = rp.iter().map(|&i| right[i].clone()).collect();
+            for rel in [StructRel::Parent, StructRel::Ancestor] {
+                let mut expected = nested_loop_join(&left, &right, rel);
+                expected.sort_unstable();
+                let mut got: Vec<(usize, usize)> = stack_tree_join_presorted(&ls, &rs, rel)
+                    .into_iter()
+                    .map(|(a, b)| (lp[a], rp[b]))
+                    .collect();
+                got.sort_unstable();
+                prop_assert_eq!(expected, got, "{:?} {:?}", scheme, rel);
+            }
+        }
+    }
+
+    /// The executor's sort-based StructJoin produces exactly the relation
+    /// the nested-loop oracle predicts, whether or not the inputs carry
+    /// the sortedness tag.
+    #[test]
+    fn exec_struct_join_matches_oracle_relation(src in tree_strategy()) {
+        use smv::algebra::{execute, nested_loop_join, MapProvider, Plan, StructRel};
+        use smv::algebra::{AttrKind, Cell, NestedRelation, Row, Schema};
+        let d = Document::from_parens(&src);
+        for scheme in [IdScheme::OrdPath, IdScheme::Dewey] {
+            let ids = IdAssignment::assign(&d, scheme);
+            let evens: Vec<_> = d.iter().step_by(2).map(|n| ids.id(n).clone()).collect();
+            let odds: Vec<_> = d.iter().skip(1).step_by(2).map(|n| ids.id(n).clone()).collect();
+            let mk = |xs: &[smv::xml::StructId], name: &str| {
+                NestedRelation::new(
+                    Schema::atoms(&[(name, AttrKind::Id)]),
+                    xs.iter().map(|id| Row::new(vec![Cell::Id(id.clone())])).collect(),
+                )
+            };
+            for rel in [StructRel::Parent, StructRel::Ancestor] {
+                for pre_normalize in [false, true] {
+                    let mut p = MapProvider::default();
+                    let mut le = mk(&evens, "l.ID");
+                    let mut ri = mk(&odds, "r.ID");
+                    if pre_normalize {
+                        le.normalize();
+                        ri.normalize();
+                    }
+                    p.insert("l", le);
+                    p.insert("r", ri);
+                    let plan = Plan::StructJoin {
+                        left: Box::new(Plan::Scan { view: "l".into() }),
+                        right: Box::new(Plan::Scan { view: "r".into() }),
+                        lcol: 0,
+                        rcol: 0,
+                        rel,
+                    };
+                    let out = execute(&plan, &p).unwrap();
+                    let mut expected = NestedRelation::new(
+                        Schema::atoms(&[("l.ID", AttrKind::Id), ("r.ID", AttrKind::Id)]),
+                        nested_loop_join(&evens, &odds, rel)
+                            .into_iter()
+                            .map(|(a, b)| Row::new(vec![
+                                Cell::Id(evens[a].clone()),
+                                Cell::Id(odds[b].clone()),
+                            ]))
+                            .collect(),
+                    );
+                    expected.normalize();
+                    prop_assert!(
+                        out.set_eq(&expected),
+                        "{:?} {:?} pre_normalize={} diverges on {}",
+                        scheme, rel, pre_normalize, src
+                    );
+                }
+            }
+        }
+    }
+
+    /// Hashed/ordered normalization agrees with a string-encoding
+    /// reference (the seed's removed `encode_key`) on randomized relations
+    /// across all ID schemes: same cardinality after dedup, same row set.
+    #[test]
+    fn hashed_dedup_agrees_with_string_key_reference(src in tree_strategy()) {
+        use smv::algebra::{AttrKind, Cell, NestedRelation, Row, Schema};
+        use smv_bench::reference_string_key as reference_key;
+        use std::collections::HashSet;
+
+        let d = Document::from_parens(&src);
+        for scheme in [IdScheme::OrdPath, IdScheme::Dewey, IdScheme::Sequential] {
+            let ids = IdAssignment::assign(&d, scheme);
+            // duplicate every node's row (and stagger the order) to give
+            // dedup real work; values/nulls/labels exercise cell variants
+            let mut rows: Vec<Row> = Vec::new();
+            for _pass in 0..2 {
+                for n in d.iter() {
+                    let v = d
+                        .value(n)
+                        .map(|v| Cell::Atom(v.clone()))
+                        .unwrap_or(Cell::Null);
+                    rows.push(Row::new(vec![
+                        Cell::Id(ids.id(n).clone()),
+                        Cell::Label(d.label(n)),
+                        v,
+                    ]));
+                }
+            }
+            let mut rel = NestedRelation::new(
+                Schema::atoms(&[
+                    ("n.ID", AttrKind::Id),
+                    ("n.L", AttrKind::Label),
+                    ("n.V", AttrKind::Value),
+                ]),
+                rows.clone(),
+            );
+
+            // reference: sort + dedup by encoded string key
+            let mut ref_rows = rows.clone();
+            ref_rows.sort_by_cached_key(reference_key);
+            ref_rows.dedup();
+            let ref_keys: HashSet<String> = ref_rows.iter().map(reference_key).collect();
+
+            // hashed: HashSet over structural row hashes
+            let hash_distinct: HashSet<Row> = rows.iter().cloned().collect();
+
+            // ordered: comparator sort + adjacent dedup (normalize)
+            rel.normalize();
+
+            prop_assert_eq!(rel.len(), ref_rows.len(), "{:?} ordered vs reference", scheme);
+            prop_assert_eq!(hash_distinct.len(), ref_rows.len(), "{:?} hashed vs reference", scheme);
+            for r in &rel.rows {
+                prop_assert!(ref_keys.contains(&reference_key(r)));
+                prop_assert!(hash_distinct.contains(r));
+            }
         }
     }
 
