@@ -1,0 +1,686 @@
+//! Cardinality estimation and plan costing over summary statistics.
+//!
+//! The rewriting algorithm (paper, Algorithm 1) enumerates *all*
+//! S-equivalent plans but says nothing about which one to run. Following
+//! the XML-warehouse line of work (Mahboubi & Darmont), this module turns
+//! the structural summary into a cost model: every summary path carries a
+//! node count, a child fan-out and value-distribution statistics (see
+//! `smv-summary`), and every plan column can be annotated with the set of
+//! summary paths its values may sit on. From these two ingredients the
+//! model estimates, bottom-up over a [`Plan`]:
+//!
+//! * **output rows** — scans from view-extent sizes, structural joins
+//!   from path-pair containment counts (every document node has exactly
+//!   one ancestor on each ancestor path, so the containment count of a
+//!   path pair `(a, b)` with `a` an ancestor of `b` is `count(b)`),
+//!   selections from label counts and value selectivities, nest/unnest
+//!   from fan-outs;
+//! * **work** — a unit-cost sum over the operators, with materialize-
+//!   everything semantics (each operator pays its input and output rows;
+//!   content navigation pays a re-parse penalty per row).
+//!
+//! Estimates are deliberately *total*: unknown views and unannotated
+//! columns fall back to documented defaults rather than failing, so the
+//! model can always rank plans.
+
+use crate::plan::{Plan, Predicate};
+use crate::struct_join::StructRel;
+use smv_pattern::{Bound, Formula};
+use smv_summary::Summary;
+use smv_xml::NodeId;
+
+/// Default extent size assumed for views the source does not know.
+const DEFAULT_ROWS: f64 = 1_000.0;
+/// Selectivity of a non-point value predicate on an unknown distribution.
+const RANGE_SEL: f64 = 1.0 / 3.0;
+/// Selectivity of a label-equality selection with unknown paths.
+const LABEL_SEL: f64 = 0.5;
+/// Selectivity of a not-null filter with unknown paths.
+const NOT_NULL_SEL: f64 = 0.9;
+/// Join selectivity fallback for structural joins with unknown paths.
+const STRUCT_SEL: f64 = 0.05;
+/// Average nested-table size when no fan-out can be derived.
+const DEFAULT_FAN: f64 = 2.0;
+/// Per-row penalty for re-parsing stored content during navigation.
+const CONTENT_PARSE_COST: f64 = 16.0;
+
+/// Per-column path annotation of a relation: which summary paths the
+/// column's (non-null) values may sit on. An empty candidate set means
+/// *unknown*, not *empty*.
+#[derive(Clone, Debug, Default)]
+pub enum ColCard {
+    /// Atomic column with candidate summary paths.
+    Atom(Vec<NodeId>),
+    /// Nested table column with its inner layout.
+    Nested(Vec<ColCard>),
+    /// Nothing is known about this column.
+    #[default]
+    Unknown,
+}
+
+impl ColCard {
+    fn paths(&self) -> &[NodeId] {
+        match self {
+            ColCard::Atom(ps) => ps,
+            _ => &[],
+        }
+    }
+}
+
+/// Scan-level statistics supplied by the view layer.
+#[derive(Clone, Debug)]
+pub struct ScanCard {
+    /// Rows in the stored extent (estimated when not materialized).
+    pub rows: f64,
+    /// Per stored column: candidate summary paths, mirroring the view's
+    /// relational schema (nested columns carry their inner layout).
+    pub cols: Vec<ColCard>,
+}
+
+/// Supplies per-view scan statistics to the cost model.
+pub trait CardSource {
+    /// Statistics for the extent of `view`, if the view is known.
+    fn scan_card(&self, view: &str) -> Option<ScanCard>;
+}
+
+/// The estimate for a (sub)plan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlanEstimate {
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated total work (unit-cost sum over all operators).
+    pub cost: f64,
+}
+
+/// Internal per-node estimate: rows + cumulative cost + column layout.
+struct Est {
+    rows: f64,
+    cost: f64,
+    cols: Vec<ColCard>,
+}
+
+/// A summary-driven cost model for [`Plan`]s.
+///
+/// Scan statistics are memoized per view name: the rewriting enumeration
+/// estimates thousands of plans over the same handful of scans, and a
+/// [`CardSource`] may recompute path annotations on every call.
+pub struct CostModel<'a> {
+    summary: &'a Summary,
+    source: &'a dyn CardSource,
+    scan_cache: std::cell::RefCell<std::collections::HashMap<String, Option<ScanCard>>>,
+}
+
+impl<'a> CostModel<'a> {
+    /// Builds a model over a summary and a scan-statistics source.
+    pub fn new(summary: &'a Summary, source: &'a dyn CardSource) -> CostModel<'a> {
+        CostModel {
+            summary,
+            source,
+            scan_cache: std::cell::RefCell::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Memoized [`CardSource::scan_card`].
+    fn scan_card(&self, view: &str) -> Option<ScanCard> {
+        if let Some(cached) = self.scan_cache.borrow().get(view) {
+            return cached.clone();
+        }
+        let card = self.source.scan_card(view);
+        self.scan_cache
+            .borrow_mut()
+            .insert(view.to_owned(), card.clone());
+        card
+    }
+
+    /// Estimates output rows and total work for `plan`.
+    pub fn estimate(&self, plan: &Plan) -> PlanEstimate {
+        let e = self.est(plan);
+        PlanEstimate {
+            rows: e.rows,
+            cost: e.cost,
+        }
+    }
+
+    /// Total document-node count over a candidate path set (`None` when
+    /// the set is unknown/empty).
+    fn path_total(&self, paths: &[NodeId]) -> Option<f64> {
+        if paths.is_empty() {
+            return None;
+        }
+        Some(paths.iter().map(|&p| self.summary.count(p) as f64).sum())
+    }
+
+    fn est(&self, plan: &Plan) -> Est {
+        match plan {
+            Plan::Scan { view } => match self.scan_card(view) {
+                Some(sc) => Est {
+                    rows: sc.rows,
+                    cost: sc.rows,
+                    cols: sc.cols,
+                },
+                None => Est {
+                    rows: DEFAULT_ROWS,
+                    cost: DEFAULT_ROWS,
+                    cols: Vec::new(),
+                },
+            },
+            Plan::Select { input, pred } => {
+                let mut e = self.est(input);
+                let sel = match pred {
+                    Predicate::Value { col, formula } => {
+                        let paths = e.cols.get(*col).map(ColCard::paths).unwrap_or(&[]);
+                        match self.path_total(paths) {
+                            Some(total) if total > 0.0 => {
+                                let values: f64 = paths
+                                    .iter()
+                                    .map(|&p| self.summary.value_count(p) as f64)
+                                    .sum();
+                                let distinct: f64 = paths
+                                    .iter()
+                                    .map(|&p| self.summary.distinct_values(p) as f64)
+                                    .sum::<f64>()
+                                    .max(1.0);
+                                let value_frac = (values / total).clamp(0.0, 1.0);
+                                let pred_sel = match point_count(formula) {
+                                    Some(points) => (points as f64 / distinct).min(1.0),
+                                    None => RANGE_SEL,
+                                };
+                                value_frac * pred_sel
+                            }
+                            _ => RANGE_SEL,
+                        }
+                    }
+                    Predicate::LabelEq { col, label } => {
+                        let paths = e.cols.get(*col).map(ColCard::paths).unwrap_or(&[]);
+                        match self.path_total(paths) {
+                            Some(total) if total > 0.0 => {
+                                let matching: Vec<NodeId> = paths
+                                    .iter()
+                                    .copied()
+                                    .filter(|&p| self.summary.label(p) == *label)
+                                    .collect();
+                                let kept: f64 =
+                                    matching.iter().map(|&p| self.summary.count(p) as f64).sum();
+                                // the selection also narrows the column's
+                                // candidate paths to the matching labels
+                                if let Some(ColCard::Atom(ps)) = e.cols.get_mut(*col) {
+                                    *ps = matching;
+                                }
+                                (kept / total).clamp(0.0, 1.0)
+                            }
+                            _ => LABEL_SEL,
+                        }
+                    }
+                    Predicate::NotNull { .. } => NOT_NULL_SEL,
+                };
+                e.cost += e.rows;
+                e.rows *= sel;
+                e
+            }
+            Plan::Project { input, cols } => {
+                let e = self.est(input);
+                let projected = cols
+                    .iter()
+                    .map(|&c| e.cols.get(c).cloned().unwrap_or_default())
+                    .collect();
+                Est {
+                    rows: e.rows,
+                    cost: e.cost + e.rows,
+                    cols: projected,
+                }
+            }
+            Plan::IdJoin {
+                left,
+                right,
+                lcol,
+                rcol,
+            } => {
+                let l = self.est(left);
+                let r = self.est(right);
+                let lp = l.cols.get(*lcol).map(ColCard::paths).unwrap_or(&[]);
+                let rp = r.cols.get(*rcol).map(ColCard::paths).unwrap_or(&[]);
+                let rows = match (self.path_total(lp), self.path_total(rp)) {
+                    (Some(dl), Some(dr)) if dl > 0.0 && dr > 0.0 => {
+                        // IDs are unique per node: the shared key domain is
+                        // the node count on the common paths
+                        let shared: f64 = lp
+                            .iter()
+                            .filter(|p| rp.contains(p))
+                            .map(|&p| self.summary.count(p) as f64)
+                            .sum();
+                        l.rows * r.rows * shared / (dl * dr)
+                    }
+                    _ => l.rows * r.rows / l.rows.max(r.rows).max(1.0),
+                };
+                let mut cols = l.cols;
+                cols.extend(r.cols);
+                Est {
+                    rows,
+                    cost: l.cost + r.cost + l.rows + r.rows + rows,
+                    cols,
+                }
+            }
+            Plan::StructJoin {
+                left,
+                right,
+                lcol,
+                rcol,
+                rel,
+            } => {
+                let l = self.est(left);
+                let r = self.est(right);
+                let lp = l.cols.get(*lcol).map(ColCard::paths).unwrap_or(&[]);
+                let rp = r.cols.get(*rcol).map(ColCard::paths).unwrap_or(&[]);
+                let rows = match (self.path_total(lp), self.path_total(rp)) {
+                    (Some(dl), Some(dr)) if dl > 0.0 && dr > 0.0 => {
+                        // containment count of a path pair (a ≺≺ b) is
+                        // count(b): each document node has exactly one
+                        // ancestor on every ancestor path
+                        let mut pairs = 0.0;
+                        for &pa in lp {
+                            for &pb in rp {
+                                let related = match rel {
+                                    StructRel::Parent => self.summary.is_parent(pa, pb),
+                                    StructRel::Ancestor => self.summary.is_ancestor(pa, pb),
+                                };
+                                if related {
+                                    pairs += self.summary.count(pb) as f64;
+                                }
+                            }
+                        }
+                        pairs * (l.rows / dl) * (r.rows / dr)
+                    }
+                    _ => l.rows * r.rows * STRUCT_SEL,
+                };
+                let mut cols = l.cols;
+                cols.extend(r.cols);
+                Est {
+                    rows,
+                    cost: l.cost + r.cost + l.rows + r.rows + rows,
+                    cols,
+                }
+            }
+            Plan::Union { inputs } => {
+                let mut rows = 0.0;
+                let mut cost = 0.0;
+                let mut cols: Vec<ColCard> = Vec::new();
+                for (i, p) in inputs.iter().enumerate() {
+                    let e = self.est(p);
+                    rows += e.rows;
+                    cost += e.cost + e.rows;
+                    if i == 0 {
+                        cols = e.cols;
+                    } else {
+                        // merge candidate paths per position; mismatched
+                        // layouts degrade to unknown
+                        for (c, ec) in cols.iter_mut().zip(e.cols) {
+                            *c = match (std::mem::take(c), ec) {
+                                (ColCard::Atom(mut a), ColCard::Atom(b)) => {
+                                    for p in b {
+                                        if !a.contains(&p) {
+                                            a.push(p);
+                                        }
+                                    }
+                                    ColCard::Atom(a)
+                                }
+                                _ => ColCard::Unknown,
+                            };
+                        }
+                    }
+                }
+                Est { rows, cost, cols }
+            }
+            Plan::Nest {
+                input,
+                key_cols,
+                nested_cols,
+                ..
+            } => {
+                let e = self.est(input);
+                // distinct key tuples: at least the distinct count of any
+                // single key column — take the largest single-column bound
+                let key_bound = key_cols
+                    .iter()
+                    .filter_map(|&c| self.path_total(e.cols.get(c).map(ColCard::paths)?))
+                    .fold(None::<f64>, |acc, d| Some(acc.map_or(d, |a| a.max(d))));
+                let rows = match key_bound {
+                    Some(d) => e.rows.min(d.max(1.0)),
+                    None => e.rows * 0.5,
+                };
+                let mut cols: Vec<ColCard> = key_cols
+                    .iter()
+                    .map(|&c| e.cols.get(c).cloned().unwrap_or_default())
+                    .collect();
+                cols.push(ColCard::Nested(
+                    nested_cols
+                        .iter()
+                        .map(|&c| e.cols.get(c).cloned().unwrap_or_default())
+                        .collect(),
+                ));
+                Est {
+                    rows,
+                    cost: e.cost + e.rows,
+                    cols,
+                }
+            }
+            Plan::Unnest { input, col, outer } => {
+                let e = self.est(input);
+                let inner = match e.cols.get(*col) {
+                    Some(ColCard::Nested(inner)) => inner.clone(),
+                    _ => Vec::new(),
+                };
+                // fan-out: inner nodes per outer row, derived from the
+                // summary when an outer column's path is an ancestor of an
+                // inner column's path
+                let fan = self.unnest_fanout(&e.cols, *col, &inner);
+                let fan = if *outer { fan.max(1.0) } else { fan };
+                let rows = (e.rows * fan).max(0.0);
+                let mut cols: Vec<ColCard> = Vec::new();
+                for (i, c) in e.cols.iter().enumerate() {
+                    if i == *col {
+                        if inner.is_empty() {
+                            cols.push(ColCard::Unknown);
+                        } else {
+                            cols.extend(inner.iter().cloned());
+                        }
+                    } else {
+                        cols.push(c.clone());
+                    }
+                }
+                Est {
+                    rows,
+                    cost: e.cost + e.rows + rows,
+                    cols,
+                }
+            }
+            Plan::NavigateContent {
+                input,
+                content_col,
+                steps,
+                attrs,
+                optional,
+                ..
+            } => {
+                let e = self.est(input);
+                let base = e.cols.get(*content_col).map(ColCard::paths).unwrap_or(&[]);
+                // walk the steps through the summary, multiplying fan-outs
+                let mut frontier: Vec<NodeId> = base.to_vec();
+                let mut fan = if frontier.is_empty() {
+                    DEFAULT_FAN
+                } else {
+                    1.0
+                };
+                for step in steps {
+                    if frontier.is_empty() {
+                        break;
+                    }
+                    let mut next = Vec::new();
+                    let mut step_fan = 0.0;
+                    for &p in &frontier {
+                        for &c in self.summary.children(p) {
+                            if step.label.is_none_or(|l| self.summary.label(c) == l) {
+                                step_fan += self.summary.avg_fanout(c);
+                                next.push(c);
+                            }
+                        }
+                    }
+                    fan *= step_fan / frontier.len().max(1) as f64;
+                    frontier = next;
+                }
+                let fan = if *optional { fan.max(1.0) } else { fan };
+                let rows = e.rows * fan;
+                let mut cols = e.cols;
+                for _ in attrs {
+                    cols.push(if frontier.is_empty() {
+                        ColCard::Unknown
+                    } else {
+                        ColCard::Atom(frontier.clone())
+                    });
+                }
+                Est {
+                    rows,
+                    cost: e.cost + e.rows * CONTENT_PARSE_COST + rows,
+                    cols,
+                }
+            }
+            Plan::DeriveParentId {
+                input, col, levels, ..
+            } => {
+                let e = self.est(input);
+                let derived: Vec<NodeId> = e
+                    .cols
+                    .get(*col)
+                    .map(ColCard::paths)
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(|&p| {
+                        let mut cur = p;
+                        for _ in 0..*levels {
+                            cur = self.summary.parent(cur)?;
+                        }
+                        Some(cur)
+                    })
+                    .collect();
+                let mut cols = e.cols;
+                cols.push(if derived.is_empty() {
+                    ColCard::Unknown
+                } else {
+                    ColCard::Atom(derived)
+                });
+                Est {
+                    rows: e.rows,
+                    cost: e.cost + e.rows,
+                    cols,
+                }
+            }
+            Plan::DupElim { input } => {
+                let e = self.est(input);
+                // bound distinct rows by the node counts when every column
+                // is path-annotated (a relation over k annotated columns
+                // cannot have more distinct rows than the product of the
+                // per-column domains, capped by the input)
+                let bound = e
+                    .cols
+                    .iter()
+                    .map(|c| self.path_total(c.paths()))
+                    .try_fold(1.0f64, |acc, d| d.map(|d| (acc * d.max(1.0)).min(1e18)));
+                let rows = match bound {
+                    Some(b) if !e.cols.is_empty() => e.rows.min(b),
+                    _ => e.rows,
+                };
+                Est {
+                    rows,
+                    cost: e.cost + e.rows,
+                    cols: e.cols,
+                }
+            }
+        }
+    }
+
+    /// Average inner rows per outer row for an unnest: looks for an outer
+    /// column whose path is an ancestor of an inner column's path and uses
+    /// the summary counts; falls back to [`DEFAULT_FAN`].
+    fn unnest_fanout(&self, outer_cols: &[ColCard], col: usize, inner: &[ColCard]) -> f64 {
+        let inner_paths: Vec<NodeId> = inner
+            .iter()
+            .flat_map(|c| c.paths().iter().copied())
+            .collect();
+        if inner_paths.is_empty() {
+            return DEFAULT_FAN;
+        }
+        for (i, oc) in outer_cols.iter().enumerate() {
+            if i == col {
+                continue;
+            }
+            for &pa in oc.paths() {
+                let reach: f64 = inner_paths
+                    .iter()
+                    .filter(|&&pb| self.summary.is_ancestor(pa, pb))
+                    .map(|&pb| self.summary.count(pb) as f64)
+                    .sum();
+                let anchor = self.summary.count(pa) as f64;
+                if reach > 0.0 && anchor > 0.0 {
+                    return reach / anchor;
+                }
+            }
+        }
+        DEFAULT_FAN
+    }
+}
+
+/// Number of single-point intervals in a formula, or `None` when some
+/// interval admits a range (point predicates get `points / distinct`
+/// selectivity, ranges a fixed default).
+fn point_count(f: &Formula) -> Option<usize> {
+    if f.is_top() {
+        return None;
+    }
+    let mut points = 0;
+    for iv in f.intervals() {
+        match (&iv.lo, &iv.hi) {
+            (Bound::Incl(a), Bound::Incl(b)) if a == b => points += 1,
+            _ => return None,
+        }
+    }
+    Some(points)
+}
+
+/// A [`CardSource`] that knows nothing — every scan falls back to the
+/// default extent size. Useful in tests and as a neutral baseline.
+pub struct NoCards;
+
+impl CardSource for NoCards {
+    fn scan_card(&self, _view: &str) -> Option<ScanCard> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smv_xml::Document;
+    use std::collections::HashMap;
+
+    struct MapCards(HashMap<String, ScanCard>);
+
+    impl CardSource for MapCards {
+        fn scan_card(&self, view: &str) -> Option<ScanCard> {
+            self.0.get(view).cloned()
+        }
+    }
+
+    /// r(a(b b c(d)) a(b c)): counts r=1 a=2 b=3 c=2 d=1.
+    fn summary() -> Summary {
+        Summary::of(&Document::from_parens(
+            r#"r(a(b="1" b="2" c(d)) a(b="1" c))"#,
+        ))
+    }
+
+    fn cards(s: &Summary) -> MapCards {
+        let a = s.node_by_path("/r/a").unwrap();
+        let b = s.node_by_path("/r/a/b").unwrap();
+        let mut m = HashMap::new();
+        m.insert(
+            "va".to_owned(),
+            ScanCard {
+                rows: 2.0,
+                cols: vec![ColCard::Atom(vec![a])],
+            },
+        );
+        m.insert(
+            "vb".to_owned(),
+            ScanCard {
+                rows: 3.0,
+                cols: vec![ColCard::Atom(vec![b]), ColCard::Atom(vec![b])],
+            },
+        );
+        MapCards(m)
+    }
+
+    #[test]
+    fn scan_and_select_estimates() {
+        let s = summary();
+        let src = cards(&s);
+        let model = CostModel::new(&s, &src);
+        let scan = Plan::Scan { view: "vb".into() };
+        assert_eq!(model.estimate(&scan).rows, 3.0);
+        // equality on 2 distinct values over 3 valued nodes: 3 × (1/2)
+        let sel = Plan::Select {
+            input: Box::new(scan),
+            pred: Predicate::Value {
+                col: 1,
+                formula: Formula::eq(smv_xml::Value::int(1)),
+            },
+        };
+        let e = model.estimate(&sel);
+        assert!((e.rows - 1.5).abs() < 1e-9, "rows = {}", e.rows);
+    }
+
+    #[test]
+    fn structural_join_uses_containment_counts() {
+        let s = summary();
+        let src = cards(&s);
+        let model = CostModel::new(&s, &src);
+        let join = Plan::StructJoin {
+            left: Box::new(Plan::Scan { view: "va".into() }),
+            right: Box::new(Plan::Scan { view: "vb".into() }),
+            lcol: 0,
+            rcol: 0,
+            rel: StructRel::Parent,
+        };
+        // every b has exactly one a parent: 3 pairs, full extents present
+        let e = model.estimate(&join);
+        assert!((e.rows - 3.0).abs() < 1e-9, "rows = {}", e.rows);
+        assert!(e.cost > 5.0, "join pays its inputs: {}", e.cost);
+    }
+
+    #[test]
+    fn unknown_views_fall_back_to_defaults() {
+        let s = summary();
+        let model = CostModel::new(&s, &NoCards);
+        let e = model.estimate(&Plan::Scan { view: "zz".into() });
+        assert_eq!(e.rows, DEFAULT_ROWS);
+    }
+
+    #[test]
+    fn cheaper_scan_beats_filtered_wide_scan() {
+        // the ranking decision bench-pr2 relies on: a narrow extent scan
+        // costs less than a wide scan plus label selection
+        let s = summary();
+        let b = s.node_by_path("/r/a/b").unwrap();
+        let c = s.node_by_path("/r/a/c").unwrap();
+        let d = s.node_by_path("/r/a/c/d").unwrap();
+        let mut m = HashMap::new();
+        m.insert(
+            "narrow".to_owned(),
+            ScanCard {
+                rows: 3.0,
+                cols: vec![ColCard::Atom(vec![b])],
+            },
+        );
+        m.insert(
+            "wide".to_owned(),
+            ScanCard {
+                rows: 6.0,
+                cols: vec![ColCard::Atom(vec![b, c, d])],
+            },
+        );
+        let src = MapCards(m);
+        let model = CostModel::new(&s, &src);
+        let narrow = model.estimate(&Plan::Scan {
+            view: "narrow".into(),
+        });
+        let wide = model.estimate(&Plan::Select {
+            input: Box::new(Plan::Scan {
+                view: "wide".into(),
+            }),
+            pred: Predicate::LabelEq {
+                col: 0,
+                label: smv_xml::Label::intern("b"),
+            },
+        });
+        assert!(wide.cost > narrow.cost);
+        // and the label selection narrows the estimate toward b's count
+        assert!((wide.rows - 3.0).abs() < 1e-9, "rows = {}", wide.rows);
+    }
+}

@@ -18,9 +18,9 @@
 
 use crate::plan::{NavStep, Plan, Predicate};
 use crate::relation::{AttrKind, Cell, ColKind, Column, NestedRelation, Row, Schema};
-use crate::struct_join::{doc_sorted_indices, stack_tree_join_presorted};
 #[cfg(test)]
 use crate::struct_join::StructRel;
+use crate::struct_join::{doc_sorted_indices, stack_tree_join_presorted};
 use smv_pattern::Axis;
 use smv_xml::{parse_document, serialize_subtree, Document, NodeId, StructId, Symbol};
 use std::borrow::Cow;
@@ -312,12 +312,10 @@ fn eval<'a>(
             let rows = order
                 .into_iter()
                 .map(|(mut key_row, inner_rows)| {
-                    key_row
-                        .cells
-                        .push(Cell::Table(NestedRelation::new(
-                            inner_schema.clone(),
-                            inner_rows,
-                        )));
+                    key_row.cells.push(Cell::Table(NestedRelation::new(
+                        inner_schema.clone(),
+                        inner_rows,
+                    )));
                     key_row
                 })
                 .collect();
@@ -607,9 +605,7 @@ mod tests {
 
     /// items: a(item(name) item(name) other)
     fn provider() -> (MapProvider, Document) {
-        let doc = Document::from_parens(
-            r#"a(item(name="pen" mail) item(name="ink") other="x")"#,
-        );
+        let doc = Document::from_parens(r#"a(item(name="pen" mail) item(name="ink") other="x")"#);
         let ia = ids(&doc);
         let mut items = NestedRelation::empty(Schema::atoms(&[("item.ID", AttrKind::Id)]));
         let mut names = NestedRelation::empty(Schema::atoms(&[
@@ -618,12 +614,12 @@ mod tests {
         ]));
         for n in doc.iter() {
             match doc.label(n).as_str() {
-                "item" => items
-                    .rows
-                    .push(Row::new(vec![Cell::Id(ia.id(n).clone())])),
+                "item" => items.rows.push(Row::new(vec![Cell::Id(ia.id(n).clone())])),
                 "name" => names.rows.push(Row::new(vec![
                     Cell::Id(ia.id(n).clone()),
-                    doc.value(n).map(|v| Cell::Atom(v.clone())).unwrap_or(Cell::Null),
+                    doc.value(n)
+                        .map(|v| Cell::Atom(v.clone()))
+                        .unwrap_or(Cell::Null),
                 ])),
                 _ => {}
             }

@@ -6,11 +6,13 @@
 //! unions, nest/unnest, content navigation and `nav_fID` parent-ID
 //! derivation (§4.6), plus the nested-relation values views materialize.
 
+pub mod cost;
 pub mod exec;
 pub mod plan;
 pub mod relation;
 pub mod struct_join;
 
+pub use cost::{CardSource, ColCard, CostModel, NoCards, PlanEstimate, ScanCard};
 pub use exec::{execute, ExecError, MapProvider, ViewProvider};
 pub use plan::{NavStep, Plan, Predicate};
 pub use relation::{AttrKind, Cell, ColKind, Column, NestedRelation, Row, Schema};

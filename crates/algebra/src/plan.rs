@@ -258,7 +258,10 @@ impl Plan {
                 nested_cols,
                 name,
             } => {
-                writeln!(f, "{pad}Nest[key={key_cols:?} nest={nested_cols:?} as {name}]")?;
+                writeln!(
+                    f,
+                    "{pad}Nest[key={key_cols:?} nest={nested_cols:?} as {name}]"
+                )?;
                 input.fmt_indent(f, indent + 1)
             }
             Plan::Unnest { input, col, outer } => {

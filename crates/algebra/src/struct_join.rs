@@ -75,9 +75,11 @@ where
         // push all left ids that start before rid and are its ancestors;
         // pop those that end before rid starts.
         while l < left.len()
-            && left[l].borrow().cmp_doc_order(rid).expect(
-                "structural join requires a uniform structural ID scheme",
-            ) != Ordering::Greater
+            && left[l]
+                .borrow()
+                .cmp_doc_order(rid)
+                .expect("structural join requires a uniform structural ID scheme")
+                != Ordering::Greater
         {
             let lid = left[l].borrow();
             // maintain the stack invariant: the stack is a chain of
@@ -214,10 +216,7 @@ mod tests {
         let doc = Document::from_parens("a(b(x(c)))");
         let left = ids_of(&doc, IdScheme::OrdPath, "b");
         let right = ids_of(&doc, IdScheme::OrdPath, "c");
-        assert_eq!(
-            stack_tree_join(&left, &right, StructRel::Ancestor).len(),
-            1
-        );
+        assert_eq!(stack_tree_join(&left, &right, StructRel::Ancestor).len(), 1);
         assert_eq!(stack_tree_join(&left, &right, StructRel::Parent).len(), 0);
     }
 

@@ -31,10 +31,14 @@ fn bench_struct_join(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_structjoin");
     g.sample_size(10);
     g.bench_function(BenchmarkId::new("stack_tree", items.len()), |b| {
-        b.iter(|| stack_tree_join(black_box(&items), black_box(&keywords), StructRel::Ancestor).len())
+        b.iter(|| {
+            stack_tree_join(black_box(&items), black_box(&keywords), StructRel::Ancestor).len()
+        })
     });
     g.bench_function(BenchmarkId::new("nested_loop", items.len()), |b| {
-        b.iter(|| nested_loop_join(black_box(&items), black_box(&keywords), StructRel::Ancestor).len())
+        b.iter(|| {
+            nested_loop_join(black_box(&items), black_box(&keywords), StructRel::Ancestor).len()
+        })
     });
     g.finish();
 }
@@ -88,5 +92,10 @@ fn bench_id_assignment(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_struct_join, bench_canonical, bench_id_assignment);
+criterion_group!(
+    benches,
+    bench_struct_join,
+    bench_canonical,
+    bench_id_assignment
+);
 criterion_main!(benches);

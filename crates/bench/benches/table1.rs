@@ -17,7 +17,9 @@ fn bench_table1(c: &mut Criterion) {
         b.iter(|| Summary::of(black_box(&sh)).len())
     });
     let sp = smv_datagen::corpora::swissprot(500, 3);
-    g.bench_function("swissprot", |b| b.iter(|| Summary::of(black_box(&sp)).len()));
+    g.bench_function("swissprot", |b| {
+        b.iter(|| Summary::of(black_box(&sp)).len())
+    });
     g.finish();
 }
 

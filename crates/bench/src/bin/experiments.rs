@@ -2,7 +2,7 @@
 //! in the paper's layout.
 //!
 //! ```text
-//! experiments [table1|fig13|fig14|fig15|bench-pr1|all] [--scale <f>] [--out <path>]
+//! experiments [table1|fig13|fig14|fig15|bench-pr1|bench-pr2|all] [--scale <f>] [--out <path>]
 //! ```
 //!
 //! `bench-pr1` micro-benchmarks the executor hot paths this repo's PR 1
@@ -10,6 +10,14 @@
 //! oracle, and comparator/hash row dedup against the old string-key
 //! encoding — on an XMark document of ≥ 10k nodes, and writes the
 //! before/after numbers to `BENCH_PR1.json` (override with `--out`).
+//!
+//! `bench-pr2` exercises the PR 2 cost layer: for each query of the
+//! `smv_datagen::pr2` workload it executes the cost-ranked best plan, the
+//! discovery-order first plan (PR 1's behavior), and the worst-ranked
+//! plan on a generated XMark document, recording estimated vs actual row
+//! counts and wall times; it also reruns the Figure-15 workload with the
+//! branch-and-bound cost bound on and off and reports the enumerated
+//! (plan, pattern) pair counts. Results land in `BENCH_PR2.json`.
 
 use smv_bench::*;
 use smv_datagen::{dblp, xmark, DblpSnapshot, XmarkConfig};
@@ -29,14 +37,14 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_PR1.json".to_owned());
+        .cloned();
     match which {
         "table1" => table1(scale),
         "fig13" => fig13(),
         "fig14" => fig14(),
         "fig15" => fig15(),
-        "bench-pr1" => bench_pr1(&out),
+        "bench-pr1" => bench_pr1(&out.unwrap_or_else(|| "BENCH_PR1.json".into())),
+        "bench-pr2" => bench_pr2(scale, &out.unwrap_or_else(|| "BENCH_PR2.json".into())),
         "all" => {
             table1(scale);
             fig13();
@@ -44,10 +52,137 @@ fn main() {
             fig15();
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use table1|fig13|fig14|fig15|bench-pr1|all");
+            eprintln!(
+                "unknown experiment `{other}`; use table1|fig13|fig14|fig15|bench-pr1|bench-pr2|all"
+            );
             std::process::exit(2);
         }
     }
+}
+
+/// PR 2 cost-based rewriting benchmarks → `BENCH_PR2.json`.
+fn bench_pr2(scale: f64, out: &str) {
+    use smv_algebra::execute;
+    use smv_core::{rewrite_with_cards, RewriteOpts};
+    use smv_datagen::pr2_workload;
+    use smv_views::{Catalog, CatalogCards};
+    use smv_xml::IdScheme;
+    use std::time::Instant;
+
+    /// Median-of-samples wall time of `f` in nanoseconds.
+    fn measure<O>(samples: usize, mut f: impl FnMut() -> O) -> u64 {
+        let mut times: Vec<u64> = (0..samples)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                t.elapsed().as_nanos() as u64
+            })
+            .collect();
+        times.sort_unstable();
+        times[times.len() / 2]
+    }
+
+    println!("== PR 2: cost-ranked vs first-found vs worst plan ==");
+    let doc = xmark(&XmarkConfig {
+        scale,
+        ..Default::default()
+    });
+    let s = Summary::of(&doc);
+    println!(
+        "(XMark document: {} nodes, summary: {} paths)",
+        doc.len(),
+        s.len()
+    );
+    let samples = 7;
+    let mut lines: Vec<String> = Vec::new();
+    let mut wins = 0usize;
+    for case in pr2_workload(IdScheme::OrdPath) {
+        let mut catalog = Catalog::new();
+        for v in &case.views {
+            catalog.add(v.clone(), &doc);
+        }
+        let cards = CatalogCards::new(&catalog, &s);
+        // ranked: actual extent sizes feed the cost model
+        let ranked = rewrite_with_cards(
+            &case.query,
+            &case.views,
+            &s,
+            &RewriteOpts::default(),
+            &cards,
+        );
+        // baseline: PR 1 behavior — discovery order, no bound. Same card
+        // source as the ranked run so est-vs-actual stays comparable.
+        let base_opts = RewriteOpts {
+            rank_by_cost: false,
+            cost_prune: false,
+            ..Default::default()
+        };
+        let baseline = rewrite_with_cards(&case.query, &case.views, &s, &base_opts, &cards);
+        assert!(
+            !ranked.rewritings.is_empty() && !baseline.rewritings.is_empty(),
+            "case {} must rewrite",
+            case.name
+        );
+        let best = &ranked.rewritings[0];
+        let first = &baseline.rewritings[0];
+        let worst = ranked.rewritings.last().unwrap();
+        let actual_rows = execute(&best.plan, &catalog)
+            .expect("best plan executes")
+            .len();
+        let t_best = measure(samples, || execute(&best.plan, &catalog).unwrap().len());
+        let t_first = measure(samples, || execute(&first.plan, &catalog).unwrap().len());
+        let t_worst = measure(samples, || execute(&worst.plan, &catalog).unwrap().len());
+        let speedup = t_first as f64 / t_best.max(1) as f64;
+        if t_best < t_first {
+            wins += 1;
+        }
+        println!(
+            "{:<14} est_rows(best)={:>8.1} actual={:>6} best={:>9}ns first={:>9}ns worst={:>9}ns first/best={speedup:.1}x",
+            case.name, best.est.rows, actual_rows, t_best, t_first, t_worst
+        );
+        lines.push(format!(
+            "    {{\"name\": \"{}\", \"est_rows_best\": {:.1}, \"est_rows_first\": {:.1}, \"est_rows_worst\": {:.1}, \"actual_rows\": {}, \"best_ns\": {}, \"first_ns\": {}, \"worst_ns\": {}, \"first_over_best\": {:.2}, \"best_views\": {:?}, \"first_views\": {:?}}}",
+            case.name,
+            best.est.rows,
+            first.est.rows,
+            worst.est.rows,
+            actual_rows,
+            t_best,
+            t_first,
+            t_worst,
+            speedup,
+            best.plan.views_used(),
+            first.plan.views_used(),
+        ));
+    }
+    println!("cost-ranked plan beat first-found wall time on {wins} queries");
+
+    println!("-- Figure-15 workload: branch-and-bound pair counts --");
+    let s15 = xmark_summary();
+    let views15 = fig15_views(&s15, 40);
+    let bb = fig15_bb_comparison(&s15, &views15);
+    println!(
+        "pairs explored: {} with bound (+{} pruned) vs {} without; queries rewritten: {} vs {}",
+        bb.pairs_with_bound,
+        bb.pairs_pruned,
+        bb.pairs_without_bound,
+        bb.rewritings_with_bound,
+        bb.rewritings_without_bound
+    );
+
+    let json = format!(
+        "{{\n  \"pr\": 2,\n  \"doc_nodes\": {},\n  \"queries_where_best_beats_first\": {},\n  \"cases\": [\n{}\n  ],\n  \"fig15_branch_and_bound\": {{\"pairs_with_bound\": {}, \"pairs_pruned\": {}, \"pairs_without_bound\": {}, \"rewritten_with_bound\": {}, \"rewritten_without_bound\": {}}}\n}}\n",
+        doc.len(),
+        wins,
+        lines.join(",\n"),
+        bb.pairs_with_bound,
+        bb.pairs_pruned,
+        bb.pairs_without_bound,
+        bb.rewritings_with_bound,
+        bb.rewritings_without_bound
+    );
+    std::fs::write(out, json).expect("write bench json");
+    println!("wrote {out}");
 }
 
 /// PR 1 hot-path microbenches → `BENCH_PR1.json`.
@@ -87,9 +222,7 @@ fn bench_pr1(out: &str) {
         .collect();
     let keywords: Vec<StructId> = doc
         .iter()
-        .filter(|&n| {
-            matches!(doc.label(n).as_str(), "keyword" | "bold" | "emph" | "text")
-        })
+        .filter(|&n| matches!(doc.label(n).as_str(), "keyword" | "bold" | "emph" | "text"))
         .map(|n| ids.id(n).clone())
         .collect();
 
@@ -197,9 +330,18 @@ fn table1(scale: f64) {
             st.max_depth
         );
     };
-    row("Shakespeare", &smv_datagen::corpora::shakespeare((40.0 * scale) as usize + 1, 1));
-    row("Nasa", &smv_datagen::corpora::nasa((2000.0 * scale) as usize + 1, 2));
-    row("SwissProt", &smv_datagen::corpora::swissprot((4000.0 * scale) as usize + 1, 3));
+    row(
+        "Shakespeare",
+        &smv_datagen::corpora::shakespeare((40.0 * scale) as usize + 1, 1),
+    );
+    row(
+        "Nasa",
+        &smv_datagen::corpora::nasa((2000.0 * scale) as usize + 1, 2),
+    );
+    row(
+        "SwissProt",
+        &smv_datagen::corpora::swissprot((4000.0 * scale) as usize + 1, 3),
+    );
     for (name, sc) in [("XMark11", 0.5), ("XMark111", 2.0), ("XMark233", 4.0)] {
         row(
             name,
@@ -209,8 +351,14 @@ fn table1(scale: f64) {
             }),
         );
     }
-    row("DBLP '02", &dblp(DblpSnapshot::Y2002, (8000.0 * scale) as usize + 1, 4));
-    row("DBLP '05", &dblp(DblpSnapshot::Y2005, (12000.0 * scale) as usize + 1, 5));
+    row(
+        "DBLP '02",
+        &dblp(DblpSnapshot::Y2002, (8000.0 * scale) as usize + 1, 4),
+    );
+    row(
+        "DBLP '05",
+        &dblp(DblpSnapshot::Y2005, (12000.0 * scale) as usize + 1, 5),
+    );
     println!();
 }
 
@@ -231,7 +379,8 @@ fn fig13() {
     );
     for r in 1..=3usize {
         for n in (3..=13usize).step_by(2) {
-            let pt = synthetic_containment(&s, n, r, 12, 0.5, &["item", "name", "initial"], n as u64);
+            let pt =
+                synthetic_containment(&s, n, r, 12, 0.5, &["item", "name", "initial"], n as u64);
             println!(
                 "{:<4} {:<3} {:>9.3}ms {:>6} {:>9.3}ms {:>6}",
                 pt.nodes,
@@ -257,7 +406,8 @@ fn fig14() {
     );
     for r in 1..=3usize {
         for n in (3..=13usize).step_by(2) {
-            let pt = synthetic_containment(&s, n, r, 12, 0.5, &["author", "title", "year"], n as u64);
+            let pt =
+                synthetic_containment(&s, n, r, 12, 0.5, &["author", "title", "year"], n as u64);
             println!(
                 "{:<4} {:<3} {:>9.3}ms {:>6} {:>9.3}ms {:>6}",
                 pt.nodes,

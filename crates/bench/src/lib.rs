@@ -61,8 +61,7 @@ pub fn reference_string_key(row: &smv_algebra::Row) -> String {
             Cell::Table(t) => {
                 s.push('T');
                 s.push('[');
-                let mut keys: Vec<String> =
-                    t.rows.iter().map(reference_string_key).collect();
+                let mut keys: Vec<String> = t.rows.iter().map(reference_string_key).collect();
                 keys.sort();
                 for k in keys {
                     s.push_str(&k);
@@ -78,7 +77,11 @@ pub fn reference_string_key(row: &smv_algebra::Row) -> String {
 
 /// The default DBLP'05 summary fixture.
 pub fn dblp_summary() -> Summary {
-    Summary::of(&smv_datagen::dblp(smv_datagen::DblpSnapshot::Y2005, 2000, 7))
+    Summary::of(&smv_datagen::dblp(
+        smv_datagen::DblpSnapshot::Y2005,
+        2000,
+        7,
+    ))
 }
 
 /// Containment options used across experiments (plain summaries, like the
@@ -217,6 +220,55 @@ pub fn fig15_opts() -> smv_core::RewriteOpts {
         max_rewritings: 2,
         enable_content_navigation: false,
         ..Default::default()
+    }
+}
+
+/// Aggregate (plan, pattern) pair counts over the Figure-15 workload,
+/// with the branch-and-bound cost pruning toggled — the PR 2 ablation
+/// showing how much of Algorithm 1's enumeration the bound cuts off.
+pub struct BBComparison {
+    /// Σ pairs explored with `cost_prune: true`.
+    pub pairs_with_bound: usize,
+    /// Σ pairs pruned by the bound.
+    pub pairs_pruned: usize,
+    /// Σ pairs explored with `cost_prune: false`.
+    pub pairs_without_bound: usize,
+    /// Queries with ≥ 1 rewriting under the bound (sanity: no query loses
+    /// its best plan; lower-ranked alternatives may legitimately vanish).
+    pub rewritings_with_bound: usize,
+    /// Queries with ≥ 1 rewriting without the bound.
+    pub rewritings_without_bound: usize,
+}
+
+/// Runs the Figure-15 queries twice — bound on, bound off — and sums the
+/// enumeration counters. Both runs rank by cost and search exhaustively
+/// within the same caps, so the only difference is the pruning rule.
+pub fn fig15_bb_comparison(s: &Summary, views: &[View]) -> BBComparison {
+    let run = |cost_prune: bool| {
+        let opts = smv_core::RewriteOpts {
+            cost_prune,
+            max_rewritings: 8,
+            ..fig15_opts()
+        };
+        let mut pairs = 0;
+        let mut pruned = 0;
+        let mut rewritings = 0;
+        for q in xmark_query_patterns() {
+            let r = smv_core::rewrite(&q, views, s, &opts);
+            pairs += r.stats.pairs_explored;
+            pruned += r.stats.pairs_pruned;
+            rewritings += r.rewritings.len().min(1);
+        }
+        (pairs, pruned, rewritings)
+    };
+    let (pairs_with_bound, pairs_pruned, rewritings_with_bound) = run(true);
+    let (pairs_without_bound, _, rewritings_without_bound) = run(false);
+    BBComparison {
+        pairs_with_bound,
+        pairs_pruned,
+        pairs_without_bound,
+        rewritings_with_bound,
+        rewritings_without_bound,
     }
 }
 

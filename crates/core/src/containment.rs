@@ -101,10 +101,7 @@ pub fn contained_in_union(
     if qs.len() == 1 && no_predicates(p) && no_predicates(qs[0]) {
         return contained(p, qs[0], s, opts);
     }
-    let candidates: Vec<&&Pattern> = qs
-        .iter()
-        .filter(|q| signatures_compatible(p, q))
-        .collect();
+    let candidates: Vec<&&Pattern> = qs.iter().filter(|q| signatures_compatible(p, q)).collect();
     if candidates.is_empty() {
         return Decision::NotContained;
     }
@@ -135,9 +132,9 @@ pub fn contained_in_union(
         let te_ret = te.return_paths();
         let mut rhs: Vec<HashMap<NodeId, Formula>> = Vec::new();
         for &i in &f_te {
-            let m = member_models.entry(i).or_insert_with(|| {
-                canonical_model(qs[i], s, &opts.canon)
-            });
+            let m = member_models
+                .entry(i)
+                .or_insert_with(|| canonical_model(qs[i], s, &opts.canon));
             if m.truncated {
                 unknown = true;
             }
@@ -334,11 +331,7 @@ pub(crate) fn implies_disjunction(
 ) -> bool {
     // accumulate per-path constraints of the hypothetical counter-model,
     // starting from the lhs
-    fn rec(
-        acc: &mut HashMap<NodeId, Formula>,
-        rhs: &[HashMap<NodeId, Formula>],
-        j: usize,
-    ) -> bool {
+    fn rec(acc: &mut HashMap<NodeId, Formula>, rhs: &[HashMap<NodeId, Formula>], j: usize) -> bool {
         if j == rhs.len() {
             return true; // counter-model exists: implication fails
         }
@@ -407,7 +400,10 @@ mod tests {
         let s = Summary::of(&Document::from_parens("a(b(c) c)"));
         let narrow = parse_pattern("a(/b(/c{ret}))").unwrap();
         let wide = parse_pattern("a(//c{ret})").unwrap();
-        assert_eq!(contained(&narrow, &wide, &s, &opts_plain()), Decision::Contained);
+        assert_eq!(
+            contained(&narrow, &wide, &s, &opts_plain()),
+            Decision::Contained
+        );
         assert_eq!(
             contained(&wide, &narrow, &s, &opts_plain()),
             Decision::NotContained
@@ -527,7 +523,10 @@ mod tests {
         // required ⊆ optional fails on arity-compatible designations?
         // both are 1-ary and return b; every required-match is an
         // optional-match:
-        assert_eq!(contained(&req, &opt, &s, &opts_plain()), Decision::Contained);
+        assert_eq!(
+            contained(&req, &opt, &s, &opts_plain()),
+            Decision::Contained
+        );
         // optional ⊄ required: the cut variant has no c
         assert_eq!(
             contained(&opt, &req, &s, &opts_plain()),
@@ -560,9 +559,18 @@ mod tests {
         let s = Summary::of(&Document::from_parens("a(b(c))"));
         let flat = parse_pattern("a(//c{ret})").unwrap();
         let nested = parse_pattern("a(%//c{ret})").unwrap();
-        assert_eq!(contained(&flat, &nested, &s, &opts()), Decision::NotContained);
-        assert_eq!(contained(&nested, &flat, &s, &opts()), Decision::NotContained);
-        assert_eq!(contained(&nested, &nested, &s, &opts()), Decision::Contained);
+        assert_eq!(
+            contained(&flat, &nested, &s, &opts()),
+            Decision::NotContained
+        );
+        assert_eq!(
+            contained(&nested, &flat, &s, &opts()),
+            Decision::NotContained
+        );
+        assert_eq!(
+            contained(&nested, &nested, &s, &opts()),
+            Decision::Contained
+        );
     }
 
     #[test]
@@ -624,7 +632,10 @@ mod tests {
         // but when the summary has only b children, * ≡ b (summary
         // reasoning beats syntax — the V1 example of §1)
         let s2 = Summary::of(&Document::from_parens("a(b)"));
-        assert_eq!(contained(&star, &b, &s2, &opts_plain()), Decision::Contained);
+        assert_eq!(
+            contained(&star, &b, &s2, &opts_plain()),
+            Decision::Contained
+        );
     }
 
     #[test]
@@ -659,9 +670,6 @@ mod tests {
             &[f(&[(pa, v3)]), f(&[(pb, gt1.not())])]
         ));
         // (a>1) ⇏ (a<5): counter-model a=7
-        assert!(!implies_disjunction(
-            &f(&[(pa, gt1)]),
-            &[f(&[(pa, lt5)])]
-        ));
+        assert!(!implies_disjunction(&f(&[(pa, gt1)]), &[f(&[(pa, lt5)])]));
     }
 }

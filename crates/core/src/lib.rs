@@ -20,4 +20,6 @@ pub use containment::{
 
 pub mod rewriting;
 
-pub use rewriting::{rewrite, RewriteOpts, RewriteResult, RewriteStats, Rewriter, Rewriting};
+pub use rewriting::{
+    rewrite, rewrite_with_cards, RewriteOpts, RewriteResult, RewriteStats, Rewriter, Rewriting,
+};

@@ -40,11 +40,13 @@
 //!   this nesting step cannot be obtained").
 
 use crate::containment::{implies_disjunction, tuple_in, FormulaMode};
-use smv_algebra::{AttrKind, ColKind, NavStep, Plan, Predicate, StructRel};
+use smv_algebra::{
+    AttrKind, CardSource, ColKind, CostModel, NavStep, Plan, PlanEstimate, Predicate, StructRel,
+};
 use smv_pattern::canonical::{canonical_model, CTree, CanonOpts};
 use smv_pattern::{associated_paths, Axis, Formula, PNodeId, Pattern};
 use smv_summary::Summary;
-use smv_views::{schema_of, View};
+use smv_views::{schema_of, DefCards, View};
 use smv_xml::{IdScheme, NodeId, Symbol};
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
@@ -71,6 +73,13 @@ pub struct RewriteOpts {
     pub enable_content_navigation: bool,
     /// Build union rewritings (lines 13-14).
     pub enable_unions: bool,
+    /// Rank results by estimated cost (cheapest first) and explore base
+    /// pairs cheapest-first, shrinking time-to-first-rewriting.
+    pub rank_by_cost: bool,
+    /// Branch-and-bound: once a rewriting is known, prune every left-deep
+    /// prefix whose estimated cost already exceeds the best complete
+    /// plan's — its extensions can only cost more.
+    pub cost_prune: bool,
 }
 
 impl Default for RewriteOpts {
@@ -85,6 +94,8 @@ impl Default for RewriteOpts {
             enable_virtual_ids: true,
             enable_content_navigation: true,
             enable_unions: true,
+            rank_by_cost: true,
+            cost_prune: true,
         }
     }
 }
@@ -96,6 +107,10 @@ pub struct Rewriting {
     pub plan: Plan,
     /// Number of view scans (plan size in the Prop 3.6 sense).
     pub scans: usize,
+    /// Estimated output rows and work for the plan (summary-driven cost
+    /// model; extent sizes are estimates unless a [`CardSource`] backed by
+    /// a materialized catalog was supplied).
+    pub est: PlanEstimate,
 }
 
 /// Timings and counters matching the paper's Figure 15.
@@ -113,12 +128,15 @@ pub struct RewriteStats {
     pub total: Duration,
     /// (plan, pattern) pairs explored.
     pub pairs_explored: usize,
+    /// (plan, pattern) pairs pruned by the cost bound before exploration.
+    pub pairs_pruned: usize,
 }
 
 /// The outcome of a rewriting run.
 #[derive(Clone, Debug, Default)]
 pub struct RewriteResult {
-    /// Equivalent rewritings, in discovery order.
+    /// Equivalent rewritings — ranked cheapest-first when
+    /// [`RewriteOpts::rank_by_cost`] is set, discovery order otherwise.
     pub rewritings: Vec<Rewriting>,
     /// Run statistics.
     pub stats: RewriteStats,
@@ -173,6 +191,9 @@ struct Pair {
     groups: Vec<u32>,
     members: Vec<Member>,
     views: Vec<usize>,
+    /// Estimated work of the raw (pre-output-adaptation) plan — the
+    /// branch-and-bound bound for this left-deep prefix.
+    cost: f64,
 }
 
 impl Pair {
@@ -188,10 +209,10 @@ impl Pair {
                 // per group: attrs offered and member binding
                 let mut per_group: HashMap<u32, Vec<String>> = HashMap::new();
                 for (c, info) in self.cols.iter().enumerate() {
-                    per_group.entry(self.groups[c]).or_default().push(format!(
-                        "{}@{:?}",
-                        info.attr, m.col_path[c]
-                    ));
+                    per_group
+                        .entry(self.groups[c])
+                        .or_default()
+                        .push(format!("{}@{:?}", info.attr, m.col_path[c]));
                 }
                 let mut gs: Vec<String> = per_group
                     .into_values()
@@ -228,9 +249,27 @@ struct QueryCtx<'a> {
     decorated: bool,
 }
 
-/// Rewrites `q` over `views` under `s`. See module docs.
+/// Rewrites `q` over `views` under `s`. See module docs. Scan
+/// cardinalities are *estimated* from the summary (definition-only
+/// [`DefCards`]); use [`rewrite_with_cards`] when materialized extent
+/// sizes are available.
 pub fn rewrite(q: &Pattern, views: &[View], s: &Summary, opts: &RewriteOpts) -> RewriteResult {
     Rewriter::new(q, views, s, opts.clone()).run()
+}
+
+/// Rewrites `q` with an explicit cardinality source (e.g.
+/// `smv_views::CatalogCards` over a materialized catalog), making the
+/// cost ranking and branch-and-bound bound use actual extent sizes.
+pub fn rewrite_with_cards(
+    q: &Pattern,
+    views: &[View],
+    s: &Summary,
+    opts: &RewriteOpts,
+    cards: &dyn CardSource,
+) -> RewriteResult {
+    Rewriter::new(q, views, s, opts.clone())
+        .with_card_source(cards)
+        .run()
 }
 
 /// The rewriting engine (reusable across runs for benchmarks).
@@ -239,12 +278,26 @@ pub struct Rewriter<'a> {
     views: &'a [View],
     s: &'a Summary,
     opts: RewriteOpts,
+    cards: Option<&'a dyn CardSource>,
 }
 
 impl<'a> Rewriter<'a> {
     /// Creates an engine.
     pub fn new(q: &'a Pattern, views: &'a [View], s: &'a Summary, opts: RewriteOpts) -> Self {
-        Rewriter { q, views, s, opts }
+        Rewriter {
+            q,
+            views,
+            s,
+            opts,
+            cards: None,
+        }
+    }
+
+    /// Supplies scan cardinalities (defaults to definition-only
+    /// estimates).
+    pub fn with_card_source(mut self, cards: &'a dyn CardSource) -> Self {
+        self.cards = Some(cards);
+        self
     }
 
     /// Runs Algorithm 1.
@@ -272,12 +325,24 @@ impl<'a> Rewriter<'a> {
             return result;
         }
 
+        // cost model: supplied cardinalities, or definition-only estimates
+        let def_cards = DefCards::new(self.views, self.s);
+        let cards: &dyn CardSource = self.cards.unwrap_or(&def_cards);
+        let model = CostModel::new(self.s, cards);
+
         // ---- setup: base pairs (M0), Prop 3.4 pruning, derived columns
         let mut m0: Vec<Pair> = Vec::new();
         for (vi, v) in self.views.iter().enumerate() {
-            if let Some(pair) = self.base_pair(vi, v, &ctx) {
+            if let Some(mut pair) = self.base_pair(vi, v, &ctx) {
+                pair.cost = model.estimate(&pair.plan).cost;
                 m0.push(pair);
             }
+        }
+        if self.opts.rank_by_cost {
+            // cheapest-first exploration: the first rewriting found is
+            // already a good one, shrinking time-to-first-rewriting and
+            // tightening the branch-and-bound bound early
+            m0.sort_by(|a, b| a.cost.total_cmp(&b.cost));
         }
         result.stats.views_kept = m0.len();
         result.stats.setup = t0.elapsed();
@@ -296,10 +361,14 @@ impl<'a> Rewriter<'a> {
             m.push(p.clone());
         }
 
+        // best complete rewriting's estimated work — the B&B upper bound
+        let mut best_cost = f64::INFINITY;
+
         // line 7 test on the initial single-view pairs first
         let emit = |pair: &Pair,
-                        result: &mut RewriteResult,
-                        union_candidates: &mut Vec<(Plan, Vec<bool>)>|
+                    result: &mut RewriteResult,
+                    union_candidates: &mut Vec<(Plan, Vec<bool>)>,
+                    best_cost: &mut f64|
          -> bool {
             result.stats.pairs_explored += 1;
             for plan_or_cand in self.try_pair(pair, &ctx) {
@@ -308,9 +377,12 @@ impl<'a> Rewriter<'a> {
                         if result.stats.first_rewriting.is_none() {
                             result.stats.first_rewriting = Some(t0.elapsed());
                         }
+                        let est = model.estimate(&plan);
+                        *best_cost = best_cost.min(est.cost);
                         result.rewritings.push(Rewriting {
                             scans: plan.scan_count(),
                             plan,
+                            est,
                         });
                         if self.opts.first_only
                             || result.rewritings.len() >= self.opts.max_rewritings
@@ -330,7 +402,7 @@ impl<'a> Rewriter<'a> {
 
         let mut stop = false;
         for pair in &m0 {
-            if emit(pair, &mut result, &mut union_candidates) {
+            if emit(pair, &mut result, &mut union_candidates, &mut best_cost) {
                 stop = true;
                 break;
             }
@@ -344,23 +416,38 @@ impl<'a> Rewriter<'a> {
             if m[i].plan.scan_count() >= max_scans {
                 continue;
             }
+            // B&B on the prefix: extensions only add operators, so a
+            // prefix already costlier than a complete rewriting is dead
+            if self.opts.cost_prune && m[i].cost >= best_cost {
+                result.stats.pairs_pruned += 1;
+                continue;
+            }
             let mut created: Vec<Pair> = Vec::new();
             for base in &m0 {
-                for joined in self.join_options(&m[i], base) {
+                for mut joined in self.join_options(&m[i], base) {
                     if joined.plan.scan_count() > max_scans {
                         continue;
                     }
                     let fp = joined.fingerprint();
-                    // Prop 3.5: no new pattern information
+                    // Prop 3.5: no new pattern information. Dedup before
+                    // costing so a dominated pair is estimated and counted
+                    // as pruned once, not once per deriving prefix.
                     if seen.contains(&fp) {
                         continue;
                     }
                     seen.insert(fp);
+                    joined.cost = model.estimate(&joined.plan).cost;
+                    // B&B on the freshly created pair (strictly dominated
+                    // before it is ever tested or expanded)
+                    if self.opts.cost_prune && joined.cost >= best_cost {
+                        result.stats.pairs_pruned += 1;
+                        continue;
+                    }
                     created.push(joined);
                 }
             }
             for pair in created {
-                if emit(&pair, &mut result, &mut union_candidates) {
+                if emit(&pair, &mut result, &mut union_candidates, &mut best_cost) {
                     stop = true;
                     break;
                 }
@@ -372,9 +459,15 @@ impl<'a> Rewriter<'a> {
 
         // ---- lines 13-14: minimal unions of partial candidates
         if !stop && self.opts.enable_unions && result.rewritings.len() < self.opts.max_rewritings {
-            self.build_unions(&ctx, &union_candidates, &mut result, t0);
+            self.build_unions(&ctx, &union_candidates, &mut result, t0, &model);
         }
 
+        if self.opts.rank_by_cost {
+            // rank cheapest-first; stable sort keeps discovery order on ties
+            result
+                .rewritings
+                .sort_by(|a, b| a.est.cost.total_cmp(&b.est.cost));
+        }
         result.stats.total = t0.elapsed();
         result
     }
@@ -393,9 +486,10 @@ impl<'a> Rewriter<'a> {
         }
         q_all.sort();
         q_all.dedup();
-        let related = pf.iter().skip(1).any(|n| {
-            !smv_pattern::annotate::unrelated_to(self.s, &vpaths[n.idx()], &q_all)
-        });
+        let related = pf
+            .iter()
+            .skip(1)
+            .any(|n| !smv_pattern::annotate::unrelated_to(self.s, &vpaths[n.idx()], &q_all));
         if pf.len() > 1 && !related {
             return None;
         }
@@ -491,6 +585,7 @@ impl<'a> Rewriter<'a> {
             groups,
             members,
             views: vec![vi],
+            cost: 0.0,
         };
         if self.opts.enable_virtual_ids && v.scheme.derives_parent() {
             self.add_virtual_ids(&mut pair, ctx);
@@ -803,6 +898,7 @@ impl<'a> Rewriter<'a> {
             groups,
             members,
             views,
+            cost: 0.0,
         })
     }
 
@@ -842,9 +938,10 @@ impl<'a> Rewriter<'a> {
                 // column on a query-compatible path; members on other
                 // paths may still be filtered by the σ adaptations, so the
                 // strict subset check is left to the equivalence test.
-                let some_compatible = pair.members.iter().any(|m| {
-                    m.col_path[g_cols[0]].is_some_and(|p| rp.contains(&p))
-                });
+                let some_compatible = pair
+                    .members
+                    .iter()
+                    .any(|m| m.col_path[g_cols[0]].is_some_and(|p| rp.contains(&p)));
                 if !some_compatible {
                     continue 'g;
                 }
@@ -921,7 +1018,10 @@ impl<'a> Rewriter<'a> {
                     let lcol = lcol?;
                     pair.plan = Plan::Select {
                         input: Box::new(pair.plan.clone()),
-                        pred: Predicate::LabelEq { col: lcol, label: l },
+                        pred: Predicate::LabelEq {
+                            col: lcol,
+                            label: l,
+                        },
                     };
                     pair.members
                         .retain(|m| m.col_path[rep].is_none_or(|p| self.s.label(p) == l));
@@ -1095,8 +1195,9 @@ impl<'a> Rewriter<'a> {
             let key_cols: Vec<usize> = (0..layout.len())
                 .filter(|&i| !in_subtree(&layout[i]))
                 .collect();
-            let nested_cols: Vec<usize> =
-                (0..layout.len()).filter(|&i| in_subtree(&layout[i])).collect();
+            let nested_cols: Vec<usize> = (0..layout.len())
+                .filter(|&i| in_subtree(&layout[i]))
+                .collect();
             plan = Plan::Nest {
                 input: Box::new(plan),
                 key_cols: key_cols.clone(),
@@ -1138,6 +1239,7 @@ impl<'a> Rewriter<'a> {
         candidates: &[(Plan, Vec<bool>)],
         result: &mut RewriteResult,
         t0: Instant,
+        model: &CostModel<'_>,
     ) {
         let n = ctx.qmodel.len();
         let k = candidates.len();
@@ -1145,9 +1247,8 @@ impl<'a> Rewriter<'a> {
             return;
         }
         // greedy + exhaustive over small subsets (≤ 3)
-        let covers = |sel: &[usize]| -> bool {
-            (0..n).all(|t| sel.iter().any(|&i| candidates[i].1[t]))
-        };
+        let covers =
+            |sel: &[usize]| -> bool { (0..n).all(|t| sel.iter().any(|&i| candidates[i].1[t])) };
         let mut found: Vec<Vec<usize>> = Vec::new();
         for i in 0..k {
             for j in (i + 1)..k {
@@ -1188,9 +1289,11 @@ impl<'a> Rewriter<'a> {
             if result.stats.first_rewriting.is_none() {
                 result.stats.first_rewriting = Some(t0.elapsed());
             }
+            let est = model.estimate(&plan);
             result.rewritings.push(Rewriting {
                 scans: plan.scan_count(),
                 plan,
+                est,
             });
             if result.rewritings.len() >= self.opts.max_rewritings {
                 return;
@@ -1427,9 +1530,7 @@ mod tests {
     #[test]
     fn structural_join_combines_two_views() {
         // V1 stores items, V2 stores names; a structural join reassembles
-        let doc = Document::from_parens(
-            r#"r(item(name="p1") item(name="p2"))"#,
-        );
+        let doc = Document::from_parens(r#"r(item(name="p1") item(name="p2"))"#);
         check_roundtrip(
             &doc,
             "r(/item{id}(/name{id,v}))",
@@ -1476,9 +1577,7 @@ mod tests {
     #[test]
     fn nested_query_from_flat_views() {
         // §4.6(ii): nesting reconstructed by group-by on the anchor's ID
-        let doc = Document::from_parens(
-            r#"a(item(li="x" li="y") item(li="z") item)"#,
-        );
+        let doc = Document::from_parens(r#"a(item(li="x" li="y") item(li="z") item)"#);
         check_roundtrip(
             &doc,
             "a(/item{id}(?%/li{v}))",
@@ -1489,9 +1588,7 @@ mod tests {
 
     #[test]
     fn nested_view_serves_flat_query_by_unnesting() {
-        let doc = Document::from_parens(
-            r#"a(item(li="x" li="y") item)"#,
-        );
+        let doc = Document::from_parens(r#"a(item(li="x" li="y") item)"#);
         check_roundtrip(
             &doc,
             "a(/item{id}(?/li{v}))",
@@ -1504,15 +1601,8 @@ mod tests {
     fn content_navigation_extracts_descendants() {
         // keywords live only inside the stored content of li (the paper's
         // second motivating bullet in §1)
-        let doc = Document::from_parens(
-            r#"a(item(li(kw="k1") li(kw="k2")))"#,
-        );
-        check_roundtrip(
-            &doc,
-            "a(//kw{v})",
-            &[("v1", "a(//li{id,c})")],
-            true,
-        );
+        let doc = Document::from_parens(r#"a(item(li(kw="k1") li(kw="k2")))"#);
+        check_roundtrip(&doc, "a(//kw{v})", &[("v1", "a(//li{id,c})")], true);
     }
 
     #[test]
@@ -1520,12 +1610,7 @@ mod tests {
         // V1 stores name IDs; the query wants item IDs: derive the parent
         // ID from the name ID (§4.6 virtual IDs)
         let doc = Document::from_parens(r#"r(item(name="a") item(name="b"))"#);
-        check_roundtrip(
-            &doc,
-            "r(/item{id})",
-            &[("vn", "r(/item(/name{id}))")],
-            true,
-        );
+        check_roundtrip(&doc, "r(/item{id})", &[("vn", "r(/item(/name{id}))")], true);
     }
 
     #[test]
@@ -1551,8 +1636,16 @@ mod tests {
         let s = Summary::of(&doc);
         let q = parse_pattern("r(/a(/b{id,v}))").unwrap();
         let views = vec![
-            View::new("vb", parse_pattern("r(//b{id,v})").unwrap(), IdScheme::OrdPath),
-            View::new("vd", parse_pattern("r(//d{id,v})").unwrap(), IdScheme::OrdPath),
+            View::new(
+                "vb",
+                parse_pattern("r(//b{id,v})").unwrap(),
+                IdScheme::OrdPath,
+            ),
+            View::new(
+                "vd",
+                parse_pattern("r(//d{id,v})").unwrap(),
+                IdScheme::OrdPath,
+            ),
         ];
         let result = rewrite(&q, &views, &s, &opts());
         assert_eq!(result.stats.views_total, 2);
@@ -1561,13 +1654,97 @@ mod tests {
     }
 
     #[test]
+    fn cost_ranking_prefers_the_cheaper_view() {
+        // the wide view needs a label selection over a fatter extent; the
+        // exact view is a plain scan — ranking puts the exact view first
+        let doc = Document::from_parens(r#"a(b="1" b="2" c="3" c="4" c="5")"#);
+        let s = Summary::of(&doc);
+        let q = parse_pattern("a(/b{id,v})").unwrap();
+        let views = vec![
+            View::new(
+                "wide",
+                parse_pattern("a(/*{id,l,v})").unwrap(),
+                IdScheme::OrdPath,
+            ),
+            View::new(
+                "exact",
+                parse_pattern("a(/b{id,v})").unwrap(),
+                IdScheme::OrdPath,
+            ),
+        ];
+        let r = rewrite(&q, &views, &s, &opts());
+        assert!(r.rewritings.len() >= 2, "both views rewrite the query");
+        assert_eq!(
+            r.rewritings[0].plan.views_used(),
+            vec!["exact".to_string()],
+            "cheapest-ranked plan scans the exact view:\n{}",
+            r.rewritings[0].plan
+        );
+        for w in r.rewritings.windows(2) {
+            assert!(w[0].est.cost <= w[1].est.cost, "ranked by estimated cost");
+        }
+    }
+
+    #[test]
+    fn branch_and_bound_prunes_dominated_prefixes() {
+        let doc = Document::from_parens(r#"r(item(name="a") item(name="b") item(name="c"))"#);
+        let s = Summary::of(&doc);
+        let q = parse_pattern("r(/item{id}(/name{id,v}))").unwrap();
+        let views = vec![
+            View::new(
+                "vi",
+                parse_pattern("r(/item{id})").unwrap(),
+                IdScheme::OrdPath,
+            ),
+            View::new(
+                "vn",
+                parse_pattern("r(//name{id,v})").unwrap(),
+                IdScheme::OrdPath,
+            ),
+            View::new(
+                "vq",
+                parse_pattern("r(/item{id}(/name{id,v}))").unwrap(),
+                IdScheme::OrdPath,
+            ),
+        ];
+        let mut on = opts();
+        on.cost_prune = true;
+        let mut off = opts();
+        off.cost_prune = false;
+        let r_on = rewrite(&q, &views, &s, &on);
+        let r_off = rewrite(&q, &views, &s, &off);
+        // same best plan either way, fewer pairs enumerated with the bound
+        assert!(!r_on.rewritings.is_empty() && !r_off.rewritings.is_empty());
+        assert!(r_on.stats.pairs_pruned > 0, "the bound fires");
+        assert!(
+            r_on.stats.pairs_explored < r_off.stats.pairs_explored,
+            "B&B explores fewer pairs: {} vs {}",
+            r_on.stats.pairs_explored,
+            r_off.stats.pairs_explored
+        );
+        assert_eq!(
+            r_on.rewritings[0].plan.views_used(),
+            r_off.rewritings[0].plan.views_used(),
+            "pruning never changes the winning plan"
+        );
+    }
+
+    #[test]
     fn first_only_stops_early() {
         let doc = Document::from_parens(r#"a(b="1")"#);
         let s = Summary::of(&doc);
         let q = parse_pattern("a(/b{id,v})").unwrap();
         let views = vec![
-            View::new("v1", parse_pattern("a(/b{id,v})").unwrap(), IdScheme::OrdPath),
-            View::new("v2", parse_pattern("a(/*{id,v})").unwrap(), IdScheme::OrdPath),
+            View::new(
+                "v1",
+                parse_pattern("a(/b{id,v})").unwrap(),
+                IdScheme::OrdPath,
+            ),
+            View::new(
+                "v2",
+                parse_pattern("a(/*{id,v})").unwrap(),
+                IdScheme::OrdPath,
+            ),
         ];
         let mut o = opts();
         o.first_only = true;

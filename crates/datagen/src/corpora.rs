@@ -17,7 +17,10 @@ pub fn shakespeare(acts: usize, seed: u64) -> Document {
     b.leaf(l("TITLE"), Some(Value::str("The Tragedy of Benchmarks")));
     b.open(l("FM"));
     for _ in 0..3 {
-        b.leaf(l("P"), Some(Value::str("Text placed in the public domain.")));
+        b.leaf(
+            l("P"),
+            Some(Value::str("Text placed in the public domain.")),
+        );
     }
     b.close();
     b.open(l("PERSONAE"));
@@ -132,7 +135,10 @@ pub fn swissprot(entries: usize, seed: u64) -> Document {
             }
             b.leaf(l("Cite"), Some(Value::str("J. Biol. Chem.")));
             if rng.random_bool(0.5) {
-                b.leaf(l("MedlineID"), Some(Value::int(rng.random_range(90000000..99999999))));
+                b.leaf(
+                    l("MedlineID"),
+                    Some(Value::int(rng.random_range(90000000..99999999))),
+                );
             }
             b.close();
         }

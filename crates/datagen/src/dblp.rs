@@ -25,18 +25,38 @@ pub fn dblp(snapshot: DblpSnapshot, entries: usize, seed: u64) -> Document {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = TreeBuilder::new();
     b.open(l("dblp"));
-    let names = ["Levy", "Suciu", "Widom", "Goldman", "Halevy", "Papakonstantinou"];
+    let names = [
+        "Levy",
+        "Suciu",
+        "Widom",
+        "Goldman",
+        "Halevy",
+        "Papakonstantinou",
+    ];
     let emit_common = |b: &mut TreeBuilder, rng: &mut StdRng, kind: &str| {
         b.open(l(kind));
-        b.leaf(l("@key"), Some(Value::str(&format!("{}/{}", kind, rng.random_range(0..99999)))));
+        b.leaf(
+            l("@key"),
+            Some(Value::str(&format!(
+                "{}/{}",
+                kind,
+                rng.random_range(0..99999)
+            ))),
+        );
         if rng.random_bool(0.3) {
             b.leaf(l("@mdate"), Some(Value::str("2002-01-03")));
         }
         let n_auth = rng.random_range(1..=3);
         for _ in 0..n_auth {
-            b.leaf(l("author"), Some(Value::str(names[rng.random_range(0..names.len())])));
+            b.leaf(
+                l("author"),
+                Some(Value::str(names[rng.random_range(0..names.len())])),
+            );
         }
-        b.leaf(l("title"), Some(Value::str("Answering queries using views")));
+        b.leaf(
+            l("title"),
+            Some(Value::str("Answering queries using views")),
+        );
         b.leaf(l("year"), Some(Value::int(rng.random_range(1980..2006))));
     };
     for _ in 0..entries.max(1) {

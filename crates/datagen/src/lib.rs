@@ -13,12 +13,14 @@
 
 pub mod corpora;
 pub mod dblp;
+pub mod pr2;
 pub mod queries;
 pub mod synthetic;
 pub mod views;
 pub mod xmark;
 
 pub use dblp::{dblp, DblpSnapshot};
+pub use pr2::{pr2_workload, Pr2Case};
 pub use queries::xmark_query_patterns;
 pub use synthetic::{random_patterns, SynthConfig};
 pub use views::{random_views, seed_views, ViewGenConfig};

@@ -46,11 +46,34 @@ struct Gen {
 }
 
 const WORDS: &[&str] = &[
-    "gold", "plated", "pen", "ink", "fountain", "stainless", "steel", "invincia", "columbus",
-    "monteverdi", "italic", "great", "rare", "vintage", "mint", "antique", "classic", "deluxe",
+    "gold",
+    "plated",
+    "pen",
+    "ink",
+    "fountain",
+    "stainless",
+    "steel",
+    "invincia",
+    "columbus",
+    "monteverdi",
+    "italic",
+    "great",
+    "rare",
+    "vintage",
+    "mint",
+    "antique",
+    "classic",
+    "deluxe",
 ];
 
-const REGIONS: &[&str] = &["africa", "asia", "australia", "europe", "namerica", "samerica"];
+const REGIONS: &[&str] = &[
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
 
 /// Generates an XMark-like document.
 pub fn xmark(cfg: &XmarkConfig) -> Document {
@@ -287,7 +310,7 @@ impl Gen {
         if self.rng.random_bool(0.6) {
             self.b.open(l("profile"));
             let pick = self.rng.random_range(9000..100000);
-        self.attr("income", &format!("{pick}"));
+            self.attr("income", &format!("{pick}"));
             let n = self.rng.random_range(0..=3);
             for c in 0..n {
                 self.b.open(l("interest"));
@@ -436,10 +459,8 @@ mod tests {
         }
         // recursion unfolds into distinct paths but is bounded
         assert!(
-            s.node_by_path(
-                "/site/regions/asia/item/description/parlist/listitem/parlist/listitem"
-            )
-            .is_some(),
+            s.node_by_path("/site/regions/asia/item/description/parlist/listitem/parlist/listitem")
+                .is_some(),
             "parlist recursion should unfold at least twice"
         );
         // summary in the hundreds of nodes, like the paper's 548
@@ -449,8 +470,14 @@ mod tests {
 
     #[test]
     fn scale_grows_document_not_summary() {
-        let small = xmark(&XmarkConfig { scale: 0.05, ..Default::default() });
-        let big = xmark(&XmarkConfig { scale: 0.4, ..Default::default() });
+        let small = xmark(&XmarkConfig {
+            scale: 0.05,
+            ..Default::default()
+        });
+        let big = xmark(&XmarkConfig {
+            scale: 0.4,
+            ..Default::default()
+        });
         assert!(big.len() > 3 * small.len());
         let doc_growth = big.len() as f64 / small.len() as f64;
         let ss = Summary::of(&small).len() as f64;

@@ -59,11 +59,7 @@ pub fn return_paths(p: &Pattern, s: &Summary) -> Vec<Vec<NodeId>> {
 /// no associated path of `n` equals, is an ancestor of, or is a descendant
 /// of any path in `qpaths`. This is the per-node test of Proposition 3.4
 /// (view pruning).
-pub fn unrelated_to(
-    s: &Summary,
-    npaths: &[NodeId],
-    qpaths: &[NodeId],
-) -> bool {
+pub fn unrelated_to(s: &Summary, npaths: &[NodeId], qpaths: &[NodeId]) -> bool {
     for &x in npaths {
         for &y in qpaths {
             if x == y || s.is_ancestor(x, y) || s.is_ancestor(y, x) {

@@ -361,7 +361,11 @@ impl Pattern {
 
 impl std::fmt::Display for Pattern {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        fn write_node(p: &Pattern, n: PNodeId, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn write_node(
+            p: &Pattern,
+            n: PNodeId,
+            f: &mut std::fmt::Formatter<'_>,
+        ) -> std::fmt::Result {
             let nd = p.node(n);
             match nd.label {
                 Some(l) => write!(f, "{l}")?,
@@ -437,10 +441,7 @@ mod tests {
         assert_eq!(p.optional_edges(), vec![bold]);
         assert!(p.is_ancestor(p.root(), bold));
         assert!(!p.is_ancestor(desc, bold));
-        assert_eq!(
-            p.to_string(),
-            "regions(//*{id}(/description, ?//bold{v}))"
-        );
+        assert_eq!(p.to_string(), "regions(//*{id}(/description, ?//bold{v}))");
     }
 
     #[test]
@@ -466,7 +467,10 @@ mod tests {
         p.node_mut(b).predicate = Formula::eq(Value::int(3));
         let strict = p.strict_copy();
         assert!(strict.optional_edges().is_empty());
-        assert!(!strict.node(b).predicate.is_top(), "strict keeps predicates");
+        assert!(
+            !strict.node(b).predicate.is_top(),
+            "strict keeps predicates"
+        );
         let erased = p.erase_predicates();
         assert!(erased.node(b).predicate.is_top());
         assert!(erased.node(b).optional, "erase keeps optionality");

@@ -637,8 +637,12 @@ mod tests {
         let s = Summary::of(&d);
         let p = parse_pattern("a(//*(//e{ret}))").unwrap();
         let m = canonical_model(&p, &s, &opts_plain());
-        assert_eq!(m.size(), 1, "trees for *=b and *=c coincide: {:?}",
-            m.trees.iter().map(|t| t.render()).collect::<Vec<_>>());
+        assert_eq!(
+            m.size(),
+            1,
+            "trees for *=b and *=c coincide: {:?}",
+            m.trees.iter().map(|t| t.render()).collect::<Vec<_>>()
+        );
         assert_eq!(m.trees[0].render(), "a(b(c(e!)))");
     }
 
@@ -721,7 +725,14 @@ mod tests {
         let d = Document::from_parens("a(b(x) c(x) d(x) e(x) f(x))");
         let s = Summary::of(&d);
         let p = parse_pattern("a(//*{ret}, //*{ret})").unwrap();
-        let m = canonical_model(&p, &s, &CanonOpts { use_strong: false, max_trees: 5 });
+        let m = canonical_model(
+            &p,
+            &s,
+            &CanonOpts {
+                use_strong: false,
+                max_trees: 5,
+            },
+        );
         assert!(m.truncated);
         assert!(m.size() <= 5);
     }

@@ -197,7 +197,8 @@ impl Formula {
     fn normalize(mut intervals: Vec<Interval>) -> Formula {
         intervals.retain(|i| !i.is_empty());
         intervals.sort_by(|a, b| {
-            cmp_keys(lo_key(&a.lo), lo_key(&b.lo)).then_with(|| cmp_keys(hi_key(&a.hi), hi_key(&b.hi)))
+            cmp_keys(lo_key(&a.lo), lo_key(&b.lo))
+                .then_with(|| cmp_keys(hi_key(&a.hi), hi_key(&b.hi)))
         });
         let mut out: Vec<Interval> = Vec::with_capacity(intervals.len());
         for iv in intervals {
@@ -439,10 +440,7 @@ mod tests {
             "v>2 and v<5"
         );
         assert_eq!(Formula::ne(v(5)).to_string(), "v<5 or v>5");
-        assert_eq!(
-            Formula::eq(Value::str("pen")).to_string(),
-            "v=\"pen\""
-        );
+        assert_eq!(Formula::eq(Value::str("pen")).to_string(), "v=\"pen\"");
     }
 
     #[test]

@@ -129,7 +129,12 @@ impl<'p, 't, T: MatchTarget> Matcher<'p, 't, T> {
     }
 
     /// Returns false to abort the entire enumeration.
-    fn rec(&self, idx: usize, asg: &mut Assignment, f: &mut impl FnMut(&Assignment) -> bool) -> bool {
+    fn rec(
+        &self,
+        idx: usize,
+        asg: &mut Assignment,
+        f: &mut impl FnMut(&Assignment) -> bool,
+    ) -> bool {
         if idx == self.pattern.len() {
             return f(asg);
         }

@@ -41,7 +41,11 @@ pub struct PatternParseError {
 
 impl std::fmt::Display for PatternParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "pattern syntax error at {}: {}", self.position, self.message)
+        write!(
+            f,
+            "pattern syntax error at {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -269,7 +273,11 @@ impl<'a> Parser<'a> {
             })
     }
 
-    fn parse_children(&mut self, p: &mut Pattern, parent: PNodeId) -> Result<(), PatternParseError> {
+    fn parse_children(
+        &mut self,
+        p: &mut Pattern,
+        parent: PNodeId,
+    ) -> Result<(), PatternParseError> {
         self.skip_ws();
         if !self.eat("(") {
             return Ok(());
@@ -316,16 +324,15 @@ mod tests {
 
     #[test]
     fn parses_paper_view_v1() {
-        let p = parse_pattern(
-            "regions(//*{id}(/description(/parlist(?%/listitem{c})), ?//bold{v}))",
-        )
-        .unwrap();
+        let p =
+            parse_pattern("regions(//*{id}(/description(/parlist(?%/listitem{c})), ?//bold{v}))")
+                .unwrap();
         assert_eq!(p.len(), 6);
         assert_eq!(p.arity(), 3);
-        let li = p.iter().find(|&n| {
-            p.node(n).label.map(|l| l.as_str()) == Some("listitem")
-        })
-        .unwrap();
+        let li = p
+            .iter()
+            .find(|&n| p.node(n).label.map(|l| l.as_str()) == Some("listitem"))
+            .unwrap();
         assert!(p.node(li).optional);
         assert!(p.node(li).nested);
         assert!(p.node(li).attrs.content);

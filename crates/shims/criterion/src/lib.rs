@@ -238,9 +238,7 @@ mod tests {
         let mut g = c.benchmark_group("g");
         g.sample_size(3);
         g.bench_function("noop", |b| b.iter(|| 1 + 1));
-        g.bench_with_input(BenchmarkId::new("param", 42), &42, |b, &x| {
-            b.iter(|| x * 2)
-        });
+        g.bench_with_input(BenchmarkId::new("param", 42), &42, |b, &x| b.iter(|| x * 2));
         g.finish();
         assert_eq!(c.measurements().len(), 2);
         assert_eq!(c.measurements()[0].id, "g/noop");

@@ -179,12 +179,12 @@ macro_rules! tuple_strategy {
     };
 }
 
-tuple_strategy!(A/0);
-tuple_strategy!(A/0, B/1);
-tuple_strategy!(A/0, B/1, C/2);
-tuple_strategy!(A/0, B/1, C/2, D/3);
-tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
-tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+tuple_strategy!(A / 0);
+tuple_strategy!(A / 0, B / 1);
+tuple_strategy!(A / 0, B / 1, C / 2);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
 
 /// `Option<T>` strategies.
 pub mod option {
@@ -283,12 +283,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($a:expr, $b:expr) => {{
         let (a, b) = (&$a, &$b);
-        $crate::prop_assert!(
-            *a != *b,
-            "assertion failed: `{:?}` != `{:?}`",
-            a,
-            b
-        );
+        $crate::prop_assert!(*a != *b, "assertion failed: `{:?}` != `{:?}`", a, b);
     }};
 }
 

@@ -1,7 +1,33 @@
 //! Strong Dataguide construction and queries.
 
 use smv_xml::{Document, Label, LabeledTree, NodeId, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+/// Distinct atomic values seen on a path are tracked exactly up to this
+/// cap; beyond it the sketch saturates and reports the value count as an
+/// upper bound (good enough for selectivity estimation).
+const DISTINCT_CAP: usize = 1024;
+
+/// A capped distinct-value sketch for one summary path.
+#[derive(Clone, Debug, Default)]
+struct ValueSketch {
+    seen: HashSet<Value>,
+    saturated: bool,
+}
+
+impl ValueSketch {
+    fn insert(&mut self, v: &Value) {
+        if self.saturated || self.seen.contains(v) {
+            return; // duplicates never saturate an exactly-tracked set
+        }
+        if self.seen.len() >= DISTINCT_CAP {
+            self.saturated = true;
+            self.seen = HashSet::new(); // release the memory
+            return;
+        }
+        self.seen.insert(v.clone());
+    }
+}
 
 #[derive(Clone, Debug)]
 struct SNode {
@@ -20,6 +46,10 @@ struct SNode {
     /// Number of document nodes on the *parent* path having at least one
     /// child on this path.
     parents_with: u64,
+    /// Number of document nodes on this path carrying an atomic value.
+    values: u64,
+    /// Distinct atomic values seen on this path (capped sketch).
+    distinct: ValueSketch,
     /// Edge from the parent is strong (§4.1).
     strong: bool,
     /// Edge from the parent is one-to-one (§4.5).
@@ -63,6 +93,8 @@ impl Summary {
                 depth: 0,
                 count: 0,
                 parents_with: 0,
+                values: 0,
+                distinct: ValueSketch::default(),
                 strong: false,
                 one_to_one: false,
             });
@@ -100,6 +132,8 @@ impl Summary {
                         depth: self.nodes[sp.idx()].depth + 1,
                         count: 0,
                         parents_with: 0,
+                        values: 0,
+                        distinct: ValueSketch::default(),
                         strong: false,
                         one_to_one: false,
                     });
@@ -110,6 +144,14 @@ impl Summary {
             };
             doc2sum[dn.idx()] = sn;
             self.nodes[sn.idx()].count += 1;
+        }
+        // per-path value statistics (selectivity estimation)
+        for dn in doc.iter() {
+            if let Some(v) = doc.value(dn) {
+                let sn = doc2sum[dn.idx()];
+                self.nodes[sn.idx()].values += 1;
+                self.nodes[sn.idx()].distinct.insert(v);
+            }
         }
         // strong / one-to-one detection: for every document node, count its
         // children per summary child.
@@ -199,6 +241,47 @@ impl Summary {
     /// Number of document nodes on this path.
     pub fn count(&self, n: NodeId) -> u64 {
         self.nodes[n.idx()].count
+    }
+
+    /// Number of document nodes on this path carrying an atomic value.
+    pub fn value_count(&self, n: NodeId) -> u64 {
+        self.nodes[n.idx()].values
+    }
+
+    /// Estimated number of distinct atomic values on this path. Exact up
+    /// to an internal cap; saturated paths report the value count (an
+    /// upper bound, which makes equality selectivities conservative).
+    pub fn distinct_values(&self, n: NodeId) -> u64 {
+        let nd = &self.nodes[n.idx()];
+        if nd.distinct.saturated {
+            nd.values
+        } else {
+            nd.distinct.seen.len() as u64
+        }
+    }
+
+    /// Average number of children on path `n` per document node on the
+    /// parent path (the child fan-out of the summary edge into `n`). For
+    /// the root this is the node count itself (one root per document).
+    pub fn avg_fanout(&self, n: NodeId) -> f64 {
+        let nd = &self.nodes[n.idx()];
+        match nd.parent {
+            None => nd.count as f64,
+            Some(p) => {
+                let pc = self.nodes[p.idx()].count;
+                if pc == 0 {
+                    0.0
+                } else {
+                    nd.count as f64 / pc as f64
+                }
+            }
+        }
+    }
+
+    /// Total document nodes summarized — the sum of the per-path counts,
+    /// the single source of truth for Table 1's node totals.
+    pub fn doc_node_count(&self) -> u64 {
+        self.nodes.iter().map(|n| n.count).sum()
     }
 
     /// Is the edge from `n`'s parent to `n` strong (§4.1)?
@@ -424,6 +507,49 @@ mod tests {
     }
 
     #[test]
+    fn per_path_cardinality_statistics() {
+        let d = Document::from_parens(r#"r(a(b="1" b="2" c(d)) a(b="1" c))"#);
+        let mut s = Summary::of(&d);
+        let a = s.node_by_path("/r/a").unwrap();
+        let b = s.node_by_path("/r/a/b").unwrap();
+        let c = s.node_by_path("/r/a/c").unwrap();
+        assert_eq!(s.count(b), 3);
+        assert_eq!(s.value_count(b), 3);
+        assert_eq!(s.distinct_values(b), 2, r#""1" twice, "2" once"#);
+        assert_eq!(s.value_count(c), 0);
+        assert_eq!(s.avg_fanout(b), 1.5, "3 b's over 2 a's");
+        assert_eq!(s.avg_fanout(a), 2.0);
+        assert_eq!(s.avg_fanout(s.root()), 1.0, "one root per document");
+        assert_eq!(s.doc_node_count(), d.len() as u64);
+        // incremental extension keeps the stats consistent
+        s.extend_with(&Document::from_parens(r#"r(a(b="7" c))"#));
+        assert_eq!(s.value_count(b), 4);
+        assert_eq!(s.distinct_values(b), 3);
+        assert_eq!(s.doc_node_count(), (d.len() + 4) as u64);
+    }
+
+    #[test]
+    fn distinct_sketch_ignores_duplicates_and_saturates_on_distincts() {
+        // duplicates beyond the cap never saturate the sketch
+        let dupes = format!("r({})", vec![r#"b="7""#; 1500].join(" "));
+        let s = Summary::of(&Document::from_parens(&dupes));
+        let b = s.node_by_path("/r/b").unwrap();
+        assert_eq!(s.distinct_values(b), 1, "1500 copies of one value");
+        // genuinely distinct values past the cap saturate to the value
+        // count (an upper bound)
+        let distinct = format!(
+            "r({})",
+            (0..1500)
+                .map(|i| format!(r#"b="{i}""#))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        let s = Summary::of(&Document::from_parens(&distinct));
+        let b = s.node_by_path("/r/b").unwrap();
+        assert_eq!(s.distinct_values(b), 1500);
+    }
+
+    #[test]
     fn ancestor_relations_between_paths() {
         let s = Summary::of(&doc());
         let r = s.root();
@@ -485,8 +611,7 @@ mod tests {
             assert_eq!(s.label(map[n.idx()]), d.label(n));
             let expect: Vec<_> = d.path_labels(n);
             let got_path = s.path_string(map[n.idx()]);
-            let expect_path: String =
-                expect.iter().map(|l| format!("/{}", l.as_str())).collect();
+            let expect_path: String = expect.iter().map(|l| format!("/{}", l.as_str())).collect();
             assert_eq!(got_path, expect_path);
         }
     }

@@ -13,35 +13,45 @@ pub struct SummaryStats {
     pub one_to_one_edges: usize,
     /// Maximum path depth.
     pub max_depth: u32,
-    /// Total document nodes summarized.
+    /// Total document nodes summarized (the sum of the per-path counts —
+    /// [`Summary::doc_node_count`] is the single source of truth).
     pub doc_nodes: u64,
+    /// Document nodes carrying an atomic value.
+    pub value_nodes: u64,
 }
 
 impl SummaryStats {
     /// Computes the statistics of a summary.
+    ///
+    /// Table 1 counts *edges*: `n_s` and `n_1` classify the parent→child
+    /// edges of `S`, so we walk each node's children rather than special-
+    /// casing the root (which has no incoming edge and is therefore
+    /// neither strong nor one-to-one by definition, while still counting
+    /// toward `|S|`, depth and node totals).
     pub fn of(s: &Summary) -> SummaryStats {
         let mut strong = 0;
         let mut one = 0;
         let mut max_depth = 0;
-        let mut doc_nodes = 0;
+        let mut value_nodes = 0;
         for n in s.iter() {
-            if n != s.root() {
-                if s.is_strong_edge(n) {
+            for &c in s.children(n) {
+                if s.is_strong_edge(c) {
                     strong += 1;
                 }
-                if s.is_one_to_one_edge(n) {
+                if s.is_one_to_one_edge(c) {
                     one += 1;
                 }
             }
             max_depth = max_depth.max(s.depth(n));
-            doc_nodes += s.count(n);
+            value_nodes += s.value_count(n);
         }
         SummaryStats {
             nodes: s.len(),
             strong_edges: strong,
             one_to_one_edges: one,
             max_depth,
-            doc_nodes,
+            doc_nodes: s.doc_node_count(),
+            value_nodes,
         }
     }
 }
@@ -50,8 +60,13 @@ impl std::fmt::Display for SummaryStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "|S|={} ns={} (n1={}) depth={} nodes={}",
-            self.nodes, self.strong_edges, self.one_to_one_edges, self.max_depth, self.doc_nodes
+            "|S|={} ns={} (n1={}) depth={} nodes={} values={}",
+            self.nodes,
+            self.strong_edges,
+            self.one_to_one_edges,
+            self.max_depth,
+            self.doc_nodes,
+            self.value_nodes
         )
     }
 }
@@ -63,7 +78,7 @@ mod tests {
 
     #[test]
     fn stats_count_edges() {
-        let d = Document::from_parens("r(a(b b c(d)) a(b c))");
+        let d = Document::from_parens(r#"r(a(b b c(d)) a(b c))"#);
         let s = Summary::of(&d);
         let st = SummaryStats::of(&s);
         assert_eq!(st.nodes, 5);
@@ -73,6 +88,7 @@ mod tests {
         assert_eq!(st.one_to_one_edges, 1);
         assert_eq!(st.max_depth, 3);
         assert_eq!(st.doc_nodes, d.len() as u64);
+        assert_eq!(st.value_nodes, 0);
     }
 
     #[test]
@@ -81,5 +97,23 @@ mod tests {
         let st = SummaryStats::of(&Summary::of(&d));
         assert_eq!(st.strong_edges, 2);
         assert_eq!(st.one_to_one_edges, 2);
+    }
+
+    #[test]
+    fn doc_nodes_agree_with_per_path_counts() {
+        let d = Document::from_parens(r#"r(a(b="1" b="2") a(b="3"))"#);
+        let mut s = Summary::of(&d);
+        s.extend_with(&Document::from_parens(r#"r(a(b="4"))"#));
+        let st = SummaryStats::of(&s);
+        assert_eq!(st.doc_nodes, s.doc_node_count());
+        assert_eq!(st.doc_nodes, (d.len() + 3) as u64);
+        assert_eq!(st.value_nodes, 4);
+        // the root contributes to node totals but never to edge classes
+        let root_children_strong = s
+            .children(s.root())
+            .iter()
+            .filter(|&&c| s.is_strong_edge(c))
+            .count();
+        assert!(st.strong_edges >= root_children_strong);
     }
 }

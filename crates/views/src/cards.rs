@@ -1,0 +1,176 @@
+//! Cardinality sources for the cost model (`smv_algebra::cost`).
+//!
+//! Two implementations of [`CardSource`]:
+//!
+//! * [`CatalogCards`] — backed by a materialized [`Catalog`]: scan row
+//!   counts are the *actual* extent sizes;
+//! * [`DefCards`] — backed by view *definitions* only: scan row counts
+//!   are estimated from the summary's per-path statistics, which is what
+//!   the rewriting engine has available before anything is materialized.
+//!
+//! Both annotate every scan column with its candidate summary paths via
+//! [`col_cards`], mirroring the [`schema_of`] column layout.
+
+use crate::catalog::{Catalog, View};
+use crate::materialize::schema_of;
+use smv_algebra::{CardSource, ColCard, ScanCard};
+use smv_pattern::{associated_paths, PNodeId, Pattern};
+use smv_summary::Summary;
+use smv_xml::NodeId;
+
+/// Per-column candidate summary paths for a view pattern, mirroring the
+/// [`schema_of`] layout (attribute columns in `ID`, `L`, `V`, `C` order,
+/// nested edges as [`ColCard::Nested`]).
+pub fn col_cards(p: &Pattern, s: &Summary) -> Vec<ColCard> {
+    fn rec(p: &Pattern, paths: &[Vec<NodeId>], n: PNodeId, out: &mut Vec<ColCard>) {
+        let nd = p.node(n);
+        for _ in 0..nd.attrs.count() {
+            out.push(ColCard::Atom(paths[n.idx()].clone()));
+        }
+        for &c in p.children(n) {
+            if p.node(c).nested {
+                let mut inner = Vec::new();
+                rec(p, paths, c, &mut inner);
+                out.push(ColCard::Nested(inner));
+            } else {
+                rec(p, paths, c, out);
+            }
+        }
+    }
+    let paths = associated_paths(p, s);
+    let mut out = Vec::new();
+    rec(p, &paths, p.root(), &mut out);
+    debug_assert_eq!(out.len(), schema_of(p).len(), "column layout mismatch");
+    out
+}
+
+/// Estimates the extent size of a view from its definition and the
+/// summary's per-path node counts: the largest candidate population over
+/// the pattern's return nodes. Exact for chain patterns (a binding of the
+/// most-populated return node determines its ancestors); an underestimate
+/// for patterns whose return nodes multiply out — callers needing tighter
+/// numbers should materialize and use [`CatalogCards`].
+pub fn estimate_extent_rows(p: &Pattern, s: &Summary) -> f64 {
+    let pf = p.unnest_copy();
+    let paths = associated_paths(&pf, s);
+    pf.return_nodes()
+        .iter()
+        .map(|r| {
+            paths[r.idx()]
+                .iter()
+                .map(|&sp| s.count(sp) as f64)
+                .sum::<f64>()
+        })
+        .fold(0.0f64, f64::max)
+        .max(1.0)
+}
+
+/// [`CardSource`] over a materialized catalog: actual extent sizes plus
+/// definition-derived column paths.
+pub struct CatalogCards<'a> {
+    catalog: &'a Catalog,
+    summary: &'a Summary,
+}
+
+impl<'a> CatalogCards<'a> {
+    /// Builds a source over `catalog` under `summary`.
+    pub fn new(catalog: &'a Catalog, summary: &'a Summary) -> CatalogCards<'a> {
+        CatalogCards { catalog, summary }
+    }
+}
+
+impl CardSource for CatalogCards<'_> {
+    fn scan_card(&self, view: &str) -> Option<ScanCard> {
+        let v = self.catalog.view(view)?;
+        let rows = self.catalog.extent_rows(view)? as f64;
+        Some(ScanCard {
+            rows,
+            cols: col_cards(&v.pattern, self.summary),
+        })
+    }
+}
+
+/// [`CardSource`] over view definitions only: extent sizes are estimated
+/// from the summary. This is what `rewrite()` uses by default — it never
+/// sees materialized extents.
+pub struct DefCards<'a> {
+    views: &'a [View],
+    summary: &'a Summary,
+}
+
+impl<'a> DefCards<'a> {
+    /// Builds a source over `views` under `summary`.
+    pub fn new(views: &'a [View], summary: &'a Summary) -> DefCards<'a> {
+        DefCards { views, summary }
+    }
+}
+
+impl CardSource for DefCards<'_> {
+    fn scan_card(&self, view: &str) -> Option<ScanCard> {
+        let v = self.views.iter().find(|v| v.name == view)?;
+        Some(ScanCard {
+            rows: estimate_extent_rows(&v.pattern, self.summary),
+            cols: col_cards(&v.pattern, self.summary),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smv_pattern::parse_pattern;
+    use smv_xml::{Document, IdScheme};
+
+    fn fixture() -> (Document, Summary) {
+        let d =
+            Document::from_parens(r#"r(item(name="p1" bid="1" bid="2") item(name="p2") other)"#);
+        let s = Summary::of(&d);
+        (d, s)
+    }
+
+    #[test]
+    fn definition_estimates_track_path_counts() {
+        let (_, s) = fixture();
+        let v = parse_pattern("r(//name{id,v})").unwrap();
+        assert_eq!(estimate_extent_rows(&v, &s), 2.0);
+        let chain = parse_pattern("r(/item{id}(/bid{id,v}))").unwrap();
+        assert_eq!(
+            estimate_extent_rows(&chain, &s),
+            2.0,
+            "driven by bids' items"
+        );
+    }
+
+    #[test]
+    fn catalog_cards_report_actual_sizes() {
+        let (d, s) = fixture();
+        let mut cat = Catalog::new();
+        cat.add(
+            View::new(
+                "vn",
+                parse_pattern("r(//name{id,v})").unwrap(),
+                IdScheme::OrdPath,
+            ),
+            &d,
+        );
+        let cards = CatalogCards::new(&cat, &s);
+        let sc = cards.scan_card("vn").unwrap();
+        assert_eq!(sc.rows, 2.0);
+        assert_eq!(sc.cols.len(), 2, "ID and V columns");
+        let name_path = s.node_by_path("/r/item/name").unwrap();
+        match &sc.cols[0] {
+            ColCard::Atom(ps) => assert_eq!(ps, &vec![name_path]),
+            other => panic!("expected atom card, got {other:?}"),
+        }
+        assert!(cards.scan_card("zz").is_none());
+    }
+
+    #[test]
+    fn nested_patterns_nest_their_cards() {
+        let (_, s) = fixture();
+        let v = parse_pattern("r(/item{id}(?%/bid{v}))").unwrap();
+        let cards = col_cards(&v, &s);
+        assert_eq!(cards.len(), 2);
+        assert!(matches!(cards[1], ColCard::Nested(ref inner) if inner.len() == 1));
+    }
+}

@@ -70,6 +70,12 @@ impl Catalog {
         self.views.iter().find(|v| v.name == name)
     }
 
+    /// Row count of a materialized extent (the scan cardinality the cost
+    /// model starts from).
+    pub fn extent_rows(&self, name: &str) -> Option<usize> {
+        self.extents.get(name).map(NestedRelation::len)
+    }
+
     /// Number of views.
     pub fn len(&self) -> usize {
         self.views.len()

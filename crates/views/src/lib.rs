@@ -9,8 +9,10 @@
 //! The [`Catalog`] holds view definitions and extents and serves as the
 //! `ViewProvider` plans execute against.
 
+pub mod cards;
 pub mod catalog;
 pub mod materialize;
 
+pub use cards::{col_cards, estimate_extent_rows, CatalogCards, DefCards};
 pub use catalog::{Catalog, View};
 pub use materialize::{materialize, schema_of};

@@ -239,10 +239,7 @@ mod tests {
         let p = parse_pattern("a{id}(//b{id,v}, /c{l}(?%/d{c}))").unwrap();
         let s = schema_of(&p);
         let names: Vec<&str> = s.cols.iter().map(|c| c.name.as_str()).collect();
-        assert_eq!(
-            names,
-            vec!["a#0.ID", "b#1.ID", "b#1.V", "c#2.L", "A#3"]
-        );
+        assert_eq!(names, vec!["a#0.ID", "b#1.ID", "b#1.V", "c#2.L", "A#3"]);
         assert!(matches!(s.cols[4].kind, ColKind::Nested(_)));
     }
 
@@ -266,20 +263,14 @@ mod tests {
         let p = parse_pattern("a(/c{id}(?/b{id}))").unwrap();
         let rel = materialize(&p, &doc, IdScheme::Dewey);
         assert_eq!(rel.len(), 2);
-        let nulls: usize = rel
-            .rows
-            .iter()
-            .filter(|r| r.cells[1].is_null())
-            .count();
+        let nulls: usize = rel.rows.iter().filter(|r| r.cells[1].is_null()).count();
         assert_eq!(nulls, 1, "the childless c yields ⊥: {rel}");
     }
 
     #[test]
     fn nested_edge_groups_bindings() {
         // the paper's V1 shape: items group their listitem contents
-        let doc = Document::from_parens(
-            r#"a(item(name="p1" li="x" li="y") item(name="p2"))"#,
-        );
+        let doc = Document::from_parens(r#"a(item(name="p1" li="x" li="y") item(name="p2"))"#);
         let p = parse_pattern("a(/item{id}(%?/li{v}))").unwrap();
         let rel = materialize(&p, &doc, IdScheme::OrdPath);
         assert_eq!(rel.len(), 2);

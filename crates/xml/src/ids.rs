@@ -55,7 +55,9 @@ pub struct OrdPath {
 impl OrdPath {
     /// The root label `1`.
     pub fn root() -> OrdPath {
-        OrdPath { components: vec![1] }
+        OrdPath {
+            components: vec![1],
+        }
     }
 
     /// Creates an ORDPATH from raw components (odd = level, even = caret).
@@ -123,32 +125,59 @@ impl OrdPath {
 
     /// An ORDPATH strictly between `self` and `next` at the same level,
     /// using careting when the gap is exhausted. `self` and `next` must be
-    /// siblings with `self < next`.
+    /// siblings (same parent label) with `self < next`; either may itself
+    /// be a careted label. The result always ends in an odd component.
     pub fn between(&self, next: &OrdPath) -> OrdPath {
-        assert_eq!(
-            self.components[..self.components.len() - 1],
-            next.components[..next.components.len() - 1],
-            "between() requires siblings"
-        );
-        let a = *self.components.last().unwrap();
-        let b = *next.components.last().unwrap();
-        assert!(a < b, "between() requires ordered siblings");
-        if b - a >= 4 {
-            // room for an odd value in the open interval (a, b)
+        assert_eq!(self.parent(), next.parent(), "between() requires siblings");
+        assert!(self < next, "between() requires ordered siblings");
+        // sibling-local suffixes after the shared parent label: zero or
+        // more even carets followed by exactly one odd level component
+        let plen = self.parent().map_or(0, |p| p.components.len());
+        let l = &self.components[plen..];
+        let r = &next.components[plen..];
+        let i = l
+            .iter()
+            .zip(r.iter())
+            .position(|(x, y)| x != y)
+            .expect("valid sibling labels are never prefixes of one another");
+        let (a, b) = (l[i], r[i]);
+        debug_assert!(a < b, "first differing component orders the siblings");
+        let mut c = self.components[..plen + i].to_vec();
+        let lo = if a % 2 == 0 { a + 1 } else { a + 2 }; // smallest odd > a
+        if lo < b {
+            // room for an odd value in the open interval (a, b): pick one
+            // near the middle to keep space on both sides
             let mut mid = a + (b - a) / 2;
             if mid % 2 == 0 {
-                mid += 1;
+                mid -= 1;
             }
+            let mid = mid.max(lo);
             debug_assert!(a < mid && mid < b && mid % 2 != 0);
-            let mut c = self.components[..self.components.len() - 1].to_vec();
             c.push(mid);
             return OrdPath { components: c };
         }
-        // adjacent odd values: caret under a
-        let mut c = self.components.clone();
-        *c.last_mut().unwrap() = a + 1; // even caret
-        c.push(1);
-        OrdPath { components: c }
+        if b - a >= 2 {
+            // only the even value a+1 fits: caret, then a fresh level
+            c.push(a + 1);
+            c.push(1);
+            return OrdPath { components: c };
+        }
+        // b == a + 1: nothing fits at this position
+        if plen + i + 1 == self.components.len() {
+            // `a` is self's terminal odd, so b is an even caret in `next`
+            // (even components cannot be terminal): descend into next's
+            // caret chain and slot in just before it — odd components are
+            // unbounded below, so a smaller odd always exists
+            c.push(b);
+            let t = r[i + 1];
+            c.push(if t % 2 == 0 { t - 1 } else { t - 2 });
+            OrdPath { components: c }
+        } else {
+            // `a` is an even caret in self, and next diverges above self's
+            // terminal: bumping self's terminal odd stays after self and
+            // still before next (they already differ at position `i`)
+            self.following_sibling()
+        }
     }
 
     /// The next sibling label after `self` at initial-load spacing.
@@ -507,6 +536,44 @@ mod tests {
         assert!(a < m2 && m2 < c);
         assert_eq!(m2.level(), 2);
         assert_eq!(m2.parent().unwrap().to_string(), "1");
+    }
+
+    #[test]
+    fn ordpath_between_careted_siblings() {
+        let root = OrdPath::root();
+        // careted right sibling (1.4.1 sits between 1.3 and 1.5)
+        let a = OrdPath::from_components(vec![1, 3]);
+        let caret = a.between(&OrdPath::from_components(vec![1, 5]));
+        assert_eq!(caret.components(), &[1, 4, 1]);
+        let m = a.between(&caret);
+        assert!(a < m && m < caret, "{a} < {m} < {caret}");
+        assert!(root.is_parent_of(&m));
+        // careted left sibling, plain right sibling
+        let b = OrdPath::from_components(vec![1, 5]);
+        let m2 = caret.between(&b);
+        assert!(caret < m2 && m2 < b, "{caret} < {m2} < {b}");
+        assert!(root.is_parent_of(&m2));
+        // both careted, different lengths
+        let c1 = OrdPath::from_components(vec![1, 4, 1]);
+        let c2 = OrdPath::from_components(vec![1, 4, 2, 5]);
+        let m3 = c1.between(&c2);
+        assert!(c1 < m3 && m3 < c2, "{c1} < {m3} < {c2}");
+        assert!(root.is_parent_of(&m3));
+        // even trailing component before the terminal on both sides
+        let d1 = OrdPath::from_components(vec![1, 4, 3]);
+        let m4 = c1.between(&d1);
+        assert!(c1 < m4 && m4 < d1, "{c1} < {m4} < {d1}");
+        assert!(root.is_parent_of(&m4));
+        // repeated splitting between the same neighbors keeps converging
+        let mut left = a;
+        let right = OrdPath::from_components(vec![1, 5]);
+        for _ in 0..12 {
+            let mid = left.between(&right);
+            assert!(left < mid && mid < right, "{left} < {mid} < {right}");
+            assert!(root.is_parent_of(&mid), "mid {mid} stays a sibling");
+            assert!(mid.components().last().unwrap() % 2 != 0, "ends odd");
+            left = mid;
+        }
     }
 
     #[test]

@@ -22,7 +22,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -201,8 +205,10 @@ impl<'a> Parser<'a> {
                     })?;
                     let decoded = decode_entities(raw, start)?;
                     self.pos += 1; // closing quote
-                    self.builder
-                        .leaf(Label::intern(&format!("@{attr}")), Some(Value::from_text(&decoded)));
+                    self.builder.leaf(
+                        Label::intern(&format!("@{attr}")),
+                        Some(Value::from_text(&decoded)),
+                    );
                 }
             }
         }
@@ -225,11 +231,12 @@ impl<'a> Parser<'a> {
                 self.pos += "<![CDATA[".len();
                 let start = self.pos;
                 self.skip_until("]]>")?;
-                let text =
-                    std::str::from_utf8(&self.input[start..self.pos - 3]).map_err(|_| ParseError {
+                let text = std::str::from_utf8(&self.input[start..self.pos - 3]).map_err(|_| {
+                    ParseError {
                         position: start,
                         message: "invalid UTF-8 in CDATA".into(),
-                    })?;
+                    }
+                })?;
                 self.text_buf.push_str(text);
             } else if self.starts_with("<?") {
                 self.skip_until("?>")?;
@@ -243,12 +250,11 @@ impl<'a> Parser<'a> {
                 while !matches!(self.peek(), Some(b'<') | None) {
                     self.pos += 1;
                 }
-                let raw = std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| {
-                    ParseError {
+                let raw =
+                    std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| ParseError {
                         position: start,
                         message: "invalid UTF-8 in text".into(),
-                    }
-                })?;
+                    })?;
                 let decoded = decode_entities(raw, start)?;
                 self.text_buf.push_str(&decoded);
             }
@@ -257,6 +263,8 @@ impl<'a> Parser<'a> {
 }
 
 /// Decodes the predefined entities and numeric character references.
+/// `base` is the byte offset of `raw` in the whole input; errors point at
+/// the `&` of the offending reference, not at the start of the text run.
 fn decode_entities(raw: &str, base: usize) -> Result<String, ParseError> {
     if !raw.contains('&') {
         return Ok(raw.to_owned());
@@ -266,8 +274,9 @@ fn decode_entities(raw: &str, base: usize) -> Result<String, ParseError> {
     while let Some(amp) = rest.find('&') {
         out.push_str(&rest[..amp]);
         rest = &rest[amp..];
+        let at = base + raw.len() - rest.len(); // offset of this `&`
         let semi = rest.find(';').ok_or(ParseError {
-            position: base,
+            position: at,
             message: "unterminated entity reference".into(),
         })?;
         let ent = &rest[1..semi];
@@ -279,21 +288,21 @@ fn decode_entities(raw: &str, base: usize) -> Result<String, ParseError> {
             "quot" => out.push('"'),
             _ if ent.starts_with("#x") || ent.starts_with("#X") => {
                 let code = u32::from_str_radix(&ent[2..], 16).map_err(|_| ParseError {
-                    position: base,
+                    position: at,
                     message: format!("bad character reference `&{ent};`"),
                 })?;
                 out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
             }
             _ if ent.starts_with('#') => {
                 let code: u32 = ent[1..].parse().map_err(|_| ParseError {
-                    position: base,
+                    position: at,
                     message: format!("bad character reference `&{ent};`"),
                 })?;
                 out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
             }
             _ => {
                 return Err(ParseError {
-                    position: base,
+                    position: at,
                     message: format!("unknown entity `&{ent};`"),
                 })
             }
@@ -335,6 +344,23 @@ mod tests {
     fn entities_and_charrefs() {
         let d = parse_document("<t>&lt;a&gt; &amp; &#65;&#x42;</t>").unwrap();
         assert_eq!(d.value(d.root()), Some(&Value::str("<a> & AB")));
+    }
+
+    #[test]
+    fn entity_errors_point_at_the_offending_ampersand() {
+        // a valid reference precedes the bad one: the position must be the
+        // second `&`, not the start of the text run
+        let src = "<t>&amp; &zz;</t>";
+        let e = parse_document(src).unwrap_err();
+        assert_eq!(e.position, src.find("&zz;").unwrap(), "{e}");
+        // same inside attribute values
+        let src = r#"<t a="x&lt;y &#bad; z"/>"#;
+        let e = parse_document(src).unwrap_err();
+        assert_eq!(e.position, src.find("&#bad;").unwrap(), "{e}");
+        // unterminated reference after a decoded one
+        let src = "<t>&gt; &broken</t>";
+        let e = parse_document(src).unwrap_err();
+        assert_eq!(e.position, src.find("&broken").unwrap(), "{e}");
     }
 
     #[test]

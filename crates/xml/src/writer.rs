@@ -82,9 +82,7 @@ mod tests {
             return false;
         }
         a.iter().all(|n| {
-            a.label(n) == b.label(n)
-                && a.value(n) == b.value(n)
-                && a.parent(n) == b.parent(n)
+            a.label(n) == b.label(n) && a.value(n) == b.value(n) && a.parent(n) == b.parent(n)
         })
     }
 

@@ -14,7 +14,11 @@ pub struct XqError {
 
 impl std::fmt::Display for XqError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "XQuery syntax error at {}: {}", self.position, self.message)
+        write!(
+            f,
+            "XQuery syntax error at {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -310,7 +314,9 @@ impl<'a> P<'a> {
             while !matches!(self.input.get(self.pos), Some(b'"') | None) {
                 self.pos += 1;
             }
-            let s = std::str::from_utf8(&self.input[start..self.pos]).unwrap().to_owned();
+            let s = std::str::from_utf8(&self.input[start..self.pos])
+                .unwrap()
+                .to_owned();
             self.expect("\"")?;
             Value::Str(s.into())
         } else {

@@ -155,8 +155,7 @@ mod tests {
         // returns: item.id, name.v, listitem.id, keyword.c → arity 4
         assert_eq!(p.arity(), 4);
         // two items qualify (those with mail)
-        let items: std::collections::HashSet<_> =
-            tuples.iter().map(|t| t[0]).collect();
+        let items: std::collections::HashSet<_> = tuples.iter().map(|t| t[0]).collect();
         assert_eq!(items.len(), 2);
         // the mail-less item is absent
         assert!(tuples.iter().all(|t| t[0].is_some()));

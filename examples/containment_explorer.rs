@@ -19,7 +19,10 @@ fn main() {
     let s = Summary::of(&Document::from_parens("r(a(b))"));
     let q = parse_pattern("r(//a(//b{ret}))").unwrap();
     let p = parse_pattern("r(//b{ret})").unwrap();
-    show("r//b ⊆S r//a//b  (a is implied by the summary)", contained(&p, &q, &s, &opts));
+    show(
+        "r//b ⊆S r//a//b  (a is implied by the summary)",
+        contained(&p, &q, &s, &opts),
+    );
     show("r//a//b ⊆S r//b", contained(&q, &p, &s, &opts));
 
     // §4.2: decorated patterns
@@ -42,14 +45,20 @@ fn main() {
     let s3 = Summary::of(&Document::from_parens("a(b(c) b(c))"));
     let pb = parse_pattern("a(/b{ret})").unwrap();
     let pbc = parse_pattern("a(/b{ret}(/c))").unwrap();
-    show("b ⊆S b[c]  with strong edge b→c", contained(&pb, &pbc, &s3, &opts));
+    show(
+        "b ⊆S b[c]  with strong edge b→c",
+        contained(&pb, &pbc, &s3, &opts),
+    );
     let plain = ContainOpts {
         canon: CanonOpts {
             use_strong: false,
             max_trees: 100_000,
         },
     };
-    show("b ⊆S b[c]  ignoring integrity constraints", contained(&pb, &pbc, &s3, &plain));
+    show(
+        "b ⊆S b[c]  ignoring integrity constraints",
+        contained(&pb, &pbc, &s3, &plain),
+    );
 
     // §4.3: optional edges
     let s4 = Summary::of(&Document::from_parens("a(b(c) b)"));

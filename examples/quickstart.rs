@@ -42,7 +42,10 @@ fn main() {
     );
     let mut catalog = Catalog::new();
     catalog.add(v.clone(), &doc);
-    println!("\nview extent:\n{}", smv::algebra::ViewProvider::extent(&catalog, "items_with_names").unwrap());
+    println!(
+        "\nview extent:\n{}",
+        smv::algebra::ViewProvider::extent(&catalog, "items_with_names").unwrap()
+    );
 
     // 4. a query asking for item names — rewritable from the view
     let q = parse_pattern("site(//item{id}(/name{v}))").unwrap();
@@ -57,5 +60,8 @@ fn main() {
     let from_views = execute(&result.rewritings[0].plan, &catalog).unwrap();
     let direct = materialize(&q, &doc, IdScheme::OrdPath);
     assert!(from_views.set_eq(&direct));
-    println!("plan output matches direct evaluation ({} rows)", direct.len());
+    println!(
+        "plan output matches direct evaluation ({} rows)",
+        direct.len()
+    );
 }

@@ -55,15 +55,15 @@ pub use smv_xquery as xquery;
 
 /// The commonly used surface of the library, re-exported flat.
 pub mod prelude {
-    pub use smv_algebra::{execute, NestedRelation, Plan, StructRel};
+    pub use smv_algebra::{execute, CostModel, NestedRelation, Plan, PlanEstimate, StructRel};
     pub use smv_core::{
-        contained, contained_in_union, equivalent, is_satisfiable, rewrite, ContainOpts, Decision,
-        RewriteOpts,
+        contained, contained_in_union, equivalent, is_satisfiable, rewrite, rewrite_with_cards,
+        ContainOpts, Decision, RewriteOpts,
     };
     pub use smv_datagen::{xmark, xmark_query_patterns, XmarkConfig};
     pub use smv_pattern::{canonical_model, evaluate, parse_pattern, CanonOpts, Formula, Pattern};
     pub use smv_summary::{Summary, SummaryStats};
-    pub use smv_views::{materialize, Catalog, View};
+    pub use smv_views::{materialize, Catalog, CatalogCards, DefCards, View};
     pub use smv_xml::{parse_document, serialize_document, Document, IdScheme, Label, Value};
     pub use smv_xquery::{parse_xquery, translate};
 }

@@ -5,9 +5,7 @@
 use smv::prelude::*;
 
 fn fixture() -> (Document, Summary) {
-    let doc = Document::from_parens(
-        r#"r(item(name="p1" price="5") item(name="p2" price="9"))"#,
-    );
+    let doc = Document::from_parens(r#"r(item(name="p1" price="5") item(name="p2" price="9"))"#);
     let s = Summary::of(&doc);
     (doc, s)
 }
@@ -18,10 +16,17 @@ fn fixture() -> (Document, Summary) {
 fn structural_rewriting_needs_structural_ids() {
     let (doc, s) = fixture();
     let q = parse_pattern("r(/item{id}(/name{id,v}))").unwrap();
+    // exhaustive mode: the cost bound would otherwise (correctly) prune
+    // the 2-scan join once the cheaper virtual-ID plan is found — this
+    // test is about capability, not ranking
+    let opts = RewriteOpts {
+        cost_prune: false,
+        ..Default::default()
+    };
     for scheme in [IdScheme::OrdPath, IdScheme::Dewey] {
         let vi = View::new("vi", parse_pattern("r(/item{id})").unwrap(), scheme);
         let vn = View::new("vn", parse_pattern("r(//name{id,v})").unwrap(), scheme);
-        let r = rewrite(&q, &[vi.clone(), vn.clone()], &s, &RewriteOpts::default());
+        let r = rewrite(&q, &[vi.clone(), vn.clone()], &s, &opts);
         assert!(
             r.rewritings.iter().any(|rw| rw.scans == 2),
             "{scheme:?} supports the structural-join rewriting"
@@ -64,11 +69,7 @@ fn virtual_ids_follow_scheme_capability() {
         (IdScheme::Dewey, true),
         (IdScheme::Sequential, false),
     ] {
-        let v = View::new(
-            "vn",
-            parse_pattern("r(/item(/name{id}))").unwrap(),
-            scheme,
-        );
+        let v = View::new("vn", parse_pattern("r(/item(/name{id}))").unwrap(), scheme);
         let r = rewrite(&q, std::slice::from_ref(&v), &s, &RewriteOpts::default());
         assert_eq!(
             !r.rewritings.is_empty(),
@@ -90,7 +91,11 @@ fn virtual_ids_follow_scheme_capability() {
 fn mixed_schemes_do_not_join() {
     let (_, s) = fixture();
     let q = parse_pattern("r(/item{id}(/name{id,v}))").unwrap();
-    let vi = View::new("vi", parse_pattern("r(/item{id})").unwrap(), IdScheme::OrdPath);
+    let vi = View::new(
+        "vi",
+        parse_pattern("r(/item{id})").unwrap(),
+        IdScheme::OrdPath,
+    );
     let vn = View::new(
         "vn",
         parse_pattern("r(//name{id,v})").unwrap(),
@@ -115,11 +120,17 @@ fn mixed_schemes_do_not_join() {
 fn executor_failure_injection() {
     use smv::algebra::{ExecError, Plan, Predicate};
     let (doc, _) = fixture();
-    let v = View::new("v", parse_pattern("r(/item{id})").unwrap(), IdScheme::OrdPath);
+    let v = View::new(
+        "v",
+        parse_pattern("r(/item{id})").unwrap(),
+        IdScheme::OrdPath,
+    );
     let mut catalog = Catalog::new();
     catalog.add(v, &doc);
     // unknown view
-    let bad = Plan::Scan { view: "nope".into() };
+    let bad = Plan::Scan {
+        view: "nope".into(),
+    };
     assert!(matches!(
         execute(&bad, &catalog),
         Err(ExecError::UnknownView(_))

@@ -8,15 +8,13 @@ use std::collections::HashSet;
 /// A strategy for small random labeled trees in parenthesized notation.
 fn tree_strategy() -> impl Strategy<Value = String> {
     // recursive tree over a 4-label alphabet with optional small values
-    let leaf = (0u8..4, proptest::option::of(0i64..5))
-        .prop_map(|(l, v)| match v {
-            Some(v) => format!("{}=\"{v}\"", (b'a' + l) as char),
-            None => format!("{}", (b'a' + l) as char),
-        });
+    let leaf = (0u8..4, proptest::option::of(0i64..5)).prop_map(|(l, v)| match v {
+        Some(v) => format!("{}=\"{v}\"", (b'a' + l) as char),
+        None => format!("{}", (b'a' + l) as char),
+    });
     leaf.prop_recursive(3, 24, 3, |inner| {
-        (0u8..4, proptest::collection::vec(inner, 1..4)).prop_map(|(l, kids)| {
-            format!("{}({})", (b'a' + l) as char, kids.join(" "))
-        })
+        (0u8..4, proptest::collection::vec(inner, 1..4))
+            .prop_map(|(l, kids)| format!("{}({})", (b'a' + l) as char, kids.join(" ")))
     })
     .prop_map(|body| format!("r({body})"))
 }
@@ -24,7 +22,11 @@ fn tree_strategy() -> impl Strategy<Value = String> {
 /// A strategy for small conjunctive patterns over the same alphabet.
 fn pattern_strategy() -> impl Strategy<Value = String> {
     let node = (0u8..4, 0u8..3).prop_map(|(l, kind)| {
-        let name = if kind == 2 { "*".to_string() } else { format!("{}", (b'a' + l) as char) };
+        let name = if kind == 2 {
+            "*".to_string()
+        } else {
+            format!("{}", (b'a' + l) as char)
+        };
         name
     });
     node.prop_recursive(2, 8, 2, |inner| {
@@ -111,6 +113,48 @@ proptest! {
         let m = l.between(&r);
         prop_assert!(l < m && m < r);
         prop_assert_eq!(m.parent().unwrap(), base);
+    }
+
+    /// Random `between`/`following_sibling` insertion sequences keep the
+    /// sibling list strictly ordered and structurally consistent — the
+    /// careted-input regression of PR 2 (`between` used to assert equal
+    /// component prefixes and compare only last components, both wrong
+    /// once a sibling is itself a careted label).
+    #[test]
+    fn ordpath_insertion_sequences(ops in proptest::collection::vec((0u8..4, 0u16..64), 1..24)) {
+        for parent in [OrdPath::root(), OrdPath::from_components(vec![1, 2, 1])] {
+            let mut sibs = vec![parent.child(0)];
+            for (kind, at) in &ops {
+                let i = (*at as usize) % sibs.len();
+                if *kind == 0 || i + 1 >= sibs.len() {
+                    let next = sibs.last().unwrap().following_sibling();
+                    sibs.push(next);
+                } else {
+                    let m = sibs[i].between(&sibs[i + 1]);
+                    sibs.insert(i + 1, m);
+                }
+            }
+            for w in sibs.windows(2) {
+                prop_assert!(w[0] < w[1], "document order: {} < {}", w[0], w[1]);
+            }
+            for s in &sibs {
+                prop_assert!(
+                    s.components().last().unwrap() % 2 != 0,
+                    "labels end odd: {s}"
+                );
+                prop_assert!(parent.is_parent_of(s), "{parent} parent of {s}");
+                prop_assert!(parent.is_ancestor_of(s));
+                prop_assert!(!s.is_ancestor_of(&parent));
+            }
+            for a in &sibs {
+                for b in &sibs {
+                    if a != b {
+                        prop_assert!(!a.is_ancestor_of(b), "siblings stay unrelated");
+                        prop_assert!(!a.is_parent_of(b));
+                    }
+                }
+            }
+        }
     }
 
     /// Every document conforms to its own summary, exactly.
