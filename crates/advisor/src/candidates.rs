@@ -1,0 +1,394 @@
+//! Candidate-view mining.
+//!
+//! Three candidate families, mirroring the query-clustering selection of
+//! Mahboubi/Aouiche/Darmont:
+//!
+//! * **singletons** — each workload query's own pattern, the view that
+//!   serves it by a plain scan;
+//! * **generalizations** — predicate-relaxed singletons (the value
+//!   stored, the predicate dropped) so one extent serves every query
+//!   differing only in its value constraint, via the §4.6 `σ_φ`
+//!   adaptation;
+//! * **merged pairs** — for two queries whose return nodes sit on
+//!   summary paths under a common anchor below the root, one view
+//!   storing all their return attributes under that anchor. The branch
+//!   chains are *required* edges, which is lossless exactly when the
+//!   summary proves every hop strong (§4.1) — the integrity constraint
+//!   machinery the paper's rewriting relies on.
+//!
+//! Mined candidates are deduplicated syntactically and by S-equivalence
+//! ([`smv_core::equivalent`], keeping the smaller extent), and a
+//! candidate survives only if the rewriting engine can actually serve
+//! some workload query from it alone ([`smv_core::best_rewriting_cost`]).
+
+use crate::{AdvisorOpts, Workload};
+use smv_core::{best_rewriting_cost, equivalent, ContainOpts};
+use smv_pattern::{associated_paths, Attrs, Axis, Formula, Pattern};
+use smv_summary::Summary;
+use smv_views::{estimate_extent_bytes, estimate_extent_rows, DefCards, View};
+use smv_xml::{LabeledTree, NodeId};
+use std::collections::HashMap;
+
+/// How a candidate was mined.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CandidateKind {
+    /// A workload query's own pattern.
+    Singleton,
+    /// A predicate-relaxed singleton.
+    Generalized,
+    /// A merged view serving a pair of queries under a shared anchor.
+    Merged,
+}
+
+/// A candidate view with its definition-only size estimates.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// The view pattern.
+    pub pattern: Pattern,
+    /// Mining family.
+    pub kind: CandidateKind,
+    /// Workload query indices this candidate was mined from.
+    pub sources: Vec<usize>,
+    /// Estimated extent rows ([`estimate_extent_rows`]).
+    pub est_rows: f64,
+    /// Estimated stored bytes ([`estimate_extent_bytes`]).
+    pub est_bytes: f64,
+}
+
+impl Candidate {
+    /// The candidate as a named view definition.
+    pub fn to_view(&self, name: &str, opts: &AdvisorOpts) -> View {
+        View::new(name, self.pattern.clone(), opts.scheme)
+    }
+}
+
+/// Mines the candidate set for a workload (see module docs).
+pub fn mine_candidates(w: &Workload, s: &Summary, opts: &AdvisorOpts) -> Vec<Candidate> {
+    let mut out: Vec<Candidate> = Vec::new();
+    let mut push = |pattern: Pattern, kind: CandidateKind, sources: Vec<usize>| {
+        let est_rows = estimate_extent_rows(&pattern, s);
+        let est_bytes = estimate_extent_bytes(&pattern, s);
+        out.push(Candidate {
+            pattern,
+            kind,
+            sources,
+            est_rows,
+            est_bytes,
+        });
+    };
+
+    // singletons
+    for (i, q) in w.queries.iter().enumerate() {
+        push(q.pattern.clone(), CandidateKind::Singleton, vec![i]);
+    }
+
+    // predicate-relaxed generalizations (value kept so σ_φ can re-filter)
+    for (i, q) in w.queries.iter().enumerate() {
+        if q.pattern
+            .iter()
+            .all(|n| q.pattern.node(n).predicate.is_top())
+        {
+            continue;
+        }
+        let mut g = q.pattern.clone();
+        for n in g.iter().collect::<Vec<_>>() {
+            let nd = g.node_mut(n);
+            if !nd.predicate.is_top() {
+                nd.predicate = Formula::top();
+                nd.attrs.value = true;
+            }
+        }
+        push(g, CandidateKind::Generalized, vec![i]);
+    }
+
+    // merged pairs under a shared non-root anchor with strong branches
+    for i in 0..w.queries.len() {
+        for j in (i + 1)..w.queries.len() {
+            if let Some(p) = merge_pair(&w.queries[i].pattern, &w.queries[j].pattern, s) {
+                push(p, CandidateKind::Merged, vec![i, j]);
+            }
+        }
+    }
+
+    dedup(&mut out, s);
+    // filter before capping: a useless generalization must not occupy a
+    // slot a merged candidate (mined last) would have taken
+    retain_useful(&mut out, w, s, opts);
+    out.truncate(opts.max_candidates);
+    out
+}
+
+/// The `(summary path, requested attrs)` pairs of a query's return
+/// nodes, or `None` when any return node is path-ambiguous (a `*` or
+/// `//` node matching several summary paths — merging those would need
+/// the union machinery, so such pairs are skipped).
+fn return_path_attrs(q: &Pattern, s: &Summary) -> Option<Vec<(NodeId, Attrs)>> {
+    let paths = associated_paths(q, s);
+    let mut out = Vec::new();
+    for r in q.return_nodes() {
+        match paths[r.idx()].as_slice() {
+            [single] => out.push((*single, q.node(r).attrs)),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Lowest common ancestor of two summary paths.
+fn lca(s: &Summary, a: NodeId, b: NodeId) -> NodeId {
+    let (mut x, mut y) = (a, b);
+    while s.depth(x) > s.depth(y) {
+        x = s.parent(x).expect("deeper node has a parent");
+    }
+    while s.depth(y) > s.depth(x) {
+        y = s.parent(y).expect("deeper node has a parent");
+    }
+    while x != y {
+        x = s.parent(x).expect("non-root");
+        y = s.parent(y).expect("non-root");
+    }
+    x
+}
+
+/// Builds the merged candidate for a query pair, or `None` when no
+/// lossless shared view exists (root-level anchor, ambiguous return
+/// paths, or a weak edge on some branch chain).
+fn merge_pair(qa: &Pattern, qb: &Pattern, s: &Summary) -> Option<Pattern> {
+    let ra = return_path_attrs(qa, s)?;
+    let rb = return_path_attrs(qb, s)?;
+    // union the requested attrs per return path
+    let mut wanted: HashMap<NodeId, Attrs> = HashMap::new();
+    for (p, a) in ra.iter().chain(rb.iter()) {
+        let e = wanted.entry(*p).or_insert(Attrs::NONE);
+        *e = e.union(*a);
+    }
+    let mut paths: Vec<NodeId> = wanted.keys().copied().collect();
+    paths.sort();
+    let anchor = paths
+        .iter()
+        .copied()
+        .reduce(|a, b| lca(s, a, b))
+        .expect("patterns have return nodes");
+    if anchor == s.root() {
+        return None; // cross-section merge: a cartesian junk view
+    }
+    // every hop below the anchor must be strong, or required branches
+    // would drop anchors lacking them
+    for &rp in &paths {
+        if s.tree_chain_down(anchor, rp)
+            .iter()
+            .any(|&n| !s.is_strong_edge(n))
+        {
+            return None;
+        }
+    }
+    // root chain down to the anchor
+    let mut spine = vec![anchor];
+    let mut cur = anchor;
+    while let Some(p) = s.parent(cur) {
+        spine.push(p);
+        cur = p;
+    }
+    spine.reverse();
+    let mut pat = Pattern::new(Some(s.label(s.root())));
+    let mut at = pat.root();
+    for &n in &spine[1..] {
+        at = pat.add_child(at, Axis::Child, Some(s.label(n)));
+    }
+    // the anchor always stores an ID: it is the join/nesting handle
+    pat.node_mut(at).attrs.id = true;
+    // branch trie below the anchor, sharing prefixes
+    let mut placed: HashMap<NodeId, smv_pattern::PNodeId> = HashMap::new();
+    placed.insert(anchor, at);
+    for &rp in &paths {
+        let mut host = at;
+        for step in s.tree_chain_down(anchor, rp) {
+            host = match placed.get(&step) {
+                Some(&pn) => pn,
+                None => {
+                    let pn = pat.add_child(host, Axis::Child, Some(s.label(step)));
+                    placed.insert(step, pn);
+                    pn
+                }
+            };
+        }
+        let attrs = wanted[&rp];
+        let nd = pat.node_mut(host);
+        nd.attrs = nd.attrs.union(attrs);
+    }
+    Some(pat)
+}
+
+/// Drops syntactic duplicates, then S-equivalent candidates (keeping the
+/// smaller estimated extent) — two mining routes often reach the same
+/// view, and the containment engine is the arbiter.
+fn dedup(cands: &mut Vec<Candidate>, s: &Summary) {
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    let mut keep: Vec<Candidate> = Vec::new();
+    for c in cands.drain(..) {
+        match seen.get(&c.pattern.to_string()) {
+            Some(&at) => {
+                let k: &mut Candidate = &mut keep[at];
+                k.sources.extend(c.sources.iter().copied());
+                k.sources.sort_unstable();
+                k.sources.dedup();
+            }
+            None => {
+                seen.insert(c.pattern.to_string(), keep.len());
+                keep.push(c);
+            }
+        }
+    }
+    // semantic dedup, quadratic over the (small) candidate set
+    let copts = ContainOpts::default();
+    let mut alive = vec![true; keep.len()];
+    for i in 0..keep.len() {
+        if !alive[i] {
+            continue;
+        }
+        for j in (i + 1)..keep.len() {
+            if !alive[j] || keep[i].pattern.arity() != keep[j].pattern.arity() {
+                continue;
+            }
+            if equivalent(&keep[i].pattern, &keep[j].pattern, s, &copts).is_contained() {
+                // merge sources into the cheaper-to-store twin
+                let (w, l) = if keep[j].est_bytes < keep[i].est_bytes {
+                    (j, i)
+                } else {
+                    (i, j)
+                };
+                let extra = keep[l].sources.clone();
+                keep[w].sources.extend(extra);
+                keep[w].sources.sort_unstable();
+                keep[w].sources.dedup();
+                alive[l] = false;
+                if l == i {
+                    break;
+                }
+            }
+        }
+    }
+    *cands = keep
+        .into_iter()
+        .zip(alive)
+        .filter_map(|(c, a)| a.then_some(c))
+        .collect();
+}
+
+/// Keeps only candidates the rewriting engine can serve some workload
+/// query from, alone — mining may produce views no query rewrites over
+/// (e.g. a generalization whose source needs an attribute it dropped).
+fn retain_useful(cands: &mut Vec<Candidate>, w: &Workload, s: &Summary, opts: &AdvisorOpts) {
+    cands.retain(|c| {
+        let view = [c.to_view("probe", opts)];
+        let cards = DefCards::new(&view, s);
+        w.queries
+            .iter()
+            .any(|q| best_rewriting_cost(&q.pattern, &view, s, &opts.rewrite, &cards).is_some())
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smv_pattern::parse_pattern;
+    use smv_xml::Document;
+
+    fn fixture() -> (Document, Summary) {
+        // every auction has exactly one `initial` and one `current`
+        // (strong edges); bidders are optional
+        let d = Document::from_parens(
+            r#"site(auctions(auction(initial="1" current="5" bidder(increase="2"))
+                            auction(initial="3" current="7")))"#,
+        );
+        let s = Summary::of(&d);
+        (d, s)
+    }
+
+    fn wl(srcs: &[&str]) -> Workload {
+        Workload::from_patterns(srcs.iter().map(|s| parse_pattern(s).unwrap()))
+    }
+
+    #[test]
+    fn singletons_and_merged_pair_mined() {
+        let (_, s) = fixture();
+        let w = wl(&[
+            "site(/auctions(/auction{id}(/initial{v})))",
+            "site(/auctions(/auction{id}(/current{v})))",
+        ]);
+        let cands = mine_candidates(&w, &s, &AdvisorOpts::default());
+        assert!(cands.iter().any(|c| c.kind == CandidateKind::Singleton));
+        let merged: Vec<&Candidate> = cands
+            .iter()
+            .filter(|c| c.kind == CandidateKind::Merged)
+            .collect();
+        assert_eq!(merged.len(), 1, "one merged pair candidate");
+        assert_eq!(merged[0].sources, vec![0, 1]);
+        assert_eq!(
+            merged[0].pattern.to_string(),
+            "site(/auctions(/auction{id}(/initial{v}, /current{v})))"
+        );
+        // the merged view serves each source query by itself
+        let opts = AdvisorOpts::default();
+        let view = [merged[0].to_view("m", &opts)];
+        let cards = DefCards::new(&view, &s);
+        for q in &w.queries {
+            assert!(
+                best_rewriting_cost(&q.pattern, &view, &s, &opts.rewrite, &cards).is_some(),
+                "merged candidate must rewrite {}",
+                q.pattern
+            );
+        }
+    }
+
+    #[test]
+    fn weak_edges_block_merging() {
+        let (_, s) = fixture();
+        // `bidder` is weak (one auction has none): a required branch
+        // through it would lose auctions, so no merged candidate
+        let w = wl(&[
+            "site(/auctions(/auction{id}(/initial{v})))",
+            "site(/auctions(/auction{id}(/bidder(/increase{v}))))",
+        ]);
+        let cands = mine_candidates(&w, &s, &AdvisorOpts::default());
+        assert!(
+            cands.iter().all(|c| c.kind != CandidateKind::Merged),
+            "weak bidder edge must block the merge"
+        );
+    }
+
+    #[test]
+    fn generalized_candidate_drops_predicate_keeps_value() {
+        let (_, s) = fixture();
+        let w = wl(&["site(/auctions(/auction{id}(/initial{v}[v>2])))"]);
+        let cands = mine_candidates(&w, &s, &AdvisorOpts::default());
+        let g: Vec<&Candidate> = cands
+            .iter()
+            .filter(|c| c.kind == CandidateKind::Generalized)
+            .collect();
+        assert_eq!(g.len(), 1);
+        assert!(g[0]
+            .pattern
+            .iter()
+            .all(|n| g[0].pattern.node(n).predicate.is_top()));
+        // generalization has more rows than the filtered singleton
+        let s0 = cands
+            .iter()
+            .find(|c| c.kind == CandidateKind::Singleton)
+            .unwrap();
+        assert!(g[0].est_rows >= s0.est_rows);
+    }
+
+    #[test]
+    fn equivalent_candidates_are_deduped() {
+        let (_, s) = fixture();
+        // two identical queries: their singletons collapse to one
+        let w = wl(&[
+            "site(/auctions(/auction{id}(/initial{v})))",
+            "site(/auctions(/auction{id}(/initial{v})))",
+        ]);
+        let cands = mine_candidates(&w, &s, &AdvisorOpts::default());
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].sources, vec![0, 1]);
+    }
+}

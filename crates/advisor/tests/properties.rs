@@ -1,0 +1,107 @@
+//! Property tests: the greedy advisor against the exhaustive oracle.
+//!
+//! Over random small workloads (≤ 6 mined candidates):
+//!
+//! * the advised set **never exceeds the byte budget** (greedy and
+//!   oracle alike);
+//! * with an **unconstrained budget** greedy matches the oracle's total
+//!   benefit exactly — benefit is monotone in the view set, so greedy's
+//!   stopping rule ("no candidate adds marginal gain") reaches the
+//!   optimum;
+//! * with a **random constrained budget** the oracle dominates greedy
+//!   (it is the optimum) and both respect the budget.
+
+use proptest::prelude::*;
+use smv_advisor::{advise, advise_exhaustive, mine_candidates, AdvisorOpts, Workload};
+use smv_pattern::parse_pattern;
+use smv_summary::Summary;
+use smv_xml::Document;
+
+/// A small document with strong edges (initial/current/name/email),
+/// weak edges (bidder, phone), and valued leaves for predicates.
+fn fixture_summary() -> Summary {
+    Summary::of(&Document::from_parens(
+        r#"site(auctions(auction(initial="1" current="5" bidder(increase="2") bidder(increase="4"))
+                         auction(initial="3" current="7")
+                         auction(initial="6" current="9" bidder(increase="8")))
+                people(person(name="ann" email="a") person(name="bob" email="b" phone="1")))"#,
+    ))
+}
+
+/// The query pool property cases draw from.
+fn pool() -> Vec<&'static str> {
+    vec![
+        "site(/auctions(/auction{id}(/initial{v})))",
+        "site(/auctions(/auction{id}(/current{v})))",
+        "site(/auctions(/auction{id}(/initial{v}[v>2])))",
+        "site(/auctions(/auction{id}(/bidder(/increase{v}))))",
+        "site(/people(/person{id}(/name{v})))",
+        "site(/people(/person{id}(/email{v})))",
+    ]
+}
+
+fn workload_of(picks: &[(usize, u8)]) -> Workload {
+    let pool = pool();
+    Workload::weighted(picks.iter().map(|&(qi, w)| {
+        (
+            parse_pattern(pool[qi % pool.len()]).unwrap(),
+            w.max(1) as f64,
+        )
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn greedy_matches_oracle_unconstrained(
+        picks in proptest::collection::vec((0usize..6, 1u8..5), 1..4),
+    ) {
+        let s = fixture_summary();
+        let w = workload_of(&picks);
+        let opts = AdvisorOpts::default(); // unbounded budget
+        let cands = mine_candidates(&w, &s, &opts);
+        prop_assume!(cands.len() <= 6);
+        let greedy = advise(&w, &s, &cands, &opts);
+        let oracle = advise_exhaustive(&w, &s, &cands, &opts);
+        prop_assert!(
+            (greedy.total_benefit - oracle.total_benefit).abs() <= 1e-6,
+            "greedy {} != oracle {} on workload {:?}",
+            greedy.total_benefit, oracle.total_benefit, picks
+        );
+    }
+
+    #[test]
+    fn budget_is_never_exceeded_and_oracle_dominates(
+        picks in proptest::collection::vec((0usize..6, 1u8..5), 1..4),
+        budget_pct in 10u8..100,
+    ) {
+        let s = fixture_summary();
+        let w = workload_of(&picks);
+        let mut opts = AdvisorOpts::default();
+        let cands = mine_candidates(&w, &s, &opts);
+        prop_assume!(cands.len() <= 6);
+        let all_bytes: f64 = cands.iter().map(|c| c.est_bytes).sum();
+        opts.budget_bytes = all_bytes * budget_pct as f64 / 100.0;
+        let greedy = advise(&w, &s, &cands, &opts);
+        let oracle = advise_exhaustive(&w, &s, &cands, &opts);
+        prop_assert!(
+            greedy.total_bytes <= opts.budget_bytes + 1e-6,
+            "greedy spent {} over budget {}", greedy.total_bytes, opts.budget_bytes
+        );
+        prop_assert!(
+            oracle.total_bytes <= opts.budget_bytes + 1e-6,
+            "oracle spent {} over budget {}", oracle.total_bytes, opts.budget_bytes
+        );
+        prop_assert!(
+            oracle.total_benefit >= greedy.total_benefit - 1e-6,
+            "oracle {} below greedy {} — the oracle is the optimum",
+            oracle.total_benefit, greedy.total_benefit
+        );
+        // a selected view is never useless: every pick carried positive
+        // marginal gain when made
+        for c in &greedy.chosen {
+            prop_assert!(c.gain > 0.0, "pick {} had no gain", c.candidate);
+        }
+    }
+}

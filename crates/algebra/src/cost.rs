@@ -31,7 +31,9 @@ use smv_xml::NodeId;
 
 /// Default extent size assumed for views the source does not know.
 const DEFAULT_ROWS: f64 = 1_000.0;
-/// Selectivity of a non-point value predicate on an unknown distribution.
+/// Selectivity of a non-point value predicate when the distinct-value
+/// sketch has saturated (or no paths are known) and nothing better can be
+/// derived.
 const RANGE_SEL: f64 = 1.0 / 3.0;
 /// Selectivity of a label-equality selection with unknown paths.
 const LABEL_SEL: f64 = 0.5;
@@ -183,7 +185,7 @@ impl<'a> CostModel<'a> {
                                 let value_frac = (values / total).clamp(0.0, 1.0);
                                 let pred_sel = match point_count(formula) {
                                     Some(points) => (points as f64 / distinct).min(1.0),
-                                    None => RANGE_SEL,
+                                    None => self.range_selectivity(paths, formula),
                                 };
                                 value_frac * pred_sel
                             }
@@ -497,6 +499,32 @@ impl<'a> CostModel<'a> {
         }
     }
 
+    /// Selectivity of a non-point (range) predicate over the candidate
+    /// paths' value distributions. While a path's distinct-value sketch
+    /// has not saturated it *is* the exact distinct-value set (its
+    /// extremes are the true min/max), so the fraction of distinct values
+    /// the formula accepts — weighted by each path's valued-node count,
+    /// assuming uniform frequency per distinct value — is an end-biased
+    /// estimate far tighter than a blanket constant. Any saturated sketch
+    /// on the way degrades the whole estimate to [`RANGE_SEL`].
+    fn range_selectivity(&self, paths: &[NodeId], formula: &Formula) -> f64 {
+        let mut kept = 0.0;
+        let mut total = 0.0;
+        for &p in paths {
+            let Some(frac) = sample_accepted_fraction(self.summary, p, formula) else {
+                return RANGE_SEL; // saturated: distribution unknown
+            };
+            let values = self.summary.value_count(p) as f64;
+            total += values;
+            kept += values * frac;
+        }
+        if total > 0.0 {
+            (kept / total).clamp(0.0, 1.0)
+        } else {
+            RANGE_SEL
+        }
+    }
+
     /// Average inner rows per outer row for an unnest: looks for an outer
     /// column whose path is an ancestor of an inner column's path and uses
     /// the summary counts; falls back to [`DEFAULT_FAN`].
@@ -526,6 +554,24 @@ impl<'a> CostModel<'a> {
         }
         DEFAULT_FAN
     }
+}
+
+/// Fraction of path `p`'s distinct-value sample that `f` accepts, while
+/// the sketch is exact (`None` once it has saturated). The single source
+/// of the uniform-frequency range-selectivity assumption — the plan cost
+/// model and the view layer's extent estimates both derive from it, so
+/// benefit-per-byte ranking and operator costing can never disagree on a
+/// predicate's selectivity.
+pub fn sample_accepted_fraction(s: &Summary, p: NodeId, f: &Formula) -> Option<f64> {
+    let sample = s.distinct_sample(p)?;
+    let (mut n, mut acc) = (0usize, 0usize);
+    for v in sample {
+        n += 1;
+        if f.accepts(v) {
+            acc += 1;
+        }
+    }
+    Some(if n == 0 { 0.0 } else { acc as f64 / n as f64 })
 }
 
 /// Number of single-point intervals in a formula, or `None` when some
@@ -614,6 +660,33 @@ mod tests {
         };
         let e = model.estimate(&sel);
         assert!((e.rows - 1.5).abs() < 1e-9, "rows = {}", e.rows);
+    }
+
+    #[test]
+    fn range_selectivity_uses_distinct_sketch() {
+        let s = summary();
+        let src = cards(&s);
+        let model = CostModel::new(&s, &src);
+        // b carries values {1, 2} over 3 valued nodes; v ≥ 2 keeps one of
+        // the two distinct values → selectivity 1/2, not the blanket 1/3
+        let sel = Plan::Select {
+            input: Box::new(Plan::Scan { view: "vb".into() }),
+            pred: Predicate::Value {
+                col: 1,
+                formula: Formula::ge(smv_xml::Value::int(2)),
+            },
+        };
+        let e = model.estimate(&sel);
+        assert!((e.rows - 1.5).abs() < 1e-9, "rows = {}", e.rows);
+        // a range outside the observed min/max keeps nothing
+        let none = Plan::Select {
+            input: Box::new(Plan::Scan { view: "vb".into() }),
+            pred: Predicate::Value {
+                col: 1,
+                formula: Formula::gt(smv_xml::Value::int(99)),
+            },
+        };
+        assert_eq!(model.estimate(&none).rows, 0.0);
     }
 
     #[test]

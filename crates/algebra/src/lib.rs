@@ -12,7 +12,9 @@ pub mod plan;
 pub mod relation;
 pub mod struct_join;
 
-pub use cost::{CardSource, ColCard, CostModel, NoCards, PlanEstimate, ScanCard};
+pub use cost::{
+    sample_accepted_fraction, CardSource, ColCard, CostModel, NoCards, PlanEstimate, ScanCard,
+};
 pub use exec::{execute, ExecError, MapProvider, ViewProvider};
 pub use plan::{NavStep, Plan, Predicate};
 pub use relation::{AttrKind, Cell, ColKind, Column, NestedRelation, Row, Schema};

@@ -2,7 +2,7 @@
 //! in the paper's layout.
 //!
 //! ```text
-//! experiments [table1|fig13|fig14|fig15|bench-pr1|bench-pr2|all] [--scale <f>] [--out <path>]
+//! experiments [table1|fig13|fig14|fig15|bench-pr1|bench-pr2|bench-pr3|all] [--scale <f>] [--out <path>]
 //! ```
 //!
 //! `bench-pr1` micro-benchmarks the executor hot paths this repo's PR 1
@@ -18,6 +18,15 @@
 //! counts and wall times; it also reruns the Figure-15 workload with the
 //! branch-and-bound cost bound on and off and reports the enumerated
 //! (plan, pattern) pair counts. Results land in `BENCH_PR2.json`.
+//!
+//! `bench-pr3` exercises the PR 3 view advisor: it advises on the
+//! weighted `smv_datagen::pr3` XMark workload under a storage budget (90%
+//! of the all-singleton estimate), materializes the chosen set, and
+//! records per-query and total workload execution times for three
+//! regimes — the advised set, the all-singleton-tag baseline
+//! (`seed_views`, which must reassemble answers with structural joins),
+//! and no views at all (direct document navigation). Results land in
+//! `BENCH_PR3.json`.
 
 use smv_bench::*;
 use smv_datagen::{dblp, xmark, DblpSnapshot, XmarkConfig};
@@ -45,6 +54,7 @@ fn main() {
         "fig15" => fig15(),
         "bench-pr1" => bench_pr1(&out.unwrap_or_else(|| "BENCH_PR1.json".into())),
         "bench-pr2" => bench_pr2(scale, &out.unwrap_or_else(|| "BENCH_PR2.json".into())),
+        "bench-pr3" => bench_pr3(scale, &out.unwrap_or_else(|| "BENCH_PR3.json".into())),
         "all" => {
             table1(scale);
             fig13();
@@ -53,11 +63,192 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use table1|fig13|fig14|fig15|bench-pr1|bench-pr2|all"
+                "unknown experiment `{other}`; use table1|fig13|fig14|fig15|bench-pr1|bench-pr2|bench-pr3|all"
             );
             std::process::exit(2);
         }
     }
+}
+
+/// PR 3 view-advisor benchmark → `BENCH_PR3.json`.
+fn bench_pr3(scale: f64, out: &str) {
+    use smv_advisor::{advise, mine_candidates, AdvisorOpts, CandidateKind, Workload};
+    use smv_algebra::execute;
+    use smv_core::{rewrite_with_cards, RewriteOpts};
+    use smv_datagen::pr3_workload;
+    use smv_views::{materialize, Catalog, CatalogCards, View};
+    use smv_xml::IdScheme;
+    use std::time::Instant;
+
+    /// Median-of-samples wall time of `f` in nanoseconds.
+    fn measure<O>(samples: usize, mut f: impl FnMut() -> O) -> u64 {
+        let mut times: Vec<u64> = (0..samples)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                t.elapsed().as_nanos() as u64
+            })
+            .collect();
+        times.sort_unstable();
+        times[times.len() / 2]
+    }
+
+    println!("== PR 3: advised views vs all-singleton views vs no views ==");
+    let doc = xmark(&XmarkConfig {
+        scale,
+        ..Default::default()
+    });
+    let s = Summary::of(&doc);
+    println!(
+        "(XMark document: {} nodes, summary: {} paths)",
+        doc.len(),
+        s.len()
+    );
+
+    // ---- advise under a budget of 90% of the all-singleton estimate
+    let wl = pr3_workload();
+    let workload = Workload::weighted(wl.iter().map(|q| (q.pattern.clone(), q.weight)));
+    let mut opts = AdvisorOpts::default();
+    let cands = mine_candidates(&workload, &s, &opts);
+    let singleton_bytes: f64 = cands
+        .iter()
+        .filter(|c| c.kind == CandidateKind::Singleton)
+        .map(|c| c.est_bytes)
+        .sum();
+    opts.budget_bytes = 0.9 * singleton_bytes;
+    let t_advise = Instant::now();
+    let advice = advise(&workload, &s, &cands, &opts);
+    let advise_ms = t_advise.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "advisor: {} candidates, budget {:.0} bytes (90% of singleton est {:.0}), \
+         chose {} views / {:.0} bytes in {advise_ms:.1}ms",
+        cands.len(),
+        opts.budget_bytes,
+        singleton_bytes,
+        advice.chosen.len(),
+        advice.total_bytes
+    );
+    for c in &advice.chosen {
+        println!(
+            "  {} (gain {:.0}, {:.0} bytes): {}",
+            c.view.name, c.gain, c.est_bytes, c.view.pattern
+        );
+    }
+
+    // ---- materialize the advised set and the all-singleton baseline
+    let mut adv_catalog = Catalog::new();
+    for v in advice.views() {
+        adv_catalog.add(v, &doc);
+    }
+    let adv_views = advice.views();
+    let adv_cards = CatalogCards::new(&adv_catalog, &s);
+    let seed = smv_datagen::seed_views(&s, IdScheme::OrdPath);
+    let mut seed_catalog = Catalog::new();
+    for v in &seed {
+        seed_catalog.add(v.clone(), &doc);
+    }
+    let seed_cards = CatalogCards::new(&seed_catalog, &s);
+    println!(
+        "materialized: advised {:.0} bytes (budget {:.0}); all-singleton baseline {} views / {:.0} bytes",
+        adv_catalog.total_bytes(),
+        opts.budget_bytes,
+        seed.len(),
+        seed_catalog.total_bytes()
+    );
+
+    // ---- per-query wall times under the three regimes
+    let samples = 7;
+    let ropts = RewriteOpts::default();
+    let mut lines: Vec<String> = Vec::new();
+    let (mut t_adv_total, mut t_seed_total, mut t_nav_total) = (0.0f64, 0.0f64, 0.0f64);
+    let best_plan =
+        |views: &[View], cards: &dyn smv_algebra::CardSource, q: &smv_pattern::Pattern| {
+            rewrite_with_cards(q, views, &s, &ropts, cards)
+                .rewritings
+                .first()
+                .map(|rw| rw.plan.clone())
+        };
+    for q in &wl {
+        let t_nav = measure(samples, || {
+            materialize(&q.pattern, &doc, IdScheme::OrdPath).len()
+        });
+        let adv_plan = best_plan(&adv_views, &adv_cards, &q.pattern);
+        let t_adv = match &adv_plan {
+            Some(p) => measure(samples, || execute(p, &adv_catalog).unwrap().len()),
+            None => t_nav, // unserved queries fall back to navigation
+        };
+        let seed_plan = best_plan(&seed, &seed_cards, &q.pattern);
+        let t_seed = match &seed_plan {
+            Some(p) => measure(samples, || execute(p, &seed_catalog).unwrap().len()),
+            None => t_nav,
+        };
+        t_adv_total += q.weight * t_adv as f64;
+        t_seed_total += q.weight * t_seed as f64;
+        t_nav_total += q.weight * t_nav as f64;
+        println!(
+            "{:<14} w={:<3} advised={:>9}ns singleton={:>10}ns noviews={:>10}ns singleton/advised={:.1}x noviews/advised={:.1}x",
+            q.name,
+            q.weight,
+            t_adv,
+            t_seed,
+            t_nav,
+            t_seed as f64 / t_adv.max(1) as f64,
+            t_nav as f64 / t_adv.max(1) as f64,
+        );
+        lines.push(format!(
+            "    {{\"name\": \"{}\", \"weight\": {}, \"advised_ns\": {}, \"singleton_ns\": {}, \"noviews_ns\": {}, \"advised_served\": {}, \"singleton_served\": {}}}",
+            q.name,
+            q.weight,
+            t_adv,
+            t_seed,
+            t_nav,
+            adv_plan.is_some(),
+            seed_plan.is_some(),
+        ));
+    }
+    let advised_wins = t_adv_total < t_seed_total && t_adv_total < t_nav_total;
+    let within_budget = advice.total_bytes <= opts.budget_bytes;
+    println!(
+        "weighted totals: advised={:.2}ms singleton={:.2}ms noviews={:.2}ms — advised {} both baselines, {} budget",
+        t_adv_total / 1e6,
+        t_seed_total / 1e6,
+        t_nav_total / 1e6,
+        if advised_wins { "beats" } else { "DOES NOT beat" },
+        if within_budget { "within" } else { "OVER" },
+    );
+
+    // patterns with string predicates render inner quotes (v="x")
+    let json_str = |s: String| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let chosen_json: Vec<String> = advice
+        .chosen
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"view\": \"{}\", \"pattern\": \"{}\", \"est_bytes\": {:.0}, \"gain\": {:.0}}}",
+                c.view.name,
+                json_str(c.view.pattern.to_string()),
+                c.est_bytes,
+                c.gain
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"pr\": 3,\n  \"doc_nodes\": {},\n  \"candidates\": {},\n  \"budget_bytes\": {:.0},\n  \"advised_bytes\": {:.0},\n  \"within_budget\": {},\n  \"advise_ms\": {:.1},\n  \"advised\": [\n{}\n  ],\n  \"cases\": [\n{}\n  ],\n  \"weighted_total_ns\": {{\"advised\": {:.0}, \"all_singleton\": {:.0}, \"no_views\": {:.0}}},\n  \"advised_beats_both\": {}\n}}\n",
+        doc.len(),
+        cands.len(),
+        opts.budget_bytes,
+        advice.total_bytes,
+        within_budget,
+        advise_ms,
+        chosen_json.join(",\n"),
+        lines.join(",\n"),
+        t_adv_total,
+        t_seed_total,
+        t_nav_total,
+        advised_wins,
+    );
+    std::fs::write(out, json).expect("write bench json");
+    println!("wrote {out}");
 }
 
 /// PR 2 cost-based rewriting benchmarks → `BENCH_PR2.json`.

@@ -21,5 +21,6 @@ pub use containment::{
 pub mod rewriting;
 
 pub use rewriting::{
-    rewrite, rewrite_with_cards, RewriteOpts, RewriteResult, RewriteStats, Rewriter, Rewriting,
+    best_rewriting_cost, rewrite, rewrite_with_cards, RewriteOpts, RewriteResult, RewriteStats,
+    Rewriter, Rewriting,
 };

@@ -272,6 +272,31 @@ pub fn rewrite_with_cards(
         .run()
 }
 
+/// Estimated work of the cheapest S-equivalent rewriting of `q` over
+/// `views`, or `None` when the bounded search finds no rewriting.
+///
+/// This is the probe the view advisor drives while scoring candidate
+/// view sets: cost ranking and the branch-and-bound bound are forced on,
+/// nothing is materialized (pass `DefCards` for definition-only pricing),
+/// and only the winning plan's estimate is returned.
+pub fn best_rewriting_cost(
+    q: &Pattern,
+    views: &[View],
+    s: &Summary,
+    opts: &RewriteOpts,
+    cards: &dyn CardSource,
+) -> Option<f64> {
+    if views.is_empty() {
+        return None;
+    }
+    let mut o = opts.clone();
+    o.rank_by_cost = true;
+    o.cost_prune = true;
+    o.first_only = false; // the contract is *cheapest*, not first-found
+    let r = Rewriter::new(q, views, s, o).with_card_source(cards).run();
+    r.rewritings.first().map(|rw| rw.est.cost)
+}
+
 /// The rewriting engine (reusable across runs for benchmarks).
 pub struct Rewriter<'a> {
     q: &'a Pattern,
@@ -1232,7 +1257,8 @@ impl<'a> Rewriter<'a> {
     }
 
     /// Lines 13-14: minimal unions of partial candidates covering
-    /// `mod_S(q)`.
+    /// `mod_S(q)`, ranked by summed branch cost (cheapest union first)
+    /// with dominated branches deduplicated before enumeration.
     fn build_unions(
         &self,
         ctx: &QueryCtx<'_>,
@@ -1242,45 +1268,14 @@ impl<'a> Rewriter<'a> {
         model: &CostModel<'_>,
     ) {
         let n = ctx.qmodel.len();
-        let k = candidates.len();
-        if n == 0 || k == 0 {
+        if n == 0 || candidates.is_empty() {
             return;
         }
-        // greedy + exhaustive over small subsets (≤ 3)
-        let covers =
-            |sel: &[usize]| -> bool { (0..n).all(|t| sel.iter().any(|&i| candidates[i].1[t])) };
-        let mut found: Vec<Vec<usize>> = Vec::new();
-        for i in 0..k {
-            for j in (i + 1)..k {
-                if covers(&[i, j]) {
-                    found.push(vec![i, j]);
-                }
-            }
-        }
-        if found.is_empty() {
-            for i in 0..k {
-                for j in (i + 1)..k {
-                    for l in (j + 1)..k {
-                        if covers(&[i, j, l]) {
-                            found.push(vec![i, j, l]);
-                        }
-                    }
-                }
-            }
-        }
-        // minimality: drop supersets whose proper subsets cover
-        found.retain(|sel| {
-            (0..sel.len()).all(|drop| {
-                let sub: Vec<usize> = sel
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| *i != drop)
-                    .map(|(_, &x)| x)
-                    .collect();
-                !covers(&sub)
-            })
-        });
-        for sel in found.into_iter().take(4) {
+        let costed: Vec<(f64, Vec<bool>)> = candidates
+            .iter()
+            .map(|(plan, cov)| (model.estimate(plan).cost, cov.clone()))
+            .collect();
+        for sel in rank_union_covers(&costed).into_iter().take(4) {
             let plan = Plan::DupElim {
                 input: Box::new(Plan::Union {
                     inputs: sel.iter().map(|&i| candidates[i].0.clone()).collect(),
@@ -1300,6 +1295,76 @@ impl<'a> Rewriter<'a> {
             }
         }
     }
+}
+
+/// Ranks minimal union covers of `mod_S(q)`, cheapest first.
+///
+/// `cands` holds, per union candidate, its estimated plan cost and its
+/// per-canonical-tree coverage bitset. Candidates whose coverage is a
+/// subset of a cheaper (or equally cheap, earlier) candidate's are
+/// *dominated* — an overlapping branch that can only pad a union — and
+/// are dropped before enumeration. Covers of size 2 are preferred (size 3
+/// only when no pair covers), non-minimal covers are discarded, and the
+/// survivors are ordered by summed branch cost.
+fn rank_union_covers(cands: &[(f64, Vec<bool>)]) -> Vec<Vec<usize>> {
+    let k = cands.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    let n = cands[0].1.len();
+    let subset = |a: &[bool], b: &[bool]| a.iter().zip(b).all(|(x, y)| !*x || *y);
+    let mut alive: Vec<usize> = Vec::new();
+    'cand: for i in 0..k {
+        for j in 0..k {
+            if i == j || !subset(&cands[i].1, &cands[j].1) {
+                continue;
+            }
+            let cheaper = cands[j].0 < cands[i].0;
+            let tie = cands[j].0 == cands[i].0 && (!subset(&cands[j].1, &cands[i].1) || j < i);
+            if cheaper || tie {
+                continue 'cand; // i is dominated by j
+            }
+        }
+        alive.push(i);
+    }
+    let covers = |sel: &[usize]| (0..n).all(|t| sel.iter().any(|&i| cands[i].1[t]));
+    let mut found: Vec<Vec<usize>> = Vec::new();
+    for (a, &i) in alive.iter().enumerate() {
+        for &j in &alive[a + 1..] {
+            if covers(&[i, j]) {
+                found.push(vec![i, j]);
+            }
+        }
+    }
+    if found.is_empty() {
+        for (a, &i) in alive.iter().enumerate() {
+            for (b, &j) in alive.iter().enumerate().skip(a + 1) {
+                for &l in &alive[b + 1..] {
+                    if covers(&[i, j, l]) {
+                        found.push(vec![i, j, l]);
+                    }
+                }
+            }
+        }
+    }
+    // minimality: drop covers that still cover with a branch removed
+    found.retain(|sel| {
+        (0..sel.len()).all(|drop| {
+            let sub: Vec<usize> = sel
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != drop)
+                .map(|(_, &x)| x)
+                .collect();
+            !covers(&sub)
+        })
+    });
+    found.sort_by(|a, b| {
+        let ca: f64 = a.iter().map(|&i| cands[i].0).sum();
+        let cb: f64 = b.iter().map(|&i| cands[i].0).sum();
+        ca.total_cmp(&cb)
+    });
+    found
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -1727,6 +1792,106 @@ mod tests {
             r_off.rewritings[0].plan.views_used(),
             "pruning never changes the winning plan"
         );
+    }
+
+    #[test]
+    fn union_covers_rank_cheapest_and_drop_dominated() {
+        // 3 trees; candidate 1 ({1}, cost 9) is dominated by 2 ({1,2},
+        // cost 2) and must not appear in any cover
+        let cands = vec![
+            (1.0, vec![true, false, false]),
+            (9.0, vec![false, true, false]),
+            (2.0, vec![false, true, true]),
+            (3.0, vec![true, false, true]),
+        ];
+        let covers = rank_union_covers(&cands);
+        assert_eq!(covers, vec![vec![0, 2], vec![2, 3]]);
+        // equal-coverage duplicates collapse to the cheaper one
+        let dupes = vec![
+            (5.0, vec![true, false]),
+            (1.0, vec![true, false]),
+            (3.0, vec![false, true]),
+        ];
+        assert_eq!(rank_union_covers(&dupes), vec![vec![1, 2]]);
+        // triples only when no pair covers
+        let tri = vec![
+            (1.0, vec![true, false, false]),
+            (1.0, vec![false, true, false]),
+            (1.0, vec![false, false, true]),
+        ];
+        assert_eq!(rank_union_covers(&tri), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn union_rewriting_dedups_equal_coverage_branches() {
+        // vb and vb2 cover the same canonical tree; only one union (with
+        // vc) must be emitted, not one per duplicate
+        let doc = Document::from_parens(r#"a(b="1" c="2")"#);
+        let s = Summary::of(&doc);
+        let q = parse_pattern("a(/*{id,v})").unwrap();
+        let views = vec![
+            View::new(
+                "vb",
+                parse_pattern("a(/b{id,v})").unwrap(),
+                IdScheme::OrdPath,
+            ),
+            View::new(
+                "vb2",
+                parse_pattern("a(/b{id,v})").unwrap(),
+                IdScheme::OrdPath,
+            ),
+            View::new(
+                "vc",
+                parse_pattern("a(/c{id,v})").unwrap(),
+                IdScheme::OrdPath,
+            ),
+        ];
+        let r = rewrite(&q, &views, &s, &opts());
+        let unions: Vec<&Rewriting> = r
+            .rewritings
+            .iter()
+            .filter(|rw| rw.plan.views_used().len() >= 2)
+            .collect();
+        assert_eq!(unions.len(), 1, "duplicate-coverage branch not deduped");
+        assert!(unions[0].plan.views_used().contains(&"vc".to_string()));
+    }
+
+    #[test]
+    fn best_rewriting_cost_probe() {
+        let doc = Document::from_parens(r#"a(b="1" b="2" c="3" c="4" c="5")"#);
+        let s = Summary::of(&doc);
+        let q = parse_pattern("a(/b{id,v})").unwrap();
+        let exact = View::new(
+            "exact",
+            parse_pattern("a(/b{id,v})").unwrap(),
+            IdScheme::OrdPath,
+        );
+        let wide = View::new(
+            "wide",
+            parse_pattern("a(/*{id,l,v})").unwrap(),
+            IdScheme::OrdPath,
+        );
+        let o = opts();
+        let both = vec![wide.clone(), exact];
+        let cards = DefCards::new(&both, &s);
+        let c_both = best_rewriting_cost(&q, &both, &s, &o, &cards).expect("rewrites");
+        let wide_only = vec![wide];
+        let cards_w = DefCards::new(&wide_only, &s);
+        let c_wide = best_rewriting_cost(&q, &wide_only, &s, &o, &cards_w).expect("rewrites");
+        assert!(
+            c_both < c_wide,
+            "exact view must price below the filtered wide scan: {c_both} vs {c_wide}"
+        );
+        // no views → no rewriting, not a phantom cost
+        assert_eq!(best_rewriting_cost(&q, &[], &s, &o, &cards), None);
+        // unrelated view set → None
+        let vd = vec![View::new(
+            "vd",
+            parse_pattern("a(/c{id,v})").unwrap(),
+            IdScheme::OrdPath,
+        )];
+        let cards_d = DefCards::new(&vd, &s);
+        assert_eq!(best_rewriting_cost(&q, &vd, &s, &o, &cards_d), None);
     }
 
     #[test]

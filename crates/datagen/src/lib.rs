@@ -14,6 +14,7 @@
 pub mod corpora;
 pub mod dblp;
 pub mod pr2;
+pub mod pr3;
 pub mod queries;
 pub mod synthetic;
 pub mod views;
@@ -21,6 +22,7 @@ pub mod xmark;
 
 pub use dblp::{dblp, DblpSnapshot};
 pub use pr2::{pr2_workload, Pr2Case};
+pub use pr3::{pr3_workload, Pr3Query};
 pub use queries::xmark_query_patterns;
 pub use synthetic::{random_patterns, SynthConfig};
 pub use views::{random_views, seed_views, ViewGenConfig};

@@ -260,6 +260,16 @@ impl Summary {
         }
     }
 
+    /// The exact distinct-value sample for a path, when the sketch has
+    /// not saturated (`None` once it has). While unsaturated the sketch
+    /// *is* the full distinct-value set — in particular its extremes are
+    /// the true min/max — so callers can derive end-biased range
+    /// selectivities from it instead of guessing.
+    pub fn distinct_sample(&self, n: NodeId) -> Option<impl Iterator<Item = &Value> + '_> {
+        let nd = &self.nodes[n.idx()];
+        (!nd.distinct.saturated).then(|| nd.distinct.seen.iter())
+    }
+
     /// Average number of children on path `n` per document node on the
     /// parent path (the child fan-out of the summary edge into `n`). For
     /// the root this is the node count itself (one root per document).

@@ -45,24 +45,131 @@ pub fn col_cards(p: &Pattern, s: &Summary) -> Vec<ColCard> {
 }
 
 /// Estimates the extent size of a view from its definition and the
-/// summary's per-path node counts: the largest candidate population over
-/// the pattern's return nodes. Exact for chain patterns (a binding of the
-/// most-populated return node determines its ancestors); an underestimate
-/// for patterns whose return nodes multiply out — callers needing tighter
-/// numbers should materialize and use [`CatalogCards`].
+/// summary's per-path statistics, without materializing anything.
+///
+/// The estimate is the expected number of *outer* rows — the quantity
+/// [`Catalog::extent_rows`] reports — computed as the embedding count of
+/// the non-nested part of the pattern: walking the pattern top-down, a
+/// child on summary path `q` under a parent bound to path `sp` matches
+/// `count(q) / count(sp)` times per parent binding (every `q`-node has
+/// exactly one ancestor on each of its ancestor paths), sibling branches
+/// multiply, optional branches keep at least one row (`⊥`), and nested
+/// edges contribute a single table-valued cell rather than multiplying
+/// rows. Exact for required single-path branches; branch products assume
+/// independence and optional edges use `max(1, E[k])` ≤ `E[max(1, k)]`,
+/// so skewed fan-outs can still deviate — callers needing exact numbers
+/// should materialize and use [`CatalogCards`].
+/// Value predicates discount their node's contribution by the fraction
+/// of the path's distinct-value sample the formula accepts (1/3 once the
+/// sketch has saturated), so filtered views are priced below their
+/// unfiltered generalizations.
 pub fn estimate_extent_rows(p: &Pattern, s: &Summary) -> f64 {
-    let pf = p.unnest_copy();
-    let paths = associated_paths(&pf, s);
-    pf.return_nodes()
+    let paths = associated_paths(p, s);
+    let root_paths = &paths[p.root().idx()];
+    root_paths
         .iter()
-        .map(|r| {
-            paths[r.idx()]
-                .iter()
-                .map(|&sp| s.count(sp) as f64)
-                .sum::<f64>()
+        .map(|&rp| {
+            s.count(rp) as f64
+                * predicate_selectivity(s, rp, &p.node(p.root()).predicate)
+                * embeddings_per_binding(p, s, &paths, p.root(), rp)
         })
-        .fold(0.0f64, f64::max)
+        .sum::<f64>()
         .max(1.0)
+}
+
+/// Fraction of the document nodes on path `q` satisfying `f`: the valued
+/// fraction times the accepted share of the distinct-value sample
+/// ([`smv_algebra::sample_accepted_fraction`] — the same estimate the
+/// plan cost model uses, so extents and selections never disagree);
+/// falls back to 1/3 once the sketch has saturated.
+fn predicate_selectivity(s: &Summary, q: NodeId, f: &smv_pattern::Formula) -> f64 {
+    if f.is_top() {
+        return 1.0;
+    }
+    let value_frac = s.value_count(q) as f64 / (s.count(q).max(1)) as f64;
+    match smv_algebra::sample_accepted_fraction(s, q, f) {
+        Some(frac) => value_frac * frac,
+        None => value_frac / 3.0,
+    }
+}
+
+/// Expected embeddings of the non-nested part of `n`'s subtree per
+/// document node on summary path `sp` (see [`estimate_extent_rows`]).
+fn embeddings_per_binding(
+    p: &Pattern,
+    s: &Summary,
+    paths: &[Vec<NodeId>],
+    n: PNodeId,
+    sp: NodeId,
+) -> f64 {
+    use smv_pattern::Axis;
+    let mut per = 1.0;
+    for &c in p.children(n) {
+        let cn = p.node(c);
+        if cn.nested {
+            continue; // nested subtrees land in table cells, not rows
+        }
+        let mut x = 0.0;
+        for &q in &paths[c.idx()] {
+            let under = match cn.axis {
+                Axis::Child => s.is_parent(sp, q),
+                Axis::Descendant => s.is_ancestor(sp, q),
+            };
+            if under && s.count(sp) > 0 {
+                x += (s.count(q) as f64 / s.count(sp) as f64)
+                    * predicate_selectivity(s, q, &cn.predicate)
+                    * embeddings_per_binding(p, s, paths, c, q);
+            }
+        }
+        per *= if cn.optional { x.max(1.0) } else { x };
+    }
+    per
+}
+
+/// Per-cell byte weights shared by the definition-only size estimate and
+/// the materialized accounting, so budgeted advice and actual storage are
+/// comparable: a structural ID ≈ 16 bytes, an interned label 8, an atomic
+/// value 16, stored content 64 (serialized subtrees dwarf atoms).
+pub const BYTES_ID: f64 = 16.0;
+/// Byte weight of a label cell.
+pub const BYTES_LABEL: f64 = 8.0;
+/// Byte weight of an atomic value cell.
+pub const BYTES_VALUE: f64 = 16.0;
+/// Byte weight of a stored-content cell.
+pub const BYTES_CONTENT: f64 = 64.0;
+
+/// Per-row byte width of a pattern's stored attributes (nested subtrees
+/// included — this is the width of the fully flattened row).
+fn row_width(p: &Pattern) -> f64 {
+    p.iter()
+        .map(|n| {
+            let a = p.node(n).attrs;
+            let mut w = 0.0;
+            if a.id {
+                w += BYTES_ID;
+            }
+            if a.label {
+                w += BYTES_LABEL;
+            }
+            if a.value {
+                w += BYTES_VALUE;
+            }
+            if a.content {
+                w += BYTES_CONTENT;
+            }
+            w
+        })
+        .sum()
+}
+
+/// Estimated stored bytes of a view's extent: the fully *flattened* row
+/// count (nested edges unnested — nested tables pay for their rows)
+/// times the per-row width of every stored attribute. A deliberate
+/// over-approximation of nested storage (outer cells are charged once
+/// per nested row, as a flattened store would pay), which keeps budgeted
+/// selection conservative.
+pub fn estimate_extent_bytes(p: &Pattern, s: &Summary) -> f64 {
+    estimate_extent_rows(&p.unnest_copy(), s) * row_width(p)
 }
 
 /// [`CardSource`] over a materialized catalog: actual extent sizes plus
@@ -139,6 +246,52 @@ mod tests {
             2.0,
             "driven by bids' items"
         );
+    }
+
+    #[test]
+    fn predicates_discount_the_estimate() {
+        let (_, s) = fixture();
+        // bids carry values {1, 2}; v>1 keeps half the distinct sample
+        let all = parse_pattern("r(//bid{id,v})").unwrap();
+        let some = parse_pattern("r(//bid{id,v}[v>1])").unwrap();
+        assert_eq!(estimate_extent_rows(&all, &s), 2.0);
+        assert_eq!(estimate_extent_rows(&some, &s), 1.0);
+        assert!(estimate_extent_bytes(&some, &s) < estimate_extent_bytes(&all, &s));
+    }
+
+    #[test]
+    fn nested_views_estimate_outer_rows() {
+        let (d, s) = fixture();
+        // the extent of a nested view has one row per item — the nested
+        // bids live in a table cell and must not multiply outer rows
+        let v = parse_pattern("r(/item{id}(?%/bid{id,v}))").unwrap();
+        assert_eq!(estimate_extent_rows(&v, &s), 2.0);
+        let mut cat = Catalog::new();
+        cat.add(View::new("vn", v, IdScheme::OrdPath), &d);
+        assert_eq!(cat.extent_rows("vn").unwrap() as f64, 2.0);
+    }
+
+    #[test]
+    fn branching_views_multiply_sibling_fanouts() {
+        let (d, s) = fixture();
+        // item1 has 1 name × 2 bids, item2 has 1 name × 0 bids → 2 rows
+        let v = parse_pattern("r(/item{id}(/name{v}, /bid{v}))").unwrap();
+        assert_eq!(estimate_extent_rows(&v, &s), 2.0);
+        let mut cat = Catalog::new();
+        cat.add(View::new("vb", v, IdScheme::OrdPath), &d);
+        assert_eq!(cat.extent_rows("vb").unwrap() as f64, 2.0);
+    }
+
+    #[test]
+    fn byte_estimates_track_rows_and_width() {
+        let (d, s) = fixture();
+        let v = parse_pattern("r(//name{id,v})").unwrap();
+        // 2 rows × (16 id + 16 value)
+        assert_eq!(estimate_extent_bytes(&v, &s), 64.0);
+        let mut cat = Catalog::new();
+        cat.add(View::new("vn", v, IdScheme::OrdPath), &d);
+        assert_eq!(cat.extent_bytes("vn").unwrap(), 64.0);
+        assert_eq!(cat.total_bytes(), 64.0);
     }
 
     #[test]

@@ -76,6 +76,41 @@ impl Catalog {
         self.extents.get(name).map(NestedRelation::len)
     }
 
+    /// Stored bytes of a materialized extent, using the same per-cell
+    /// weights as [`crate::cards::estimate_extent_bytes`] (IDs 16, labels
+    /// 8, values 16; content at its serialized length; nulls free; nested
+    /// tables recursively) — so a storage budget checked against the
+    /// definition-only estimate remains meaningful after materialization.
+    pub fn extent_bytes(&self, name: &str) -> Option<f64> {
+        fn rel_bytes(rel: &NestedRelation) -> f64 {
+            use crate::cards::{BYTES_ID, BYTES_LABEL, BYTES_VALUE};
+            use smv_algebra::Cell;
+            let mut b = 0.0;
+            for row in &rel.rows {
+                for cell in &row.cells {
+                    b += match cell {
+                        Cell::Null => 0.0,
+                        Cell::Id(_) => BYTES_ID,
+                        Cell::Label(_) => BYTES_LABEL,
+                        Cell::Atom(_) => BYTES_VALUE,
+                        Cell::Content(c) => c.len() as f64,
+                        Cell::Table(t) => rel_bytes(t),
+                    };
+                }
+            }
+            b
+        }
+        self.extents.get(name).map(rel_bytes)
+    }
+
+    /// Total stored bytes across every materialized extent.
+    pub fn total_bytes(&self) -> f64 {
+        self.views
+            .iter()
+            .filter_map(|v| self.extent_bytes(&v.name))
+            .sum()
+    }
+
     /// Number of views.
     pub fn len(&self) -> usize {
         self.views.len()

@@ -13,6 +13,6 @@ pub mod cards;
 pub mod catalog;
 pub mod materialize;
 
-pub use cards::{col_cards, estimate_extent_rows, CatalogCards, DefCards};
+pub use cards::{col_cards, estimate_extent_bytes, estimate_extent_rows, CatalogCards, DefCards};
 pub use catalog::{Catalog, View};
 pub use materialize::{materialize, schema_of};
