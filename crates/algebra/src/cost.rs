@@ -23,11 +23,13 @@
 //! columns fall back to documented defaults rather than failing, so the
 //! model can always rank plans.
 
+use crate::feedback::FeedbackStore;
 use crate::plan::{Plan, Predicate};
 use crate::struct_join::StructRel;
-use smv_pattern::{Bound, Formula};
-use smv_summary::Summary;
+use smv_pattern::{Bound, Formula, Interval};
+use smv_summary::{Summary, ValueHistogram};
 use smv_xml::NodeId;
+use std::rc::Rc;
 
 /// Default extent size assumed for views the source does not know.
 const DEFAULT_ROWS: f64 = 1_000.0;
@@ -105,11 +107,20 @@ struct Est {
 ///
 /// Scan statistics are memoized per view name: the rewriting enumeration
 /// estimates thousands of plans over the same handful of scans, and a
-/// [`CardSource`] may recompute path annotations on every call.
+/// [`CardSource`] may recompute path annotations on every call. The memo
+/// hands cards out behind an [`Rc`], so a cache hit never deep-clones
+/// the card (probes borrow the `&str` key; only a first miss allocates
+/// its `String`).
+///
+/// With [`CostModel::with_feedback`], memoized runtime selectivities
+/// (selection pass-rates, join selectivities — see
+/// [`crate::feedback::FeedbackStore`]) take precedence over the static
+/// summary-driven guesses wherever an observation exists.
 pub struct CostModel<'a> {
     summary: &'a Summary,
     source: &'a dyn CardSource,
-    scan_cache: std::cell::RefCell<std::collections::HashMap<String, Option<ScanCard>>>,
+    feedback: Option<&'a FeedbackStore>,
+    scan_cache: std::cell::RefCell<std::collections::HashMap<String, Option<Rc<ScanCard>>>>,
 }
 
 impl<'a> CostModel<'a> {
@@ -118,16 +129,27 @@ impl<'a> CostModel<'a> {
         CostModel {
             summary,
             source,
+            feedback: None,
             scan_cache: std::cell::RefCell::new(std::collections::HashMap::new()),
         }
     }
 
-    /// Memoized [`CardSource::scan_card`].
-    fn scan_card(&self, view: &str) -> Option<ScanCard> {
+    /// Applies runtime feedback: wherever `store` holds a memoized
+    /// selectivity for a selection or join fragment, it replaces the
+    /// static estimate.
+    pub fn with_feedback(mut self, store: &'a FeedbackStore) -> CostModel<'a> {
+        self.feedback = Some(store);
+        self
+    }
+
+    /// Memoized [`CardSource::scan_card`]. The probe borrows `view`
+    /// (`Borrow<str>`), so a hit costs one hash lookup and an `Rc`
+    /// clone; the `String` key is allocated once, on first miss.
+    fn scan_card(&self, view: &str) -> Option<Rc<ScanCard>> {
         if let Some(cached) = self.scan_cache.borrow().get(view) {
             return cached.clone();
         }
-        let card = self.source.scan_card(view);
+        let card = self.source.scan_card(view).map(Rc::new);
         self.scan_cache
             .borrow_mut()
             .insert(view.to_owned(), card.clone());
@@ -158,7 +180,7 @@ impl<'a> CostModel<'a> {
                 Some(sc) => Est {
                     rows: sc.rows,
                     cost: sc.rows,
-                    cols: sc.cols,
+                    cols: sc.cols.clone(),
                 },
                 None => Est {
                     rows: DEFAULT_ROWS,
@@ -215,6 +237,12 @@ impl<'a> CostModel<'a> {
                     }
                     Predicate::NotNull { .. } => NOT_NULL_SEL,
                 };
+                // an observed pass-rate for this exact fragment beats any
+                // static guess (the label narrowing above still applies)
+                let sel = self
+                    .feedback
+                    .and_then(|f| f.select_selectivity(input, pred))
+                    .unwrap_or(sel);
                 e.cost += e.rows;
                 e.rows *= sel;
                 e
@@ -253,6 +281,13 @@ impl<'a> CostModel<'a> {
                         l.rows * r.rows * shared / (dl * dr)
                     }
                     _ => l.rows * r.rows / l.rows.max(r.rows).max(1.0),
+                };
+                let rows = match self
+                    .feedback
+                    .and_then(|f| f.join_selectivity(left, right, *lcol, *rcol, None))
+                {
+                    Some(s) => l.rows * r.rows * s,
+                    None => rows,
                 };
                 let mut cols = l.cols;
                 cols.extend(r.cols);
@@ -293,6 +328,13 @@ impl<'a> CostModel<'a> {
                         pairs * (l.rows / dl) * (r.rows / dr)
                     }
                     _ => l.rows * r.rows * STRUCT_SEL,
+                };
+                let rows = match self
+                    .feedback
+                    .and_then(|f| f.join_selectivity(left, right, *lcol, *rcol, Some(*rel)))
+                {
+                    Some(s) => l.rows * r.rows * s,
+                    None => rows,
                 };
                 let mut cols = l.cols;
                 cols.extend(r.cols);
@@ -505,14 +547,16 @@ impl<'a> CostModel<'a> {
     /// extremes are the true min/max), so the fraction of distinct values
     /// the formula accepts — weighted by each path's valued-node count,
     /// assuming uniform frequency per distinct value — is an end-biased
-    /// estimate far tighter than a blanket constant. Any saturated sketch
-    /// on the way degrades the whole estimate to [`RANGE_SEL`].
+    /// estimate far tighter than a blanket constant. Once a sketch has
+    /// saturated, the end-biased equi-width histogram built from its
+    /// accepted sample takes over; only a path with neither (non-numeric
+    /// saturated values) degrades the whole estimate to [`RANGE_SEL`].
     fn range_selectivity(&self, paths: &[NodeId], formula: &Formula) -> f64 {
         let mut kept = 0.0;
         let mut total = 0.0;
         for &p in paths {
-            let Some(frac) = sample_accepted_fraction(self.summary, p, formula) else {
-                return RANGE_SEL; // saturated: distribution unknown
+            let Some(frac) = value_accepted_fraction(self.summary, p, formula) else {
+                return RANGE_SEL; // no sample, no histogram: unknown
             };
             let values = self.summary.value_count(p) as f64;
             total += values;
@@ -572,6 +616,71 @@ pub fn sample_accepted_fraction(s: &Summary, p: NodeId, f: &Formula) -> Option<f
         }
     }
     Some(if n == 0 { 0.0 } else { acc as f64 / n as f64 })
+}
+
+/// Fraction of path `p`'s value distribution that `f` accepts, from the
+/// best statistic available: the exact distinct-value sample while the
+/// sketch is unsaturated, the end-biased equi-width histogram after
+/// saturation, `None` when neither exists (non-numeric saturated
+/// values). The single entry point shared by the plan cost model and the
+/// view layer's extent estimates, so operator costing and benefit-per-
+/// byte ranking can never disagree on a predicate's selectivity.
+pub fn value_accepted_fraction(s: &Summary, p: NodeId, f: &Formula) -> Option<f64> {
+    if let Some(frac) = sample_accepted_fraction(s, p, f) {
+        return Some(frac);
+    }
+    s.value_histogram(p)
+        .and_then(|h| histogram_accepted_fraction(h, f))
+}
+
+/// Fraction of a saturated path's histogram mass that `f` accepts.
+///
+/// Integer mass is apportioned per bucket by fractional overlap with the
+/// formula's intervals (the histogram is equi-width with end-biased
+/// overflow buckets tracking the true observed min/max); string mass —
+/// invisible to an integer histogram — contributes the blanket
+/// [`RANGE_SEL`]. Returns `None` on an empty histogram.
+pub fn histogram_accepted_fraction(h: &ValueHistogram, f: &Formula) -> Option<f64> {
+    let total = h.total() as f64;
+    if total <= 0.0 {
+        return None;
+    }
+    if f.is_top() {
+        return Some(1.0);
+    }
+    let mut accepted = 0.0;
+    for iv in f.intervals() {
+        if let Some((a, b)) = interval_int_range(iv) {
+            accepted += h.mass_in(a, b);
+        }
+    }
+    accepted += h.string_count() as f64 * RANGE_SEL;
+    Some((accepted / total).clamp(0.0, 1.0))
+}
+
+/// The inclusive integer range a formula interval admits, or `None` when
+/// it admits no integer. Uses the domain's total order (all integers sort
+/// before all strings): a string lower bound excludes every integer, a
+/// string upper bound admits them all.
+fn interval_int_range(iv: &Interval) -> Option<(i64, i64)> {
+    use smv_xml::Value;
+    let lo = match &iv.lo {
+        Bound::NegInf => i64::MIN,
+        Bound::Incl(Value::Int(x)) => *x,
+        Bound::Excl(Value::Int(x)) => x.checked_add(1)?,
+        // ints sort before strings: v > "s" admits no integer
+        Bound::Incl(Value::Str(_)) | Bound::Excl(Value::Str(_)) => return None,
+        Bound::PosInf => return None,
+    };
+    let hi = match &iv.hi {
+        Bound::PosInf => i64::MAX,
+        Bound::Incl(Value::Int(x)) => *x,
+        Bound::Excl(Value::Int(x)) => x.checked_sub(1)?,
+        // every integer is below every string
+        Bound::Incl(Value::Str(_)) | Bound::Excl(Value::Str(_)) => i64::MAX,
+        Bound::NegInf => return None,
+    };
+    (lo <= hi).then_some((lo, hi))
 }
 
 /// Number of single-point intervals in a formula, or `None` when some
@@ -687,6 +796,82 @@ mod tests {
             },
         };
         assert_eq!(model.estimate(&none).rows, 0.0);
+    }
+
+    #[test]
+    fn saturated_sketch_falls_back_to_the_histogram() {
+        // 1500 uniform distinct values saturate the sketch; the histogram
+        // keeps range selectivities near the truth instead of RANGE_SEL
+        let body: Vec<String> = (0..1500).map(|i| format!(r#"b="{i}""#)).collect();
+        let s = Summary::of(&Document::from_parens(&format!("r({})", body.join(" "))));
+        let b = s.node_by_path("/r/b").unwrap();
+        assert!(s.distinct_sample(b).is_none(), "sketch saturated");
+        let mut m = HashMap::new();
+        m.insert(
+            "vb".to_owned(),
+            ScanCard {
+                rows: 1500.0,
+                cols: vec![ColCard::Atom(vec![b]), ColCard::Atom(vec![b])],
+            },
+        );
+        let src = MapCards(m);
+        let model = CostModel::new(&s, &src);
+        // v >= 1200 keeps the top 20% of the uniform range
+        let sel = Plan::Select {
+            input: Box::new(Plan::Scan { view: "vb".into() }),
+            pred: Predicate::Value {
+                col: 1,
+                formula: Formula::ge(smv_xml::Value::int(1200)),
+            },
+        };
+        let e = model.estimate(&sel);
+        assert!(
+            (e.rows - 300.0).abs() < 60.0,
+            "histogram estimate near truth (300): {}",
+            e.rows
+        );
+        // direct helper agreement
+        let frac = value_accepted_fraction(&s, b, &Formula::ge(smv_xml::Value::int(1200))).unwrap();
+        assert!((frac - 0.2).abs() < 0.04, "accepted fraction {frac}");
+    }
+
+    #[test]
+    fn feedback_overrides_static_selection_and_join_estimates() {
+        use crate::feedback::{ExecProfile, FeedbackStore};
+        let s = summary();
+        let src = cards(&s);
+        let formula = Formula::ge(smv_xml::Value::int(2));
+        let sel = Plan::Select {
+            input: Box::new(Plan::Scan { view: "vb".into() }),
+            pred: Predicate::Value { col: 1, formula },
+        };
+        let join = Plan::StructJoin {
+            left: Box::new(Plan::Scan { view: "va".into() }),
+            right: Box::new(sel.clone()),
+            lcol: 0,
+            rcol: 0,
+            rel: StructRel::Parent,
+        };
+        // pretend execution observed: 3 scanned, 1 kept, join emitted 1
+        let mut prof = ExecProfile::default();
+        prof.record(&[0], 2); // scan va
+        prof.record(&[1, 0], 3); // scan vb
+        prof.record(&[1], 1); // select
+        prof.record(&[], 1); // join
+        let mut store = FeedbackStore::new();
+        store.ingest(&join, &prof);
+        let model = CostModel::new(&s, &src).with_feedback(&store);
+        let e_sel = model.estimate(&sel);
+        assert!((e_sel.rows - 1.0).abs() < 1e-9, "memoized 1/3 pass-rate");
+        let e_join = model.estimate(&join);
+        assert!(
+            (e_join.rows - 1.0).abs() < 1e-9,
+            "memoized join selectivity: rows = {}",
+            e_join.rows
+        );
+        // without feedback the static estimates differ
+        let static_model = CostModel::new(&s, &src);
+        assert!((static_model.estimate(&sel).rows - 1.0).abs() > 1e-9);
     }
 
     #[test]

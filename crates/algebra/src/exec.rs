@@ -16,6 +16,7 @@
 //!   and grouping hashes rows structurally; no cell is ever encoded into
 //!   a string to be compared.
 
+use crate::feedback::ExecProfile;
 use crate::plan::{NavStep, Plan, Predicate};
 use crate::relation::{AttrKind, Cell, ColKind, Column, NestedRelation, Row, Schema};
 #[cfg(test)]
@@ -77,14 +78,75 @@ impl std::error::Error for ExecError {}
 
 /// Executes `plan` against `views`, returning a normalized relation.
 pub fn execute(plan: &Plan, views: &dyn ViewProvider) -> Result<NestedRelation, ExecError> {
-    let mut rel = eval(plan, views)?.into_owned();
+    let mut rel = eval(plan, views, &mut None)?.into_owned();
     rel.normalize();
     Ok(rel)
 }
 
+/// Executes `plan` and records every operator's actual output row count
+/// into an [`ExecProfile`] keyed by its positional path in the plan tree.
+///
+/// Profiling is counters-only — no row is copied or re-walked — so the
+/// hot path is identical to [`execute`]'s; the unprofiled entry point
+/// passes a `None` profiler and pays one branch per operator. The root
+/// entry is overwritten after the final normalization so it always equals
+/// the returned relation's size.
+pub fn execute_profiled(
+    plan: &Plan,
+    views: &dyn ViewProvider,
+) -> Result<(NestedRelation, ExecProfile), ExecError> {
+    let mut prof = Some(Profiler {
+        profile: ExecProfile::default(),
+        path: Vec::new(),
+    });
+    let mut rel = eval(plan, views, &mut prof)?.into_owned();
+    rel.normalize();
+    let mut profile = prof.expect("profiler survives eval").profile;
+    profile.record(&[], rel.len() as u64);
+    Ok((rel, profile))
+}
+
+/// In-flight profiling state: the profile under construction plus the
+/// positional path of the operator currently being evaluated.
+struct Profiler {
+    profile: ExecProfile,
+    path: Vec<u32>,
+}
+
+/// Evaluates one operator and records its output size when profiling.
 fn eval<'a>(
     plan: &Plan,
     views: &'a dyn ViewProvider,
+    prof: &mut Option<Profiler>,
+) -> Result<Cow<'a, NestedRelation>, ExecError> {
+    let out = eval_op(plan, views, prof)?;
+    if let Some(p) = prof {
+        p.profile.record(&p.path, out.len() as u64);
+    }
+    Ok(out)
+}
+
+/// Evaluates the `idx`-th input of the current operator.
+fn eval_child<'a>(
+    plan: &Plan,
+    views: &'a dyn ViewProvider,
+    prof: &mut Option<Profiler>,
+    idx: u32,
+) -> Result<Cow<'a, NestedRelation>, ExecError> {
+    if let Some(p) = prof {
+        p.path.push(idx);
+    }
+    let r = eval(plan, views, prof);
+    if let Some(p) = prof {
+        p.path.pop();
+    }
+    r
+}
+
+fn eval_op<'a>(
+    plan: &Plan,
+    views: &'a dyn ViewProvider,
+    prof: &mut Option<Profiler>,
 ) -> Result<Cow<'a, NestedRelation>, ExecError> {
     match plan {
         Plan::Scan { view } => views
@@ -92,7 +154,7 @@ fn eval<'a>(
             .map(Cow::Borrowed)
             .ok_or_else(|| ExecError::UnknownView(view.clone())),
         Plan::Select { input, pred } => {
-            let rel = eval(input, views)?;
+            let rel = eval_child(input, views, prof, 0)?;
             let keep = |row: &Row| -> Result<bool, ExecError> {
                 match pred {
                     Predicate::Value { col, formula } => match &row.cells[*col] {
@@ -138,7 +200,7 @@ fn eval<'a>(
             }
         }
         Plan::Project { input, cols } => {
-            let rel = eval(input, views)?;
+            let rel = eval_child(input, views, prof, 0)?;
             for &c in cols {
                 if c >= rel.schema.len() {
                     return Err(ExecError::Schema(format!(
@@ -187,8 +249,8 @@ fn eval<'a>(
             lcol,
             rcol,
         } => {
-            let l = eval(left, views)?;
-            let r = eval(right, views)?;
+            let l = eval_child(left, views, prof, 0)?;
+            let r = eval_child(right, views, prof, 1)?;
             let mut index: HashMap<&StructId, Vec<usize>> = HashMap::new();
             for (i, row) in l.rows.iter().enumerate() {
                 if let Cell::Id(id) = &row.cells[*lcol] {
@@ -221,8 +283,8 @@ fn eval<'a>(
             rcol,
             rel,
         } => {
-            let l = eval(left, views)?;
-            let r = eval(right, views)?;
+            let l = eval_child(left, views, prof, 0)?;
+            let r = eval_child(right, views, prof, 1)?;
             let (lids, lrows) = gather_ids_sorted(&l, *lcol);
             let (rids, rrows) = gather_ids_sorted(&r, *rcol);
             let pairs = stack_tree_join_presorted(&lids, &rids, *rel);
@@ -245,9 +307,9 @@ fn eval<'a>(
             let first = it
                 .next()
                 .ok_or_else(|| ExecError::Schema("empty union".into()))?;
-            let mut acc = eval(first, views)?.into_owned();
-            for p in it {
-                let r = eval(p, views)?;
+            let mut acc = eval_child(first, views, prof, 0)?.into_owned();
+            for (i, p) in it.enumerate() {
+                let r = eval_child(p, views, prof, i as u32 + 1)?;
                 if r.schema.cols.len() != acc.schema.cols.len() {
                     return Err(ExecError::Schema(format!(
                         "union arity mismatch: {} vs {}",
@@ -265,7 +327,7 @@ fn eval<'a>(
             nested_cols,
             name,
         } => {
-            let rel = eval(input, views)?;
+            let rel = eval_child(input, views, prof, 0)?;
             let inner_schema = Schema {
                 cols: nested_cols
                     .iter()
@@ -324,7 +386,7 @@ fn eval<'a>(
             Ok(Cow::Owned(out))
         }
         Plan::Unnest { input, col, outer } => {
-            let rel = eval(input, views)?.into_owned();
+            let rel = eval_child(input, views, prof, 0)?.into_owned();
             let ColKind::Nested(inner_schema) = rel.schema.cols[*col].kind.clone() else {
                 return Err(ExecError::Type(format!(
                     "unnest on non-nested column {}",
@@ -382,7 +444,7 @@ fn eval<'a>(
             optional,
             name,
         } => {
-            let rel = eval(input, views)?;
+            let rel = eval_child(input, views, prof, 0)?;
             let mut schema = rel.schema.clone();
             for a in attrs {
                 schema.cols.push(Column {
@@ -441,7 +503,7 @@ fn eval<'a>(
             levels,
             name,
         } => {
-            let mut rel = eval(input, views)?.into_owned();
+            let mut rel = eval_child(input, views, prof, 0)?.into_owned();
             rel.schema.cols.push(Column {
                 name: *name,
                 kind: ColKind::Atom(AttrKind::Id),
@@ -467,7 +529,7 @@ fn eval<'a>(
             Ok(Cow::Owned(rel))
         }
         Plan::DupElim { input } => {
-            let mut rel = eval(input, views)?.into_owned();
+            let mut rel = eval_child(input, views, prof, 0)?.into_owned();
             rel.normalize();
             Ok(Cow::Owned(rel))
         }
@@ -711,7 +773,7 @@ mod tests {
             rcol: 0,
             rel: StructRel::Parent,
         };
-        let out = eval(&plan, &p).unwrap();
+        let out = eval(&plan, &p, &mut None).unwrap();
         assert_eq!(out.sorted_on, Some(1), "sorted on the right join column");
         // rows really are in document order on that column
         let ids: Vec<&StructId> = out

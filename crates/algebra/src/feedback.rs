@@ -1,0 +1,617 @@
+//! Runtime execution feedback: profiles, the feedback store, and
+//! feedback-corrected scan cardinalities.
+//!
+//! The cost model of [`crate::cost`] is *static*: it estimates from
+//! summary statistics and extent sizes, and its selectivity guesses
+//! (saturated value sketches, independence across join inputs) can
+//! misrank plans. This module closes the loop:
+//!
+//! * the executor's profiled entry point ([`crate::exec::execute_profiled`])
+//!   emits an [`ExecProfile`] — the *actual* output row count of every
+//!   operator, keyed by its stable [`OpPath`] into the plan tree;
+//! * a [`FeedbackStore`] ingests profiles and maintains, with exponential
+//!   decay across ingests, per-view scan row counts, join-selectivity
+//!   memos and predicate-selectivity memos keyed by stable *plan-fragment
+//!   fingerprints* (for a selection directly over a scan the key collapses
+//!   to `(view, column, formula)`, for a base structural join to
+//!   `(left scan, right scan, axis)` — deeper fragments key on the whole
+//!   fragment);
+//! * [`FeedbackCards`] decorates any [`CardSource`] with the corrected
+//!   scan rows, and [`crate::cost::CostModel::with_feedback`] makes the
+//!   model prefer memoized selectivities over static guesses.
+//!
+//! Because the rewriting enumeration is deterministic, a repeated query
+//! re-enumerates the same plans and every shared fragment hits its memo —
+//! the second ranking of a repeated query runs on corrected estimates.
+
+use crate::cost::{CardSource, ScanCard};
+use crate::plan::{Plan, Predicate};
+use crate::struct_join::StructRel;
+use std::collections::HashMap;
+
+/// A stable address of one operator inside a plan tree: the child-index
+/// chain from the root, rendered `"1.0"` (root = `""`). Child indexing:
+/// unary operators have child `0`; joins have left `0` / right `1`;
+/// union branches are numbered in order.
+pub type OpPath = String;
+
+fn path_key(path: &[u32]) -> OpPath {
+    let mut s = String::new();
+    for (i, p) in path.iter().enumerate() {
+        if i > 0 {
+            s.push('.');
+        }
+        s.push_str(&p.to_string());
+    }
+    s
+}
+
+/// Per-operator actual output row counts of one plan execution.
+#[derive(Clone, Debug, Default)]
+pub struct ExecProfile {
+    rows: HashMap<OpPath, u64>,
+}
+
+impl ExecProfile {
+    /// Records (or overwrites) the output rows of the operator at `path`.
+    pub fn record(&mut self, path: &[u32], out_rows: u64) {
+        self.rows.insert(path_key(path), out_rows);
+    }
+
+    /// Output rows of the operator at `path`, if recorded.
+    pub fn rows(&self, path: &[u32]) -> Option<u64> {
+        self.rows.get(&path_key(path)).copied()
+    }
+
+    /// Output rows by rendered path string (`""` = the plan root).
+    pub fn rows_at(&self, path: &str) -> Option<u64> {
+        self.rows.get(path).copied()
+    }
+
+    /// Number of operators profiled.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when nothing was profiled.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates `(operator path, output rows)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.rows.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+// ---- stable plan-fragment fingerprints --------------------------------
+
+/// FNV-1a, stable across runs and platforms (unlike `DefaultHasher`,
+/// whose initial keys are an implementation detail).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, x: u64) {
+        self.write(&x.to_le_bytes());
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn hash_pred(h: &mut Fnv, pred: &Predicate) {
+    match pred {
+        Predicate::Value { col, formula } => {
+            h.write(b"V");
+            h.write_u64(*col as u64);
+            h.write(formula.to_string().as_bytes());
+        }
+        Predicate::LabelEq { col, label } => {
+            h.write(b"L");
+            h.write_u64(*col as u64);
+            h.write(label.as_str().as_bytes());
+        }
+        Predicate::NotNull { col } => {
+            h.write(b"N");
+            h.write_u64(*col as u64);
+        }
+    }
+}
+
+fn hash_plan(h: &mut Fnv, p: &Plan) {
+    match p {
+        Plan::Scan { view } => {
+            h.write(b"scan");
+            h.write(view.as_bytes());
+        }
+        Plan::Select { input, pred } => {
+            h.write(b"sel");
+            hash_pred(h, pred);
+            hash_plan(h, input);
+        }
+        Plan::Project { input, cols } => {
+            h.write(b"proj");
+            for &c in cols {
+                h.write_u64(c as u64);
+            }
+            hash_plan(h, input);
+        }
+        Plan::IdJoin {
+            left,
+            right,
+            lcol,
+            rcol,
+        } => {
+            h.write(b"idj");
+            h.write_u64(*lcol as u64);
+            h.write_u64(*rcol as u64);
+            hash_plan(h, left);
+            hash_plan(h, right);
+        }
+        Plan::StructJoin {
+            left,
+            right,
+            lcol,
+            rcol,
+            rel,
+        } => {
+            h.write(match rel {
+                StructRel::Parent => b"sjp",
+                StructRel::Ancestor => b"sja",
+            });
+            h.write_u64(*lcol as u64);
+            h.write_u64(*rcol as u64);
+            hash_plan(h, left);
+            hash_plan(h, right);
+        }
+        Plan::Union { inputs } => {
+            h.write(b"uni");
+            h.write_u64(inputs.len() as u64);
+            for i in inputs {
+                hash_plan(h, i);
+            }
+        }
+        Plan::Nest {
+            input,
+            key_cols,
+            nested_cols,
+            name,
+        } => {
+            h.write(b"nest");
+            for &c in key_cols {
+                h.write_u64(c as u64);
+            }
+            h.write(b"/");
+            for &c in nested_cols {
+                h.write_u64(c as u64);
+            }
+            h.write(name.as_str().as_bytes());
+            hash_plan(h, input);
+        }
+        Plan::Unnest { input, col, outer } => {
+            h.write(if *outer { b"unno" } else { b"unn." });
+            h.write_u64(*col as u64);
+            hash_plan(h, input);
+        }
+        Plan::NavigateContent {
+            input,
+            content_col,
+            base_id_col,
+            steps,
+            attrs,
+            optional,
+            name,
+        } => {
+            h.write(if *optional { b"navo" } else { b"nav." });
+            h.write_u64(*content_col as u64);
+            h.write_u64(base_id_col.map(|c| c as u64 + 1).unwrap_or(0));
+            for s in steps {
+                h.write(match s.axis {
+                    smv_pattern::Axis::Child => b"/",
+                    smv_pattern::Axis::Descendant => b"%",
+                });
+                if let Some(l) = s.label {
+                    h.write(l.as_str().as_bytes());
+                }
+            }
+            h.write_u64(attrs.len() as u64);
+            h.write(name.as_str().as_bytes());
+            hash_plan(h, input);
+        }
+        Plan::DeriveParentId {
+            input, col, levels, ..
+        } => {
+            h.write(b"vid");
+            h.write_u64(*col as u64);
+            h.write_u64(*levels as u64);
+            hash_plan(h, input);
+        }
+        Plan::DupElim { input } => {
+            h.write(b"dup");
+            hash_plan(h, input);
+        }
+    }
+}
+
+/// A stable fingerprint of a plan fragment. Two structurally identical
+/// fragments (same operators, views, columns, formulas) always agree, in
+/// this run and the next.
+pub fn plan_fingerprint(p: &Plan) -> u64 {
+    let mut h = Fnv::new();
+    hash_plan(&mut h, p);
+    h.finish()
+}
+
+fn select_key(input: &Plan, pred: &Predicate) -> u64 {
+    let mut h = Fnv::new();
+    h.write(b"SELKEY");
+    hash_pred(&mut h, pred);
+    hash_plan(&mut h, input);
+    h.finish()
+}
+
+fn join_key(left: &Plan, right: &Plan, lcol: usize, rcol: usize, rel: Option<StructRel>) -> u64 {
+    let mut h = Fnv::new();
+    h.write(match rel {
+        None => b"IDJKEY",
+        Some(StructRel::Parent) => b"SJPKEY",
+        Some(StructRel::Ancestor) => b"SJAKEY",
+    });
+    h.write_u64(lcol as u64);
+    h.write_u64(rcol as u64);
+    hash_plan(&mut h, left);
+    hash_plan(&mut h, right);
+    h.finish()
+}
+
+// ---- the feedback store ------------------------------------------------
+
+/// Default EWMA weight of a fresh observation.
+const DEFAULT_DECAY: f64 = 0.5;
+
+/// Accumulates execution feedback across queries: per-view actual scan
+/// rows, selection pass-rates and join selectivities, each maintained as
+/// an exponentially-decayed moving average over ingests so drifting data
+/// ages out stale observations.
+#[derive(Clone, Debug)]
+pub struct FeedbackStore {
+    /// EWMA weight of the newest observation (`1.0` = keep only the
+    /// latest, `0.0` would ignore new evidence).
+    decay: f64,
+    scans: HashMap<String, f64>,
+    selects: HashMap<u64, f64>,
+    joins: HashMap<u64, f64>,
+    ingests: u64,
+}
+
+impl Default for FeedbackStore {
+    fn default() -> Self {
+        FeedbackStore::new()
+    }
+}
+
+impl FeedbackStore {
+    /// An empty store with the default decay.
+    pub fn new() -> FeedbackStore {
+        FeedbackStore::with_decay(DEFAULT_DECAY)
+    }
+
+    /// An empty store blending each new observation with weight `decay`
+    /// (clamped to `(0, 1]`).
+    pub fn with_decay(decay: f64) -> FeedbackStore {
+        FeedbackStore {
+            decay: decay.clamp(f64::MIN_POSITIVE, 1.0),
+            scans: HashMap::new(),
+            selects: HashMap::new(),
+            joins: HashMap::new(),
+            ingests: 0,
+        }
+    }
+
+    /// Number of profiles ingested.
+    pub fn ingests(&self) -> u64 {
+        self.ingests
+    }
+
+    /// True when no feedback has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.ingests == 0
+    }
+
+    /// Number of memo entries (scans + selections + joins).
+    pub fn len(&self) -> usize {
+        self.scans.len() + self.selects.len() + self.joins.len()
+    }
+
+    fn blend(decay: f64, slot: &mut HashMap<u64, f64>, key: u64, obs: f64) {
+        slot.entry(key)
+            .and_modify(|v| *v = decay * obs + (1.0 - decay) * *v)
+            .or_insert(obs);
+    }
+
+    /// Folds one execution profile into the memos. The profile must come
+    /// from executing exactly `plan` (operator paths are positional).
+    pub fn ingest(&mut self, plan: &Plan, profile: &ExecProfile) {
+        let mut path = Vec::new();
+        self.walk(plan, profile, &mut path);
+        self.ingests += 1;
+    }
+
+    fn walk(&mut self, plan: &Plan, profile: &ExecProfile, path: &mut Vec<u32>) {
+        let out = profile.rows(path);
+        let child = |path: &mut Vec<u32>, i: u32, profile: &ExecProfile| {
+            path.push(i);
+            let r = profile.rows(path);
+            path.pop();
+            r
+        };
+        match plan {
+            Plan::Scan { view } => {
+                if let Some(out) = out {
+                    let decay = self.decay;
+                    self.scans
+                        .entry(view.clone())
+                        .and_modify(|v| *v = decay * out as f64 + (1.0 - decay) * *v)
+                        .or_insert(out as f64);
+                }
+            }
+            Plan::Select { input, pred } => {
+                if let (Some(out), Some(inp)) = (out, child(path, 0, profile)) {
+                    if inp > 0 {
+                        Self::blend(
+                            self.decay,
+                            &mut self.selects,
+                            select_key(input, pred),
+                            out as f64 / inp as f64,
+                        );
+                    }
+                }
+            }
+            Plan::IdJoin {
+                left,
+                right,
+                lcol,
+                rcol,
+            } => {
+                if let (Some(out), Some(l), Some(r)) =
+                    (out, child(path, 0, profile), child(path, 1, profile))
+                {
+                    if l > 0 && r > 0 {
+                        Self::blend(
+                            self.decay,
+                            &mut self.joins,
+                            join_key(left, right, *lcol, *rcol, None),
+                            out as f64 / (l as f64 * r as f64),
+                        );
+                    }
+                }
+            }
+            Plan::StructJoin {
+                left,
+                right,
+                lcol,
+                rcol,
+                rel,
+            } => {
+                if let (Some(out), Some(l), Some(r)) =
+                    (out, child(path, 0, profile), child(path, 1, profile))
+                {
+                    if l > 0 && r > 0 {
+                        Self::blend(
+                            self.decay,
+                            &mut self.joins,
+                            join_key(left, right, *lcol, *rcol, Some(*rel)),
+                            out as f64 / (l as f64 * r as f64),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+        // recurse into the children with the positional path extended
+        match plan {
+            Plan::Scan { .. } => {}
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Nest { input, .. }
+            | Plan::Unnest { input, .. }
+            | Plan::NavigateContent { input, .. }
+            | Plan::DeriveParentId { input, .. }
+            | Plan::DupElim { input } => {
+                path.push(0);
+                self.walk(input, profile, path);
+                path.pop();
+            }
+            Plan::IdJoin { left, right, .. } | Plan::StructJoin { left, right, .. } => {
+                path.push(0);
+                self.walk(left, profile, path);
+                path.pop();
+                path.push(1);
+                self.walk(right, profile, path);
+                path.pop();
+            }
+            Plan::Union { inputs } => {
+                for (i, p) in inputs.iter().enumerate() {
+                    path.push(i as u32);
+                    self.walk(p, profile, path);
+                    path.pop();
+                }
+            }
+        }
+    }
+
+    /// Decayed actual scan rows observed for `view`.
+    pub fn scan_rows(&self, view: &str) -> Option<f64> {
+        self.scans.get(view).copied()
+    }
+
+    /// Memoized pass-rate of selecting `pred` over `input`.
+    pub fn select_selectivity(&self, input: &Plan, pred: &Predicate) -> Option<f64> {
+        self.selects.get(&select_key(input, pred)).copied()
+    }
+
+    /// Memoized join selectivity (`out / (|left| · |right|)`) of joining
+    /// `left` and `right` on `(lcol, rcol)`; `rel = None` is `⋈_=`.
+    pub fn join_selectivity(
+        &self,
+        left: &Plan,
+        right: &Plan,
+        lcol: usize,
+        rcol: usize,
+        rel: Option<StructRel>,
+    ) -> Option<f64> {
+        self.joins
+            .get(&join_key(left, right, lcol, rcol, rel))
+            .copied()
+    }
+}
+
+/// A [`CardSource`] decorator replacing estimated scan rows with the
+/// feedback store's decayed actuals where available. Column path
+/// annotations still come from the inner source (feedback only observes
+/// row counts).
+pub struct FeedbackCards<'a> {
+    inner: &'a dyn CardSource,
+    store: &'a FeedbackStore,
+}
+
+impl<'a> FeedbackCards<'a> {
+    /// Wraps `inner`, correcting its scan rows from `store`.
+    pub fn new(inner: &'a dyn CardSource, store: &'a FeedbackStore) -> FeedbackCards<'a> {
+        FeedbackCards { inner, store }
+    }
+}
+
+impl CardSource for FeedbackCards<'_> {
+    fn scan_card(&self, view: &str) -> Option<ScanCard> {
+        let corrected = self.store.scan_rows(view);
+        match (self.inner.scan_card(view), corrected) {
+            (Some(mut sc), Some(rows)) => {
+                sc.rows = rows;
+                Some(sc)
+            }
+            (Some(sc), None) => Some(sc),
+            // the view is unknown to the inner source but was executed:
+            // feedback still knows its size (columns stay unannotated)
+            (None, Some(rows)) => Some(ScanCard {
+                rows,
+                cols: Vec::new(),
+            }),
+            (None, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::NoCards;
+    use smv_pattern::Formula;
+    use smv_xml::Value;
+
+    fn scan(v: &str) -> Plan {
+        Plan::Scan { view: v.into() }
+    }
+
+    fn select(input: Plan, col: usize, formula: Formula) -> Plan {
+        Plan::Select {
+            input: Box::new(input),
+            pred: Predicate::Value { col, formula },
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_discriminating() {
+        let a = select(scan("v"), 1, Formula::ge(Value::int(3)));
+        let b = select(scan("v"), 1, Formula::ge(Value::int(3)));
+        let c = select(scan("v"), 1, Formula::ge(Value::int(4)));
+        let d = select(scan("w"), 1, Formula::ge(Value::int(3)));
+        assert_eq!(plan_fingerprint(&a), plan_fingerprint(&b));
+        assert_ne!(plan_fingerprint(&a), plan_fingerprint(&c));
+        assert_ne!(plan_fingerprint(&a), plan_fingerprint(&d));
+    }
+
+    #[test]
+    fn ingest_builds_scan_select_and_join_memos() {
+        let plan = Plan::StructJoin {
+            left: Box::new(scan("a")),
+            right: Box::new(select(scan("b"), 0, Formula::ge(Value::int(10)))),
+            lcol: 0,
+            rcol: 0,
+            rel: StructRel::Parent,
+        };
+        let mut prof = ExecProfile::default();
+        prof.record(&[0], 100); // scan a
+        prof.record(&[1, 0], 200); // scan b
+        prof.record(&[1], 50); // select out of 200
+        prof.record(&[], 40); // join out of 100 × 50
+        let mut store = FeedbackStore::new();
+        store.ingest(&plan, &prof);
+        assert_eq!(store.scan_rows("a"), Some(100.0));
+        assert_eq!(store.scan_rows("b"), Some(200.0));
+        let sel = store
+            .select_selectivity(
+                &scan("b"),
+                &Predicate::Value {
+                    col: 0,
+                    formula: Formula::ge(Value::int(10)),
+                },
+            )
+            .unwrap();
+        assert!((sel - 0.25).abs() < 1e-12);
+        let jsel = store
+            .join_selectivity(
+                &scan("a"),
+                &select(scan("b"), 0, Formula::ge(Value::int(10))),
+                0,
+                0,
+                Some(StructRel::Parent),
+            )
+            .unwrap();
+        assert!((jsel - 40.0 / (100.0 * 50.0)).abs() < 1e-12);
+        // a different fragment misses
+        assert!(store
+            .join_selectivity(&scan("a"), &scan("b"), 0, 0, Some(StructRel::Parent))
+            .is_none());
+    }
+
+    #[test]
+    fn decay_blends_observations() {
+        let plan = scan("v");
+        let mut p1 = ExecProfile::default();
+        p1.record(&[], 100);
+        let mut p2 = ExecProfile::default();
+        p2.record(&[], 200);
+        let mut store = FeedbackStore::with_decay(0.5);
+        store.ingest(&plan, &p1);
+        store.ingest(&plan, &p2);
+        assert_eq!(store.scan_rows("v"), Some(150.0));
+        assert_eq!(store.ingests(), 2);
+        // decay 1.0 keeps only the latest
+        let mut latest = FeedbackStore::with_decay(1.0);
+        latest.ingest(&plan, &p1);
+        latest.ingest(&plan, &p2);
+        assert_eq!(latest.scan_rows("v"), Some(200.0));
+    }
+
+    #[test]
+    fn feedback_cards_override_scan_rows() {
+        let mut prof = ExecProfile::default();
+        prof.record(&[], 42);
+        let mut store = FeedbackStore::new();
+        store.ingest(&scan("v"), &prof);
+        let cards = FeedbackCards::new(&NoCards, &store);
+        use crate::cost::CardSource;
+        assert_eq!(cards.scan_card("v").unwrap().rows, 42.0);
+        assert!(cards.scan_card("unknown").is_none());
+    }
+}

@@ -8,14 +8,17 @@
 
 pub mod cost;
 pub mod exec;
+pub mod feedback;
 pub mod plan;
 pub mod relation;
 pub mod struct_join;
 
 pub use cost::{
-    sample_accepted_fraction, CardSource, ColCard, CostModel, NoCards, PlanEstimate, ScanCard,
+    histogram_accepted_fraction, sample_accepted_fraction, value_accepted_fraction, CardSource,
+    ColCard, CostModel, NoCards, PlanEstimate, ScanCard,
 };
-pub use exec::{execute, ExecError, MapProvider, ViewProvider};
+pub use exec::{execute, execute_profiled, ExecError, MapProvider, ViewProvider};
+pub use feedback::{plan_fingerprint, ExecProfile, FeedbackCards, FeedbackStore, OpPath};
 pub use plan::{NavStep, Plan, Predicate};
 pub use relation::{AttrKind, Cell, ColKind, Column, NestedRelation, Row, Schema};
 pub use struct_join::{

@@ -2,7 +2,7 @@
 //! in the paper's layout.
 //!
 //! ```text
-//! experiments [table1|fig13|fig14|fig15|bench-pr1|bench-pr2|bench-pr3|all] [--scale <f>] [--out <path>]
+//! experiments [table1|fig13|fig14|fig15|bench-pr1|bench-pr2|bench-pr3|bench-pr4|all] [--scale <f>] [--out <path>]
 //! ```
 //!
 //! `bench-pr1` micro-benchmarks the executor hot paths this repo's PR 1
@@ -18,6 +18,17 @@
 //! counts and wall times; it also reruns the Figure-15 workload with the
 //! branch-and-bound cost bound on and off and reports the enumerated
 //! (plan, pattern) pair counts. Results land in `BENCH_PR2.json`.
+//!
+//! `bench-pr4` exercises the PR 4 adaptive execution loop on the
+//! `smv_datagen::pr4` workload, whose frequency-skewed values saturate
+//! the distinct sketch and make static cost ranking pick a worse plan on
+//! misrank queries. Each iteration re-ranks every query through a shared
+//! `AdaptiveSession` (rewrite → execute profiled → ingest), recording the
+//! chosen plan, its latency against the static choice and the true best
+//! plan, and the estimate error — demonstrating convergence to the true
+//! best plan within a few iterations. It also checks that unprofiled
+//! `execute` pays nothing for the instrumentation. Results land in
+//! `BENCH_PR4.json`.
 //!
 //! `bench-pr3` exercises the PR 3 view advisor: it advises on the
 //! weighted `smv_datagen::pr3` XMark workload under a storage budget (90%
@@ -55,6 +66,7 @@ fn main() {
         "bench-pr1" => bench_pr1(&out.unwrap_or_else(|| "BENCH_PR1.json".into())),
         "bench-pr2" => bench_pr2(scale, &out.unwrap_or_else(|| "BENCH_PR2.json".into())),
         "bench-pr3" => bench_pr3(scale, &out.unwrap_or_else(|| "BENCH_PR3.json".into())),
+        "bench-pr4" => bench_pr4(scale, &out.unwrap_or_else(|| "BENCH_PR4.json".into())),
         "all" => {
             table1(scale);
             fig13();
@@ -63,11 +75,211 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use table1|fig13|fig14|fig15|bench-pr1|bench-pr2|bench-pr3|all"
+                "unknown experiment `{other}`; use table1|fig13|fig14|fig15|bench-pr1|bench-pr2|bench-pr3|bench-pr4|all"
             );
             std::process::exit(2);
         }
     }
+}
+
+/// PR 4 adaptive-loop benchmark → `BENCH_PR4.json`.
+fn bench_pr4(scale: f64, out: &str) {
+    use smv::adaptive::AdaptiveSession;
+    use smv_algebra::{execute, execute_profiled, plan_fingerprint, Plan};
+    use smv_core::{rewrite_with_cards, RewriteOpts};
+    use smv_datagen::pr4_workload;
+    use smv_views::{Catalog, CatalogCards};
+    use smv_xml::IdScheme;
+    use std::time::Instant;
+
+    /// Median-of-samples wall time of `f` in nanoseconds.
+    fn measure<O>(samples: usize, mut f: impl FnMut() -> O) -> u64 {
+        let mut times: Vec<u64> = (0..samples)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                t.elapsed().as_nanos() as u64
+            })
+            .collect();
+        times.sort_unstable();
+        times[times.len() / 2]
+    }
+
+    println!("== PR 4: adaptive feedback loop vs static cost ranking ==");
+    let wl = pr4_workload(scale, IdScheme::OrdPath);
+    let s = smv_summary::Summary::of(&wl.doc);
+    let mut catalog = Catalog::new();
+    for v in &wl.views {
+        catalog.add(v.clone(), &wl.doc);
+    }
+    println!(
+        "(document: {} nodes, summary: {} paths, {} views materialized)",
+        wl.doc.len(),
+        s.len(),
+        wl.views.len()
+    );
+
+    let samples = 9;
+    let iters = 5usize;
+    let cards = CatalogCards::new(&catalog, &s);
+    let opts = RewriteOpts::default();
+
+    // static baseline + the plan space to define "true best" against:
+    // measure every statically enumerated rewriting once per query
+    struct StaticSide {
+        chosen_fp: u64,
+        chosen_ns: u64,
+        true_best_fp: u64,
+        true_best_ns: u64,
+        plans: Vec<(u64, Plan)>,
+    }
+    let static_side: Vec<StaticSide> = wl
+        .queries
+        .iter()
+        .map(|q| {
+            let ranked = rewrite_with_cards(&q.pattern, &wl.views, &s, &opts, &cards);
+            assert!(
+                !ranked.rewritings.is_empty(),
+                "query {} must rewrite",
+                q.name
+            );
+            let plans: Vec<(u64, Plan)> = ranked
+                .rewritings
+                .iter()
+                .map(|rw| (plan_fingerprint(&rw.plan), rw.plan.clone()))
+                .collect();
+            let timed: Vec<u64> = plans
+                .iter()
+                .map(|(_, p)| measure(samples, || execute(p, &catalog).unwrap().len()))
+                .collect();
+            let best_i = (0..plans.len()).min_by_key(|&i| timed[i]).unwrap();
+            StaticSide {
+                chosen_fp: plans[0].0,
+                chosen_ns: timed[0],
+                true_best_fp: plans[best_i].0,
+                true_best_ns: timed[best_i],
+                plans,
+            }
+        })
+        .collect();
+
+    let mut session = AdaptiveSession::new(&s, &catalog);
+    let mut lines: Vec<String> = Vec::new();
+    // per query: (first-iteration estimate error, last, converged flags)
+    let mut first_err = vec![0.0f64; wl.queries.len()];
+    let mut last_err = vec![0.0f64; wl.queries.len()];
+    let mut final_fp = vec![0u64; wl.queries.len()];
+    let mut final_ns = vec![0u64; wl.queries.len()];
+    let mut iter1_fp = vec![0u64; wl.queries.len()];
+    for it in 0..iters {
+        for (qi, q) in wl.queries.iter().enumerate() {
+            let run = session
+                .run(&q.pattern)
+                .expect("query rewrites")
+                .expect("plan executes");
+            let fp = plan_fingerprint(&run.plan);
+            let st = &static_side[qi];
+            // the adaptive choice is one of the enumerated plans almost
+            // always; time it fresh (fall back to a direct measure)
+            let adaptive_ns = st
+                .plans
+                .iter()
+                .find(|(f, _)| *f == fp)
+                .map(|(_, p)| measure(samples, || execute(p, &catalog).unwrap().len()))
+                .unwrap_or_else(|| {
+                    measure(samples, || execute(&run.plan, &catalog).unwrap().len())
+                });
+            let err =
+                (run.est.rows - run.actual_rows as f64).abs() / (run.actual_rows.max(1) as f64);
+            if it == 0 {
+                first_err[qi] = err;
+                iter1_fp[qi] = fp;
+            }
+            last_err[qi] = err;
+            final_fp[qi] = fp;
+            final_ns[qi] = adaptive_ns;
+            println!(
+                "iter {it} {:<15} adaptive={:>9}ns (views {:?}) static={:>9}ns true_best={:>9}ns est_rows={:>9.1} actual={:>6} err={err:.3}",
+                q.name,
+                adaptive_ns,
+                run.plan.views_used(),
+                st.chosen_ns,
+                st.true_best_ns,
+                run.est.rows,
+                run.actual_rows,
+            );
+            lines.push(format!(
+                "    {{\"iter\": {it}, \"query\": \"{}\", \"adaptive_ns\": {adaptive_ns}, \"static_ns\": {}, \"true_best_ns\": {}, \"est_rows\": {:.1}, \"actual_rows\": {}, \"est_rel_error\": {err:.4}, \"adaptive_views\": {:?}, \"is_true_best\": {}}}",
+                q.name,
+                st.chosen_ns,
+                st.true_best_ns,
+                run.est.rows,
+                run.actual_rows,
+                run.plan.views_used(),
+                fp == st.true_best_fp,
+            ));
+        }
+    }
+
+    // Convergence and misranking are judged on *deterministic* signals —
+    // plan identity across iterations and estimate error against actual
+    // cardinalities — because the rewriting enumeration, execution row
+    // counts and feedback contents are all deterministic; the CI smoke
+    // asserts these flags, so they must not ride on wall-clock medians.
+    // Iteration 1 runs on an empty store, i.e. it *is* the static choice.
+    let mut converged = true;
+    let mut misrank_seen = false;
+    for (qi, q) in wl.queries.iter().enumerate() {
+        let flipped = iter1_fp[qi] != final_fp[qi];
+        if q.expect_misrank {
+            // static chose on a wildly wrong estimate and feedback moved
+            // the ranking off that plan, ending with exact estimates
+            misrank_seen |= flipped && first_err[qi] > 0.5;
+            converged &= flipped && last_err[qi] <= 0.01 && last_err[qi] <= first_err[qi];
+        } else {
+            // controls: never disturbed, estimates stay exact
+            converged &= !flipped && last_err[qi] <= 0.01;
+        }
+    }
+    converged &= misrank_seen;
+    // timing-based corroboration (reported, not asserted: medians of
+    // microsecond-scale runs are too noisy to gate CI on)
+    let final_is_true_best =
+        (0..wl.queries.len()).all(|qi| final_fp[qi] == static_side[qi].true_best_fp);
+    let warm_latency_ok = (0..wl.queries.len()).all(|qi| {
+        // an unchanged choice is the static plan: equal by identity (two
+        // wall-clock medians of the same plan only measure jitter)
+        final_fp[qi] == static_side[qi].chosen_fp
+            || final_ns[qi] as f64 <= static_side[qi].chosen_ns as f64 * 1.10
+    });
+    println!(
+        "adaptive ranking {} (static misranked: {misrank_seen}); \
+         final choice measured true-best on every query: {final_is_true_best}; \
+         post-warm-up latency ≤ static on every query: {warm_latency_ok}",
+        if converged {
+            "CONVERGED"
+        } else {
+            "DID NOT converge"
+        },
+    );
+
+    // instrumentation overhead: unprofiled execute on the heaviest plan
+    let probe = &static_side[0].plans[0].1;
+    let plain_ns = measure(9, || execute(probe, &catalog).unwrap().len());
+    let profiled_ns = measure(9, || execute_profiled(probe, &catalog).unwrap().0.len());
+    let overhead = profiled_ns as f64 / plain_ns.max(1) as f64 - 1.0;
+    println!(
+        "profiling overhead on the probe plan: execute={plain_ns}ns execute_profiled={profiled_ns}ns ({:+.1}%)",
+        overhead * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"pr\": 4,\n  \"doc_nodes\": {},\n  \"iterations\": {iters},\n  \"static_misranked\": {misrank_seen},\n  \"converged\": {converged},\n  \"final_is_true_best\": {final_is_true_best},\n  \"warm_latency_ok\": {warm_latency_ok},\n  \"profiling_overhead_frac\": {overhead:.4},\n  \"execute_ns\": {plain_ns},\n  \"execute_profiled_ns\": {profiled_ns},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        wl.doc.len(),
+        lines.join(",\n"),
+    );
+    std::fs::write(out, json).expect("write bench json");
+    println!("wrote {out}");
 }
 
 /// PR 3 view-advisor benchmark → `BENCH_PR3.json`.

@@ -21,6 +21,6 @@ pub use containment::{
 pub mod rewriting;
 
 pub use rewriting::{
-    best_rewriting_cost, rewrite, rewrite_with_cards, RewriteOpts, RewriteResult, RewriteStats,
-    Rewriter, Rewriting,
+    best_rewriting_cost, rewrite, rewrite_with_cards, rewrite_with_feedback, RewriteOpts,
+    RewriteResult, RewriteStats, Rewriter, Rewriting,
 };

@@ -41,7 +41,8 @@
 
 use crate::containment::{implies_disjunction, tuple_in, FormulaMode};
 use smv_algebra::{
-    AttrKind, CardSource, ColKind, CostModel, NavStep, Plan, PlanEstimate, Predicate, StructRel,
+    AttrKind, CardSource, ColKind, CostModel, FeedbackStore, NavStep, Plan, PlanEstimate,
+    Predicate, StructRel,
 };
 use smv_pattern::canonical::{canonical_model, CTree, CanonOpts};
 use smv_pattern::{associated_paths, Axis, Formula, PNodeId, Pattern};
@@ -272,6 +273,26 @@ pub fn rewrite_with_cards(
         .run()
 }
 
+/// Rewrites `q` with a cardinality source *and* a runtime-feedback store:
+/// scan rows, selection pass-rates and join selectivities observed by
+/// `smv_algebra::execute_profiled` correct the static estimates wherever
+/// a memo exists, so re-ranking a repeated query converges on the plan
+/// that actually ran cheapest. Pass a `FeedbackCards`-wrapped source as
+/// `cards` to also apply the per-view scan corrections.
+pub fn rewrite_with_feedback(
+    q: &Pattern,
+    views: &[View],
+    s: &Summary,
+    opts: &RewriteOpts,
+    cards: &dyn CardSource,
+    feedback: &FeedbackStore,
+) -> RewriteResult {
+    Rewriter::new(q, views, s, opts.clone())
+        .with_card_source(cards)
+        .with_feedback(feedback)
+        .run()
+}
+
 /// Estimated work of the cheapest S-equivalent rewriting of `q` over
 /// `views`, or `None` when the bounded search finds no rewriting.
 ///
@@ -304,6 +325,7 @@ pub struct Rewriter<'a> {
     s: &'a Summary,
     opts: RewriteOpts,
     cards: Option<&'a dyn CardSource>,
+    feedback: Option<&'a FeedbackStore>,
 }
 
 impl<'a> Rewriter<'a> {
@@ -315,6 +337,7 @@ impl<'a> Rewriter<'a> {
             s,
             opts,
             cards: None,
+            feedback: None,
         }
     }
 
@@ -322,6 +345,13 @@ impl<'a> Rewriter<'a> {
     /// estimates).
     pub fn with_card_source(mut self, cards: &'a dyn CardSource) -> Self {
         self.cards = Some(cards);
+        self
+    }
+
+    /// Supplies runtime feedback: the cost model prefers the store's
+    /// memoized selectivities over its static guesses.
+    pub fn with_feedback(mut self, feedback: &'a FeedbackStore) -> Self {
+        self.feedback = Some(feedback);
         self
     }
 
@@ -353,7 +383,10 @@ impl<'a> Rewriter<'a> {
         // cost model: supplied cardinalities, or definition-only estimates
         let def_cards = DefCards::new(self.views, self.s);
         let cards: &dyn CardSource = self.cards.unwrap_or(&def_cards);
-        let model = CostModel::new(self.s, cards);
+        let mut model = CostModel::new(self.s, cards);
+        if let Some(fb) = self.feedback {
+            model = model.with_feedback(fb);
+        }
 
         // ---- setup: base pairs (M0), Prop 3.4 pruning, derived columns
         let mut m0: Vec<Pair> = Vec::new();

@@ -8,21 +8,174 @@ use std::collections::{HashMap, HashSet};
 /// upper bound (good enough for selectivity estimation).
 const DISTINCT_CAP: usize = 1024;
 
-/// A capped distinct-value sketch for one summary path.
+/// Buckets of a saturated path's equi-width histogram.
+const HIST_BUCKETS: usize = 64;
+
+/// An end-biased equi-width histogram over a path's integer values,
+/// built from the accepted distinct-value sample the moment its sketch
+/// saturates and updated with every value seen afterwards.
+///
+/// The bucket range `[lo, hi]` is pinned to the sample's true extremes
+/// (end-biased: the extreme values anchor the ends exactly); later
+/// values falling outside land in dedicated overflow counters rather
+/// than smearing the interior buckets. String values — unorderable
+/// against the integer axis — are counted separately.
+#[derive(Clone, Debug)]
+pub struct ValueHistogram {
+    lo: i64,
+    /// Inclusive width of one bucket (≥ 1).
+    width: i64,
+    buckets: Vec<u64>,
+    /// Values observed strictly below `lo` after the build, with the
+    /// smallest seen (their mass is apportioned over `[below_min, lo)`).
+    below: u64,
+    below_min: i64,
+    /// Values observed strictly above the bucketed range after the
+    /// build, with the largest seen.
+    above: u64,
+    above_max: i64,
+    strings: u64,
+    total: u64,
+}
+
+impl ValueHistogram {
+    /// Builds a histogram from the saturated sketch's sample; `None` when
+    /// the sample holds no integers (an all-string path has no axis).
+    fn build<'v>(sample: impl Iterator<Item = &'v Value>) -> Option<ValueHistogram> {
+        let mut ints: Vec<i64> = Vec::new();
+        let mut strings = 0u64;
+        for v in sample {
+            match v {
+                Value::Int(i) => ints.push(*i),
+                Value::Str(_) => strings += 1,
+            }
+        }
+        let (&lo, &hi) = (ints.iter().min()?, ints.iter().max()?);
+        // inclusive span, computed in u128 to survive extreme samples
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        let width = span.div_ceil(HIST_BUCKETS as u128).max(1) as i64;
+        let mut h = ValueHistogram {
+            lo,
+            width,
+            buckets: vec![0; HIST_BUCKETS],
+            below: 0,
+            below_min: lo,
+            above: 0,
+            above_max: hi,
+            strings,
+            total: strings,
+        };
+        for i in ints {
+            h.add_int(i);
+            h.total += 1;
+        }
+        Some(h)
+    }
+
+    fn bucket_of(&self, v: i64) -> Option<usize> {
+        if v < self.lo {
+            return None;
+        }
+        let idx = ((v as i128 - self.lo as i128) / self.width as i128) as u128;
+        (idx < self.buckets.len() as u128).then_some(idx as usize)
+    }
+
+    fn add_int(&mut self, v: i64) {
+        match self.bucket_of(v) {
+            Some(b) => self.buckets[b] += 1,
+            None if v < self.lo => {
+                self.below += 1;
+                self.below_min = self.below_min.min(v);
+            }
+            None => {
+                self.above += 1;
+                self.above_max = self.above_max.max(v);
+            }
+        }
+    }
+
+    /// Folds one post-saturation value in.
+    fn add(&mut self, v: &Value) {
+        match v {
+            Value::Int(i) => self.add_int(*i),
+            Value::Str(_) => self.strings += 1,
+        }
+        self.total += 1;
+    }
+
+    /// Total values folded in (integers + strings).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// String values folded in (not on the integer axis).
+    pub fn string_count(&self) -> u64 {
+        self.strings
+    }
+
+    /// Estimated number of values inside the inclusive integer range
+    /// `[a, b]`: full buckets count whole, partially overlapped buckets
+    /// contribute their overlap fraction (uniform-within-bucket), and the
+    /// overflow masses are apportioned uniformly over the observed
+    /// overflow spans (`[below_min, lo)` and `(top, above_max]`).
+    pub fn mass_in(&self, a: i64, b: i64) -> f64 {
+        if a > b {
+            return 0.0;
+        }
+        // fraction of `count` mass spread uniformly over [slo, shi] that
+        // lands inside [a, b]
+        let spread = |count: u64, slo: i128, shi: i128| -> f64 {
+            if count == 0 || slo > shi {
+                return 0.0;
+            }
+            let olo = (a as i128).max(slo);
+            let ohi = (b as i128).min(shi);
+            if olo > ohi {
+                return 0.0;
+            }
+            count as f64 * ((ohi - olo + 1) as f64 / (shi - slo + 1) as f64)
+        };
+        let mut mass = 0.0;
+        for (k, &count) in self.buckets.iter().enumerate() {
+            let blo = self.lo as i128 + k as i128 * self.width as i128;
+            mass += spread(count, blo, blo + self.width as i128 - 1);
+        }
+        mass += spread(self.below, self.below_min as i128, self.lo as i128 - 1);
+        let top = self.lo as i128 + self.buckets.len() as i128 * self.width as i128 - 1;
+        mass += spread(self.above, top + 1, self.above_max as i128);
+        mass
+    }
+}
+
+/// A capped distinct-value sketch for one summary path. While unsaturated
+/// it is the exact distinct-value set; on saturation it converts its
+/// sample into a [`ValueHistogram`] and keeps folding subsequent values
+/// into the buckets.
 #[derive(Clone, Debug, Default)]
 struct ValueSketch {
     seen: HashSet<Value>,
     saturated: bool,
+    hist: Option<ValueHistogram>,
 }
 
 impl ValueSketch {
     fn insert(&mut self, v: &Value) {
-        if self.saturated || self.seen.contains(v) {
+        if self.saturated {
+            if let Some(h) = &mut self.hist {
+                h.add(v);
+            }
+            return;
+        }
+        if self.seen.contains(v) {
             return; // duplicates never saturate an exactly-tracked set
         }
         if self.seen.len() >= DISTINCT_CAP {
             self.saturated = true;
+            self.hist = ValueHistogram::build(self.seen.iter());
             self.seen = HashSet::new(); // release the memory
+            if let Some(h) = &mut self.hist {
+                h.add(v);
+            }
             return;
         }
         self.seen.insert(v.clone());
@@ -268,6 +421,14 @@ impl Summary {
     pub fn distinct_sample(&self, n: NodeId) -> Option<impl Iterator<Item = &Value> + '_> {
         let nd = &self.nodes[n.idx()];
         (!nd.distinct.saturated).then(|| nd.distinct.seen.iter())
+    }
+
+    /// The end-biased equi-width histogram of a path whose distinct
+    /// sketch has saturated (`None` while the exact sample is still
+    /// available via [`Summary::distinct_sample`], or when the saturated
+    /// sample held no integers to span an axis with).
+    pub fn value_histogram(&self, n: NodeId) -> Option<&ValueHistogram> {
+        self.nodes[n.idx()].distinct.hist.as_ref()
     }
 
     /// Average number of children on path `n` per document node on the
@@ -557,6 +718,52 @@ mod tests {
         let s = Summary::of(&Document::from_parens(&distinct));
         let b = s.node_by_path("/r/b").unwrap();
         assert_eq!(s.distinct_values(b), 1500);
+    }
+
+    #[test]
+    fn saturation_builds_a_histogram_over_the_sample() {
+        let distinct = format!(
+            "r({})",
+            (0..1500)
+                .map(|i| format!(r#"b="{i}""#))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        let s = Summary::of(&Document::from_parens(&distinct));
+        let b = s.node_by_path("/r/b").unwrap();
+        assert!(s.distinct_sample(b).is_none(), "sketch saturated");
+        let h = s.value_histogram(b).expect("histogram built");
+        // every value was folded in: the 1024-sample at build time plus
+        // each post-saturation insert
+        assert_eq!(h.total(), 1500);
+        assert_eq!(h.string_count(), 0);
+        // uniform values: mass tracks range width
+        let half = h.mass_in(0, 749);
+        assert!(
+            (half / h.total() as f64 - 0.5).abs() < 0.1,
+            "half-range holds about half the mass, got {half}"
+        );
+        assert_eq!(h.mass_in(10_000, 20_000), 0.0, "outside the range");
+        // an unsaturated path has no histogram
+        let s2 = Summary::of(&Document::from_parens(r#"r(b="1" b="2")"#));
+        assert!(s2
+            .value_histogram(s2.node_by_path("/r/b").unwrap())
+            .is_none());
+    }
+
+    #[test]
+    fn all_string_saturation_yields_no_histogram() {
+        let strs = format!(
+            "r({})",
+            (0..1200)
+                .map(|i| format!(r#"b="s{i}x""#))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        let s = Summary::of(&Document::from_parens(&strs));
+        let b = s.node_by_path("/r/b").unwrap();
+        assert!(s.distinct_sample(b).is_none());
+        assert!(s.value_histogram(b).is_none(), "no integer axis");
     }
 
     #[test]

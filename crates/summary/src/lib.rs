@@ -20,5 +20,5 @@
 pub mod dataguide;
 pub mod stats;
 
-pub use dataguide::Summary;
+pub use dataguide::{Summary, ValueHistogram};
 pub use stats::SummaryStats;

@@ -78,16 +78,18 @@ pub fn estimate_extent_rows(p: &Pattern, s: &Summary) -> f64 {
 }
 
 /// Fraction of the document nodes on path `q` satisfying `f`: the valued
-/// fraction times the accepted share of the distinct-value sample
-/// ([`smv_algebra::sample_accepted_fraction`] — the same estimate the
-/// plan cost model uses, so extents and selections never disagree);
-/// falls back to 1/3 once the sketch has saturated.
+/// fraction times the accepted share of the value distribution
+/// ([`smv_algebra::value_accepted_fraction`] — the exact distinct-value
+/// sample while the sketch is unsaturated, its end-biased equi-width
+/// histogram afterwards; the same estimate the plan cost model uses, so
+/// extents and selections never disagree). Falls back to 1/3 only when
+/// neither statistic exists (non-numeric saturated values).
 fn predicate_selectivity(s: &Summary, q: NodeId, f: &smv_pattern::Formula) -> f64 {
     if f.is_top() {
         return 1.0;
     }
     let value_frac = s.value_count(q) as f64 / (s.count(q).max(1)) as f64;
-    match smv_algebra::sample_accepted_fraction(s, q, f) {
+    match smv_algebra::value_accepted_fraction(s, q, f) {
         Some(frac) => value_frac * frac,
         None => value_frac / 3.0,
     }

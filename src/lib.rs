@@ -41,9 +41,12 @@
 //! | [`algebra`] | logical plans, structural joins, nested relations |
 //! | [`views`] | view definitions, materialization, catalog |
 //! | [`core`] | containment (§3-§4) and rewriting (Algorithm 1) |
+//! | [`adaptive`] | the feedback loop: profile → memoize → re-rank |
 //! | [`advisor`] | workload-driven view selection (greedy benefit/byte) |
 //! | [`xquery`] | FLWR-subset parser + pattern translation (§1) |
 //! | [`datagen`] | XMark/DBLP/… generators and §5 workloads |
+
+pub mod adaptive;
 
 pub use smv_advisor as advisor;
 pub use smv_algebra as algebra;
@@ -57,13 +60,17 @@ pub use smv_xquery as xquery;
 
 /// The commonly used surface of the library, re-exported flat.
 pub mod prelude {
+    pub use crate::adaptive::{AdaptiveRun, AdaptiveSession};
     pub use smv_advisor::{
         advise, advise_exhaustive, mine_candidates, Advice, AdvisorOpts, Workload,
     };
-    pub use smv_algebra::{execute, CostModel, NestedRelation, Plan, PlanEstimate, StructRel};
+    pub use smv_algebra::{
+        execute, execute_profiled, CostModel, ExecProfile, FeedbackCards, FeedbackStore,
+        NestedRelation, Plan, PlanEstimate, StructRel,
+    };
     pub use smv_core::{
         best_rewriting_cost, contained, contained_in_union, equivalent, is_satisfiable, rewrite,
-        rewrite_with_cards, ContainOpts, Decision, RewriteOpts,
+        rewrite_with_cards, rewrite_with_feedback, ContainOpts, Decision, RewriteOpts,
     };
     pub use smv_datagen::{xmark, xmark_query_patterns, XmarkConfig};
     pub use smv_pattern::{canonical_model, evaluate, parse_pattern, CanonOpts, Formula, Pattern};

@@ -1,0 +1,186 @@
+//! Tests of the adaptive feedback loop: profile/relation consistency and
+//! the perfect-feedback property (with full feedback, estimates equal
+//! actuals for scans, selections and structural joins).
+
+use proptest::prelude::*;
+use smv::algebra::{plan_fingerprint, CardSource, Predicate, StructRel};
+use smv::prelude::*;
+use smv::views::CatalogCards;
+use smv::xml::IdScheme;
+
+/// A document with `a` parents over valued `b` children, sized and
+/// valued by the generator inputs.
+fn doc_of(groups: &[Vec<i64>]) -> Document {
+    let parts: Vec<String> = groups
+        .iter()
+        .map(|vs| {
+            let kids: Vec<String> = vs.iter().map(|v| format!(r#"b="{v}""#)).collect();
+            if kids.is_empty() {
+                "a".to_string()
+            } else {
+                format!("a({})", kids.join(" "))
+            }
+        })
+        .collect();
+    Document::from_parens(&format!("r({})", parts.join(" ")))
+}
+
+fn catalog_of(doc: &Document) -> Catalog {
+    let mut catalog = Catalog::new();
+    catalog.add(
+        View::new(
+            "va",
+            parse_pattern("r(//a{id})").unwrap(),
+            IdScheme::OrdPath,
+        ),
+        doc,
+    );
+    catalog.add(
+        View::new(
+            "vb",
+            parse_pattern("r(//b{id,v})").unwrap(),
+            IdScheme::OrdPath,
+        ),
+        doc,
+    );
+    catalog
+}
+
+fn scan(view: &str) -> Plan {
+    Plan::Scan { view: view.into() }
+}
+
+fn select_ge(input: Plan, col: usize, cut: i64) -> Plan {
+    Plan::Select {
+        input: Box::new(input),
+        pred: Predicate::Value {
+            col,
+            formula: smv::pattern::Formula::ge(smv::xml::Value::int(cut)),
+        },
+    }
+}
+
+fn parent_join(left: Plan, right: Plan) -> Plan {
+    Plan::StructJoin {
+        left: Box::new(left),
+        right: Box::new(right),
+        lcol: 0,
+        rcol: 0,
+        rel: StructRel::Parent,
+    }
+}
+
+#[test]
+fn exec_profile_counts_match_materialized_sizes() {
+    let doc = doc_of(&[vec![1, 5, 9], vec![3], vec![], vec![7, 2]]);
+    let catalog = catalog_of(&doc);
+    let plan = parent_join(scan("va"), select_ge(scan("vb"), 1, 4));
+    let (out, profile) = execute_profiled(&plan, &catalog).unwrap();
+    // one entry per operator: join, its two scans, the select
+    assert_eq!(profile.len(), 4);
+    // the root entry always equals the returned (normalized) relation
+    assert_eq!(profile.rows_at(""), Some(out.len() as u64));
+    // scans report the extents, the select its surviving rows
+    assert_eq!(profile.rows_at("0"), Some(4), "four a nodes");
+    assert_eq!(profile.rows_at("1.0"), Some(6), "six b nodes");
+    assert_eq!(profile.rows_at("1"), Some(3), "values ≥ 4: 5, 9, 7");
+    // every operator's count equals executing that subplan directly
+    assert_eq!(
+        profile.rows_at("1").unwrap(),
+        execute(&select_ge(scan("vb"), 1, 4), &catalog)
+            .unwrap()
+            .len() as u64
+    );
+    assert_eq!(out.len(), 3, "each kept b joins its parent a");
+}
+
+#[test]
+fn unprofiled_and_profiled_execution_agree() {
+    let doc = doc_of(&[vec![2, 4], vec![8, 1, 3]]);
+    let catalog = catalog_of(&doc);
+    let plan = Plan::DupElim {
+        input: Box::new(parent_join(scan("va"), select_ge(scan("vb"), 1, 3))),
+    };
+    let plain = execute(&plan, &catalog).unwrap();
+    let (profiled, profile) = execute_profiled(&plan, &catalog).unwrap();
+    assert!(plain.set_eq(&profiled));
+    assert_eq!(profile.rows_at(""), Some(profiled.len() as u64));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// With a fully populated feedback store, the cost model's row
+    /// estimates equal the actual `execute()` output rows for scans,
+    /// selections over scans, and structural joins over (selected) scans.
+    #[test]
+    fn perfect_feedback_makes_estimates_exact(
+        groups in proptest::collection::vec(
+            proptest::collection::vec(0i64..20, 0..5), 1..12),
+        cut in 0i64..20,
+        ancestor in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let doc = doc_of(&groups);
+        let s = Summary::of(&doc);
+        let catalog = catalog_of(&doc);
+        let rel = if ancestor { StructRel::Ancestor } else { StructRel::Parent };
+        let join = Plan::StructJoin {
+            left: Box::new(scan("va")),
+            right: Box::new(select_ge(scan("vb"), 1, cut)),
+            lcol: 0,
+            rcol: 0,
+            rel,
+        };
+        let plans = [scan("va"), scan("vb"), select_ge(scan("vb"), 1, cut), join];
+        // feed every plan's profile back, then re-estimate with feedback
+        let mut store = FeedbackStore::new();
+        for p in &plans {
+            let (_, profile) = execute_profiled(p, &catalog).unwrap();
+            store.ingest(p, &profile);
+        }
+        let cards = CatalogCards::new(&catalog, &s);
+        let fb_cards = FeedbackCards::new(&cards, &store);
+        let model = CostModel::new(&s, &fb_cards).with_feedback(&store);
+        for p in &plans {
+            let actual = execute(p, &catalog).unwrap().len() as f64;
+            let est = model.estimate(p).rows;
+            prop_assert!(
+                (est - actual).abs() < 1e-6,
+                "plan {p} estimated {est} actual {actual}"
+            );
+        }
+    }
+
+    /// Fingerprints identify plan fragments: equal fragments collide,
+    /// fragments differing in view, column, predicate or axis do not.
+    #[test]
+    fn fingerprints_separate_distinct_fragments(
+        cut_a in 0i64..10,
+        cut_b in 0i64..10,
+    ) {
+        let a = select_ge(scan("vb"), 1, cut_a);
+        let b = select_ge(scan("vb"), 1, cut_b);
+        prop_assert_eq!(
+            plan_fingerprint(&a) == plan_fingerprint(&b),
+            cut_a == cut_b
+        );
+    }
+}
+
+/// The scan memo hands back corrected rows through `FeedbackCards`
+/// without disturbing unknown views.
+#[test]
+fn feedback_cards_compose_with_catalog_cards() {
+    let doc = doc_of(&[vec![1], vec![2, 3]]);
+    let s = Summary::of(&doc);
+    let catalog = catalog_of(&doc);
+    let mut store = FeedbackStore::new();
+    let (_, profile) = execute_profiled(&scan("vb"), &catalog).unwrap();
+    store.ingest(&scan("vb"), &profile);
+    let cards = CatalogCards::new(&catalog, &s);
+    let fb = FeedbackCards::new(&cards, &store);
+    assert_eq!(fb.scan_card("vb").unwrap().rows, 3.0);
+    // columns still come from the inner source
+    assert_eq!(fb.scan_card("vb").unwrap().cols.len(), 2);
+    assert!(fb.scan_card("nonexistent").is_none());
+}
