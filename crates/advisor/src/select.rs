@@ -130,6 +130,29 @@ fn finish(
 /// shift every best-rewriting baseline — divided by its estimated bytes,
 /// and commits the best positive pick. Stops when nothing affordable
 /// helps.
+///
+/// ```
+/// use smv_advisor::{advise, mine_candidates, AdvisorOpts, Workload};
+/// use smv_pattern::parse_pattern;
+/// use smv_summary::Summary;
+/// use smv_xml::Document;
+///
+/// // items carry bulky descriptions, so scanning a small name view beats
+/// // re-navigating the whole document (the no-view baseline)
+/// let items: Vec<String> = (0..50)
+///     .map(|i| format!(r#"item(name="n{i}" description(parlist(listitem(text))))"#))
+///     .collect();
+/// let doc = Document::from_parens(&format!("site({})", items.join(" ")));
+/// let summary = Summary::of(&doc);
+/// let workload = Workload::weighted([
+///     (parse_pattern("site(//name{id,v})").unwrap(), 3.0),
+///     (parse_pattern("site(//item{id})").unwrap(), 1.0),
+/// ]);
+/// let opts = AdvisorOpts::default(); // unbounded byte budget
+/// let candidates = mine_candidates(&workload, &summary, &opts);
+/// let advice = advise(&workload, &summary, &candidates, &opts);
+/// assert!(!advice.chosen.is_empty(), "some view is worth materializing");
+/// ```
 pub fn advise(w: &Workload, s: &Summary, cands: &[Candidate], opts: &AdvisorOpts) -> Advice {
     let mut sel: Vec<usize> = Vec::new();
     let mut chosen: Vec<AdvisedView> = Vec::new();

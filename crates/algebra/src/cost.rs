@@ -550,7 +550,7 @@ impl<'a> CostModel<'a> {
     /// estimate far tighter than a blanket constant. Once a sketch has
     /// saturated, the end-biased equi-width histogram built from its
     /// accepted sample takes over; only a path with neither (non-numeric
-    /// saturated values) degrades the whole estimate to [`RANGE_SEL`].
+    /// saturated values) degrades the whole estimate to `RANGE_SEL` (1/3).
     fn range_selectivity(&self, paths: &[NodeId], formula: &Formula) -> f64 {
         let mut kept = 0.0;
         let mut total = 0.0;
@@ -639,7 +639,7 @@ pub fn value_accepted_fraction(s: &Summary, p: NodeId, f: &Formula) -> Option<f6
 /// formula's intervals (the histogram is equi-width with end-biased
 /// overflow buckets tracking the true observed min/max); string mass —
 /// invisible to an integer histogram — contributes the blanket
-/// [`RANGE_SEL`]. Returns `None` on an empty histogram.
+/// `RANGE_SEL` (1/3). Returns `None` on an empty histogram.
 pub fn histogram_accepted_fraction(h: &ValueHistogram, f: &Formula) -> Option<f64> {
     let total = h.total() as f64;
     if total <= 0.0 {

@@ -19,37 +19,157 @@
 use crate::feedback::ExecProfile;
 use crate::plan::{NavStep, Plan, Predicate};
 use crate::relation::{AttrKind, Cell, ColKind, Column, NestedRelation, Row, Schema};
-#[cfg(test)]
 use crate::struct_join::StructRel;
-use crate::struct_join::{doc_sorted_indices, stack_tree_join_presorted};
+use crate::struct_join::{
+    doc_sorted_indices, stack_tree_join_presorted, stack_tree_join_presorted_range,
+};
 use smv_pattern::Axis;
+use smv_xml::par::{par_map, resolve_threads};
 use smv_xml::{parse_document, serialize_subtree, Document, NodeId, StructId, Symbol};
 use std::borrow::Cow;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
+/// Execution options: how many OS threads the executor may use.
+///
+/// The default (`threads: 1`) is fully sequential and byte-identical to
+/// the historical executor. With `threads > 1`, structural joins are
+/// evaluated in parallel — per summary-path-pair shard when both inputs
+/// are scans of sharded extents ([`ShardPartition`]), by chunking the
+/// sorted right side otherwise — on a small scoped worker pool
+/// ([`crate::par`]). Results and [`ExecProfile`] counters are identical
+/// at every thread count; only wall-clock changes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecOpts {
+    /// Worker threads: `1` = sequential, `0` = use the host's available
+    /// parallelism, `n` = exactly `n`.
+    pub threads: usize,
+    /// Parallel structural joins engage only when the two join inputs
+    /// together hold at least this many rows; below it the per-join
+    /// thread-spawn overhead outweighs any win. Set to `0` to force the
+    /// parallel path regardless of size (tests do).
+    pub min_par_rows: usize,
+}
+
+impl Default for ExecOpts {
+    fn default() -> ExecOpts {
+        ExecOpts {
+            threads: 1,
+            min_par_rows: 4096,
+        }
+    }
+}
+
+impl ExecOpts {
+    /// Options running on `threads` workers (`0` = auto).
+    pub fn with_threads(threads: usize) -> ExecOpts {
+        ExecOpts {
+            threads,
+            ..ExecOpts::default()
+        }
+    }
+
+    /// A copy with `threads: 0` resolved to the host's parallelism.
+    fn resolved(&self) -> ExecOpts {
+        ExecOpts {
+            threads: resolve_threads(self.threads),
+            min_par_rows: self.min_par_rows,
+        }
+    }
+}
+
+/// One summary-path shard of a materialized extent: the rows whose
+/// sharding-column ID sits on one summary path, plus enough of the
+/// summary's pre-order geometry (`pre`/`last_desc`/`depth`) for the
+/// executor to decide path-pair joinability without a summary in hand.
+#[derive(Clone, Debug)]
+pub struct ExtentShard {
+    /// The summary path node this shard holds (a [`NodeId`] into the
+    /// summary's arena).
+    pub path: NodeId,
+    /// The path's pre-order rank in the summary.
+    pub pre: u32,
+    /// Pre-order rank of the path's last descendant (ancestor tests are
+    /// interval containment: `a.pre < b.pre && b.pre <= a.last_desc`).
+    pub last_desc: u32,
+    /// The path's depth (root = 0); parent tests are ancestor + depth+1.
+    pub depth: u32,
+    /// Row indices into the (normalized) extent, ascending — i.e. in
+    /// document order of the sharding column.
+    pub rows: Vec<usize>,
+}
+
+/// A partition of a materialized extent's rows by the summary path of
+/// one ID column (produced by `Catalog::add_sharded` in `smv-views`).
+///
+/// Invariants the executor relies on: `col` is the extent's first
+/// column, the extent is normalized (hence sorted in document order on
+/// `col`), every row with an ID in `col` appears in exactly one shard,
+/// and rows whose `col` cell is not an ID (optional subtrees that bound
+/// to `⊥`) are listed in `unclassified`.
+#[derive(Clone, Debug, Default)]
+pub struct ShardPartition {
+    /// The sharding column.
+    pub col: usize,
+    /// Identifies the summary geometry snapshot the shard ranks were
+    /// copied from (`Summary::geometry_token` in `smv-summary`). Two
+    /// partitions' `pre`/`last_desc`/`depth` ranks are comparable only
+    /// when their tokens are equal — summary extensions renumber the
+    /// pre-order — so the executor joins per path pair only across
+    /// same-token partitions and otherwise falls back to chunking.
+    pub token: (u64, u64),
+    /// The shards, one per summary path with at least one row.
+    pub shards: Vec<ExtentShard>,
+    /// Rows whose sharding-column cell is not an ID.
+    pub unclassified: Vec<usize>,
+}
+
 /// Supplies view extents by name.
 pub trait ViewProvider {
     /// The materialized extent of `name`, if the view exists.
     fn extent(&self, name: &str) -> Option<&NestedRelation>;
+
+    /// The summary-path shard partition of `name`'s extent, when the
+    /// store maintains one. The default is `None`: providers without
+    /// sharding still execute every plan — parallel structural joins
+    /// just fall back from per-path-pair tasks to chunking.
+    fn shard_partition(&self, _name: &str) -> Option<&ShardPartition> {
+        None
+    }
 }
 
 /// A trivial provider backed by a map (tests, examples).
 #[derive(Default)]
 pub struct MapProvider {
     map: HashMap<String, NestedRelation>,
+    shards: HashMap<String, ShardPartition>,
 }
 
 impl MapProvider {
-    /// Registers a view extent.
+    /// Registers a view extent. Replacing an extent drops any shard
+    /// partition registered under the same name (its row indices would
+    /// dangle into the new extent).
     pub fn insert(&mut self, name: &str, rel: NestedRelation) {
         self.map.insert(name.to_owned(), rel);
+        self.shards.remove(name);
+    }
+
+    /// Registers a view extent together with its summary-path shard
+    /// partition (the caller vouches for the [`ShardPartition`]
+    /// invariants).
+    pub fn insert_sharded(&mut self, name: &str, rel: NestedRelation, partition: ShardPartition) {
+        self.map.insert(name.to_owned(), rel);
+        self.shards.insert(name.to_owned(), partition);
     }
 }
 
 impl ViewProvider for MapProvider {
     fn extent(&self, name: &str) -> Option<&NestedRelation> {
         self.map.get(name)
+    }
+
+    fn shard_partition(&self, name: &str) -> Option<&ShardPartition> {
+        self.shards.get(name)
     }
 }
 
@@ -77,8 +197,41 @@ impl std::fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 /// Executes `plan` against `views`, returning a normalized relation.
+///
+/// Sequential ([`ExecOpts::default`]); use [`execute_with`] to run
+/// structural joins on a worker pool.
+///
+/// ```
+/// use smv_algebra::{execute, AttrKind, Cell, MapProvider, NestedRelation, Plan, Row, Schema};
+/// use smv_xml::StructId;
+///
+/// let mut views = MapProvider::default();
+/// views.insert(
+///     "v",
+///     NestedRelation::new(
+///         Schema::atoms(&[("a.ID", AttrKind::Id)]),
+///         vec![Row::new(vec![Cell::Id(StructId::Seq(7))])],
+///     ),
+/// );
+/// let out = execute(&Plan::Scan { view: "v".into() }, &views).unwrap();
+/// assert_eq!(out.len(), 1);
+/// ```
 pub fn execute(plan: &Plan, views: &dyn ViewProvider) -> Result<NestedRelation, ExecError> {
-    let mut rel = eval(plan, views, &mut None)?.into_owned();
+    execute_with(plan, views, &ExecOpts::default())
+}
+
+/// [`execute`] with explicit [`ExecOpts`]. `threads: 1` is byte-identical
+/// to [`execute`]; any other thread count returns the same rows (the
+/// parallel structural-join merges preserve both the row multiset and
+/// the document-order `sorted_on` invariants, and the result is
+/// normalized regardless).
+pub fn execute_with(
+    plan: &Plan,
+    views: &dyn ViewProvider,
+    opts: &ExecOpts,
+) -> Result<NestedRelation, ExecError> {
+    let opts = opts.resolved();
+    let mut rel = eval(plan, views, &mut None, &opts)?.into_owned();
     rel.normalize();
     Ok(rel)
 }
@@ -91,15 +244,44 @@ pub fn execute(plan: &Plan, views: &dyn ViewProvider) -> Result<NestedRelation, 
 /// passes a `None` profiler and pays one branch per operator. The root
 /// entry is overwritten after the final normalization so it always equals
 /// the returned relation's size.
+///
+/// ```
+/// use smv_algebra::{execute_profiled, AttrKind, Cell, MapProvider, NestedRelation, Plan, Row, Schema};
+/// use smv_xml::StructId;
+///
+/// let mut views = MapProvider::default();
+/// views.insert(
+///     "v",
+///     NestedRelation::new(
+///         Schema::atoms(&[("a.ID", AttrKind::Id)]),
+///         vec![Row::new(vec![Cell::Id(StructId::Seq(7))])],
+///     ),
+/// );
+/// let (out, profile) = execute_profiled(&Plan::Scan { view: "v".into() }, &views).unwrap();
+/// assert_eq!(profile.rows_at(""), Some(out.len() as u64), "root counter = result size");
+/// ```
 pub fn execute_profiled(
     plan: &Plan,
     views: &dyn ViewProvider,
 ) -> Result<(NestedRelation, ExecProfile), ExecError> {
+    execute_profiled_with(plan, views, &ExecOpts::default())
+}
+
+/// [`execute_profiled`] with explicit [`ExecOpts`]. The recorded
+/// per-operator counters are identical at every thread count — parallel
+/// structural joins produce the same row multiset per operator, and
+/// profiling happens at operator granularity, outside the worker pool.
+pub fn execute_profiled_with(
+    plan: &Plan,
+    views: &dyn ViewProvider,
+    opts: &ExecOpts,
+) -> Result<(NestedRelation, ExecProfile), ExecError> {
+    let opts = opts.resolved();
     let mut prof = Some(Profiler {
         profile: ExecProfile::default(),
         path: Vec::new(),
     });
-    let mut rel = eval(plan, views, &mut prof)?.into_owned();
+    let mut rel = eval(plan, views, &mut prof, &opts)?.into_owned();
     rel.normalize();
     let mut profile = prof.expect("profiler survives eval").profile;
     profile.record(&[], rel.len() as u64);
@@ -118,8 +300,9 @@ fn eval<'a>(
     plan: &Plan,
     views: &'a dyn ViewProvider,
     prof: &mut Option<Profiler>,
+    opts: &ExecOpts,
 ) -> Result<Cow<'a, NestedRelation>, ExecError> {
-    let out = eval_op(plan, views, prof)?;
+    let out = eval_op(plan, views, prof, opts)?;
     if let Some(p) = prof {
         p.profile.record(&p.path, out.len() as u64);
     }
@@ -131,12 +314,13 @@ fn eval_child<'a>(
     plan: &Plan,
     views: &'a dyn ViewProvider,
     prof: &mut Option<Profiler>,
+    opts: &ExecOpts,
     idx: u32,
 ) -> Result<Cow<'a, NestedRelation>, ExecError> {
     if let Some(p) = prof {
         p.path.push(idx);
     }
-    let r = eval(plan, views, prof);
+    let r = eval(plan, views, prof, opts);
     if let Some(p) = prof {
         p.path.pop();
     }
@@ -147,6 +331,7 @@ fn eval_op<'a>(
     plan: &Plan,
     views: &'a dyn ViewProvider,
     prof: &mut Option<Profiler>,
+    opts: &ExecOpts,
 ) -> Result<Cow<'a, NestedRelation>, ExecError> {
     match plan {
         Plan::Scan { view } => views
@@ -154,7 +339,7 @@ fn eval_op<'a>(
             .map(Cow::Borrowed)
             .ok_or_else(|| ExecError::UnknownView(view.clone())),
         Plan::Select { input, pred } => {
-            let rel = eval_child(input, views, prof, 0)?;
+            let rel = eval_child(input, views, prof, opts, 0)?;
             let keep = |row: &Row| -> Result<bool, ExecError> {
                 match pred {
                     Predicate::Value { col, formula } => match &row.cells[*col] {
@@ -200,7 +385,7 @@ fn eval_op<'a>(
             }
         }
         Plan::Project { input, cols } => {
-            let rel = eval_child(input, views, prof, 0)?;
+            let rel = eval_child(input, views, prof, opts, 0)?;
             for &c in cols {
                 if c >= rel.schema.len() {
                     return Err(ExecError::Schema(format!(
@@ -249,8 +434,8 @@ fn eval_op<'a>(
             lcol,
             rcol,
         } => {
-            let l = eval_child(left, views, prof, 0)?;
-            let r = eval_child(right, views, prof, 1)?;
+            let l = eval_child(left, views, prof, opts, 0)?;
+            let r = eval_child(right, views, prof, opts, 1)?;
             let mut index: HashMap<&StructId, Vec<usize>> = HashMap::new();
             for (i, row) in l.rows.iter().enumerate() {
                 if let Cell::Id(id) = &row.cells[*lcol] {
@@ -283,22 +468,38 @@ fn eval_op<'a>(
             rcol,
             rel,
         } => {
-            let l = eval_child(left, views, prof, 0)?;
-            let r = eval_child(right, views, prof, 1)?;
-            let (lids, lrows) = gather_ids_sorted(&l, *lcol);
-            let (rids, rrows) = gather_ids_sorted(&r, *rcol);
-            let pairs = stack_tree_join_presorted(&lids, &rids, *rel);
-            let width = l.schema.len() + r.schema.len();
-            let mut rows = Vec::with_capacity(pairs.len());
-            for (a, b) in pairs {
-                let mut cells = Vec::with_capacity(width);
-                cells.extend(l.rows[lrows[a]].cells.iter().cloned());
-                cells.extend(r.rows[rrows[b]].cells.iter().cloned());
-                rows.push(Row::new(cells));
-            }
+            let l = eval_child(left, views, prof, opts, 0)?;
+            let r = eval_child(right, views, prof, opts, 1)?;
+            let parallel =
+                opts.threads > 1 && l.rows.len() + r.rows.len() >= opts.min_par_rows.max(2);
+            let rows = if parallel {
+                match (
+                    scan_partition(left, views, *lcol, &l),
+                    scan_partition(right, views, *rcol, &r),
+                ) {
+                    // equal tokens: both partitions' path ranks come from
+                    // the same summary geometry snapshot, so the
+                    // joinability intervals are comparable
+                    (Some(lp), Some(rp)) if lp.token == rp.token => {
+                        shard_pair_join(&l, &r, *rel, lp, rp, opts.threads)
+                    }
+                    _ => chunked_struct_join(&l, &r, *lcol, *rcol, *rel, opts),
+                }
+            } else {
+                let (lids, lrows) = gather_ids_sorted(&l, *lcol);
+                let (rids, rrows) = gather_ids_sorted(&r, *rcol);
+                let pairs = stack_tree_join_presorted(&lids, &rids, *rel);
+                let width = l.schema.len() + r.schema.len();
+                let mut rows = Vec::with_capacity(pairs.len());
+                for (a, b) in pairs {
+                    rows.push(joined_row(&l.rows[lrows[a]], &r.rows[rrows[b]], width));
+                }
+                rows
+            };
             let mut out = NestedRelation::new(concat_schemas(&l.schema, &r.schema), rows);
-            // the merge emits pairs grouped by the right side in document
-            // order, so the joined relation is born sorted on `rcol`
+            // every variant emits pairs grouped by the right side in
+            // document order, so the joined relation is born sorted on
+            // `rcol`
             out.sorted_on = Some(l.schema.len() + *rcol);
             Ok(Cow::Owned(out))
         }
@@ -307,9 +508,9 @@ fn eval_op<'a>(
             let first = it
                 .next()
                 .ok_or_else(|| ExecError::Schema("empty union".into()))?;
-            let mut acc = eval_child(first, views, prof, 0)?.into_owned();
+            let mut acc = eval_child(first, views, prof, opts, 0)?.into_owned();
             for (i, p) in it.enumerate() {
-                let r = eval_child(p, views, prof, i as u32 + 1)?;
+                let r = eval_child(p, views, prof, opts, i as u32 + 1)?;
                 if r.schema.cols.len() != acc.schema.cols.len() {
                     return Err(ExecError::Schema(format!(
                         "union arity mismatch: {} vs {}",
@@ -327,7 +528,7 @@ fn eval_op<'a>(
             nested_cols,
             name,
         } => {
-            let rel = eval_child(input, views, prof, 0)?;
+            let rel = eval_child(input, views, prof, opts, 0)?;
             let inner_schema = Schema {
                 cols: nested_cols
                     .iter()
@@ -386,7 +587,7 @@ fn eval_op<'a>(
             Ok(Cow::Owned(out))
         }
         Plan::Unnest { input, col, outer } => {
-            let rel = eval_child(input, views, prof, 0)?.into_owned();
+            let rel = eval_child(input, views, prof, opts, 0)?.into_owned();
             let ColKind::Nested(inner_schema) = rel.schema.cols[*col].kind.clone() else {
                 return Err(ExecError::Type(format!(
                     "unnest on non-nested column {}",
@@ -444,7 +645,7 @@ fn eval_op<'a>(
             optional,
             name,
         } => {
-            let rel = eval_child(input, views, prof, 0)?;
+            let rel = eval_child(input, views, prof, opts, 0)?;
             let mut schema = rel.schema.clone();
             for a in attrs {
                 schema.cols.push(Column {
@@ -503,7 +704,7 @@ fn eval_op<'a>(
             levels,
             name,
         } => {
-            let mut rel = eval_child(input, views, prof, 0)?.into_owned();
+            let mut rel = eval_child(input, views, prof, opts, 0)?.into_owned();
             rel.schema.cols.push(Column {
                 name: *name,
                 kind: ColKind::Atom(AttrKind::Id),
@@ -529,7 +730,7 @@ fn eval_op<'a>(
             Ok(Cow::Owned(rel))
         }
         Plan::DupElim { input } => {
-            let mut rel = eval_child(input, views, prof, 0)?.into_owned();
+            let mut rel = eval_child(input, views, prof, opts, 0)?.into_owned();
             rel.normalize();
             Ok(Cow::Owned(rel))
         }
@@ -568,6 +769,169 @@ fn concat_schemas(a: &Schema, b: &Schema) -> Schema {
     let mut cols = a.cols.clone();
     cols.extend(b.cols.iter().cloned());
     Schema { cols }
+}
+
+/// Concatenates a left and a right input row into one joined output row.
+fn joined_row(l: &Row, r: &Row, width: usize) -> Row {
+    let mut cells = Vec::with_capacity(width);
+    cells.extend(l.cells.iter().cloned());
+    cells.extend(r.cells.iter().cloned());
+    Row::new(cells)
+}
+
+/// The shard partition behind `plan`, when the per-path-pair fast path
+/// applies: `plan` is a bare scan, the provider maintains a partition on
+/// exactly the join column, and the served extent is known sorted on it
+/// (per-shard joins and the integer-keyed output merge both rely on
+/// that). Anything else falls back to the chunked parallel join.
+fn scan_partition<'a>(
+    plan: &Plan,
+    views: &'a dyn ViewProvider,
+    col: usize,
+    served: &NestedRelation,
+) -> Option<&'a ShardPartition> {
+    let Plan::Scan { view } = plan else {
+        return None;
+    };
+    let p = views.shard_partition(view)?;
+    (p.col == col && served.sorted_on == Some(col)).then_some(p)
+}
+
+/// The ids and extent-row indices of one shard, in document order (the
+/// extent is sorted on `col` and shard rows ascend).
+fn shard_ids<'x>(
+    extent: &'x NestedRelation,
+    shard: &ExtentShard,
+    col: usize,
+) -> (Vec<&'x StructId>, Vec<usize>) {
+    let mut ids = Vec::with_capacity(shard.rows.len());
+    let mut rows = Vec::with_capacity(shard.rows.len());
+    for &i in &shard.rows {
+        if let Cell::Id(id) = &extent.rows[i].cells[col] {
+            ids.push(id);
+            rows.push(i);
+        }
+    }
+    (ids, rows)
+}
+
+/// Structural join decomposed per summary-path-pair shard — the paper's
+/// natural decomposition of structural-join plans. Shard pair `(a, b)`
+/// can produce output only when path `a` is a summary ancestor of path
+/// `b` (parent joins additionally require `depth(b) = depth(a) + 1`), so
+/// only those pairs become tasks on the worker pool; every other pair is
+/// skipped outright. Both extents being sorted on their join columns,
+/// global right-then-left document order *is* ascending (right row, left
+/// row) index order, so merging the per-pair outputs back into the exact
+/// sequential emission order is an integer-keyed sort — no ID comparison
+/// pass.
+fn shard_pair_join(
+    l: &NestedRelation,
+    r: &NestedRelation,
+    rel: StructRel,
+    lp: &ShardPartition,
+    rp: &ShardPartition,
+    threads: usize,
+) -> Vec<Row> {
+    let lsh: Vec<(&ExtentShard, Vec<&StructId>, Vec<usize>)> = lp
+        .shards
+        .iter()
+        .map(|s| {
+            let (ids, rows) = shard_ids(l, s, lp.col);
+            (s, ids, rows)
+        })
+        .collect();
+    let rsh: Vec<(&ExtentShard, Vec<&StructId>, Vec<usize>)> = rp
+        .shards
+        .iter()
+        .map(|s| {
+            let (ids, rows) = shard_ids(r, s, rp.col);
+            (s, ids, rows)
+        })
+        .collect();
+    let mut tasks: Vec<(usize, usize)> = Vec::new();
+    for (li, (ls, lids, _)) in lsh.iter().enumerate() {
+        if lids.is_empty() {
+            continue;
+        }
+        for (ri, (rs, rids, _)) in rsh.iter().enumerate() {
+            if rids.is_empty() {
+                continue;
+            }
+            let ancestor = ls.pre < rs.pre && rs.pre <= ls.last_desc;
+            let joinable = match rel {
+                StructRel::Ancestor => ancestor,
+                StructRel::Parent => ancestor && rs.depth == ls.depth + 1,
+            };
+            if joinable {
+                tasks.push((li, ri));
+            }
+        }
+    }
+    let width = l.schema.len() + r.schema.len();
+    let outs: Vec<Vec<(u64, Row)>> = par_map(threads, tasks.len(), |t| {
+        let (li, ri) = tasks[t];
+        let (_, lids, lrows) = &lsh[li];
+        let (_, rids, rrows) = &rsh[ri];
+        stack_tree_join_presorted(lids, rids, rel)
+            .into_iter()
+            .map(|(a, b)| {
+                let key = ((rrows[b] as u64) << 32) | lrows[a] as u64;
+                (key, joined_row(&l.rows[lrows[a]], &r.rows[rrows[b]], width))
+            })
+            .collect()
+    });
+    let mut keyed: Vec<(u64, Row)> = outs.into_iter().flatten().collect();
+    // each (left row, right row) pair comes from exactly one task, so
+    // keys are unique and the unstable sort is deterministic
+    keyed.sort_unstable_by_key(|&(k, _)| k);
+    keyed.into_iter().map(|(_, row)| row).collect()
+}
+
+/// General parallel structural join for arbitrary inputs: the sorted
+/// right side splits into contiguous ranges, each range re-runs the
+/// stack-tree merge against the left prefix it needs
+/// ([`stack_tree_join_presorted_range`]), and the outputs concatenate in
+/// range order — byte-identical to the sequential merge, since a range's
+/// pairs are exactly the full join's pairs for its right rows, in the
+/// same order.
+fn chunked_struct_join(
+    l: &NestedRelation,
+    r: &NestedRelation,
+    lcol: usize,
+    rcol: usize,
+    rel: StructRel,
+    opts: &ExecOpts,
+) -> Vec<Row> {
+    let (lids, lrows) = gather_ids_sorted(l, lcol);
+    let (rids, rrows) = gather_ids_sorted(r, rcol);
+    // a few ranges per worker so uneven per-range output balances — but
+    // every extra range re-scans a left prefix (the ancestor stack
+    // cannot be seeded mid-stream), so each range must carry a
+    // meaningful share of right rows: a tiny right side over a huge
+    // left degenerates to one range, i.e. the plain sequential merge,
+    // instead of k× the left-scan work.
+    let min_rows_per_range = (opts.min_par_rows / 4).max(1);
+    let k = (opts.threads * 3)
+        .min(rids.len() / min_rows_per_range)
+        .max(1);
+    let chunk = rids.len().div_ceil(k).max(1);
+    let ranges: Vec<std::ops::Range<usize>> = (0..k)
+        .map(|i| (i * chunk).min(rids.len())..((i + 1) * chunk).min(rids.len()))
+        .filter(|rg| !rg.is_empty())
+        .collect();
+    let width = l.schema.len() + r.schema.len();
+    let outs: Vec<Vec<Row>> = par_map(opts.threads, ranges.len(), |i| {
+        stack_tree_join_presorted_range(&lids, &rids, rel, ranges[i].clone())
+            .into_iter()
+            .map(|(a, b)| joined_row(&l.rows[lrows[a]], &r.rows[rrows[b]], width))
+            .collect()
+    });
+    let mut rows = Vec::with_capacity(outs.iter().map(Vec::len).sum());
+    for o in outs {
+        rows.extend(o);
+    }
+    rows
 }
 
 /// Collects `(&id, row index)` for non-null ID cells of `col`, in document
@@ -773,7 +1137,7 @@ mod tests {
             rcol: 0,
             rel: StructRel::Parent,
         };
-        let out = eval(&plan, &p, &mut None).unwrap();
+        let out = eval(&plan, &p, &mut None, &ExecOpts::default()).unwrap();
         assert_eq!(out.sorted_on, Some(1), "sorted on the right join column");
         // rows really are in document order on that column
         let ids: Vec<&StructId> = out
@@ -994,6 +1358,86 @@ mod tests {
             name: "x".into(),
         };
         assert!(execute(&plan3, &p).unwrap().rows[0].cells[1].is_null());
+    }
+
+    #[test]
+    fn parallel_struct_join_is_byte_identical_to_sequential() {
+        // nodes in doc order: a0 b1 d2 d3 c4 d5 b6 d7; summary geometry
+        // of a(b(d) c(d)): pre a0 b1 b/d2 c3 c/d4
+        let doc = Document::from_parens(r#"a(b(d="1" d="2") c(d="3") b(d="4"))"#);
+        let ia = ids(&doc);
+        let mut lrel = NestedRelation::empty(Schema::atoms(&[("x.ID", AttrKind::Id)]));
+        let mut rrel = NestedRelation::empty(Schema::atoms(&[
+            ("d.ID", AttrKind::Id),
+            ("d.V", AttrKind::Value),
+        ]));
+        for n in doc.iter() {
+            match doc.label(n).as_str() {
+                "b" | "c" => lrel.rows.push(Row::new(vec![Cell::Id(ia.id(n).clone())])),
+                "d" => rrel.rows.push(Row::new(vec![
+                    Cell::Id(ia.id(n).clone()),
+                    doc.value(n).map(|v| Cell::Atom(v.clone())).unwrap(),
+                ])),
+                _ => {}
+            }
+        }
+        lrel.normalize();
+        rrel.normalize();
+        let shard = |path: u32, pre, last_desc, depth, rows| ExtentShard {
+            path: NodeId(path),
+            pre,
+            last_desc,
+            depth,
+            rows,
+        };
+        // left rows in doc order: b1, c4, b6 → paths b, c, b
+        let lpart = ShardPartition {
+            col: 0,
+            token: (1, 1),
+            shards: vec![shard(1, 1, 2, 1, vec![0, 2]), shard(3, 3, 4, 1, vec![1])],
+            unclassified: vec![],
+        };
+        // right rows in doc order: d2, d3, d5, d7 → paths b/d, b/d, c/d, b/d
+        let rpart = ShardPartition {
+            col: 0,
+            token: (1, 1),
+            shards: vec![shard(2, 2, 2, 2, vec![0, 1, 3]), shard(4, 4, 4, 2, vec![2])],
+            unclassified: vec![],
+        };
+        let mut sharded = MapProvider::default();
+        sharded.insert_sharded("l", lrel.clone(), lpart);
+        sharded.insert_sharded("r", rrel.clone(), rpart);
+        let mut plain = MapProvider::default();
+        plain.insert("l", lrel);
+        plain.insert("r", rrel);
+        for rel in [StructRel::Parent, StructRel::Ancestor] {
+            let plan = Plan::StructJoin {
+                left: Box::new(Plan::Scan { view: "l".into() }),
+                right: Box::new(Plan::Scan { view: "r".into() }),
+                lcol: 0,
+                rcol: 0,
+                rel,
+            };
+            let opts = ExecOpts {
+                threads: 3,
+                min_par_rows: 0,
+            };
+            // pre-normalization outputs, byte for byte
+            let seq = eval(&plan, &plain, &mut None, &ExecOpts::default()).unwrap();
+            assert!(!seq.rows.is_empty());
+            for p in [&sharded, &plain] {
+                // sharded provider → per-path-pair tasks; plain → chunked
+                let par = eval(&plan, p, &mut None, &opts).unwrap();
+                assert_eq!(seq.rows, par.rows, "{rel:?} rows");
+                assert_eq!(seq.sorted_on, par.sorted_on, "{rel:?} sortedness");
+            }
+            // profiles agree operator by operator
+            let (_, prof_seq) = execute_profiled(&plan, &sharded).unwrap();
+            let (_, prof_par) = execute_profiled_with(&plan, &sharded, &opts).unwrap();
+            for (path, rows) in prof_seq.iter() {
+                assert_eq!(prof_par.rows_at(path), Some(rows), "{rel:?} at `{path}`");
+            }
+        }
     }
 
     #[test]

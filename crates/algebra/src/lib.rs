@@ -2,9 +2,11 @@
 //!
 //! The algebraic layer the rewriting algorithm targets (paper §3.2): plans
 //! over materialized views built from scans, `σ`, `π`, ID-equality joins,
-//! structural joins (`⋈_≺`, `⋈_≺≺` — the stack-tree algorithm of [1]),
+//! structural joins (`⋈_≺`, `⋈_≺≺` — the stack-tree algorithm of \[1\]),
 //! unions, nest/unnest, content navigation and `nav_fID` parent-ID
 //! derivation (§4.6), plus the nested-relation values views materialize.
+
+#![warn(missing_docs)]
 
 pub mod cost;
 pub mod exec;
@@ -17,10 +19,15 @@ pub use cost::{
     histogram_accepted_fraction, sample_accepted_fraction, value_accepted_fraction, CardSource,
     ColCard, CostModel, NoCards, PlanEstimate, ScanCard,
 };
-pub use exec::{execute, execute_profiled, ExecError, MapProvider, ViewProvider};
+pub use exec::{
+    execute, execute_profiled, execute_profiled_with, execute_with, ExecError, ExecOpts,
+    ExtentShard, MapProvider, ShardPartition, ViewProvider,
+};
 pub use feedback::{plan_fingerprint, ExecProfile, FeedbackCards, FeedbackStore, OpPath};
 pub use plan::{NavStep, Plan, Predicate};
 pub use relation::{AttrKind, Cell, ColKind, Column, NestedRelation, Row, Schema};
+pub use smv_xml::par;
 pub use struct_join::{
-    doc_sorted_indices, nested_loop_join, stack_tree_join, stack_tree_join_presorted, StructRel,
+    doc_sorted_indices, nested_loop_join, stack_tree_join, stack_tree_join_presorted,
+    stack_tree_join_presorted_range, StructRel,
 };

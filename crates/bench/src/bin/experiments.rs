@@ -30,6 +30,17 @@
 //! `execute` pays nothing for the instrumentation. Results land in
 //! `BENCH_PR4.json`.
 //!
+//! `bench-pr5` measures the sharded parallel execution engine: it
+//! materializes summary-path-sharded views (`Catalog::add_sharded`) over
+//! an XMark document and times the ancestor- and parent-join workloads
+//! under `ExecOpts { threads: 1, 2, 4, 8 }` — per-path-pair shard tasks
+//! for scan-scan joins, chunked merges otherwise — recording the 1→N
+//! scaling and a `parallel_equivalent` flag (results **and** per-operator
+//! `ExecProfile` counters identical between sequential and parallel
+//! execution; the CI smoke asserts the flag, since wall-clock scaling
+//! depends on the host's core count, which is also recorded). Results
+//! land in `BENCH_PR5.json`.
+//!
 //! `bench-pr3` exercises the PR 3 view advisor: it advises on the
 //! weighted `smv_datagen::pr3` XMark workload under a storage budget (90%
 //! of the all-singleton estimate), materializes the chosen set, and
@@ -43,6 +54,7 @@ use smv_bench::*;
 use smv_datagen::{dblp, xmark, DblpSnapshot, XmarkConfig};
 use smv_summary::{Summary, SummaryStats};
 use smv_xml::serialize_document;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,6 +79,7 @@ fn main() {
         "bench-pr2" => bench_pr2(scale, &out.unwrap_or_else(|| "BENCH_PR2.json".into())),
         "bench-pr3" => bench_pr3(scale, &out.unwrap_or_else(|| "BENCH_PR3.json".into())),
         "bench-pr4" => bench_pr4(scale, &out.unwrap_or_else(|| "BENCH_PR4.json".into())),
+        "bench-pr5" => bench_pr5(scale, &out.unwrap_or_else(|| "BENCH_PR5.json".into())),
         "all" => {
             table1(scale);
             fig13();
@@ -75,11 +88,187 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use table1|fig13|fig14|fig15|bench-pr1|bench-pr2|bench-pr3|bench-pr4|all"
+                "unknown experiment `{other}`; use table1|fig13|fig14|fig15|bench-pr1|bench-pr2|bench-pr3|bench-pr4|bench-pr5|all"
             );
             std::process::exit(2);
         }
     }
+}
+
+/// Median-of-samples wall time of `f` in nanoseconds (shared by every
+/// bench-prN function so the timing methodology cannot drift between
+/// benches).
+fn measure<O>(samples: usize, mut f: impl FnMut() -> O) -> u64 {
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// PR 5 sharded parallel-execution benchmark → `BENCH_PR5.json`.
+fn bench_pr5(scale: f64, out: &str) {
+    use smv_algebra::{
+        execute_profiled, execute_profiled_with, execute_with, ExecOpts, Plan, Predicate,
+        StructRel, ViewProvider,
+    };
+    use smv_pattern::parse_pattern;
+    use smv_views::{Catalog, View};
+    use smv_xml::IdScheme;
+
+    println!("== PR 5: sharded parallel structural joins, 1→N threads ==");
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let doc = xmark(&XmarkConfig {
+        scale,
+        ..Default::default()
+    });
+    let s = Summary::of(&doc);
+    let mut cat = Catalog::new();
+    for (name, pat) in [
+        ("v_item", "site(//item{id})"),
+        ("v_text", "site(//text{id})"),
+        ("v_kw", "site(//keyword{id,v})"),
+    ] {
+        cat.add_sharded(
+            View::new(name, parse_pattern(pat).unwrap(), IdScheme::OrdPath),
+            &doc,
+            &s,
+        );
+    }
+    let rows_of = |v: &str| cat.extent(v).map_or(0, |e| e.len());
+    let shards_of = |v: &str| cat.shard_partition(v).map_or(0, |p| p.shards.len());
+    println!(
+        "(XMark: {} nodes, summary {} paths, host cores {host_cores}; extents: \
+         item={} [{} shards] text={} [{} shards] keyword={} [{} shards])",
+        doc.len(),
+        s.len(),
+        rows_of("v_item"),
+        shards_of("v_item"),
+        rows_of("v_text"),
+        shards_of("v_text"),
+        rows_of("v_kw"),
+        shards_of("v_kw"),
+    );
+
+    let sj = |lv: &str, rv: &str, rel| Plan::StructJoin {
+        left: Box::new(Plan::Scan { view: lv.into() }),
+        right: Box::new(Plan::Scan { view: rv.into() }),
+        lcol: 0,
+        rcol: 0,
+        rel,
+    };
+    // the select-wrapped variant defeats the scan-scan shard fast path,
+    // exercising the chunked parallel merge instead
+    let chunked = Plan::StructJoin {
+        left: Box::new(Plan::Select {
+            input: Box::new(Plan::Scan {
+                view: "v_item".into(),
+            }),
+            pred: Predicate::NotNull { col: 0 },
+        }),
+        right: Box::new(Plan::Scan {
+            view: "v_kw".into(),
+        }),
+        lcol: 0,
+        rcol: 0,
+        rel: StructRel::Ancestor,
+    };
+    let workloads = [
+        (
+            "ancestor_join",
+            sj("v_item", "v_kw", StructRel::Ancestor),
+            ("v_item", "v_kw"),
+        ),
+        (
+            "parent_join",
+            sj("v_text", "v_kw", StructRel::Parent),
+            ("v_text", "v_kw"),
+        ),
+        ("ancestor_join_chunked", chunked, ("v_item", "v_kw")),
+    ];
+    let thread_counts = [1usize, 2, 4, 8];
+    let samples = 9;
+    let mut lines: Vec<String> = Vec::new();
+    let mut speedup_4t_ancestor = 0.0f64;
+    let mut parallel_equivalent = true;
+    for (name, plan, (lv, rv)) in &workloads {
+        // equivalence first: rows and per-operator profiles must agree
+        // between sequential and parallel execution (forced parallel, so
+        // small smoke runs still exercise the worker-pool paths)
+        let (seq, prof_seq) = execute_profiled(plan, &cat).expect("plan executes");
+        let par_opts = ExecOpts {
+            threads: 4,
+            min_par_rows: 0,
+        };
+        let (par, prof_par) = execute_profiled_with(plan, &cat, &par_opts).expect("plan executes");
+        let equivalent = seq.rows == par.rows
+            && prof_seq.len() == prof_par.len()
+            && prof_seq
+                .iter()
+                .all(|(path, rows)| prof_par.rows_at(path) == Some(rows));
+        parallel_equivalent &= equivalent;
+        // scaling: default ExecOpts thresholds, like production callers
+        let timings: Vec<(usize, u64)> = thread_counts
+            .iter()
+            .map(|&t| {
+                let opts = ExecOpts::with_threads(t);
+                (
+                    t,
+                    measure(samples, || execute_with(plan, &cat, &opts).unwrap().len()),
+                )
+            })
+            .collect();
+        let ns_at = |t: usize| timings.iter().find(|&&(tt, _)| tt == t).unwrap().1;
+        let speedup_2t = ns_at(1) as f64 / ns_at(2).max(1) as f64;
+        let speedup_4t = ns_at(1) as f64 / ns_at(4).max(1) as f64;
+        if *name == "ancestor_join" {
+            speedup_4t_ancestor = speedup_4t;
+        }
+        println!(
+            "{name:<22} left={:>6} right={:>6} out={:>7} 1t={:>10}ns 2t={:>10}ns 4t={:>10}ns 8t={:>10}ns \
+             speedup 2t={speedup_2t:.2}x 4t={speedup_4t:.2}x equivalent={equivalent}",
+            rows_of(lv),
+            rows_of(rv),
+            seq.len(),
+            ns_at(1),
+            ns_at(2),
+            ns_at(4),
+            ns_at(8),
+        );
+        let timing_json: Vec<String> = timings
+            .iter()
+            .map(|(t, ns)| format!("{{\"threads\": {t}, \"ns\": {ns}}}"))
+            .collect();
+        lines.push(format!(
+            "    {{\"name\": \"{name}\", \"left_rows\": {}, \"right_rows\": {}, \"rows_out\": {}, \"timings\": [{}], \"speedup_2t\": {speedup_2t:.3}, \"speedup_4t\": {speedup_4t:.3}, \"equivalent\": {equivalent}}}",
+            rows_of(lv),
+            rows_of(rv),
+            seq.len(),
+            timing_json.join(", "),
+        ));
+    }
+    println!(
+        "parallel == sequential (rows + ExecProfile) on every workload: {parallel_equivalent}; \
+         ancestor-join 4-thread speedup {speedup_4t_ancestor:.2}x on {host_cores} host core(s)"
+    );
+    if host_cores < 4 {
+        println!(
+            "note: this host exposes {host_cores} core(s); 4-thread scaling cannot exceed ~1x \
+             here — run on a ≥4-core host for the scaling headline"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"pr\": 5,\n  \"doc_nodes\": {},\n  \"host_cores\": {host_cores},\n  \"samples\": {samples},\n  \"parallel_equivalent\": {parallel_equivalent},\n  \"ancestor_join_speedup_4t\": {speedup_4t_ancestor:.3},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        doc.len(),
+        lines.join(",\n"),
+    );
+    std::fs::write(out, json).expect("write bench json");
+    println!("wrote {out}");
 }
 
 /// PR 4 adaptive-loop benchmark → `BENCH_PR4.json`.
@@ -90,20 +279,6 @@ fn bench_pr4(scale: f64, out: &str) {
     use smv_datagen::pr4_workload;
     use smv_views::{Catalog, CatalogCards};
     use smv_xml::IdScheme;
-    use std::time::Instant;
-
-    /// Median-of-samples wall time of `f` in nanoseconds.
-    fn measure<O>(samples: usize, mut f: impl FnMut() -> O) -> u64 {
-        let mut times: Vec<u64> = (0..samples)
-            .map(|_| {
-                let t = Instant::now();
-                std::hint::black_box(f());
-                t.elapsed().as_nanos() as u64
-            })
-            .collect();
-        times.sort_unstable();
-        times[times.len() / 2]
-    }
 
     println!("== PR 4: adaptive feedback loop vs static cost ranking ==");
     let wl = pr4_workload(scale, IdScheme::OrdPath);
@@ -290,20 +465,6 @@ fn bench_pr3(scale: f64, out: &str) {
     use smv_datagen::pr3_workload;
     use smv_views::{materialize, Catalog, CatalogCards, View};
     use smv_xml::IdScheme;
-    use std::time::Instant;
-
-    /// Median-of-samples wall time of `f` in nanoseconds.
-    fn measure<O>(samples: usize, mut f: impl FnMut() -> O) -> u64 {
-        let mut times: Vec<u64> = (0..samples)
-            .map(|_| {
-                let t = Instant::now();
-                std::hint::black_box(f());
-                t.elapsed().as_nanos() as u64
-            })
-            .collect();
-        times.sort_unstable();
-        times[times.len() / 2]
-    }
 
     println!("== PR 3: advised views vs all-singleton views vs no views ==");
     let doc = xmark(&XmarkConfig {
@@ -470,20 +631,6 @@ fn bench_pr2(scale: f64, out: &str) {
     use smv_datagen::pr2_workload;
     use smv_views::{Catalog, CatalogCards};
     use smv_xml::IdScheme;
-    use std::time::Instant;
-
-    /// Median-of-samples wall time of `f` in nanoseconds.
-    fn measure<O>(samples: usize, mut f: impl FnMut() -> O) -> u64 {
-        let mut times: Vec<u64> = (0..samples)
-            .map(|_| {
-                let t = Instant::now();
-                std::hint::black_box(f());
-                t.elapsed().as_nanos() as u64
-            })
-            .collect();
-        times.sort_unstable();
-        times[times.len() / 2]
-    }
 
     println!("== PR 2: cost-ranked vs first-found vs worst plan ==");
     let doc = xmark(&XmarkConfig {
@@ -595,20 +742,6 @@ fn bench_pr1(out: &str) {
         NestedRelation, Row, Schema, StructRel,
     };
     use smv_xml::{IdAssignment, IdScheme, StructId};
-    use std::time::Instant;
-
-    /// Median-of-samples wall time of `f` in nanoseconds.
-    fn measure<O>(samples: usize, mut f: impl FnMut() -> O) -> u64 {
-        let mut times: Vec<u64> = (0..samples)
-            .map(|_| {
-                let t = Instant::now();
-                std::hint::black_box(f());
-                t.elapsed().as_nanos() as u64
-            })
-            .collect();
-        times.sort_unstable();
-        times[times.len() / 2]
-    }
 
     println!("== PR 1 hot-path microbenches ==");
     let doc = xmark(&XmarkConfig {

@@ -11,6 +11,8 @@
 //!   Propositions 3.4-3.7, C-attribute unfolding and virtual-ID
 //!   derivation (§4.6).
 
+#![warn(missing_docs)]
+
 pub mod containment;
 
 pub use containment::{

@@ -10,7 +10,7 @@
 //! to a **union of conjunctive patterns**; under the paper's §4.2
 //! simplification these are *S-subtrees with per-path formulas* — exactly
 //! canonical-model trees. We therefore represent the pattern side of each
-//! (plan, pattern) pair as a union of [`Member`]s: ancestor-closed sets of
+//! (plan, pattern) pair as a union of `Member`s: ancestor-closed sets of
 //! summary paths with formulas, plus the per-column binding (`None` = the
 //! column is `⊥` in rows of this member). Scanning a view yields one
 //! member per canonical tree of its (unnested) pattern; joins merge
@@ -254,6 +254,21 @@ struct QueryCtx<'a> {
 /// cardinalities are *estimated* from the summary (definition-only
 /// [`DefCards`]); use [`rewrite_with_cards`] when materialized extent
 /// sizes are available.
+///
+/// ```
+/// use smv_core::{rewrite, RewriteOpts};
+/// use smv_pattern::parse_pattern;
+/// use smv_summary::Summary;
+/// use smv_views::View;
+/// use smv_xml::{Document, IdScheme};
+///
+/// let doc = Document::from_parens(r#"site(item(name="pen") item(name="ink"))"#);
+/// let summary = Summary::of(&doc);
+/// let view = View::new("v", parse_pattern("site(//*{id,l,v})").unwrap(), IdScheme::OrdPath);
+/// let query = parse_pattern("site(//name{id,v})").unwrap();
+/// let result = rewrite(&query, &[view], &summary, &RewriteOpts::default());
+/// assert!(!result.rewritings.is_empty(), "the wildcard view serves the query");
+/// ```
 pub fn rewrite(q: &Pattern, views: &[View], s: &Summary, opts: &RewriteOpts) -> RewriteResult {
     Rewriter::new(q, views, s, opts.clone()).run()
 }

@@ -1,7 +1,7 @@
 //! Tree patterns of the 20 XMark queries.
 //!
 //! The paper's Figure 13 (top) tests self-containment of "the patterns of
-//! the 20 XMark [28] queries". XMark queries are XQuery FLWRs; these are
+//! the 20 XMark \[28\] queries". XMark queries are XQuery FLWRs; these are
 //! their structural tree-pattern cores in our pattern syntax, following
 //! the translation rules of `smv-xquery` (for-bindings → `ID` nodes,
 //! where/exists branches → plain edges, return expressions → optional

@@ -1,6 +1,6 @@
 //! A scaled XMark-like document generator.
 //!
-//! The real XMark generator (`xmlgen`, [28]) is a C program we do not
+//! The real XMark generator (`xmlgen`, \[28\]) is a C program we do not
 //! have; this module reproduces the XMark DTD structure — regions with
 //! items, recursive `description/parlist/listitem` content, mixed-markup
 //! `text` with `bold`/`keyword`/`emph`, mailboxes, categories, people and

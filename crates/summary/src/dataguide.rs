@@ -25,14 +25,17 @@ pub struct ValueHistogram {
     lo: i64,
     /// Inclusive width of one bucket (≥ 1).
     width: i64,
-    buckets: Vec<u64>,
+    /// Bucket masses. Fractional because merging two histograms
+    /// apportions source buckets across target boundaries exactly
+    /// (mass-preserving) instead of rounding to integer counts.
+    buckets: Vec<f64>,
     /// Values observed strictly below `lo` after the build, with the
     /// smallest seen (their mass is apportioned over `[below_min, lo)`).
-    below: u64,
+    below: f64,
     below_min: i64,
     /// Values observed strictly above the bucketed range after the
     /// build, with the largest seen.
-    above: u64,
+    above: f64,
     above_max: i64,
     strings: u64,
     total: u64,
@@ -57,10 +60,10 @@ impl ValueHistogram {
         let mut h = ValueHistogram {
             lo,
             width,
-            buckets: vec![0; HIST_BUCKETS],
-            below: 0,
+            buckets: vec![0.0; HIST_BUCKETS],
+            below: 0.0,
             below_min: lo,
-            above: 0,
+            above: 0.0,
             above_max: hi,
             strings,
             total: strings,
@@ -82,13 +85,13 @@ impl ValueHistogram {
 
     fn add_int(&mut self, v: i64) {
         match self.bucket_of(v) {
-            Some(b) => self.buckets[b] += 1,
+            Some(b) => self.buckets[b] += 1.0,
             None if v < self.lo => {
-                self.below += 1;
+                self.below += 1.0;
                 self.below_min = self.below_min.min(v);
             }
             None => {
-                self.above += 1;
+                self.above += 1.0;
                 self.above_max = self.above_max.max(v);
             }
         }
@@ -124,8 +127,8 @@ impl ValueHistogram {
         }
         // fraction of `count` mass spread uniformly over [slo, shi] that
         // lands inside [a, b]
-        let spread = |count: u64, slo: i128, shi: i128| -> f64 {
-            if count == 0 || slo > shi {
+        let spread = |count: f64, slo: i128, shi: i128| -> f64 {
+            if count == 0.0 || slo > shi {
                 return 0.0;
             }
             let olo = (a as i128).max(slo);
@@ -133,7 +136,7 @@ impl ValueHistogram {
             if olo > ohi {
                 return 0.0;
             }
-            count as f64 * ((ohi - olo + 1) as f64 / (shi - slo + 1) as f64)
+            count * ((ohi - olo + 1) as f64 / (shi - slo + 1) as f64)
         };
         let mut mass = 0.0;
         for (k, &count) in self.buckets.iter().enumerate() {
@@ -144,6 +147,70 @@ impl ValueHistogram {
         let top = self.lo as i128 + self.buckets.len() as i128 * self.width as i128 - 1;
         mass += spread(self.above, top + 1, self.above_max as i128);
         mass
+    }
+
+    /// Smallest integer any mass of this histogram covers.
+    fn span_lo(&self) -> i64 {
+        self.below_min.min(self.lo)
+    }
+
+    /// Largest integer any mass of this histogram covers.
+    fn span_hi(&self) -> i64 {
+        let top = self.lo as i128 + self.buckets.len() as i128 * self.width as i128 - 1;
+        (self.above_max as i128).max(top).min(i64::MAX as i128) as i64
+    }
+
+    /// Spreads `count` mass uniformly over the inclusive integer span
+    /// `[slo, shi]` into this histogram's buckets. The target range is
+    /// assumed to cover the span (merge construction guarantees it).
+    fn fold_span(&mut self, count: f64, slo: i128, shi: i128) {
+        if count == 0.0 || slo > shi {
+            return;
+        }
+        let span = (shi - slo + 1) as f64;
+        for k in 0..self.buckets.len() {
+            let blo = self.lo as i128 + k as i128 * self.width as i128;
+            let bhi = blo + self.width as i128 - 1;
+            let olo = slo.max(blo);
+            let ohi = shi.min(bhi);
+            if olo <= ohi {
+                self.buckets[k] += count * ((ohi - olo + 1) as f64 / span);
+            }
+        }
+    }
+
+    /// Merges two histograms into one spanning both ranges,
+    /// **mass-exactly**: the merged `total`, `string_count` and overall
+    /// integer mass are the sums of the inputs'; sub-range masses agree
+    /// with the inputs' up to the uniform-within-bucket re-apportioning
+    /// that re-bucketing implies. Used when two independently built
+    /// per-shard summaries are merged.
+    pub fn merge(&self, other: &ValueHistogram) -> ValueHistogram {
+        let lo = self.span_lo().min(other.span_lo());
+        let hi = self.span_hi().max(other.span_hi());
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        let width = span.div_ceil(HIST_BUCKETS as u128).max(1) as i64;
+        let mut h = ValueHistogram {
+            lo,
+            width,
+            buckets: vec![0.0; HIST_BUCKETS],
+            below: 0.0,
+            below_min: lo,
+            above: 0.0,
+            above_max: hi,
+            strings: self.strings + other.strings,
+            total: self.total + other.total,
+        };
+        for src in [self, other] {
+            for (k, &count) in src.buckets.iter().enumerate() {
+                let blo = src.lo as i128 + k as i128 * src.width as i128;
+                h.fold_span(count, blo, blo + src.width as i128 - 1);
+            }
+            h.fold_span(src.below, src.below_min as i128, src.lo as i128 - 1);
+            let top = src.lo as i128 + src.buckets.len() as i128 * src.width as i128 - 1;
+            h.fold_span(src.above, top + 1, src.above_max as i128);
+        }
+        h
     }
 }
 
@@ -180,6 +247,57 @@ impl ValueSketch {
         }
         self.seen.insert(v.clone());
     }
+
+    /// Merges another sketch in. Two unsaturated sketches union their
+    /// exact sets (order-independent, hence *exactly* what sequential
+    /// ingest of the combined streams would hold), saturating if the
+    /// union overflows the cap; a saturated side contributes its
+    /// histogram, with the unsaturated side's sample folded in; two
+    /// saturated sides merge histograms mass-exactly
+    /// ([`ValueHistogram::merge`]).
+    ///
+    /// A side that saturated **without an integer axis** (`hist:
+    /// None` — its sample was all strings) poisons the merge to
+    /// `None`: sequential ingest would have kept that path
+    /// histogram-free, so estimators fall back to the blanket range
+    /// selectivity instead of trusting a histogram fabricated from the
+    /// other side's (unrepresentative) values.
+    fn merge(&mut self, other: &ValueSketch) {
+        match (self.saturated, other.saturated) {
+            (false, false) => {
+                self.seen.extend(other.seen.iter().cloned());
+                if self.seen.len() > DISTINCT_CAP {
+                    self.saturated = true;
+                    self.hist = ValueHistogram::build(self.seen.iter());
+                    self.seen = HashSet::new();
+                }
+            }
+            (false, true) => {
+                let mut hist = other.hist.clone();
+                if let Some(h) = &mut hist {
+                    for v in &self.seen {
+                        h.add(v);
+                    }
+                }
+                self.hist = hist;
+                self.saturated = true;
+                self.seen = HashSet::new();
+            }
+            (true, false) => {
+                if let Some(h) = &mut self.hist {
+                    for v in &other.seen {
+                        h.add(v);
+                    }
+                }
+            }
+            (true, true) => {
+                self.hist = match (&self.hist, &other.hist) {
+                    (Some(a), Some(b)) => Some(a.merge(b)),
+                    _ => None,
+                };
+            }
+        }
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -215,11 +333,36 @@ struct SNode {
 /// Summary nodes are [`NodeId`]s into the summary's own arena, in
 /// pre-order; the paper's "paths" *are* these nodes (§2.3 identifies a path
 /// with its summary node).
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Summary {
     nodes: Vec<SNode>,
     /// Documents folded into this summary (for conformance bookkeeping).
     docs: usize,
+    /// Process-unique instance identity (see [`Summary::geometry_token`]).
+    id: u64,
+    /// Bumped on every structural mutation (extension / merge), so a
+    /// geometry snapshot taken before a mutation can be detected as
+    /// stale.
+    geometry_gen: u64,
+}
+
+/// Process-unique summary instance ids; clones get fresh ones so two
+/// lineages that diverge after a clone can never share a token.
+fn next_summary_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Clone for Summary {
+    fn clone(&self) -> Summary {
+        Summary {
+            nodes: self.nodes.clone(),
+            docs: self.docs,
+            id: next_summary_id(),
+            geometry_gen: self.geometry_gen,
+        }
+    }
 }
 
 impl Summary {
@@ -228,13 +371,39 @@ impl Summary {
         let mut s = Summary {
             nodes: Vec::new(),
             docs: 0,
+            id: next_summary_id(),
+            geometry_gen: 0,
         };
         s.extend_with(doc);
         s
     }
 
-    /// Folds another document into the summary (linear time, as [15]
+    /// An opaque token identifying this summary's current geometry (the
+    /// pre-order ranks behind [`Summary::pre_rank`] /
+    /// [`Summary::last_descendant_rank`]). Equal tokens guarantee the
+    /// two snapshots were taken from the *same summary instance in the
+    /// same state* — extensions and merges renumber the ranks and bump
+    /// the token, and clones get a fresh identity. The sharded catalog
+    /// stamps extent partitions with it so the parallel executor only
+    /// compares path geometry across partitions it is actually valid to
+    /// compare.
+    pub fn geometry_token(&self) -> (u64, u64) {
+        (self.id, self.geometry_gen)
+    }
+
+    /// Folds another document into the summary (linear time, as \[15\]
     /// promises for Dataguides over tree data). The root labels must agree.
+    ///
+    /// ```
+    /// use smv_summary::Summary;
+    /// use smv_xml::Document;
+    ///
+    /// let mut s = Summary::of(&Document::from_parens(r#"r(a(b="1"))"#));
+    /// s.extend_with(&Document::from_parens(r#"r(a(b="2" c))"#));
+    /// let b = s.node_by_path("/r/a/b").unwrap();
+    /// assert_eq!(s.count(b), 2, "counts accumulate across documents");
+    /// assert!(s.node_by_path("/r/a/c").is_some(), "new paths are added");
+    /// ```
     pub fn extend_with(&mut self, doc: &Document) {
         if self.nodes.is_empty() {
             self.nodes.push(SNode {
@@ -323,6 +492,137 @@ impl Summary {
         }
         self.refresh_edge_classes();
         self.recompute_order();
+        self.geometry_gen += 1;
+    }
+
+    /// Folds a batch of documents into the summary, building per-shard
+    /// partial summaries on `threads` workers and merging them — the
+    /// batched/streaming counterpart of [`Summary::extend_with`] for
+    /// multi-document stores. Each worker summarizes a contiguous slice
+    /// of `docs` independently ([`Summary::of`] + [`Summary::extend_with`]),
+    /// and the partials are merged in slice order
+    /// ([`Summary::merge_from`]).
+    ///
+    /// Paths, edge classes, node/value counts, fan-outs, and
+    /// *unsaturated* distinct sketches come out exactly equal to
+    /// sequential ingest, whatever `threads` is. The one
+    /// thread-count-sensitive artifact is a **saturated** sketch's
+    /// histogram: its bucket geometry derives from the sample each
+    /// shard saturated on, so different shard boundaries can bucket the
+    /// same mass differently (just as sequential ingest's histogram
+    /// depends on document order). Total mass is preserved exactly
+    /// either way ([`ValueHistogram::merge`]).
+    ///
+    /// `threads == 0` uses the host's available parallelism; `1` ingests
+    /// sequentially.
+    ///
+    /// ```
+    /// use smv_summary::Summary;
+    /// use smv_xml::Document;
+    ///
+    /// let docs: Vec<Document> = (0..8)
+    ///     .map(|i| Document::from_parens(&format!(r#"r(a(b="{i}"))"#)))
+    ///     .collect();
+    /// let mut parallel = Summary::of(&docs[0]);
+    /// parallel.extend_with_batch(&docs[1..], 4);
+    ///
+    /// let mut sequential = Summary::of(&docs[0]);
+    /// for d in &docs[1..] {
+    ///     sequential.extend_with(d);
+    /// }
+    /// let b = parallel.node_by_path("/r/a/b").unwrap();
+    /// assert_eq!(parallel.count(b), sequential.count(b));
+    /// assert_eq!(parallel.distinct_values(b), sequential.distinct_values(b));
+    /// ```
+    pub fn extend_with_batch(&mut self, docs: &[Document], threads: usize) {
+        let threads = smv_xml::par::resolve_threads(threads).min(docs.len().max(1));
+        if threads <= 1 {
+            for d in docs {
+                self.extend_with(d);
+            }
+            return;
+        }
+        let slices: Vec<&[Document]> = docs.chunks(docs.len().div_ceil(threads)).collect();
+        let partials = smv_xml::par::par_map(threads, slices.len(), |i| {
+            let slice = slices[i];
+            let mut s = Summary::of(&slice[0]);
+            for d in &slice[1..] {
+                s.extend_with(d);
+            }
+            s
+        });
+        for p in &partials {
+            self.merge_from(p);
+        }
+    }
+
+    /// Merges another summary (built over *other* documents of the same
+    /// root label) into this one: paths are unioned, per-path statistics
+    /// (node counts, valued-node counts, parent-with-child counts) add up
+    /// exactly, distinct-value sketches union exactly while unsaturated,
+    /// and saturated sketches merge their histograms mass-exactly.
+    /// Strong/one-to-one edge classes and pre-order ranks are recomputed
+    /// from the merged counts.
+    pub fn merge_from(&mut self, other: &Summary) {
+        if other.nodes.is_empty() {
+            return;
+        }
+        if self.nodes.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        assert_eq!(
+            self.nodes[0].label, other.nodes[0].label,
+            "summaries being merged must share the root label"
+        );
+        // other's nodes are in creation order, so a node's parent is
+        // always mapped before the node itself
+        let mut map: Vec<NodeId> = vec![NodeId(0); other.nodes.len()];
+        for (i, on) in other.nodes.iter().enumerate() {
+            let sn = match on.parent {
+                None => NodeId(0),
+                Some(op) => {
+                    let sp = map[op.idx()];
+                    match self
+                        .children(sp)
+                        .iter()
+                        .copied()
+                        .find(|&c| self.label(c) == on.label)
+                    {
+                        Some(c) => c,
+                        None => {
+                            let c = NodeId(self.nodes.len() as u32);
+                            self.nodes.push(SNode {
+                                label: on.label,
+                                parent: Some(sp),
+                                children: Vec::new(),
+                                pre: 0,
+                                last_desc: 0,
+                                depth: self.nodes[sp.idx()].depth + 1,
+                                count: 0,
+                                parents_with: 0,
+                                values: 0,
+                                distinct: ValueSketch::default(),
+                                strong: false,
+                                one_to_one: false,
+                            });
+                            self.nodes[sp.idx()].children.push(c);
+                            c
+                        }
+                    }
+                }
+            };
+            map[i] = sn;
+            let tn = &mut self.nodes[sn.idx()];
+            tn.count += on.count;
+            tn.parents_with += on.parents_with;
+            tn.values += on.values;
+            tn.distinct.merge(&on.distinct);
+        }
+        self.docs += other.docs;
+        self.refresh_edge_classes();
+        self.recompute_order();
+        self.geometry_gen += 1;
     }
 
     /// Recomputes strong/one-to-one flags from counts.
@@ -480,6 +780,22 @@ impl Summary {
         if one {
             self.nodes[n.idx()].strong = true;
         }
+    }
+
+    /// Pre-order rank of a path node (recomputed after every extension).
+    /// Together with [`Summary::last_descendant_rank`] this is the O(1)
+    /// interval geometry behind [`Summary::is_ancestor`]; the sharded
+    /// catalog copies it into extent shards so the executor can decide
+    /// path-pair joinability without a summary in hand.
+    pub fn pre_rank(&self, n: NodeId) -> u32 {
+        self.nodes[n.idx()].pre
+    }
+
+    /// Pre-order rank of the path's last descendant: `a` is a proper
+    /// ancestor of `b` iff `pre_rank(a) < pre_rank(b) &&
+    /// pre_rank(b) <= last_descendant_rank(a)`.
+    pub fn last_descendant_rank(&self, n: NodeId) -> u32 {
+        self.nodes[n.idx()].last_desc
     }
 
     /// Proper-ancestor test between paths, O(1) via pre-order intervals.
@@ -831,6 +1147,181 @@ mod tests {
             let expect_path: String = expect.iter().map(|l| format!("/{}", l.as_str())).collect();
             assert_eq!(got_path, expect_path);
         }
+    }
+
+    #[test]
+    fn merge_matches_sequential_ingest_exactly() {
+        // two document shards with overlapping and new paths
+        let shard1 = [
+            Document::from_parens(r#"r(a(b="1" b="2" c(d)) a(b="1" c))"#),
+            Document::from_parens(r#"r(a(b="3" c))"#),
+        ];
+        let shard2 = [
+            Document::from_parens(r#"r(a(c x) e="9")"#),
+            Document::from_parens(r#"r(a(b="2" c))"#),
+        ];
+        let mut merged = Summary::of(&shard1[0]);
+        merged.extend_with(&shard1[1]);
+        let mut part2 = Summary::of(&shard2[0]);
+        part2.extend_with(&shard2[1]);
+        merged.merge_from(&part2);
+
+        let mut seq = Summary::of(&shard1[0]);
+        for d in shard1[1..].iter().chain(shard2.iter()) {
+            seq.extend_with(d);
+        }
+        assert_eq!(merged.len(), seq.len(), "same path set");
+        assert_eq!(merged.doc_node_count(), seq.doc_node_count());
+        assert_eq!(merged.document_count(), seq.document_count());
+        for n in seq.iter() {
+            let p = seq.path_string(n);
+            let m = merged.node_by_path(&p).expect("path present after merge");
+            assert_eq!(merged.count(m), seq.count(n), "count of {p}");
+            assert_eq!(merged.value_count(m), seq.value_count(n), "values of {p}");
+            assert_eq!(
+                merged.distinct_values(m),
+                seq.distinct_values(n),
+                "distincts of {p}"
+            );
+            assert_eq!(
+                merged.is_strong_edge(m),
+                seq.is_strong_edge(n),
+                "strong flag of {p}"
+            );
+            assert_eq!(
+                merged.is_one_to_one_edge(m),
+                seq.is_one_to_one_edge(n),
+                "one-to-one flag of {p}"
+            );
+            assert_eq!(merged.avg_fanout(m), seq.avg_fanout(n), "fanout of {p}");
+        }
+    }
+
+    #[test]
+    fn batched_extension_matches_sequential() {
+        let docs: Vec<Document> = (0..10)
+            .map(|i| Document::from_parens(&format!(r#"r(a(b="{i}" c) a(b="{}"))"#, i * 7 % 5)))
+            .collect();
+        let mut batched = Summary::of(&docs[0]);
+        batched.extend_with_batch(&docs[1..], 3);
+        let mut seq = Summary::of(&docs[0]);
+        for d in &docs[1..] {
+            seq.extend_with(d);
+        }
+        assert_eq!(batched.len(), seq.len());
+        for n in seq.iter() {
+            let m = batched.node_by_path(&seq.path_string(n)).unwrap();
+            assert_eq!(batched.count(m), seq.count(n));
+            assert_eq!(batched.distinct_values(m), seq.distinct_values(n));
+            assert_eq!(batched.is_strong_edge(m), seq.is_strong_edge(n));
+        }
+        // threads=0 (auto) and threads > docs also work
+        let mut auto = Summary::of(&docs[0]);
+        auto.extend_with_batch(&docs[1..], 0);
+        assert_eq!(auto.len(), seq.len());
+    }
+
+    #[test]
+    fn unsaturated_sketches_union_and_saturate_on_merge() {
+        let mk = |lo: usize, n: usize| {
+            let body = (lo..lo + n)
+                .map(|i| format!(r#"b="{i}""#))
+                .collect::<Vec<_>>()
+                .join(" ");
+            Summary::of(&Document::from_parens(&format!("r({body})")))
+        };
+        // union below the cap stays exact
+        let mut a = mk(0, 400);
+        a.merge_from(&mk(200, 400)); // overlap: 200..400
+        let b = a.node_by_path("/r/b").unwrap();
+        assert_eq!(a.distinct_values(b), 600, "union dedups the overlap");
+        assert!(a.distinct_sample(b).is_some(), "still exact");
+        // union above the cap saturates to the (upper-bound) value count
+        let mut big = mk(0, 700);
+        big.merge_from(&mk(1000, 700));
+        let b = big.node_by_path("/r/b").unwrap();
+        assert!(big.distinct_sample(b).is_none(), "saturated by the merge");
+        assert_eq!(big.distinct_values(b), 1400);
+        assert!(big.value_histogram(b).is_some(), "histogram built on merge");
+    }
+
+    #[test]
+    fn axisless_saturation_poisons_merged_histograms() {
+        // a path saturated on all-string values has no integer axis
+        // (hist None); merging must not fabricate a histogram from the
+        // other side's sample — sequential ingest would have kept None
+        let strs = format!(
+            "r({})",
+            (0..1200)
+                .map(|i| format!(r#"b="s{i}x""#))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        let string_side = Summary::of(&Document::from_parens(&strs));
+        let int_side = Summary::of(&Document::from_parens(r#"r(b="1" b="2")"#));
+        let b = |s: &Summary| s.node_by_path("/r/b").unwrap();
+        for (mut a, z) in [
+            (string_side.clone(), &int_side),
+            (int_side.clone(), &string_side),
+        ] {
+            a.merge_from(z);
+            assert!(a.distinct_sample(b(&a)).is_none(), "merged side saturated");
+            assert!(
+                a.value_histogram(b(&a)).is_none(),
+                "no histogram invented from 2 integers against 1200 strings"
+            );
+        }
+        // saturated-with-axis + saturated-without-axis → also None
+        let ints = format!(
+            "r({})",
+            (0..1500)
+                .map(|i| format!(r#"b="{i}""#))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        let mut with_axis = Summary::of(&Document::from_parens(&ints));
+        with_axis.merge_from(&string_side);
+        assert!(with_axis.value_histogram(b(&with_axis)).is_none());
+    }
+
+    #[test]
+    fn saturated_histograms_merge_mass_exactly() {
+        let mk = |lo: i64, n: i64| {
+            let body = (lo..lo + n)
+                .map(|i| format!(r#"b="{i}""#))
+                .collect::<Vec<_>>()
+                .join(" ");
+            Summary::of(&Document::from_parens(&format!("r({body})")))
+        };
+        let (s1, s2) = (mk(0, 1500), mk(10_000, 1500));
+        let path = |s: &Summary| s.node_by_path("/r/b").unwrap();
+        let (h1, h2) = (
+            s1.value_histogram(path(&s1)).unwrap().clone(),
+            s2.value_histogram(path(&s2)).unwrap().clone(),
+        );
+        let mut merged = s1;
+        merged.merge_from(&s2);
+        let h = merged.value_histogram(path(&merged)).expect("merged hist");
+        // total mass is exactly the sum
+        assert_eq!(h.total(), h1.total() + h2.total());
+        assert_eq!(h.string_count(), 0);
+        let full = h.mass_in(i64::MIN, i64::MAX);
+        assert!(
+            (full - 3000.0).abs() < 1e-6,
+            "all integer mass preserved, got {full}"
+        );
+        // sub-range mass agrees with the components to bucket precision
+        for (a, b) in [(0, 1499), (10_000, 11_499), (0, 700), (10_500, 12_000)] {
+            let want = h1.mass_in(a, b) + h2.mass_in(a, b);
+            let got = h.mass_in(a, b);
+            assert!(
+                (got - want).abs() <= 0.15 * want.max(50.0),
+                "mass_in({a},{b}): merged {got} vs components {want}"
+            );
+        }
+        // nothing leaks into the gap beyond re-bucketing spill
+        let gap = h.mass_in(2000, 9000);
+        assert!(gap < 800.0, "gap mass only from coarse buckets, got {gap}");
     }
 
     #[test]

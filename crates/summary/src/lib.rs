@@ -1,7 +1,7 @@
 //! # smv-summary — structural summaries (strong Dataguides)
 //!
 //! The paper's containment and rewriting algorithms operate *under the
-//! constraints of a structural summary* (§2.3): the strong Dataguide [15]
+//! constraints of a structural summary* (§2.3): the strong Dataguide \[15\]
 //! of a document `d` is the tree `S(d)` containing exactly the rooted
 //! simple paths occurring in `d`. We build it in a single linear pass, and
 //! simultaneously derive the **enhanced summary** information of §4.1:

@@ -1,9 +1,13 @@
-//! View catalog: definitions + materialized extents.
+//! View catalog: definitions + materialized extents, optionally
+//! partitioned per summary-path shard.
 
 use crate::materialize::{materialize, schema_of};
-use smv_algebra::{NestedRelation, Schema, ViewProvider};
+use smv_algebra::{
+    AttrKind, Cell, ColKind, ExtentShard, NestedRelation, Schema, ShardPartition, ViewProvider,
+};
 use smv_pattern::Pattern;
-use smv_xml::{Document, IdScheme};
+use smv_summary::Summary;
+use smv_xml::{Document, IdAssignment, IdScheme, NodeId, StructId};
 use std::collections::HashMap;
 
 /// A view definition: a named extended tree pattern with an ID scheme.
@@ -39,6 +43,7 @@ impl View {
 pub struct Catalog {
     views: Vec<View>,
     extents: HashMap<String, NestedRelation>,
+    shards: HashMap<String, ShardPartition>,
 }
 
 impl Catalog {
@@ -50,14 +55,75 @@ impl Catalog {
     /// Registers a view and materializes it over `doc`.
     pub fn add(&mut self, view: View, doc: &Document) {
         let extent = materialize(&view.pattern, doc, view.scheme);
+        // a replaced extent invalidates any partition built for the old
+        // one (its row indices would dangle into the new extent)
+        self.shards.remove(&view.name);
+        self.extents.insert(view.name.clone(), extent);
+        self.views.push(view);
+    }
+
+    /// Registers a view, materializes it over `doc`, and partitions the
+    /// extent per summary-path shard: every row is assigned to the
+    /// summary path of its first-column ID, giving the executor the
+    /// per-path-pair decomposition of structural joins (`⋈_≺` / `⋈_≺≺`
+    /// shard pairs whose paths are not ancestor-related in `summary`
+    /// produce no output and are skipped; the rest run in parallel under
+    /// `ExecOpts { threads: n > 1 }`).
+    ///
+    /// The extent is stored **normalized** (sorted in document order on
+    /// its first column, duplicates removed) — semantically identical
+    /// under set semantics, and a prerequisite for per-shard joins.
+    /// Views whose first column is not an ID, or whose rows cannot be
+    /// classified against `summary`, are stored unpartitioned and simply
+    /// keep the chunk-parallel execution path.
+    ///
+    /// ```
+    /// use smv_views::{Catalog, View};
+    /// use smv_pattern::parse_pattern;
+    /// use smv_summary::Summary;
+    /// use smv_xml::{Document, IdScheme};
+    ///
+    /// let doc = Document::from_parens(r#"site(item(name="pen") item(name="ink"))"#);
+    /// let summary = Summary::of(&doc);
+    /// let mut catalog = Catalog::new();
+    /// catalog.add_sharded(
+    ///     View::new("v", parse_pattern("site(//name{id,v})").unwrap(), IdScheme::OrdPath),
+    ///     &doc,
+    ///     &summary,
+    /// );
+    /// let partition = catalog.shard_partition("v").expect("id-first view is sharded");
+    /// assert_eq!(partition.shards.len(), 1, "every name sits on one summary path");
+    /// assert_eq!(partition.shards[0].rows.len(), 2);
+    /// ```
+    pub fn add_sharded(&mut self, view: View, doc: &Document, summary: &Summary) {
+        let mut extent = materialize(&view.pattern, doc, view.scheme);
+        extent.normalize();
+        match shard_extent(&extent, doc, view.scheme, summary) {
+            Some(partition) => {
+                self.shards.insert(view.name.clone(), partition);
+            }
+            // also drops any partition left by a previous registration
+            // of this name (it would index the replaced extent)
+            None => {
+                self.shards.remove(&view.name);
+            }
+        }
         self.extents.insert(view.name.clone(), extent);
         self.views.push(view);
     }
 
     /// Registers a view with a precomputed extent (tests / remote stores).
     pub fn add_with_extent(&mut self, view: View, extent: NestedRelation) {
+        // a replaced extent invalidates any partition built for the old one
+        self.shards.remove(&view.name);
         self.extents.insert(view.name.clone(), extent);
         self.views.push(view);
+    }
+
+    /// The summary-path shard partition of a view's extent, when the view
+    /// was registered through [`Catalog::add_sharded`] and qualified.
+    pub fn shard_partition(&self, name: &str) -> Option<&ShardPartition> {
+        self.shards.get(name)
     }
 
     /// All view definitions.
@@ -122,9 +188,60 @@ impl Catalog {
     }
 }
 
+/// Partitions a **normalized** extent's rows by the summary path of the
+/// first-column ID. Returns `None` — no partition, executor falls back
+/// to chunking — when the first column is not an ID column, the
+/// document does not conform to `summary`, or some row's ID does not
+/// belong to `doc` (never the case for extents materialized from it).
+fn shard_extent(
+    extent: &NestedRelation,
+    doc: &Document,
+    scheme: IdScheme,
+    summary: &Summary,
+) -> Option<ShardPartition> {
+    match extent.schema.cols.first() {
+        Some(c) if c.kind == ColKind::Atom(AttrKind::Id) => {}
+        _ => return None,
+    }
+    debug_assert_eq!(extent.sorted_on, Some(0), "normalized id-first extent");
+    let classes = summary.classify(doc)?;
+    let ids = IdAssignment::assign(doc, scheme);
+    let id_to_path: HashMap<&StructId, NodeId> =
+        doc.iter().map(|n| (ids.id(n), classes[n.idx()])).collect();
+    let mut by_path: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    let mut unclassified = Vec::new();
+    for (i, row) in extent.rows.iter().enumerate() {
+        match &row.cells[0] {
+            Cell::Id(id) => by_path.entry(*id_to_path.get(id)?).or_default().push(i),
+            _ => unclassified.push(i),
+        }
+    }
+    let mut shards: Vec<ExtentShard> = by_path
+        .into_iter()
+        .map(|(path, rows)| ExtentShard {
+            path,
+            pre: summary.pre_rank(path),
+            last_desc: summary.last_descendant_rank(path),
+            depth: summary.depth(path),
+            rows,
+        })
+        .collect();
+    shards.sort_by_key(|s| s.pre);
+    Some(ShardPartition {
+        col: 0,
+        token: summary.geometry_token(),
+        shards,
+        unclassified,
+    })
+}
+
 impl ViewProvider for Catalog {
     fn extent(&self, name: &str) -> Option<&NestedRelation> {
         self.extents.get(name)
+    }
+
+    fn shard_partition(&self, name: &str) -> Option<&ShardPartition> {
+        self.shards.get(name)
     }
 }
 
@@ -149,5 +266,208 @@ mod tests {
         assert_eq!(cat.extent("v_b").unwrap().len(), 2);
         assert!(cat.extent("zz").is_none());
         assert_eq!(cat.view("v_b").unwrap().schema().len(), 2);
+        assert!(cat.shard_partition("v_b").is_none(), "plain add: no shards");
+    }
+
+    #[test]
+    fn sharded_add_partitions_rows_by_summary_path() {
+        // `b` occurs on two summary paths: /a/b and /a/c/b
+        let doc = Document::from_parens(r#"a(b="1" c(b="2" b="3") b="4")"#);
+        let s = Summary::of(&doc);
+        let mut cat = Catalog::new();
+        cat.add_sharded(
+            View::new(
+                "v_b",
+                parse_pattern("a(//b{id,v})").unwrap(),
+                IdScheme::OrdPath,
+            ),
+            &doc,
+            &s,
+        );
+        let extent = cat.extent("v_b").unwrap();
+        assert_eq!(extent.sorted_on, Some(0), "stored normalized");
+        let p = cat.shard_partition("v_b").expect("sharded");
+        assert_eq!(p.col, 0);
+        assert_eq!(p.shards.len(), 2, "one shard per summary path");
+        assert!(p.unclassified.is_empty());
+        // shards disjointly cover every row, each in ascending order
+        let mut seen: Vec<usize> = Vec::new();
+        for sh in &p.shards {
+            assert!(sh.rows.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(s.pre_rank(sh.path), sh.pre);
+            assert_eq!(s.last_descendant_rank(sh.path), sh.last_desc);
+            assert_eq!(s.depth(sh.path), sh.depth);
+            seen.extend(&sh.rows);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..extent.len()).collect::<Vec<_>>());
+        // shard sizes follow the document: 2 b's on /a/b, 2 on /a/c/b
+        let sizes: Vec<usize> = p.shards.iter().map(|sh| sh.rows.len()).collect();
+        assert_eq!(sizes, vec![2, 2]);
+    }
+
+    #[test]
+    fn value_first_views_stay_unpartitioned() {
+        let doc = Document::from_parens(r#"a(b="1" b="2")"#);
+        let s = Summary::of(&doc);
+        let mut cat = Catalog::new();
+        cat.add_sharded(
+            View::new("v", parse_pattern("a(/b{v})").unwrap(), IdScheme::OrdPath),
+            &doc,
+            &s,
+        );
+        assert!(cat.shard_partition("v").is_none(), "no leading ID column");
+        assert!(cat.extent("v").is_some(), "extent still served");
+    }
+
+    #[test]
+    fn re_registering_a_view_drops_its_stale_partition() {
+        use smv_algebra::{execute, execute_with, ExecOpts, Plan, StructRel};
+        let doc = Document::from_parens(r#"a(p(k="1") p(k="2") p(k="3"))"#);
+        let s = Summary::of(&doc);
+        let mk = |pat: &str| View::new("v", parse_pattern(pat).unwrap(), IdScheme::OrdPath);
+        let anc = View::new(
+            "anc",
+            parse_pattern("a(//p{id})").unwrap(),
+            IdScheme::OrdPath,
+        );
+        for re_register in [0, 1] {
+            let mut cat = Catalog::new();
+            cat.add_sharded(anc.clone(), &doc, &s);
+            cat.add_sharded(mk("a(//k{id,v})"), &doc, &s);
+            assert!(cat.shard_partition("v").is_some());
+            // replace `v` with a smaller extent through each non-sharded
+            // registration path: the old partition's row indices must go
+            // with it, or the parallel fast path would index out of (or
+            // wrongly into) the new extent
+            match re_register {
+                0 => cat.add(mk(r#"a(//k{id,v}[v<=2])"#), &doc),
+                _ => {
+                    let mut smaller = materialize(
+                        &parse_pattern(r#"a(//k{id,v}[v<=2])"#).unwrap(),
+                        &doc,
+                        IdScheme::OrdPath,
+                    );
+                    smaller.normalize();
+                    cat.add_with_extent(mk(r#"a(//k{id,v}[v<=2])"#), smaller);
+                }
+            }
+            assert!(
+                cat.shard_partition("v").is_none(),
+                "stale partition dropped (path {re_register})"
+            );
+            let plan = Plan::StructJoin {
+                left: Box::new(Plan::Scan { view: "anc".into() }),
+                right: Box::new(Plan::Scan { view: "v".into() }),
+                lcol: 0,
+                rcol: 0,
+                rel: StructRel::Ancestor,
+            };
+            let seq = execute(&plan, &cat).unwrap();
+            let par = execute_with(
+                &plan,
+                &cat,
+                &ExecOpts {
+                    threads: 4,
+                    min_par_rows: 0,
+                },
+            )
+            .unwrap();
+            assert_eq!(seq.len(), 2, "the replaced extent is the one served");
+            assert_eq!(seq.rows, par.rows);
+        }
+    }
+
+    #[test]
+    fn mismatched_shard_tokens_fall_back_to_chunking() {
+        use smv_algebra::{execute, execute_with, ExecOpts, Plan, StructRel};
+        // shard one view, extend the summary (which renumbers pre-order
+        // ranks and bumps the geometry token), then shard the other:
+        // the two partitions' rank geometries are no longer comparable,
+        // so the executor must not take the path-pair fast path — and
+        // results must stay identical either way.
+        let doc = Document::from_parens(r#"a(p(q(k="1") k="2") p(q(k="3")))"#);
+        let mut s = Summary::of(&doc);
+        let mut cat = Catalog::new();
+        cat.add_sharded(
+            View::new(
+                "anc",
+                parse_pattern("a(//q{id})").unwrap(),
+                IdScheme::OrdPath,
+            ),
+            &doc,
+            &s,
+        );
+        s.extend_with(&Document::from_parens("a(zz(q(k)))"));
+        cat.add_sharded(
+            View::new(
+                "des",
+                parse_pattern("a(//k{id,v})").unwrap(),
+                IdScheme::OrdPath,
+            ),
+            &doc,
+            &s,
+        );
+        let (p1, p2) = (
+            cat.shard_partition("anc").unwrap(),
+            cat.shard_partition("des").unwrap(),
+        );
+        assert_ne!(p1.token, p2.token, "extension invalidated the geometry");
+        let plan = Plan::StructJoin {
+            left: Box::new(Plan::Scan { view: "anc".into() }),
+            right: Box::new(Plan::Scan { view: "des".into() }),
+            lcol: 0,
+            rcol: 0,
+            rel: StructRel::Ancestor,
+        };
+        let seq = execute(&plan, &cat).unwrap();
+        let par = execute_with(
+            &plan,
+            &cat,
+            &ExecOpts {
+                threads: 4,
+                min_par_rows: 0,
+            },
+        )
+        .unwrap();
+        assert!(!seq.is_empty());
+        assert_eq!(seq.rows, par.rows);
+    }
+
+    #[test]
+    fn sharded_catalog_executes_struct_joins_identically_in_parallel() {
+        use smv_algebra::{execute_profiled, execute_profiled_with, ExecOpts, Plan, StructRel};
+        let doc = Document::from_parens(
+            r#"a(p(q(k="1") k="2") p(k="3") r(q(k="4" k="5")) p(q(q(k="6"))))"#,
+        );
+        let s = Summary::of(&doc);
+        let mut cat = Catalog::new();
+        for (name, pat) in [("anc", "a(//q{id})"), ("des", "a(//k{id,v})")] {
+            cat.add_sharded(
+                View::new(name, parse_pattern(pat).unwrap(), IdScheme::OrdPath),
+                &doc,
+                &s,
+            );
+        }
+        for rel in [StructRel::Ancestor, StructRel::Parent] {
+            let plan = Plan::StructJoin {
+                left: Box::new(Plan::Scan { view: "anc".into() }),
+                right: Box::new(Plan::Scan { view: "des".into() }),
+                lcol: 0,
+                rcol: 0,
+                rel,
+            };
+            let (seq, prof_seq) = execute_profiled(&plan, &cat).unwrap();
+            let opts = ExecOpts {
+                threads: 4,
+                min_par_rows: 0,
+            };
+            let (par, prof_par) = execute_profiled_with(&plan, &cat, &opts).unwrap();
+            assert!(!seq.is_empty());
+            assert_eq!(seq.rows, par.rows, "{rel:?}");
+            for (path, rows) in prof_seq.iter() {
+                assert_eq!(prof_par.rows_at(path), Some(rows), "{rel:?} at `{path}`");
+            }
+        }
     }
 }

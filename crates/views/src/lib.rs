@@ -1,7 +1,7 @@
 //! # smv-views — materialized view definitions, storage and evaluation
 //!
 //! A view is an extended tree pattern plus an ID scheme (paper §1: "XML
-//! Access Modules" [3]). Materializing a view over a document produces the
+//! Access Modules" \[3\]). Materializing a view over a document produces the
 //! nested table of Figures 1(c), 11 and 12: one column per (return node,
 //! stored attribute), table-valued columns for nested edges, `⊥` for
 //! optional subtrees that did not bind.

@@ -75,6 +75,18 @@ fn width(p: &Pattern, n: PNodeId) -> usize {
 }
 
 /// Evaluates `p(doc, f_ID)` into a nested relation.
+///
+/// ```
+/// use smv_pattern::parse_pattern;
+/// use smv_views::materialize;
+/// use smv_xml::{Document, IdScheme};
+///
+/// let doc = Document::from_parens(r#"site(item(name="pen") item(name="ink"))"#);
+/// let pattern = parse_pattern("site(//item{id}(/name{v}))").unwrap();
+/// let extent = materialize(&pattern, &doc, IdScheme::OrdPath);
+/// assert_eq!(extent.len(), 2, "one tuple per embedding");
+/// assert_eq!(extent.schema.len(), 2, "item.ID and name.V columns");
+/// ```
 pub fn materialize(p: &Pattern, doc: &Document, scheme: IdScheme) -> NestedRelation {
     let ids = IdAssignment::assign(doc, scheme);
     let matcher = Matcher::new(p, doc);

@@ -5,9 +5,9 @@
 //!
 //! 1. **order**: comparing two IDs decides document order;
 //! 2. **structure**: comparing two IDs decides parent / ancestor
-//!    relationships (enables structural joins, [1] in the paper);
+//!    relationships (enables structural joins, \[1\] in the paper);
 //! 3. **parent derivation**: a node's ID can be *computed* from the ID of
-//!    any of its children (ORDPATH [21], Dewey [25]) — this is what makes
+//!    any of its children (ORDPATH \[21\], Dewey \[25\]) — this is what makes
 //!    "virtual ID" attributes possible during rewriting.
 //!
 //! We implement ORDPATH (with careting for insertions and a compact
@@ -189,7 +189,7 @@ impl OrdPath {
 
     /// Compact binary encoding: zigzag varint per component. Prefix-free at
     /// component granularity (a deviation from the original bitstring
-    /// encoding of [21], documented in DESIGN.md; order/ancestor operations
+    /// encoding of \[21\], documented in DESIGN.md; order/ancestor operations
     /// in this library compare decoded components).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.components.len() * 2);

@@ -10,10 +10,14 @@
 //! (paper §4.6).
 //!
 //! Everything higher in the stack (summaries, patterns, algebra, views,
-//! containment, rewriting) builds on this crate.
+//! containment, rewriting) builds on this crate. That bottom position is
+//! also why the [`par`] worker-pool primitive lives here: both the
+//! summary's batched ingest and the algebra's parallel structural joins
+//! share it without a dependency cycle.
 
 pub mod ids;
 pub mod label;
+pub mod par;
 pub mod parser;
 pub mod tree;
 pub mod treelike;

@@ -1,0 +1,114 @@
+//! A minimal scoped worker pool for intra-operator parallelism.
+//!
+//! The algebra executor's parallel structural joins (`ExecOpts` in
+//! `smv-algebra`, which re-exports this module) and the summary's batched
+//! document ingest need exactly one primitive: *run `n` independent tasks
+//! on up to `t` OS threads and collect the results in task order*.
+//! [`par_map`] provides it over
+//! [`std::thread::scope`] — no channels, no persistent pool, no unsafe:
+//! workers steal task indices from a shared atomic counter (so uneven
+//! tasks balance dynamically, the work-stealing that matters here) and
+//! return their `(index, result)` pairs, which are scattered back into
+//! order after the join. The offline build environment has no `rayon`;
+//! this is the few-dozen-line subset of it the workspace actually uses.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a user-facing thread count: `0` means "use the host's
+/// available parallelism", anything else is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    match threads {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        t => t,
+    }
+}
+
+/// Maps `f` over `0..n` on up to `threads` scoped workers and returns the
+/// results in index order. Workers pull the next task index from a shared
+/// counter, so long tasks do not serialize behind short ones. With
+/// `threads <= 1` (or fewer than two tasks) everything runs inline on the
+/// caller's thread — no spawn, byte-identical to a plain loop.
+///
+/// ```
+/// let squares = smv_xml::par::par_map(4, 6, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25]);
+/// ```
+pub fn par_map<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return out;
+                        }
+                        out.push((i, f(i)));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel executor worker panicked"))
+            .collect()
+    });
+    for (i, r) in chunks.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task index produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_order_regardless_of_threads() {
+        for threads in [0, 1, 2, 4, 9] {
+            let out = par_map(threads, 37, |i| i * 3);
+            assert_eq!(out, (0..37).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_task() {
+        assert_eq!(par_map(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(4, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn uneven_tasks_all_complete() {
+        // tasks with wildly different costs still land in order
+        let out = par_map(3, 16, |i| {
+            let mut acc = 0u64;
+            for k in 0..((i % 5) * 10_000) as u64 {
+                acc = acc.wrapping_add(k);
+            }
+            (i, acc)
+        });
+        for (i, (j, _)) in out.iter().enumerate() {
+            assert_eq!(i, *j);
+        }
+    }
+
+    #[test]
+    fn resolve_threads_zero_is_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

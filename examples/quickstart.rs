@@ -34,16 +34,21 @@ fn main() {
         println!("  {}", summary.path_string(n));
     }
 
-    // 3. a materialized view: every item with its name, storing ORDPATHs
+    // 3. a materialized view: every item with its name, storing ORDPATHs;
+    //    `add_sharded` partitions the extent per summary-path shard, which
+    //    parallel structural joins consume
     let v = View::new(
         "items_with_names",
         parse_pattern("site(//item{id}(/name{v}))").unwrap(),
         IdScheme::OrdPath,
     );
     let mut catalog = Catalog::new();
-    catalog.add(v.clone(), &doc);
+    catalog.add_sharded(v.clone(), &doc, &summary);
     println!(
-        "\nview extent:\n{}",
+        "\nview extent ({} summary-path shard(s)):\n{}",
+        catalog
+            .shard_partition("items_with_names")
+            .map_or(0, |p| p.shards.len()),
         smv::algebra::ViewProvider::extent(&catalog, "items_with_names").unwrap()
     );
 
@@ -56,12 +61,23 @@ fn main() {
         result.rewritings[0].plan
     );
 
-    // 5. execute and cross-check against direct evaluation
+    // 5. execute — sequentially and on a 2-thread worker pool — and
+    //    cross-check against direct evaluation
     let from_views = execute(&result.rewritings[0].plan, &catalog).unwrap();
+    let parallel = execute_with(
+        &result.rewritings[0].plan,
+        &catalog,
+        &ExecOpts::with_threads(2),
+    )
+    .unwrap();
     let direct = materialize(&q, &doc, IdScheme::OrdPath);
     assert!(from_views.set_eq(&direct));
+    assert_eq!(
+        from_views.rows, parallel.rows,
+        "parallel execution is result-identical"
+    );
     println!(
-        "plan output matches direct evaluation ({} rows)",
+        "plan output matches direct evaluation ({} rows; parallel run identical)",
         direct.len()
     );
 }

@@ -13,7 +13,8 @@
 //! true best plan within a few executions.
 
 use smv_algebra::{
-    execute_profiled, ExecError, FeedbackCards, FeedbackStore, NestedRelation, Plan, PlanEstimate,
+    execute_profiled_with, ExecError, ExecOpts, FeedbackCards, FeedbackStore, NestedRelation, Plan,
+    PlanEstimate,
 };
 use smv_core::{rewrite_with_feedback, RewriteOpts, RewriteResult};
 use smv_pattern::Pattern;
@@ -41,10 +42,30 @@ pub struct AdaptiveRun {
 /// the rewritings cheapest-first, executes the winner profiled, and
 /// ingests the profile — so the *next* `run` (of this query or any query
 /// sharing plan fragments with it) ranks on what actually happened.
+///
+/// ```
+/// use smv::prelude::*;
+///
+/// let doc = Document::from_parens(r#"site(item(name="pen") item(name="ink"))"#);
+/// let summary = Summary::of(&doc);
+/// let mut catalog = Catalog::new();
+/// catalog.add(
+///     View::new("v", parse_pattern("site(//name{id,v})").unwrap(), IdScheme::OrdPath),
+///     &doc,
+/// );
+/// let query = parse_pattern("site(//name{id,v})").unwrap();
+/// // run on 2 worker threads; feedback accumulates across runs
+/// let mut session =
+///     AdaptiveSession::new(&summary, &catalog).with_exec_opts(ExecOpts::with_threads(2));
+/// let run = session.run(&query).expect("rewritable").expect("executes");
+/// assert_eq!(run.actual_rows, 2);
+/// assert!(session.store().ingests() >= 1, "the profile was fed back");
+/// ```
 pub struct AdaptiveSession<'a> {
     summary: &'a Summary,
     catalog: &'a Catalog,
     opts: RewriteOpts,
+    exec_opts: ExecOpts,
     store: FeedbackStore,
 }
 
@@ -68,8 +89,18 @@ impl<'a> AdaptiveSession<'a> {
             summary,
             catalog,
             opts,
+            exec_opts: ExecOpts::default(),
             store: FeedbackStore::new(),
         }
+    }
+
+    /// Sets the execution options the session's plans run under — e.g.
+    /// `ExecOpts::with_threads(4)` to evaluate structural joins on a
+    /// worker pool. Profiles (and therefore feedback and re-ranking) are
+    /// identical at every thread count; only wall-clock changes.
+    pub fn with_exec_opts(mut self, exec_opts: ExecOpts) -> AdaptiveSession<'a> {
+        self.exec_opts = exec_opts;
+        self
     }
 
     /// The accumulated feedback.
@@ -105,19 +136,21 @@ impl<'a> AdaptiveSession<'a> {
         let ranked = self.rank(q);
         let candidates = ranked.rewritings.len();
         let best = ranked.rewritings.into_iter().next()?;
-        Some(match execute_profiled(&best.plan, self.catalog) {
-            Ok((result, profile)) => {
-                self.store.ingest(&best.plan, &profile);
-                Ok(AdaptiveRun {
-                    actual_rows: result.len(),
-                    est: best.est,
-                    plan: best.plan,
-                    result,
-                    candidates,
-                })
-            }
-            Err(e) => Err(e),
-        })
+        Some(
+            match execute_profiled_with(&best.plan, self.catalog, &self.exec_opts) {
+                Ok((result, profile)) => {
+                    self.store.ingest(&best.plan, &profile);
+                    Ok(AdaptiveRun {
+                        actual_rows: result.len(),
+                        est: best.est,
+                        plan: best.plan,
+                        result,
+                        candidates,
+                    })
+                }
+                Err(e) => Err(e),
+            },
+        )
     }
 }
 

@@ -65,8 +65,8 @@ pub mod prelude {
         advise, advise_exhaustive, mine_candidates, Advice, AdvisorOpts, Workload,
     };
     pub use smv_algebra::{
-        execute, execute_profiled, CostModel, ExecProfile, FeedbackCards, FeedbackStore,
-        NestedRelation, Plan, PlanEstimate, StructRel,
+        execute, execute_profiled, execute_profiled_with, execute_with, CostModel, ExecOpts,
+        ExecProfile, FeedbackCards, FeedbackStore, NestedRelation, Plan, PlanEstimate, StructRel,
     };
     pub use smv_core::{
         best_rewriting_cost, contained, contained_in_union, equivalent, is_satisfiable, rewrite,

@@ -403,6 +403,96 @@ proptest! {
         }
     }
 
+    /// Parallel execution (`threads > 1`) is result- and profile-identical
+    /// to sequential execution across random documents, both structural ID
+    /// schemes, and plan shapes covering every parallel code path: scan-scan
+    /// structural joins over a sharded catalog (per-path-pair tasks),
+    /// select-wrapped and chained joins (chunked merges), and order-sensitive
+    /// downstream operators (nest, union) consuming parallel join output.
+    #[test]
+    fn parallel_execution_matches_sequential(doc_src in tree_strategy(), threads in 2usize..5) {
+        use smv::algebra::Predicate;
+        let d = Document::from_parens(&doc_src);
+        let s = Summary::of(&d);
+        for scheme in [IdScheme::OrdPath, IdScheme::Dewey] {
+            let mut catalog = Catalog::new();
+            for (name, pat) in [
+                ("va", "r(//a{id})"),
+                ("vb", "r(//b{id,v})"),
+                ("vc", "r(//*{id,l})"),
+            ] {
+                catalog.add_sharded(View::new(name, parse_pattern(pat).unwrap(), scheme), &d, &s);
+            }
+            let scan = |v: &str| Box::new(Plan::Scan { view: v.into() });
+            let base = |lv: &str, rv: &str, rel| Plan::StructJoin {
+                left: scan(lv),
+                right: scan(rv),
+                lcol: 0,
+                rcol: 0,
+                rel,
+            };
+            let plans = vec![
+                base("va", "vb", StructRel::Ancestor),
+                base("va", "vc", StructRel::Parent),
+                // select over scan defeats the shard fast path → chunked
+                Plan::StructJoin {
+                    left: Box::new(Plan::Select {
+                        input: scan("vc"),
+                        pred: Predicate::NotNull { col: 0 },
+                    }),
+                    right: scan("vb"),
+                    lcol: 0,
+                    rcol: 0,
+                    rel: StructRel::Ancestor,
+                },
+                // chained join: an intermediate input, join col mid-schema
+                Plan::StructJoin {
+                    left: Box::new(base("va", "vb", StructRel::Ancestor)),
+                    right: scan("vc"),
+                    lcol: 1,
+                    rcol: 0,
+                    rel: StructRel::Ancestor,
+                },
+                // order-sensitive operators downstream of a parallel join
+                Plan::Nest {
+                    input: Box::new(base("va", "vb", StructRel::Ancestor)),
+                    key_cols: vec![0],
+                    nested_cols: vec![1, 2],
+                    name: "A".into(),
+                },
+                Plan::Union {
+                    inputs: vec![
+                        base("va", "vb", StructRel::Ancestor),
+                        base("va", "vb", StructRel::Parent),
+                    ],
+                },
+            ];
+            let opts = ExecOpts {
+                threads,
+                min_par_rows: 0,
+            };
+            for plan in &plans {
+                let (seq, prof_seq) = execute_profiled(plan, &catalog).unwrap();
+                let (par, prof_par) = execute_profiled_with(plan, &catalog, &opts).unwrap();
+                prop_assert_eq!(&seq.schema, &par.schema);
+                prop_assert_eq!(
+                    &seq.rows, &par.rows,
+                    "rows diverge at {} threads ({:?}) on {} for\n{}",
+                    threads, scheme, doc_src, plan
+                );
+                prop_assert_eq!(prof_seq.len(), prof_par.len(), "profiled operator count");
+                for (path, rows) in prof_seq.iter() {
+                    prop_assert_eq!(
+                        prof_par.rows_at(path),
+                        Some(rows),
+                        "profile diverges at `{}` ({:?}) for\n{}",
+                        path, scheme, plan
+                    );
+                }
+            }
+        }
+    }
+
     /// Pattern text syntax round-trips through Display.
     #[test]
     fn pattern_display_round_trip(p_src in pattern_strategy()) {
