@@ -16,7 +16,7 @@
 //!   and grouping hashes rows structurally; no cell is ever encoded into
 //!   a string to be compared.
 
-use crate::feedback::ExecProfile;
+use crate::feedback::{ExecProfile, ParHints};
 use crate::plan::{NavStep, Plan, Predicate};
 use crate::relation::{AttrKind, Cell, ColKind, Column, NestedRelation, Row, Schema};
 use crate::struct_join::StructRel;
@@ -24,44 +24,99 @@ use crate::struct_join::{
     doc_sorted_indices, stack_tree_join_presorted, stack_tree_join_presorted_range,
 };
 use smv_pattern::Axis;
-use smv_xml::par::{par_map, resolve_threads};
+use smv_xml::par::{par_map, WorkerPool};
 use smv_xml::{parse_document, serialize_subtree, Document, NodeId, StructId, Symbol};
 use std::borrow::Cow;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// Execution options: how many OS threads the executor may use.
+/// Execution options: how many worker threads, on which pool, gated how.
 ///
 /// The default (`threads: 1`) is fully sequential and byte-identical to
-/// the historical executor. With `threads > 1`, structural joins are
-/// evaluated in parallel — per summary-path-pair shard when both inputs
-/// are scans of sharded extents ([`ShardPartition`]), by chunking the
-/// sorted right side otherwise — on a small scoped worker pool
-/// ([`crate::par`]). Results and [`ExecProfile`] counters are identical
-/// at every thread count; only wall-clock changes.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// the historical executor. With `threads > 1`, selections, id-joins,
+/// structural joins and the normalization sort run as morsel-sized tasks
+/// on a persistent [`WorkerPool`] — per summary-path-pair shard when both
+/// join inputs are scans of sharded extents ([`ShardPartition`]), by
+/// chunking the sorted right side otherwise. Results and [`ExecProfile`]
+/// counters are identical at every thread count; only wall-clock changes.
+#[derive(Clone, Debug)]
 pub struct ExecOpts {
-    /// Worker threads: `1` = sequential, `0` = use the host's available
-    /// parallelism, `n` = exactly `n`.
+    /// Parallelism units this execution may occupy on the pool:
+    /// `1` = sequential (the pool is never touched), `0` = the pool's
+    /// size (the host's available parallelism when no pool is set),
+    /// `n` = at most `n` units — the calling thread plus up to `n - 1`
+    /// pool workers.
     pub threads: usize,
-    /// Parallel structural joins engage only when the two join inputs
-    /// together hold at least this many rows; below it the per-join
-    /// thread-spawn overhead outweighs any win. Set to `0` to force the
-    /// parallel path regardless of size (tests do).
+    /// Parallel operators engage only when their input holds at least
+    /// this many rows — unless execution feedback ([`ParHints`]) has
+    /// measured the operator's *output* at or above it (a small-input
+    /// explosive join is worth fanning out; the static input-size gate
+    /// cannot see that). Set to `0` to force the parallel path regardless
+    /// of size (tests do). Morsel sizes also shrink to `min_par_rows`
+    /// when it is below the default morsel, so forcing the gate also
+    /// forces multi-morsel scheduling.
     pub min_par_rows: usize,
+    /// The worker pool parallel execution draws from. `None` with
+    /// `threads > 1` attaches the process-wide [`WorkerPool::global`] at
+    /// execution start; sessions wanting isolation pass their own via
+    /// [`ExecOpts::with_pool`]. Always `None`d out when `threads <= 1`.
+    pub pool: Option<Arc<WorkerPool>>,
+    /// Measured per-fragment output cardinalities for the plan about to
+    /// run (snapshot from a `FeedbackStore`), making the `min_par_rows`
+    /// gate adaptive. `None` = static gate only.
+    pub par_hints: Option<Arc<ParHints>>,
 }
+
+impl PartialEq for ExecOpts {
+    fn eq(&self, other: &Self) -> bool {
+        fn same<T>(a: &Option<Arc<T>>, b: &Option<Arc<T>>) -> bool {
+            match (a, b) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+        }
+        self.threads == other.threads
+            && self.min_par_rows == other.min_par_rows
+            && same(&self.pool, &other.pool)
+            && same(&self.par_hints, &other.par_hints)
+    }
+}
+
+impl Eq for ExecOpts {}
 
 impl Default for ExecOpts {
     fn default() -> ExecOpts {
-        ExecOpts {
-            threads: 1,
-            min_par_rows: 4096,
+        // `SMV_TEST_THREADS=n` (n > 1) turns every default-options
+        // execution into a forced pool run (threads = n, min_par_rows =
+        // 0) so CI can drive the whole test suite through the parallel
+        // paths without touching call sites. Read once per process.
+        static FORCED: OnceLock<Option<usize>> = OnceLock::new();
+        let forced = *FORCED.get_or_init(|| {
+            std::env::var("SMV_TEST_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        });
+        match forced {
+            Some(n) if n > 1 => ExecOpts {
+                threads: n,
+                min_par_rows: 0,
+                pool: None,
+                par_hints: None,
+            },
+            _ => ExecOpts {
+                threads: 1,
+                min_par_rows: 4096,
+                pool: None,
+                par_hints: None,
+            },
         }
     }
 }
 
 impl ExecOpts {
-    /// Options running on `threads` workers (`0` = auto).
+    /// Options running on `threads` parallelism units (`0` = pool size).
     pub fn with_threads(threads: usize) -> ExecOpts {
         ExecOpts {
             threads,
@@ -69,12 +124,88 @@ impl ExecOpts {
         }
     }
 
-    /// A copy with `threads: 0` resolved to the host's parallelism.
-    fn resolved(&self) -> ExecOpts {
+    /// Options running on (all of) a specific worker pool — e.g. one
+    /// shared by several sessions, or a private pool in tests.
+    pub fn with_pool(pool: Arc<WorkerPool>) -> ExecOpts {
         ExecOpts {
-            threads: resolve_threads(self.threads),
-            min_par_rows: self.min_par_rows,
+            threads: pool.size(),
+            pool: Some(pool),
+            ..ExecOpts::default()
         }
+    }
+
+    /// A copy ready to execute: `threads: 0` resolves to the pool size
+    /// once, up front (not per call site); a parallel run without a pool
+    /// attaches the global one; a sequential run drops any pool so the
+    /// `threads <= 1` path provably never touches it.
+    fn resolved(&self) -> ExecOpts {
+        let mut o = self.clone();
+        if o.threads == 0 {
+            o.threads = match &o.pool {
+                Some(p) => p.size(),
+                None => WorkerPool::global().size(),
+            };
+        }
+        if o.threads <= 1 {
+            o.pool = None;
+        } else if o.pool.is_none() {
+            o.pool = Some(Arc::clone(WorkerPool::global()));
+        }
+        o
+    }
+
+    /// Should this operator fan out? True when parallelism is on and
+    /// either the input crosses the static `min_par_rows` gate or
+    /// feedback measured `fragment`'s output at/above it.
+    fn engage(&self, in_rows: usize, fragment: Option<&Plan>) -> bool {
+        if self.threads <= 1 || self.pool.is_none() || in_rows < 2 {
+            return false;
+        }
+        let floor = self.min_par_rows.max(2);
+        if in_rows >= floor {
+            return true;
+        }
+        match (&self.par_hints, fragment) {
+            (Some(h), Some(p)) => h.measured(p).is_some_and(|rows| rows >= floor as f64),
+            _ => false,
+        }
+    }
+
+    /// Morsel size (in rows) for an input of `rows`: small enough that
+    /// every unit gets a couple of morsels to balance over, capped at
+    /// [`MORSEL_ROWS`] — and at `min_par_rows` when that is smaller, so
+    /// the forced-parallel test configuration (`min_par_rows: 0`)
+    /// schedules tiny inputs as genuinely many morsels.
+    fn morsel_rows(&self, rows: usize) -> usize {
+        let cap = MORSEL_ROWS.min(self.min_par_rows.max(1));
+        rows.div_ceil(self.threads.max(1) * 2).clamp(1, cap)
+    }
+}
+
+/// Upper bound on rows per morsel: large enough to amortize one queue
+/// dispatch over real work, small enough that skewed operators still
+/// rebalance (workers claim morsels dynamically).
+const MORSEL_ROWS: usize = 4096;
+
+/// Contiguous index ranges of `morsel` rows each, covering `0..rows`.
+fn morsel_ranges(rows: usize, morsel: usize) -> Vec<std::ops::Range<usize>> {
+    (0..rows.div_ceil(morsel.max(1)))
+        .map(|i| i * morsel..((i + 1) * morsel).min(rows))
+        .collect()
+}
+
+/// Runs `n` index tasks with `opts`'s parallelism: on the pool when one
+/// is attached (resolved parallel options always have one), otherwise on
+/// a scoped fallback pool. Keeps `par_map`'s contract — results in index
+/// order, worker panics re-raised on the caller.
+fn run_par<R, F>(opts: &ExecOpts, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    match &opts.pool {
+        Some(p) => p.pool_map(opts.threads, n, f),
+        None => par_map(opts.threads, n, f),
     }
 }
 
@@ -232,7 +363,7 @@ pub fn execute_with(
 ) -> Result<NestedRelation, ExecError> {
     let opts = opts.resolved();
     let mut rel = eval(plan, views, &mut None, &opts)?.into_owned();
-    rel.normalize();
+    normalize_with(&mut rel, &opts);
     Ok(rel)
 }
 
@@ -282,7 +413,7 @@ pub fn execute_profiled_with(
         path: Vec::new(),
     });
     let mut rel = eval(plan, views, &mut prof, &opts)?.into_owned();
-    rel.normalize();
+    normalize_with(&mut rel, &opts);
     let mut profile = prof.expect("profiler survives eval").profile;
     profile.record(&[], rel.len() as u64);
     Ok((rel, profile))
@@ -373,9 +504,31 @@ fn eval_op<'a>(
                 }
                 Cow::Borrowed(rel) => {
                     let mut rows = Vec::new();
-                    for r in &rel.rows {
-                        if keep(r)? {
-                            rows.push(r.clone());
+                    if opts.engage(rel.rows.len(), None) {
+                        let ranges =
+                            morsel_ranges(rel.rows.len(), opts.morsel_rows(rel.rows.len()));
+                        let outs: Vec<Result<Vec<Row>, ExecError>> =
+                            run_par(opts, ranges.len(), |i| {
+                                let mut kept = Vec::new();
+                                for r in &rel.rows[ranges[i].clone()] {
+                                    if keep(r)? {
+                                        kept.push(r.clone());
+                                    }
+                                }
+                                Ok(kept)
+                            });
+                        // concatenating morsel outputs in range order is row
+                        // order; a failing morsel stops at its first bad row,
+                        // so scanning outputs in order surfaces the same
+                        // (earliest-row) error the sequential pass would
+                        for o in outs {
+                            rows.extend(o?);
+                        }
+                    } else {
+                        for r in &rel.rows {
+                            if keep(r)? {
+                                rows.push(r.clone());
+                            }
                         }
                     }
                     let mut out = NestedRelation::new(rel.schema.clone(), rows);
@@ -443,19 +596,37 @@ fn eval_op<'a>(
                 }
             }
             let width = l.schema.len() + r.schema.len();
-            let mut rows = Vec::new();
-            for rrow in &r.rows {
-                if let Cell::Id(id) = &rrow.cells[*rcol] {
-                    if let Some(ls) = index.get(id) {
-                        for &li in ls {
-                            let mut cells = Vec::with_capacity(width);
-                            cells.extend(l.rows[li].cells.iter().cloned());
-                            cells.extend(rrow.cells.iter().cloned());
-                            rows.push(Row::new(cells));
+            let probe_range = |range: std::ops::Range<usize>| {
+                let mut rows = Vec::new();
+                for rrow in &r.rows[range] {
+                    if let Cell::Id(id) = &rrow.cells[*rcol] {
+                        if let Some(ls) = index.get(id) {
+                            for &li in ls {
+                                let mut cells = Vec::with_capacity(width);
+                                cells.extend(l.rows[li].cells.iter().cloned());
+                                cells.extend(rrow.cells.iter().cloned());
+                                rows.push(Row::new(cells));
+                            }
                         }
                     }
                 }
-            }
+                rows
+            };
+            // the static gate sees the inputs; feedback on this join's own
+            // output covers the explosive-small-inputs case
+            let rows = if opts.engage(l.rows.len() + r.rows.len(), Some(plan)) {
+                let ranges = morsel_ranges(r.rows.len(), opts.morsel_rows(r.rows.len()));
+                let outs = run_par(opts, ranges.len(), |i| probe_range(ranges[i].clone()));
+                // probe order is right-row order; morsel concatenation in
+                // range order reproduces it exactly
+                let mut rows = Vec::with_capacity(outs.iter().map(Vec::len).sum());
+                for o in outs {
+                    rows.extend(o);
+                }
+                rows
+            } else {
+                probe_range(0..r.rows.len())
+            };
             let mut out = NestedRelation::new(concat_schemas(&l.schema, &r.schema), rows);
             // output follows the right side's row order
             out.sorted_on = r.sorted_on.map(|c| l.schema.len() + c);
@@ -470,9 +641,7 @@ fn eval_op<'a>(
         } => {
             let l = eval_child(left, views, prof, opts, 0)?;
             let r = eval_child(right, views, prof, opts, 1)?;
-            let parallel =
-                opts.threads > 1 && l.rows.len() + r.rows.len() >= opts.min_par_rows.max(2);
-            let rows = if parallel {
+            let rows = if opts.engage(l.rows.len() + r.rows.len(), Some(plan)) {
                 match (
                     scan_partition(left, views, *lcol, &l),
                     scan_partition(right, views, *rcol, &r),
@@ -481,7 +650,7 @@ fn eval_op<'a>(
                     // the same summary geometry snapshot, so the
                     // joinability intervals are comparable
                     (Some(lp), Some(rp)) if lp.token == rp.token => {
-                        shard_pair_join(&l, &r, *rel, lp, rp, opts.threads)
+                        shard_pair_join(&l, &r, *rel, lp, rp, opts)
                     }
                     _ => chunked_struct_join(&l, &r, *lcol, *rcol, *rel, opts),
                 }
@@ -519,7 +688,7 @@ fn eval_op<'a>(
                 }
                 acc.rows.extend(r.into_owned().rows);
             }
-            acc.normalize();
+            normalize_with(&mut acc, opts);
             Ok(Cow::Owned(acc))
         }
         Plan::Nest {
@@ -731,7 +900,7 @@ fn eval_op<'a>(
         }
         Plan::DupElim { input } => {
             let mut rel = eval_child(input, views, prof, opts, 0)?.into_owned();
-            rel.normalize();
+            normalize_with(&mut rel, opts);
             Ok(Cow::Owned(rel))
         }
     }
@@ -819,19 +988,21 @@ fn shard_ids<'x>(
 /// natural decomposition of structural-join plans. Shard pair `(a, b)`
 /// can produce output only when path `a` is a summary ancestor of path
 /// `b` (parent joins additionally require `depth(b) = depth(a) + 1`), so
-/// only those pairs become tasks on the worker pool; every other pair is
-/// skipped outright. Both extents being sorted on their join columns,
+/// only those pairs produce morsels; every other pair is skipped
+/// outright. A pair whose right side exceeds the morsel size splits into
+/// several right-subrange morsels, so one giant path pair no longer
+/// serializes the join. Both extents being sorted on their join columns,
 /// global right-then-left document order *is* ascending (right row, left
-/// row) index order, so merging the per-pair outputs back into the exact
-/// sequential emission order is an integer-keyed sort — no ID comparison
-/// pass.
+/// row) index order, so merging the per-morsel outputs back into the
+/// exact sequential emission order is an integer-keyed sort — no ID
+/// comparison pass.
 fn shard_pair_join(
     l: &NestedRelation,
     r: &NestedRelation,
     rel: StructRel,
     lp: &ShardPartition,
     rp: &ShardPartition,
-    threads: usize,
+    opts: &ExecOpts,
 ) -> Vec<Row> {
     let lsh: Vec<(&ExtentShard, Vec<&StructId>, Vec<usize>)> = lp
         .shards
@@ -849,7 +1020,11 @@ fn shard_pair_join(
             (s, ids, rows)
         })
         .collect();
-    let mut tasks: Vec<(usize, usize)> = Vec::new();
+    // morsel size relative to the whole right side: small pairs stay one
+    // morsel each (they are already plentiful tasks), only dominant pairs
+    // split — each extra morsel re-scans the pair's left side
+    let morsel = opts.morsel_rows(r.rows.len());
+    let mut tasks: Vec<(usize, usize, std::ops::Range<usize>)> = Vec::new();
     for (li, (ls, lids, _)) in lsh.iter().enumerate() {
         if lids.is_empty() {
             continue;
@@ -864,16 +1039,18 @@ fn shard_pair_join(
                 StructRel::Parent => ancestor && rs.depth == ls.depth + 1,
             };
             if joinable {
-                tasks.push((li, ri));
+                for rg in morsel_ranges(rids.len(), morsel) {
+                    tasks.push((li, ri, rg));
+                }
             }
         }
     }
     let width = l.schema.len() + r.schema.len();
-    let outs: Vec<Vec<(u64, Row)>> = par_map(threads, tasks.len(), |t| {
-        let (li, ri) = tasks[t];
+    let outs: Vec<Vec<(u64, Row)>> = run_par(opts, tasks.len(), |t| {
+        let (li, ri, ref rg) = tasks[t];
         let (_, lids, lrows) = &lsh[li];
         let (_, rids, rrows) = &rsh[ri];
-        stack_tree_join_presorted(lids, rids, rel)
+        stack_tree_join_presorted_range(lids, rids, rel, rg.clone())
             .into_iter()
             .map(|(a, b)| {
                 let key = ((rrows[b] as u64) << 32) | lrows[a] as u64;
@@ -882,7 +1059,7 @@ fn shard_pair_join(
             .collect()
     });
     let mut keyed: Vec<(u64, Row)> = outs.into_iter().flatten().collect();
-    // each (left row, right row) pair comes from exactly one task, so
+    // each (left row, right row) pair comes from exactly one morsel, so
     // keys are unique and the unstable sort is deterministic
     keyed.sort_unstable_by_key(|&(k, _)| k);
     keyed.into_iter().map(|(_, row)| row).collect()
@@ -913,6 +1090,7 @@ fn chunked_struct_join(
     // instead of k× the left-scan work.
     let min_rows_per_range = (opts.min_par_rows / 4).max(1);
     let k = (opts.threads * 3)
+        .max(rids.len().div_ceil(MORSEL_ROWS))
         .min(rids.len() / min_rows_per_range)
         .max(1);
     let chunk = rids.len().div_ceil(k).max(1);
@@ -921,7 +1099,7 @@ fn chunked_struct_join(
         .filter(|rg| !rg.is_empty())
         .collect();
     let width = l.schema.len() + r.schema.len();
-    let outs: Vec<Vec<Row>> = par_map(opts.threads, ranges.len(), |i| {
+    let outs: Vec<Vec<Row>> = run_par(opts, ranges.len(), |i| {
         stack_tree_join_presorted_range(&lids, &rids, rel, ranges[i].clone())
             .into_iter()
             .map(|(a, b)| joined_row(&l.rows[lrows[a]], &r.rows[rrows[b]], width))
@@ -932,6 +1110,86 @@ fn chunked_struct_join(
         rows.extend(o);
     }
     rows
+}
+
+/// Normalization (the dedup sort) with `opts`'s parallelism: rows split
+/// into per-unit chunks, each chunk recursively normalizes its nested
+/// tables and sorts on the pool, and the sorted runs merge on the caller.
+/// `Row`'s total order compares every cell, so rows that compare equal
+/// *are* equal — the merge + adjacent dedup yields exactly the sequential
+/// `sort_unstable` + `dedup` result, and the same `sorted_on` marker
+/// applies.
+fn normalize_with(rel: &mut NestedRelation, opts: &ExecOpts) {
+    if !opts.engage(rel.rows.len(), None) {
+        rel.normalize();
+        return;
+    }
+    let rows = std::mem::take(&mut rel.rows);
+    // chunks are owned by the caller's frame; each task locks only its
+    // own (never-contended) slot to mutate rows in place through the
+    // shared borrow `run_par` requires
+    let chunk = rows.len().div_ceil(opts.threads.max(1) * 2).max(1);
+    let chunks: Vec<Mutex<Vec<Row>>> = {
+        let mut it = rows.into_iter();
+        let mut chunks = Vec::new();
+        loop {
+            let c: Vec<Row> = it.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            chunks.push(Mutex::new(c));
+        }
+        chunks
+    };
+    run_par(opts, chunks.len(), |i| {
+        let mut c = chunks[i].lock().expect("unshared chunk lock");
+        for r in c.iter_mut() {
+            for cell in &mut r.cells {
+                if let Cell::Table(t) = cell {
+                    t.normalize();
+                }
+            }
+        }
+        c.sort_unstable();
+    });
+    let mut runs: Vec<Vec<Row>> = chunks
+        .into_iter()
+        .map(|m| m.into_inner().expect("unshared chunk lock"))
+        .collect();
+    // binary merge tree: every row moves ⌈log₂ chunks⌉ times
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge_sorted(a, b)),
+                None => next.push(a),
+            }
+        }
+        runs = next;
+    }
+    rel.rows = runs.pop().unwrap_or_default();
+    rel.rows.dedup();
+    rel.sorted_on = rel.canonical_sorted_on();
+}
+
+/// Merges two sorted row runs, stably (ties take from `a` first — with
+/// `Row`'s total order ties are identical rows, so this only matters for
+/// matching the sequential sort byte-for-byte).
+fn merge_sorted(a: Vec<Row>, b: Vec<Row>) -> Vec<Row> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ai = a.into_iter().peekable();
+    let mut bi = b.into_iter().peekable();
+    while let (Some(x), Some(y)) = (ai.peek(), bi.peek()) {
+        if x <= y {
+            out.push(ai.next().expect("peeked"));
+        } else {
+            out.push(bi.next().expect("peeked"));
+        }
+    }
+    out.extend(ai);
+    out.extend(bi);
+    out
 }
 
 /// Collects `(&id, row index)` for non-null ID cells of `col`, in document
@@ -1418,10 +1676,13 @@ mod tests {
                 rcol: 0,
                 rel,
             };
+            // resolved so the parallel paths really run on the pool
             let opts = ExecOpts {
                 threads: 3,
                 min_par_rows: 0,
-            };
+                ..ExecOpts::default()
+            }
+            .resolved();
             // pre-normalization outputs, byte for byte
             let seq = eval(&plan, &plain, &mut None, &ExecOpts::default()).unwrap();
             assert!(!seq.rows.is_empty());

@@ -290,6 +290,13 @@ pub struct FeedbackStore {
     scans: HashMap<String, f64>,
     selects: HashMap<u64, f64>,
     joins: HashMap<u64, f64>,
+    /// Decayed actual *output rows* per plan-fragment fingerprint — every
+    /// profiled operator, not just scans/selections/joins. This is what
+    /// the executor's adaptive parallelize-or-not gate reads (via
+    /// [`ParHints`]): input sizes are exact for materialized inputs, but
+    /// whether an operator is worth fanning out also depends on how much
+    /// it produces.
+    frags: HashMap<u64, f64>,
     ingests: u64,
 }
 
@@ -313,6 +320,7 @@ impl FeedbackStore {
             scans: HashMap::new(),
             selects: HashMap::new(),
             joins: HashMap::new(),
+            frags: HashMap::new(),
             ingests: 0,
         }
     }
@@ -348,6 +356,14 @@ impl FeedbackStore {
 
     fn walk(&mut self, plan: &Plan, profile: &ExecProfile, path: &mut Vec<u32>) {
         let out = profile.rows(path);
+        if let Some(out) = out {
+            Self::blend(
+                self.decay,
+                &mut self.frags,
+                plan_fingerprint(plan),
+                out as f64,
+            );
+        }
         let child = |path: &mut Vec<u32>, i: u32, profile: &ExecProfile| {
             path.push(i);
             let r = profile.rows(path);
@@ -454,6 +470,12 @@ impl FeedbackStore {
         self.scans.get(view).copied()
     }
 
+    /// Decayed actual *output rows* observed for the plan fragment
+    /// `fragment` (any operator — keyed by [`plan_fingerprint`]).
+    pub fn measured_rows(&self, fragment: &Plan) -> Option<f64> {
+        self.frags.get(&plan_fingerprint(fragment)).copied()
+    }
+
     /// Memoized pass-rate of selecting `pred` over `input`.
     pub fn select_selectivity(&self, input: &Plan, pred: &Predicate) -> Option<f64> {
         self.selects.get(&select_key(input, pred)).copied()
@@ -508,6 +530,76 @@ impl CardSource for FeedbackCards<'_> {
             }),
             (None, None) => None,
         }
+    }
+}
+
+// ---- adaptive parallelism hints ---------------------------------------
+
+/// Measured output cardinalities for the fragments of one plan, snapshot
+/// from a [`FeedbackStore`] before execution — the executor's adaptive
+/// parallelize-or-not gate.
+///
+/// The static `min_par_rows` threshold only sees an operator's *input*
+/// sizes; a selective join over large inputs and an explosive join over
+/// small inputs both defeat it. `ParHints::for_plan` snapshots the
+/// store's decayed per-fragment actual output rows for every operator of
+/// the plan about to run, and the executor treats a fragment whose
+/// *measured* output crosses the threshold as worth fanning out even when
+/// its inputs alone would not qualify. Fragments never executed before
+/// simply miss — the static gate still applies.
+#[derive(Clone, Debug, Default)]
+pub struct ParHints {
+    rows: HashMap<u64, f64>,
+}
+
+impl ParHints {
+    /// Snapshots the measured output rows of every fragment of `plan`
+    /// that `store` has feedback for.
+    pub fn for_plan(plan: &Plan, store: &FeedbackStore) -> ParHints {
+        let mut hints = ParHints::default();
+        hints.collect(plan, store);
+        hints
+    }
+
+    fn collect(&mut self, plan: &Plan, store: &FeedbackStore) {
+        if let Some(rows) = store.measured_rows(plan) {
+            self.rows.insert(plan_fingerprint(plan), rows);
+        }
+        match plan {
+            Plan::Scan { .. } => {}
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Nest { input, .. }
+            | Plan::Unnest { input, .. }
+            | Plan::NavigateContent { input, .. }
+            | Plan::DeriveParentId { input, .. }
+            | Plan::DupElim { input } => self.collect(input, store),
+            Plan::IdJoin { left, right, .. } | Plan::StructJoin { left, right, .. } => {
+                self.collect(left, store);
+                self.collect(right, store);
+            }
+            Plan::Union { inputs } => {
+                for i in inputs {
+                    self.collect(i, store);
+                }
+            }
+        }
+    }
+
+    /// Measured output rows of `fragment`, if the plan this snapshot was
+    /// taken for contains it and feedback existed at snapshot time.
+    pub fn measured(&self, fragment: &Plan) -> Option<f64> {
+        self.rows.get(&plan_fingerprint(fragment)).copied()
+    }
+
+    /// Number of fragments with feedback.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no fragment had feedback.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
     }
 }
 
@@ -601,6 +693,34 @@ mod tests {
         latest.ingest(&plan, &p1);
         latest.ingest(&plan, &p2);
         assert_eq!(latest.scan_rows("v"), Some(200.0));
+    }
+
+    #[test]
+    fn measured_rows_memo_and_par_hints_snapshot() {
+        let plan = Plan::StructJoin {
+            left: Box::new(scan("a")),
+            right: Box::new(scan("b")),
+            lcol: 0,
+            rcol: 0,
+            rel: StructRel::Ancestor,
+        };
+        let mut prof = ExecProfile::default();
+        prof.record(&[0], 100);
+        prof.record(&[1], 200);
+        prof.record(&[], 9000); // explosive join: output ≫ inputs
+        let mut store = FeedbackStore::new();
+        store.ingest(&plan, &prof);
+        assert_eq!(store.measured_rows(&plan), Some(9000.0));
+        assert_eq!(store.measured_rows(&scan("a")), Some(100.0));
+        assert_eq!(store.measured_rows(&scan("never-ran")), None);
+        let hints = ParHints::for_plan(&plan, &store);
+        assert_eq!(hints.len(), 3);
+        assert_eq!(hints.measured(&plan), Some(9000.0));
+        assert_eq!(hints.measured(&scan("b")), Some(200.0));
+        assert!(hints.measured(&scan("never-ran")).is_none());
+        // a fresh fragment has no hints at all
+        let cold = ParHints::for_plan(&scan("never-ran"), &store);
+        assert!(cold.is_empty());
     }
 
     #[test]

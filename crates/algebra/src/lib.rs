@@ -23,10 +23,11 @@ pub use exec::{
     execute, execute_profiled, execute_profiled_with, execute_with, ExecError, ExecOpts,
     ExtentShard, MapProvider, ShardPartition, ViewProvider,
 };
-pub use feedback::{plan_fingerprint, ExecProfile, FeedbackCards, FeedbackStore, OpPath};
+pub use feedback::{plan_fingerprint, ExecProfile, FeedbackCards, FeedbackStore, OpPath, ParHints};
 pub use plan::{NavStep, Plan, Predicate};
 pub use relation::{AttrKind, Cell, ColKind, Column, NestedRelation, Row, Schema};
 pub use smv_xml::par;
+pub use smv_xml::par::WorkerPool;
 pub use struct_join::{
     doc_sorted_indices, nested_loop_join, stack_tree_join, stack_tree_join_presorted,
     stack_tree_join_presorted_range, StructRel,

@@ -342,15 +342,21 @@ impl NestedRelation {
         }
         self.rows.sort_unstable();
         self.rows.dedup();
-        // canonical order sorts the first column by (scheme, doc order),
-        // so an ID first column leaves the relation join-ready
-        self.sorted_on = match self.schema.cols.first() {
+        self.sorted_on = self.canonical_sorted_on();
+    }
+
+    /// The `sorted_on` marker normalization establishes: the canonical
+    /// cell order sorts the first column by (scheme, doc order), so an ID
+    /// first column leaves the relation join-ready. Shared with the
+    /// executor's parallel normalization, which must set the same marker.
+    pub(crate) fn canonical_sorted_on(&self) -> Option<usize> {
+        match self.schema.cols.first() {
             Some(Column {
                 kind: ColKind::Atom(AttrKind::Id),
                 ..
             }) => Some(0),
             _ => None,
-        };
+        }
     }
 
     /// Normalized copy.

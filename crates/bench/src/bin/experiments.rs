@@ -41,6 +41,20 @@
 //! depends on the host's core count, which is also recorded). Results
 //! land in `BENCH_PR5.json`.
 //!
+//! `bench-pr6` measures the persistent worker pool that replaced PR 5's
+//! per-join scoped spawning: (a) a dispatch microbench — the cost of
+//! running four trivial tasks through `WorkerPool::pool_map` (parked
+//! threads, injector queue) vs `par_map` (fresh `std::thread::scope`
+//! spawn per call); (b) the bench-pr5 workloads plus a mixed
+//! join→select→dedup→nest plan that shares one pool across operators,
+//! timed under 1/2/4/8 threads; (c) a `parallel_equivalent` flag (rows
+//! and `ExecProfile` counters identical between sequential and pooled
+//! execution) and the `host_cores` context the scaling numbers depend
+//! on. The CI smoke asserts `parallel_equivalent` and the
+//! dispatch-overhead bound (`dispatch_overhead_ok`: pool dispatch ≤
+//! 10µs). Results land in `BENCH_PR6.json`; `BENCH_PR5.json` stays for
+//! trajectory.
+//!
 //! `bench-pr3` exercises the PR 3 view advisor: it advises on the
 //! weighted `smv_datagen::pr3` XMark workload under a storage budget (90%
 //! of the all-singleton estimate), materializes the chosen set, and
@@ -80,6 +94,7 @@ fn main() {
         "bench-pr3" => bench_pr3(scale, &out.unwrap_or_else(|| "BENCH_PR3.json".into())),
         "bench-pr4" => bench_pr4(scale, &out.unwrap_or_else(|| "BENCH_PR4.json".into())),
         "bench-pr5" => bench_pr5(scale, &out.unwrap_or_else(|| "BENCH_PR5.json".into())),
+        "bench-pr6" => bench_pr6(scale, &out.unwrap_or_else(|| "BENCH_PR6.json".into())),
         "all" => {
             table1(scale);
             fig13();
@@ -88,7 +103,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use table1|fig13|fig14|fig15|bench-pr1|bench-pr2|bench-pr3|bench-pr4|bench-pr5|all"
+                "unknown experiment `{other}`; use table1|fig13|fig14|fig15|bench-pr1|bench-pr2|bench-pr3|bench-pr4|bench-pr5|bench-pr6|all"
             );
             std::process::exit(2);
         }
@@ -108,6 +123,188 @@ fn measure<O>(samples: usize, mut f: impl FnMut() -> O) -> u64 {
         .collect();
     times.sort_unstable();
     times[times.len() / 2]
+}
+
+/// PR 6 worker-pool benchmark → `BENCH_PR6.json`.
+fn bench_pr6(scale: f64, out: &str) {
+    use smv_algebra::{
+        execute_profiled, execute_profiled_with, execute_with, ExecOpts, Plan, Predicate,
+        StructRel, ViewProvider, WorkerPool,
+    };
+    use smv_pattern::parse_pattern;
+    use smv_views::{Catalog, View};
+    use smv_xml::par::par_map;
+    use smv_xml::IdScheme;
+    use std::sync::Arc;
+
+    println!("== PR 6: persistent worker pool + morsel scheduling ==");
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // ---- (a) dispatch overhead: parked pool vs fresh scoped spawn.
+    // Four trivial tasks make the map itself ~free, so the median wall
+    // time of a call *is* the per-dispatch overhead. A forced 4-thread
+    // pool keeps the comparison meaningful on any host.
+    let pool = Arc::new(WorkerPool::new(4));
+    // warm both paths (first dispatch pays one-time wakeups)
+    pool.pool_map(4, 4, |i| i);
+    par_map(4, 4, |i| i);
+    let dispatch_samples = 501;
+    let pool_dispatch_ns = measure(dispatch_samples, || {
+        pool.pool_map(4, 4, std::hint::black_box)
+    });
+    let scope_spawn_ns = measure(dispatch_samples, || par_map(4, 4, std::hint::black_box));
+    let dispatch_overhead_ok = pool_dispatch_ns <= 10_000;
+    println!(
+        "dispatch (4 trivial tasks, median of {dispatch_samples}): pool={pool_dispatch_ns}ns \
+         scope-spawn={scope_spawn_ns}ns ({:.1}x cheaper; ≤10µs bound {})",
+        scope_spawn_ns as f64 / pool_dispatch_ns.max(1) as f64,
+        if dispatch_overhead_ok {
+            "holds"
+        } else {
+            "FAILS"
+        },
+    );
+
+    // ---- (b) workload scaling on one shared pool
+    let doc = xmark(&XmarkConfig {
+        scale,
+        ..Default::default()
+    });
+    let s = Summary::of(&doc);
+    let mut cat = Catalog::new();
+    for (name, pat) in [
+        ("v_item", "site(//item{id})"),
+        ("v_text", "site(//text{id})"),
+        ("v_kw", "site(//keyword{id,v})"),
+    ] {
+        cat.add_sharded(
+            View::new(name, parse_pattern(pat).unwrap(), IdScheme::OrdPath),
+            &doc,
+            &s,
+        );
+    }
+    let rows_of = |v: &str| cat.extent(v).map_or(0, |e| e.len());
+    println!(
+        "(XMark: {} nodes, host cores {host_cores}; extents: item={} text={} keyword={})",
+        doc.len(),
+        rows_of("v_item"),
+        rows_of("v_text"),
+        rows_of("v_kw"),
+    );
+    let sj = |lv: &str, rv: &str, rel| Plan::StructJoin {
+        left: Box::new(Plan::Scan { view: lv.into() }),
+        right: Box::new(Plan::Scan { view: rv.into() }),
+        lcol: 0,
+        rcol: 0,
+        rel,
+    };
+    let chunked = Plan::StructJoin {
+        left: Box::new(Plan::Select {
+            input: Box::new(Plan::Scan {
+                view: "v_item".into(),
+            }),
+            pred: Predicate::NotNull { col: 0 },
+        }),
+        right: Box::new(Plan::Scan {
+            view: "v_kw".into(),
+        }),
+        lcol: 0,
+        rcol: 0,
+        rel: StructRel::Ancestor,
+    };
+    // join → select → dup-elim → nest: four operators drawing morsels
+    // from the same queue within one execution
+    let mixed = Plan::Nest {
+        input: Box::new(Plan::DupElim {
+            input: Box::new(Plan::Select {
+                input: Box::new(sj("v_item", "v_kw", StructRel::Ancestor)),
+                pred: Predicate::NotNull { col: 2 },
+            }),
+        }),
+        key_cols: vec![0],
+        nested_cols: vec![1, 2],
+        name: "K".into(),
+    };
+    let workloads = [
+        ("ancestor_join", sj("v_item", "v_kw", StructRel::Ancestor)),
+        ("parent_join", sj("v_text", "v_kw", StructRel::Parent)),
+        ("ancestor_join_chunked", chunked),
+        ("mixed_join_select_dedup_nest", mixed),
+    ];
+    let thread_counts = [1usize, 2, 4, 8];
+    let samples = 9;
+    let mut lines: Vec<String> = Vec::new();
+    let mut speedup_4t_ancestor = 0.0f64;
+    let mut parallel_equivalent = true;
+    for (name, plan) in &workloads {
+        let (seq, prof_seq) = execute_profiled(plan, &cat).expect("plan executes");
+        let par_opts = ExecOpts {
+            threads: 4,
+            min_par_rows: 0,
+            ..ExecOpts::default()
+        };
+        let (par, prof_par) = execute_profiled_with(plan, &cat, &par_opts).expect("plan executes");
+        let equivalent = seq.rows == par.rows
+            && prof_seq.len() == prof_par.len()
+            && prof_seq
+                .iter()
+                .all(|(path, rows)| prof_par.rows_at(path) == Some(rows));
+        parallel_equivalent &= equivalent;
+        // scaling with production thresholds, every thread count on the
+        // same global pool (with_threads attaches it at execution start)
+        let timings: Vec<(usize, u64)> = thread_counts
+            .iter()
+            .map(|&t| {
+                let opts = ExecOpts::with_threads(t);
+                (
+                    t,
+                    measure(samples, || execute_with(plan, &cat, &opts).unwrap().len()),
+                )
+            })
+            .collect();
+        let ns_at = |t: usize| timings.iter().find(|&&(tt, _)| tt == t).unwrap().1;
+        let speedup_2t = ns_at(1) as f64 / ns_at(2).max(1) as f64;
+        let speedup_4t = ns_at(1) as f64 / ns_at(4).max(1) as f64;
+        if *name == "ancestor_join" {
+            speedup_4t_ancestor = speedup_4t;
+        }
+        println!(
+            "{name:<28} out={:>7} 1t={:>10}ns 2t={:>10}ns 4t={:>10}ns 8t={:>10}ns \
+             speedup 2t={speedup_2t:.2}x 4t={speedup_4t:.2}x equivalent={equivalent}",
+            seq.len(),
+            ns_at(1),
+            ns_at(2),
+            ns_at(4),
+            ns_at(8),
+        );
+        let timing_json: Vec<String> = timings
+            .iter()
+            .map(|(t, ns)| format!("{{\"threads\": {t}, \"ns\": {ns}}}"))
+            .collect();
+        lines.push(format!(
+            "    {{\"name\": \"{name}\", \"rows_out\": {}, \"timings\": [{}], \"speedup_2t\": {speedup_2t:.3}, \"speedup_4t\": {speedup_4t:.3}, \"equivalent\": {equivalent}}}",
+            seq.len(),
+            timing_json.join(", "),
+        ));
+    }
+    println!(
+        "parallel == sequential (rows + ExecProfile) on every workload: {parallel_equivalent}; \
+         ancestor-join 4-thread speedup {speedup_4t_ancestor:.2}x on {host_cores} host core(s)"
+    );
+    if host_cores < 4 {
+        println!(
+            "note: this host exposes {host_cores} core(s); 4-thread scaling cannot exceed ~1x \
+             here — run on a ≥4-core host for the ≥2x headline"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"pr\": 6,\n  \"doc_nodes\": {},\n  \"host_cores\": {host_cores},\n  \"samples\": {samples},\n  \"pool_dispatch_ns\": {pool_dispatch_ns},\n  \"scope_spawn_ns\": {scope_spawn_ns},\n  \"dispatch_overhead_ok\": {dispatch_overhead_ok},\n  \"parallel_equivalent\": {parallel_equivalent},\n  \"ancestor_join_speedup_4t\": {speedup_4t_ancestor:.3},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        doc.len(),
+        lines.join(",\n"),
+    );
+    std::fs::write(out, json).expect("write bench json");
+    println!("wrote {out}");
 }
 
 /// PR 5 sharded parallel-execution benchmark → `BENCH_PR5.json`.
@@ -203,6 +400,7 @@ fn bench_pr5(scale: f64, out: &str) {
         let par_opts = ExecOpts {
             threads: 4,
             min_par_rows: 0,
+            ..ExecOpts::default()
         };
         let (par, prof_par) = execute_profiled_with(plan, &cat, &par_opts).expect("plan executes");
         let equivalent = seq.rows == par.rows

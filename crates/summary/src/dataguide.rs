@@ -537,13 +537,40 @@ impl Summary {
     pub fn extend_with_batch(&mut self, docs: &[Document], threads: usize) {
         let threads = smv_xml::par::resolve_threads(threads).min(docs.len().max(1));
         if threads <= 1 {
+            // sequential ingest never touches the pool
+            for d in docs {
+                self.extend_with(d);
+            }
+            return;
+        }
+        self.extend_with_batch_on(docs, threads, smv_xml::par::WorkerPool::global());
+    }
+
+    /// [`extend_with_batch`](Summary::extend_with_batch) drawing its
+    /// parallelism from an explicit [`WorkerPool`](smv_xml::par::WorkerPool)
+    /// — the same queue query execution runs on, so ingest and queries
+    /// interleave at morsel granularity instead of fighting over cores
+    /// with a second thread set. `threads` is clamped to the batch size;
+    /// `0` means the whole pool.
+    pub fn extend_with_batch_on(
+        &mut self,
+        docs: &[Document],
+        threads: usize,
+        pool: &smv_xml::par::WorkerPool,
+    ) {
+        let threads = match threads {
+            0 => pool.size(),
+            n => n,
+        }
+        .min(docs.len().max(1));
+        if threads <= 1 {
             for d in docs {
                 self.extend_with(d);
             }
             return;
         }
         let slices: Vec<&[Document]> = docs.chunks(docs.len().div_ceil(threads)).collect();
-        let partials = smv_xml::par::par_map(threads, slices.len(), |i| {
+        let partials = pool.pool_map(threads, slices.len(), |i| {
             let slice = slices[i];
             let mut s = Summary::of(&slice[0]);
             for d in &slice[1..] {

@@ -112,6 +112,41 @@ impl Catalog {
         self.views.push(view);
     }
 
+    /// Registers a batch of views at once, materializing, normalizing and
+    /// shard-partitioning each on `pool` — one task per view, so bulk
+    /// catalog builds draw from the same worker queue as query execution
+    /// instead of running view-at-a-time. Catalog insertion order (and
+    /// hence [`Catalog::views`] order) matches the `views` argument
+    /// exactly, and each view's stored extent and partition are identical
+    /// to what [`Catalog::add_sharded`] would have produced.
+    pub fn add_sharded_batch(
+        &mut self,
+        views: Vec<View>,
+        doc: &Document,
+        summary: &Summary,
+        pool: &smv_xml::par::WorkerPool,
+    ) {
+        let built = pool.pool_map(0, views.len(), |i| {
+            let view = &views[i];
+            let mut extent = materialize(&view.pattern, doc, view.scheme);
+            extent.normalize();
+            let partition = shard_extent(&extent, doc, view.scheme, summary);
+            (extent, partition)
+        });
+        for (view, (extent, partition)) in views.into_iter().zip(built) {
+            match partition {
+                Some(p) => {
+                    self.shards.insert(view.name.clone(), p);
+                }
+                None => {
+                    self.shards.remove(&view.name);
+                }
+            }
+            self.extents.insert(view.name.clone(), extent);
+            self.views.push(view);
+        }
+    }
+
     /// Registers a view with a precomputed extent (tests / remote stores).
     pub fn add_with_extent(&mut self, view: View, extent: NestedRelation) {
         // a replaced extent invalidates any partition built for the old one
@@ -370,6 +405,7 @@ mod tests {
                 &ExecOpts {
                     threads: 4,
                     min_par_rows: 0,
+                    ..ExecOpts::default()
                 },
             )
             .unwrap();
@@ -427,6 +463,7 @@ mod tests {
             &ExecOpts {
                 threads: 4,
                 min_par_rows: 0,
+                ..ExecOpts::default()
             },
         )
         .unwrap();
@@ -461,6 +498,7 @@ mod tests {
             let opts = ExecOpts {
                 threads: 4,
                 min_par_rows: 0,
+                ..ExecOpts::default()
             };
             let (par, prof_par) = execute_profiled_with(&plan, &cat, &opts).unwrap();
             assert!(!seq.is_empty());
@@ -469,5 +507,80 @@ mod tests {
                 assert_eq!(prof_par.rows_at(path), Some(rows), "{rel:?} at `{path}`");
             }
         }
+    }
+
+    #[test]
+    fn add_sharded_batch_equals_one_at_a_time() {
+        let doc = Document::from_parens(
+            r#"a(p(q(k="1") k="2") p(k="3") r(q(k="4" k="5")) p(q(q(k="6"))))"#,
+        );
+        let s = Summary::of(&doc);
+        let defs = || {
+            vec![
+                View::new(
+                    "anc",
+                    parse_pattern("a(//q{id})").unwrap(),
+                    IdScheme::OrdPath,
+                ),
+                View::new(
+                    "des",
+                    parse_pattern("a(//k{id,v})").unwrap(),
+                    IdScheme::OrdPath,
+                ),
+                // value-first view: stays unpartitioned in both paths
+                View::new(
+                    "vals",
+                    parse_pattern("a(//k{v})").unwrap(),
+                    IdScheme::OrdPath,
+                ),
+            ]
+        };
+        let mut one_by_one = Catalog::new();
+        for v in defs() {
+            one_by_one.add_sharded(v, &doc, &s);
+        }
+        let pool = smv_xml::par::WorkerPool::new(3);
+        let mut batched = Catalog::new();
+        batched.add_sharded_batch(defs(), &doc, &s, &pool);
+        assert_eq!(
+            batched.views().iter().map(|v| &v.name).collect::<Vec<_>>(),
+            one_by_one
+                .views()
+                .iter()
+                .map(|v| &v.name)
+                .collect::<Vec<_>>(),
+            "insertion order preserved"
+        );
+        for v in one_by_one.views() {
+            use smv_algebra::ViewProvider;
+            assert_eq!(
+                batched.extent(&v.name).unwrap().rows,
+                one_by_one.extent(&v.name).unwrap().rows,
+                "extent of {}",
+                v.name
+            );
+            let (b, o) = (
+                batched.shard_partition(&v.name),
+                one_by_one.shard_partition(&v.name),
+            );
+            assert_eq!(b.is_some(), o.is_some(), "partitioned-ness of {}", v.name);
+            if let (Some(b), Some(o)) = (b, o) {
+                assert_eq!(b.col, o.col);
+                assert_eq!(b.token, o.token);
+                assert_eq!(b.unclassified, o.unclassified);
+                assert_eq!(b.shards.len(), o.shards.len());
+                for (bs, os) in b.shards.iter().zip(&o.shards) {
+                    assert_eq!(
+                        (bs.path, bs.pre, bs.last_desc, bs.depth),
+                        (os.path, os.pre, os.last_desc, os.depth)
+                    );
+                    assert_eq!(bs.rows, os.rows);
+                }
+            }
+        }
+        assert!(
+            pool.jobs_dispatched() >= 1,
+            "the batch really used the pool"
+        );
     }
 }

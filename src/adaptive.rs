@@ -13,13 +13,14 @@
 //! true best plan within a few executions.
 
 use smv_algebra::{
-    execute_profiled_with, ExecError, ExecOpts, FeedbackCards, FeedbackStore, NestedRelation, Plan,
-    PlanEstimate,
+    execute_profiled_with, ExecError, ExecOpts, FeedbackCards, FeedbackStore, NestedRelation,
+    ParHints, Plan, PlanEstimate,
 };
 use smv_core::{rewrite_with_feedback, RewriteOpts, RewriteResult};
 use smv_pattern::Pattern;
 use smv_summary::Summary;
 use smv_views::{Catalog, CatalogCards};
+use std::sync::Arc;
 
 /// One execution of the adaptive loop.
 #[derive(Debug)]
@@ -136,8 +137,18 @@ impl<'a> AdaptiveSession<'a> {
         let ranked = self.rank(q);
         let candidates = ranked.rewritings.len();
         let best = ranked.rewritings.into_iter().next()?;
+        // parallel sessions execute with measured per-fragment output
+        // cardinalities attached, so the executor's parallelize-or-not
+        // gate adapts to what this plan's fragments actually produced
+        let mut exec_opts = self.exec_opts.clone();
+        if exec_opts.threads != 1 && !self.store.is_empty() {
+            let hints = ParHints::for_plan(&best.plan, &self.store);
+            if !hints.is_empty() {
+                exec_opts.par_hints = Some(Arc::new(hints));
+            }
+        }
         Some(
-            match execute_profiled_with(&best.plan, self.catalog, &self.exec_opts) {
+            match execute_profiled_with(&best.plan, self.catalog, &exec_opts) {
                 Ok((result, profile)) => {
                     self.store.ingest(&best.plan, &profile);
                     Ok(AdaptiveRun {

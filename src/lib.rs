@@ -66,7 +66,8 @@ pub mod prelude {
     };
     pub use smv_algebra::{
         execute, execute_profiled, execute_profiled_with, execute_with, CostModel, ExecOpts,
-        ExecProfile, FeedbackCards, FeedbackStore, NestedRelation, Plan, PlanEstimate, StructRel,
+        ExecProfile, FeedbackCards, FeedbackStore, NestedRelation, ParHints, Plan, PlanEstimate,
+        StructRel, WorkerPool,
     };
     pub use smv_core::{
         best_rewriting_cost, contained, contained_in_union, equivalent, is_satisfiable, rewrite,

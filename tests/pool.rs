@@ -1,0 +1,203 @@
+//! Integration tests for the persistent worker pool: pooled execution
+//! equals sequential execution, sessions share one pool, pool use is
+//! reentrant (parallel ingest while a query runs on the same pool), a
+//! dropped pool leaves nothing behind, and `threads: 1` provably never
+//! touches a pool.
+
+use smv::algebra::Predicate;
+use smv::prelude::*;
+use std::sync::Arc;
+
+/// `r` with `n` `a`-groups of three valued `b` children each.
+fn fixture_doc(n: usize) -> Document {
+    let groups: Vec<String> = (0..n)
+        .map(|i| format!(r#"a(b="{}" b="{}" b="{}")"#, 3 * i, 3 * i + 1, 3 * i + 2))
+        .collect();
+    Document::from_parens(&format!("r({})", groups.join(" ")))
+}
+
+fn sharded_catalog(doc: &Document, summary: &Summary) -> Catalog {
+    let mut catalog = Catalog::new();
+    for (name, pat) in [("va", "r(//a{id})"), ("vb", "r(//b{id,v})")] {
+        catalog.add_sharded(
+            View::new(name, parse_pattern(pat).unwrap(), IdScheme::OrdPath),
+            doc,
+            summary,
+        );
+    }
+    catalog
+}
+
+/// ancestor join → select → dup-elim: exercises the morselized join,
+/// selection, and parallel normalization sort in one plan.
+fn mixed_plan() -> Plan {
+    Plan::DupElim {
+        input: Box::new(Plan::Select {
+            input: Box::new(Plan::StructJoin {
+                left: Box::new(Plan::Scan { view: "va".into() }),
+                right: Box::new(Plan::Scan { view: "vb".into() }),
+                lcol: 0,
+                rcol: 0,
+                rel: StructRel::Ancestor,
+            }),
+            pred: Predicate::NotNull { col: 2 },
+        }),
+    }
+}
+
+fn pooled_opts(pool: &Arc<WorkerPool>, threads: usize) -> ExecOpts {
+    ExecOpts {
+        threads,
+        min_par_rows: 0,
+        pool: Some(Arc::clone(pool)),
+        par_hints: None,
+    }
+}
+
+/// Strictly sequential options — immune to `SMV_TEST_THREADS`, so the
+/// reference side of every equivalence check really is the sequential
+/// executor.
+fn seq_opts() -> ExecOpts {
+    ExecOpts {
+        threads: 1,
+        min_par_rows: 4096,
+        pool: None,
+        par_hints: None,
+    }
+}
+
+#[test]
+fn two_sessions_sharing_one_pool_match_sequential() {
+    let doc = fixture_doc(40);
+    let s = Summary::of(&doc);
+    let catalog_a = sharded_catalog(&doc, &s);
+    let catalog_b = sharded_catalog(&doc, &s);
+    let pool = Arc::new(WorkerPool::new(3));
+    let plan = mixed_plan();
+    let seq = execute_with(&plan, &catalog_a, &seq_opts()).unwrap();
+    // interleaved "sessions": alternate executions against two catalogs,
+    // all drawing from the same queue
+    for round in 0..3 {
+        let a = execute_with(&plan, &catalog_a, &pooled_opts(&pool, 3)).unwrap();
+        let b = execute_with(&plan, &catalog_b, &pooled_opts(&pool, 2)).unwrap();
+        assert_eq!(seq.rows, a.rows, "session A round {round}");
+        assert_eq!(seq.rows, b.rows, "session B round {round}");
+    }
+    assert!(
+        pool.jobs_dispatched() > 0,
+        "parallel execution really dispatched to the shared pool"
+    );
+}
+
+#[test]
+fn reentrant_pool_use_ingest_during_query() {
+    let doc = fixture_doc(30);
+    let s = Summary::of(&doc);
+    let catalog = sharded_catalog(&doc, &s);
+    let plan = mixed_plan();
+    let docs: Vec<Document> = (0..12).map(|_| fixture_doc(4)).collect();
+
+    // sequential references
+    let seq_rows = execute_with(&plan, &catalog, &seq_opts()).unwrap().len();
+    let seq_count = {
+        let mut sum = Summary::of(&docs[0]);
+        for d in &docs[1..] {
+            sum.extend_with(d);
+        }
+        sum.count(sum.node_by_path("/r/a/b").unwrap())
+    };
+
+    // a query and a parallel summary ingest run *as tasks on the pool*,
+    // each fanning out onto that same pool from inside a worker
+    let pool = Arc::new(WorkerPool::new(4));
+    let outs: Vec<u64> = pool.pool_map(2, 2, |i| {
+        if i == 0 {
+            execute_with(&plan, &catalog, &pooled_opts(&pool, 2))
+                .unwrap()
+                .len() as u64
+        } else {
+            let mut sum = Summary::of(&docs[0]);
+            sum.extend_with_batch_on(&docs[1..], 0, &pool);
+            sum.count(sum.node_by_path("/r/a/b").unwrap())
+        }
+    });
+    assert_eq!(outs[0], seq_rows as u64, "query inside the pool");
+    assert_eq!(outs[1], seq_count, "ingest inside the pool");
+}
+
+#[test]
+fn threads_one_never_touches_the_pool() {
+    let doc = fixture_doc(25);
+    let s = Summary::of(&doc);
+    let catalog = sharded_catalog(&doc, &s);
+    let pool = Arc::new(WorkerPool::new(4));
+    // a pool is attached and min_par_rows would pass every gate — but
+    // threads: 1 must still execute fully inline
+    let opts = ExecOpts {
+        threads: 1,
+        min_par_rows: 0,
+        pool: Some(Arc::clone(&pool)),
+        par_hints: None,
+    };
+    let out = execute_with(&mixed_plan(), &catalog, &opts).unwrap();
+    assert_eq!(
+        out.rows,
+        execute_with(&mixed_plan(), &catalog, &seq_opts())
+            .unwrap()
+            .rows
+    );
+    let mut sum = Summary::of(&doc);
+    sum.extend_with_batch_on(&[fixture_doc(2), fixture_doc(3)], 1, &pool);
+    assert_eq!(
+        pool.jobs_dispatched(),
+        0,
+        "sequential runs stay off the pool"
+    );
+}
+
+#[test]
+fn results_survive_pool_drop() {
+    let doc = fixture_doc(30);
+    let s = Summary::of(&doc);
+    let catalog = sharded_catalog(&doc, &s);
+    let plan = mixed_plan();
+    let seq = execute_with(&plan, &catalog, &seq_opts()).unwrap();
+    let par = {
+        let pool = Arc::new(WorkerPool::new(3));
+        let out = execute_with(&plan, &catalog, &pooled_opts(&pool, 3)).unwrap();
+        assert!(pool.jobs_dispatched() > 0);
+        out
+        // the last Arc drops here: Drop parks the queue shut and joins
+        // every worker (thread-level assertions live in the par module's
+        // unit tests)
+    };
+    assert_eq!(seq.rows, par.rows);
+    // execution continues to work afterwards, on a fresh private pool
+    let pool = Arc::new(WorkerPool::new(2));
+    let again = execute_with(&plan, &catalog, &pooled_opts(&pool, 2)).unwrap();
+    assert_eq!(seq.rows, again.rows);
+}
+
+#[test]
+fn adaptive_session_hints_keep_results_identical() {
+    let doc = fixture_doc(50);
+    let s = Summary::of(&doc);
+    let catalog = sharded_catalog(&doc, &s);
+    let q = parse_pattern("r(//b{id,v})").unwrap();
+    let mut sequential = AdaptiveSession::new(&s, &catalog);
+    let baseline = sequential.run(&q).expect("rewritable").expect("executes");
+    // threads: 2 with a gate so high only feedback can open it — run 1
+    // executes before any feedback exists, run 2 carries ParHints with
+    // the measured fragment cardinalities
+    let mut parallel = AdaptiveSession::new(&s, &catalog).with_exec_opts(ExecOpts {
+        threads: 2,
+        min_par_rows: 100,
+        pool: None,
+        par_hints: None,
+    });
+    let first = parallel.run(&q).expect("rewritable").expect("executes");
+    let second = parallel.run(&q).expect("rewritable").expect("executes");
+    assert_eq!(baseline.result.rows, first.result.rows);
+    assert_eq!(baseline.result.rows, second.result.rows);
+    assert!(parallel.store().ingests() >= 2);
+}

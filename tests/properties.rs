@@ -470,6 +470,7 @@ proptest! {
             let opts = ExecOpts {
                 threads,
                 min_par_rows: 0,
+                ..ExecOpts::default()
             };
             for plan in &plans {
                 let (seq, prof_seq) = execute_profiled(plan, &catalog).unwrap();
