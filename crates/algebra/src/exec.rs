@@ -29,7 +29,7 @@ use smv_xml::{parse_document, serialize_subtree, Document, NodeId, StructId, Sym
 use std::borrow::Cow;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 
 /// Execution options: how many worker threads, on which pool, gated how.
 ///
@@ -88,29 +88,37 @@ impl Eq for ExecOpts {}
 
 impl Default for ExecOpts {
     fn default() -> ExecOpts {
-        // `SMV_TEST_THREADS=n` (n > 1) turns every default-options
-        // execution into a forced pool run (threads = n, min_par_rows =
-        // 0) so CI can drive the whole test suite through the parallel
-        // paths without touching call sites. Read once per process.
-        static FORCED: OnceLock<Option<usize>> = OnceLock::new();
-        let forced = *FORCED.get_or_init(|| {
-            std::env::var("SMV_TEST_THREADS")
-                .ok()
-                .and_then(|v| v.parse().ok())
-        });
-        match forced {
-            Some(n) if n > 1 => ExecOpts {
-                threads: n,
-                min_par_rows: 0,
-                pool: None,
-                par_hints: None,
-            },
-            _ => ExecOpts {
-                threads: 1,
-                min_par_rows: 4096,
-                pool: None,
-                par_hints: None,
-            },
+        // Debug builds only: `SMV_TEST_THREADS=n` (n > 1) turns every
+        // default-options execution into a forced pool run (threads = n,
+        // min_par_rows = 0) so CI can drive the whole test suite through
+        // the parallel paths without touching call sites. Read once per
+        // process. Release builds ignore the variable entirely — a stray
+        // deployment env var must not silently force per-row morsels on
+        // production defaults.
+        #[cfg(debug_assertions)]
+        {
+            static FORCED: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+            let forced = *FORCED.get_or_init(|| {
+                std::env::var("SMV_TEST_THREADS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            });
+            if let Some(n) = forced {
+                if n > 1 {
+                    return ExecOpts {
+                        threads: n,
+                        min_par_rows: 0,
+                        pool: None,
+                        par_hints: None,
+                    };
+                }
+            }
+        }
+        ExecOpts {
+            threads: 1,
+            min_par_rows: 4096,
+            pool: None,
+            par_hints: None,
         }
     }
 }

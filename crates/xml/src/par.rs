@@ -424,7 +424,18 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Relaxed);
+        // The store must happen under the queue mutex: worker_loop checks
+        // `shutdown` while holding it and then atomically
+        // releases-and-parks in `work_cv.wait`, so a store outside the
+        // lock could land between that check and the park — the worker
+        // would miss the notification and sleep forever (and this join
+        // would hang). Holding the lock forces the store to order either
+        // before the check (worker sees it) or after the park (the
+        // notify_all reaches it).
+        {
+            let _queue = self.shared.queue.lock().expect("pool queue lock");
+            self.shared.shutdown.store(true, Ordering::Relaxed);
+        }
         self.shared.work_cv.notify_all();
         for h in self.workers.drain(..) {
             h.join().expect("pool worker exits cleanly");
@@ -596,6 +607,20 @@ mod tests {
         let _ = pool.pool_map(4, 100, |i| i);
         assert_eq!(pool.workers(), 3);
         drop(pool);
+    }
+
+    #[test]
+    fn drop_while_workers_rescan_does_not_hang() {
+        // Regression for a lost-wakeup race: shutdown used to be stored
+        // outside the queue mutex, so a worker between its shutdown check
+        // and the condvar park could miss the notification and sleep
+        // forever, hanging Drop's join. Dropping right after dispatch
+        // maximizes the odds a worker is mid-rescan at shutdown time.
+        for _ in 0..200 {
+            let pool = WorkerPool::new(3);
+            let _ = pool.pool_map(3, 5, |i| i);
+            drop(pool);
+        }
     }
 
     #[test]
