@@ -27,7 +27,7 @@
 use crate::cost::{CardSource, ScanCard};
 use crate::plan::{Plan, Predicate};
 use crate::struct_join::StructRel;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A stable address of one operator inside a plan tree: the child-index
 /// chain from the root, rendered `"1.0"` (root = `""`). Child indexing:
@@ -297,6 +297,11 @@ pub struct FeedbackStore {
     /// whether an operator is worth fanning out also depends on how much
     /// it produces.
     frags: HashMap<u64, f64>,
+    /// Reverse index: for every view, the fingerprint keys of memo
+    /// entries (selections, joins, fragments) whose plan fragment scans
+    /// it — what [`FeedbackStore::invalidate_fingerprints_touching`]
+    /// walks when a view's extent changes under maintenance.
+    by_view: HashMap<String, HashSet<u64>>,
     ingests: u64,
 }
 
@@ -321,6 +326,7 @@ impl FeedbackStore {
             selects: HashMap::new(),
             joins: HashMap::new(),
             frags: HashMap::new(),
+            by_view: HashMap::new(),
             ingests: 0,
         }
     }
@@ -354,15 +360,67 @@ impl FeedbackStore {
         self.ingests += 1;
     }
 
-    fn walk(&mut self, plan: &Plan, profile: &ExecProfile, path: &mut Vec<u32>) {
+    /// Records `key` in the reverse index under every view of the
+    /// fragment it was derived from.
+    fn index_key(&mut self, key: u64, views: &[String]) {
+        for v in views {
+            self.by_view.entry(v.clone()).or_default().insert(key);
+        }
+    }
+
+    /// Walks one fragment: recurses first (collecting the set of views
+    /// the fragment scans on the way up), then folds the fragment's
+    /// observations into the memos, indexing every created key by those
+    /// views. Returns the fragment's view set.
+    fn walk(&mut self, plan: &Plan, profile: &ExecProfile, path: &mut Vec<u32>) -> Vec<String> {
+        let views: Vec<String> = match plan {
+            Plan::Scan { view } => vec![view.clone()],
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Nest { input, .. }
+            | Plan::Unnest { input, .. }
+            | Plan::NavigateContent { input, .. }
+            | Plan::DeriveParentId { input, .. }
+            | Plan::DupElim { input } => {
+                path.push(0);
+                let v = self.walk(input, profile, path);
+                path.pop();
+                v
+            }
+            Plan::IdJoin { left, right, .. } | Plan::StructJoin { left, right, .. } => {
+                path.push(0);
+                let mut v = self.walk(left, profile, path);
+                path.pop();
+                path.push(1);
+                let r = self.walk(right, profile, path);
+                path.pop();
+                for x in r {
+                    if !v.contains(&x) {
+                        v.push(x);
+                    }
+                }
+                v
+            }
+            Plan::Union { inputs } => {
+                let mut v: Vec<String> = Vec::new();
+                for (i, p) in inputs.iter().enumerate() {
+                    path.push(i as u32);
+                    let b = self.walk(p, profile, path);
+                    path.pop();
+                    for x in b {
+                        if !v.contains(&x) {
+                            v.push(x);
+                        }
+                    }
+                }
+                v
+            }
+        };
         let out = profile.rows(path);
         if let Some(out) = out {
-            Self::blend(
-                self.decay,
-                &mut self.frags,
-                plan_fingerprint(plan),
-                out as f64,
-            );
+            let key = plan_fingerprint(plan);
+            Self::blend(self.decay, &mut self.frags, key, out as f64);
+            self.index_key(key, &views);
         }
         let child = |path: &mut Vec<u32>, i: u32, profile: &ExecProfile| {
             path.push(i);
@@ -383,12 +441,9 @@ impl FeedbackStore {
             Plan::Select { input, pred } => {
                 if let (Some(out), Some(inp)) = (out, child(path, 0, profile)) {
                     if inp > 0 {
-                        Self::blend(
-                            self.decay,
-                            &mut self.selects,
-                            select_key(input, pred),
-                            out as f64 / inp as f64,
-                        );
+                        let key = select_key(input, pred);
+                        Self::blend(self.decay, &mut self.selects, key, out as f64 / inp as f64);
+                        self.index_key(key, &views);
                     }
                 }
             }
@@ -402,12 +457,14 @@ impl FeedbackStore {
                     (out, child(path, 0, profile), child(path, 1, profile))
                 {
                     if l > 0 && r > 0 {
+                        let key = join_key(left, right, *lcol, *rcol, None);
                         Self::blend(
                             self.decay,
                             &mut self.joins,
-                            join_key(left, right, *lcol, *rcol, None),
+                            key,
                             out as f64 / (l as f64 * r as f64),
                         );
+                        self.index_key(key, &views);
                     }
                 }
             }
@@ -422,47 +479,47 @@ impl FeedbackStore {
                     (out, child(path, 0, profile), child(path, 1, profile))
                 {
                     if l > 0 && r > 0 {
+                        let key = join_key(left, right, *lcol, *rcol, Some(*rel));
                         Self::blend(
                             self.decay,
                             &mut self.joins,
-                            join_key(left, right, *lcol, *rcol, Some(*rel)),
+                            key,
                             out as f64 / (l as f64 * r as f64),
                         );
+                        self.index_key(key, &views);
                     }
                 }
             }
             _ => {}
         }
-        // recurse into the children with the positional path extended
-        match plan {
-            Plan::Scan { .. } => {}
-            Plan::Select { input, .. }
-            | Plan::Project { input, .. }
-            | Plan::Nest { input, .. }
-            | Plan::Unnest { input, .. }
-            | Plan::NavigateContent { input, .. }
-            | Plan::DeriveParentId { input, .. }
-            | Plan::DupElim { input } => {
-                path.push(0);
-                self.walk(input, profile, path);
-                path.pop();
+        views
+    }
+
+    /// Drops every memo derived from a plan fragment scanning any of
+    /// `views` — decayed scan rows, selection pass-rates, join
+    /// selectivities and per-fragment measured output rows — and returns
+    /// how many entries were removed. Call after view maintenance: an
+    /// extent that changed invalidates observations made against its old
+    /// contents, while memos over untouched views survive and keep
+    /// steering plans.
+    pub fn invalidate_fingerprints_touching<S: AsRef<str>>(&mut self, views: &[S]) -> usize {
+        let mut keys: HashSet<u64> = HashSet::new();
+        let mut removed = 0;
+        for v in views {
+            let v = v.as_ref();
+            if self.scans.remove(v).is_some() {
+                removed += 1;
             }
-            Plan::IdJoin { left, right, .. } | Plan::StructJoin { left, right, .. } => {
-                path.push(0);
-                self.walk(left, profile, path);
-                path.pop();
-                path.push(1);
-                self.walk(right, profile, path);
-                path.pop();
-            }
-            Plan::Union { inputs } => {
-                for (i, p) in inputs.iter().enumerate() {
-                    path.push(i as u32);
-                    self.walk(p, profile, path);
-                    path.pop();
-                }
+            if let Some(ks) = self.by_view.remove(v) {
+                keys.extend(ks);
             }
         }
+        for k in keys {
+            removed += usize::from(self.selects.remove(&k).is_some());
+            removed += usize::from(self.joins.remove(&k).is_some());
+            removed += usize::from(self.frags.remove(&k).is_some());
+        }
+        removed
     }
 
     /// Decayed actual scan rows observed for `view`.
@@ -721,6 +778,60 @@ mod tests {
         // a fresh fragment has no hints at all
         let cold = ParHints::for_plan(&scan("never-ran"), &store);
         assert!(cold.is_empty());
+    }
+
+    #[test]
+    fn invalidation_is_scoped_to_touched_views() {
+        let pred = || Predicate::Value {
+            col: 0,
+            formula: Formula::ge(Value::int(10)),
+        };
+        let joined = Plan::StructJoin {
+            left: Box::new(scan("a")),
+            right: Box::new(Plan::Select {
+                input: Box::new(scan("b")),
+                pred: pred(),
+            }),
+            lcol: 0,
+            rcol: 0,
+            rel: StructRel::Parent,
+        };
+        let mut prof = ExecProfile::default();
+        prof.record(&[0], 100);
+        prof.record(&[1, 0], 200);
+        prof.record(&[1], 50);
+        prof.record(&[], 40);
+        let mut store = FeedbackStore::new();
+        store.ingest(&joined, &prof);
+        // an independent plan over an untouched view
+        let mut other = ExecProfile::default();
+        other.record(&[], 7);
+        store.ingest(&scan("c"), &other);
+
+        assert_eq!(store.invalidate_fingerprints_touching(&["zz"]), 0);
+        let removed = store.invalidate_fingerprints_touching(&["b"]);
+        assert!(removed > 0, "select, join and fragment memos touching b");
+        assert!(store.select_selectivity(&scan("b"), &pred()).is_none());
+        assert!(store
+            .join_selectivity(
+                &scan("a"),
+                &Plan::Select {
+                    input: Box::new(scan("b")),
+                    pred: pred(),
+                },
+                0,
+                0,
+                Some(StructRel::Parent),
+            )
+            .is_none());
+        assert!(store.measured_rows(&joined).is_none());
+        assert!(store.scan_rows("b").is_none());
+        // untouched views keep their feedback
+        assert_eq!(store.scan_rows("a"), Some(100.0));
+        assert_eq!(store.measured_rows(&scan("a")), Some(100.0));
+        assert_eq!(store.scan_rows("c"), Some(7.0));
+        // idempotent: everything touching b is already gone
+        assert_eq!(store.invalidate_fingerprints_touching(&["b"]), 0);
     }
 
     #[test]

@@ -359,6 +359,36 @@ impl NestedRelation {
         }
     }
 
+    /// Unions `extra` into rows that are **already in normalized order**
+    /// (sorted, deduplicated, nested tables normalized): sorts and
+    /// dedups `extra` alone, then merges the two sorted runs. Equivalent
+    /// to `rows.extend(extra); normalize()` but O(rows + extra·log
+    /// extra) instead of re-sorting the whole relation — the
+    /// delta-maintenance shape, where a large surviving extent absorbs a
+    /// small batch of fresh rows.
+    pub fn union_sorted(&mut self, mut extra: Vec<Row>) {
+        extra.sort_unstable();
+        extra.dedup();
+        if !extra.is_empty() {
+            let old = std::mem::take(&mut self.rows);
+            self.rows = Vec::with_capacity(old.len() + extra.len());
+            let (mut a, mut b) = (old.into_iter().peekable(), extra.into_iter().peekable());
+            while let (Some(x), Some(y)) = (a.peek(), b.peek()) {
+                match x.cmp(y) {
+                    std::cmp::Ordering::Less => self.rows.push(a.next().unwrap()),
+                    std::cmp::Ordering::Greater => self.rows.push(b.next().unwrap()),
+                    std::cmp::Ordering::Equal => {
+                        self.rows.push(a.next().unwrap());
+                        b.next();
+                    }
+                }
+            }
+            self.rows.extend(a);
+            self.rows.extend(b);
+        }
+        self.sorted_on = self.canonical_sorted_on();
+    }
+
     /// Normalized copy.
     pub fn normalized(&self) -> NestedRelation {
         let mut c = self.clone();

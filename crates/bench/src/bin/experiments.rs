@@ -57,6 +57,16 @@
 //! CI-enforced. Results land in `BENCH_PR6.json`; `BENCH_PR5.json` stays
 //! for trajectory.
 //!
+//! `bench-pr7` measures epoch-based incremental view maintenance: for
+//! churn fractions 1%/10%/50% it streams `smv_datagen::pr7` update
+//! batches into an `EpochCatalog` and times the delta-maintenance path
+//! (`apply`: ID kill sets + restricted re-evaluation + publish) against
+//! a from-scratch rebuild of every view at the same document state. A
+//! `maintenance_equivalent` flag (every maintained extent byte-equal to
+//! its rebuilt oracle, every round) is CI-asserted; the headline is the
+//! per-churn `speedup` (delta is expected ≥5x at ≤10% churn). Results
+//! land in `BENCH_PR7.json`.
+//!
 //! `bench-pr3` exercises the PR 3 view advisor: it advises on the
 //! weighted `smv_datagen::pr3` XMark workload under a storage budget (90%
 //! of the all-singleton estimate), materializes the chosen set, and
@@ -97,6 +107,7 @@ fn main() {
         "bench-pr4" => bench_pr4(scale, &out.unwrap_or_else(|| "BENCH_PR4.json".into())),
         "bench-pr5" => bench_pr5(scale, &out.unwrap_or_else(|| "BENCH_PR5.json".into())),
         "bench-pr6" => bench_pr6(scale, &out.unwrap_or_else(|| "BENCH_PR6.json".into())),
+        "bench-pr7" => bench_pr7(scale, &out.unwrap_or_else(|| "BENCH_PR7.json".into())),
         "all" => {
             table1(scale);
             fig13();
@@ -105,7 +116,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use table1|fig13|fig14|fig15|bench-pr1|bench-pr2|bench-pr3|bench-pr4|bench-pr5|bench-pr6|all"
+                "unknown experiment `{other}`; use table1|fig13|fig14|fig15|bench-pr1|bench-pr2|bench-pr3|bench-pr4|bench-pr5|bench-pr6|bench-pr7|all"
             );
             std::process::exit(2);
         }
@@ -315,6 +326,94 @@ fn bench_pr6(scale: f64, out: &str) {
     let json = format!(
         "{{\n  \"pr\": 6,\n  \"doc_nodes\": {},\n  \"host_cores\": {host_cores},\n  \"samples\": {samples},\n  \"pool_dispatch_ns\": {pool_dispatch_ns},\n  \"scope_spawn_ns\": {scope_spawn_ns},\n  \"pool_cheaper_than_spawn\": {pool_cheaper_than_spawn},\n  \"dispatch_overhead_ok\": {dispatch_overhead_ok},\n  \"parallel_equivalent\": {parallel_equivalent},\n  \"ancestor_join_speedup_4t\": {speedup_4t_ancestor:.3},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         doc.len(),
+        lines.join(",\n"),
+    );
+    std::fs::write(out, json).expect("write bench json");
+    println!("wrote {out}");
+}
+
+/// PR 7 incremental-maintenance benchmark → `BENCH_PR7.json`.
+fn bench_pr7(scale: f64, out: &str) {
+    use smv_algebra::ViewProvider;
+    use smv_datagen::{pr7_document, pr7_views, Pr7Stream};
+    use smv_views::{refresh_class, EpochCatalog, RefreshClass, RefreshPolicy, ViewStore};
+    use smv_xml::IdScheme;
+
+    println!("== PR 7: epoch-versioned catalog, delta maintenance vs full rebuild ==");
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let churns = [0.01f64, 0.1, 0.5];
+    let rounds = 7usize;
+    let mut maintenance_equivalent = true;
+    let mut low_churn_speedup_ok = true;
+    let mut lines: Vec<String> = Vec::new();
+    let mut doc_nodes = 0usize;
+    for &churn in &churns {
+        // fresh store + fresh deterministic stream per churn level, so
+        // levels don't contaminate each other's document state. The
+        // delta-vs-rebuild comparison registers the workload's
+        // incremental-class views: a Rebuild-class view re-materializes
+        // in full on both sides, adding one identical constant that only
+        // obscures the quantity under test.
+        let mut epochs = EpochCatalog::new(pr7_document(scale, 42), IdScheme::OrdPath);
+        doc_nodes = epochs.live().doc().len();
+        for v in pr7_views(IdScheme::OrdPath)
+            .into_iter()
+            .filter(|v| refresh_class(&v.pattern) == RefreshClass::Incremental)
+        {
+            epochs.add_view(v, RefreshPolicy::Eager);
+        }
+        let mut stream = Pr7Stream::new(7);
+        // `apply` moves the document state under the timer, so each
+        // round is timed once and the medians are taken across rounds
+        // (unlike the repeat-sampling benches above). Maintenance cost
+        // is the report's own `maintain_ns`: document ingestion
+        // (`ingest_ns`) is a cost any strategy — delta or rebuild —
+        // pays before view work, and is reported separately.
+        let (mut delta_ns, mut ingest_ns, mut rebuild_ns, mut ops) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for _ in 0..rounds {
+            let batch = stream.next_batch(epochs.live(), churn);
+            ops.push(batch.len() as u64);
+            let report = epochs.apply(&batch).expect("stream batches apply");
+            delta_ns.push(report.maintain_ns);
+            ingest_ns.push(report.ingest_ns);
+            let t = Instant::now();
+            let oracle = epochs.rebuild_from_scratch();
+            rebuild_ns.push(t.elapsed().as_nanos() as u64);
+            let snap = epochs.snapshot();
+            for v in snap.views() {
+                maintenance_equivalent &= snap.extent(&v.name).map(|e| &e.rows)
+                    == oracle.extent(&v.name).map(|e| &e.rows);
+            }
+        }
+        let median = |v: &mut Vec<u64>| {
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        let (d, g, r, o) = (
+            median(&mut delta_ns),
+            median(&mut ingest_ns),
+            median(&mut rebuild_ns),
+            median(&mut ops),
+        );
+        let speedup = r as f64 / d.max(1) as f64;
+        if churn <= 0.1 {
+            low_churn_speedup_ok &= speedup >= 5.0;
+        }
+        println!(
+            "churn {:>4.0}% ops/batch={o:>4} delta={d:>10}ns (+ingest {g:>9}ns) rebuild={r:>10}ns speedup={speedup:.2}x",
+            churn * 100.0
+        );
+        lines.push(format!(
+            "    {{\"churn\": {churn}, \"batch_ops\": {o}, \"delta_ns\": {d}, \"ingest_ns\": {g}, \"rebuild_ns\": {r}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+    println!(
+        "delta-maintained extents byte-equal to from-scratch rebuild every round: \
+         {maintenance_equivalent}; >=5x at <=10% churn: {low_churn_speedup_ok}"
+    );
+    let json = format!(
+        "{{\n  \"pr\": 7,\n  \"doc_nodes\": {doc_nodes},\n  \"host_cores\": {host_cores},\n  \"rounds\": {rounds},\n  \"maintenance_equivalent\": {maintenance_equivalent},\n  \"low_churn_speedup_ok\": {low_churn_speedup_ok},\n  \"churns\": [\n{}\n  ]\n}}\n",
         lines.join(",\n"),
     );
     std::fs::write(out, json).expect("write bench json");

@@ -16,6 +16,7 @@ pub mod dblp;
 pub mod pr2;
 pub mod pr3;
 pub mod pr4;
+pub mod pr7;
 pub mod queries;
 pub mod synthetic;
 pub mod views;
@@ -25,6 +26,7 @@ pub use dblp::{dblp, DblpSnapshot};
 pub use pr2::{pr2_workload, Pr2Case};
 pub use pr3::{pr3_workload, Pr3Query};
 pub use pr4::{pr4_workload, Pr4Query, Pr4Workload};
+pub use pr7::{pr7_document, pr7_views, Pr7Stream};
 pub use queries::xmark_query_patterns;
 pub use synthetic::{random_patterns, SynthConfig};
 pub use views::{random_views, seed_views, ViewGenConfig};

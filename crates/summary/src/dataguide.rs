@@ -958,6 +958,351 @@ impl Summary {
     pub fn document_count(&self) -> usize {
         self.docs
     }
+
+    // ---- incremental maintenance (live document updates) ----
+    //
+    // The methods below keep a summary exact while its document changes
+    // in place, instead of re-summarizing from scratch. They are the
+    // smv-summary half of epoch maintenance (see smv-views): counts,
+    // value counts and interior fan-out statistics update additively /
+    // subtractively; distinct sketches — which cannot subtract — are
+    // rebuilt per dirty path from the surviving values. Summary paths
+    // are **append-only**: a path whose count drops to zero keeps its
+    // node, so summary `NodeId`s (which shard partitions and classify
+    // maps key on) stay stable across maintenance. This trades a little
+    // precision (a dead path admits more documents, which is sound for
+    // containment — conformance is a ⊆ check) for never invalidating a
+    // partition that didn't structurally change.
+
+    /// A token-preserving copy: same instance id, same geometry
+    /// generation, so [`Summary::geometry_token`] of the snapshot equals
+    /// the original's *at this moment*. Used by the epoch catalog to
+    /// freeze per-epoch statistics: the live summary keeps mutating (and
+    /// bumps its generation on any structural change), while the
+    /// snapshot stays comparable to partitions stamped before the
+    /// mutation. Contrast [`Clone`], which deliberately severs the
+    /// lineage with a fresh id.
+    pub fn snapshot(&self) -> Summary {
+        Summary {
+            nodes: self.nodes.clone(),
+            docs: self.docs,
+            id: self.id,
+            geometry_gen: self.geometry_gen,
+        }
+    }
+
+    /// Folds the subtree of `doc` rooted at `root` into the summary,
+    /// hanging the root's path under the existing path `under` (the
+    /// summary node of the root's *parent* in `doc`). Node counts, value
+    /// counts, distinct sketches and **interior** fan-out statistics
+    /// (`parents_with` for edges whose parent node lies inside the
+    /// subtree) update exactly; the boundary edge — whether `root`'s
+    /// document parent newly gained a child on the root's path — is the
+    /// caller's to settle via [`Summary::adjust_parents_with`], because
+    /// only the caller can see the before/after child sets of the
+    /// parent.
+    ///
+    /// Returns `true` when the subtree introduced paths the summary had
+    /// never seen (the geometry generation is bumped and pre-order ranks
+    /// recomputed).
+    pub fn graft_subtree(&mut self, doc: &Document, root: NodeId, under: NodeId) -> bool {
+        let mut created = false;
+        // map for the grafted subtree only, keyed by arena index
+        let mut sub2sum: HashMap<u32, NodeId> = HashMap::new();
+        for dn in doc.subtree(root) {
+            let sp = if dn == root {
+                under
+            } else {
+                sub2sum[&doc.parent(dn).expect("subtree interior").0]
+            };
+            let label = doc.label(dn);
+            let sn = match self
+                .children(sp)
+                .iter()
+                .copied()
+                .find(|&c| self.label(c) == label)
+            {
+                Some(c) => c,
+                None => {
+                    created = true;
+                    let c = NodeId(self.nodes.len() as u32);
+                    self.nodes.push(SNode {
+                        label,
+                        parent: Some(sp),
+                        children: Vec::new(),
+                        pre: 0,
+                        last_desc: 0,
+                        depth: self.nodes[sp.idx()].depth + 1,
+                        count: 0,
+                        parents_with: 0,
+                        values: 0,
+                        distinct: ValueSketch::default(),
+                        strong: false,
+                        one_to_one: false,
+                    });
+                    self.nodes[sp.idx()].children.push(c);
+                    c
+                }
+            };
+            sub2sum.insert(dn.0, sn);
+            self.nodes[sn.idx()].count += 1;
+            if let Some(v) = doc.value(dn) {
+                self.nodes[sn.idx()].values += 1;
+                self.nodes[sn.idx()].distinct.insert(v);
+            }
+        }
+        // interior fan-out: every subtree node is brand new, so it "has a
+        // child on path sc" for each distinct child path exactly once
+        for dn in doc.subtree(root) {
+            let mut seen: Vec<NodeId> = Vec::new();
+            for &c in doc.children(dn) {
+                if c.0 > doc.last_descendant(root).0 || c.0 < root.0 {
+                    continue; // outside the graft (cannot happen for a subtree)
+                }
+                let sc = sub2sum[&c.0];
+                if !seen.contains(&sc) {
+                    seen.push(sc);
+                    self.nodes[sc.idx()].parents_with += 1;
+                }
+            }
+        }
+        if created {
+            self.recompute_order();
+            self.geometry_gen += 1;
+        }
+        created
+    }
+
+    /// Subtracts the subtree of `doc` (a *previous* document version)
+    /// rooted at `root` from the summary. `map` is a classify map of
+    /// that document version against this summary
+    /// ([`Summary::classify`]); paths stay in place even at count zero.
+    /// Interior fan-out statistics subtract exactly (a dying node "had a
+    /// child on path sc" exactly once per distinct child path); the
+    /// boundary edge is again the caller's, via
+    /// [`Summary::adjust_parents_with`].
+    ///
+    /// Distinct-value sketches cannot subtract; instead the summary
+    /// paths that lost valued nodes are returned (deduplicated) so the
+    /// caller can re-derive them from the surviving document with
+    /// [`Summary::rebuild_path_values`].
+    pub fn prune_subtree(&mut self, doc: &Document, map: &[NodeId], root: NodeId) -> Vec<NodeId> {
+        let mut dirty: Vec<NodeId> = Vec::new();
+        for dn in doc.subtree(root) {
+            let sn = map[dn.idx()];
+            let node = &mut self.nodes[sn.idx()];
+            debug_assert!(node.count > 0, "pruning below zero on {sn:?}");
+            node.count -= 1;
+            if doc.value(dn).is_some() {
+                node.values -= 1;
+                if !dirty.contains(&sn) {
+                    dirty.push(sn);
+                }
+            }
+            let mut seen: Vec<NodeId> = Vec::new();
+            for &c in doc.children(dn) {
+                let sc = map[c.idx()];
+                if !seen.contains(&sc) {
+                    seen.push(sc);
+                    self.nodes[sc.idx()].parents_with -= 1;
+                }
+            }
+        }
+        dirty
+    }
+
+    /// Adjusts the `parents_with` statistic of `path` by `delta` — the
+    /// boundary bookkeeping for [`Summary::graft_subtree`] /
+    /// [`Summary::prune_subtree`]: +1 when a surviving parent gained its
+    /// first child on `path`, −1 when it lost its last, 0 when it had
+    /// children on the path both before and after the batch.
+    pub fn adjust_parents_with(&mut self, path: NodeId, delta: i64) {
+        let n = &mut self.nodes[path.idx()];
+        n.parents_with = n
+            .parents_with
+            .checked_add_signed(delta)
+            .expect("parents_with underflow");
+    }
+
+    /// Rebuilds the distinct-value sketch (and re-derives the valued-node
+    /// count) of each path in `dirty` from the current document — the
+    /// exact-subtraction escape hatch for deletions: while a sketch is
+    /// unsaturated this reproduces precisely what from-scratch ingest of
+    /// `doc` would hold for that path.
+    pub fn rebuild_path_values(&mut self, dirty: &[NodeId], doc: &Document) {
+        if dirty.is_empty() {
+            return;
+        }
+        let map = self
+            .classify(doc)
+            .expect("maintained document conforms to its summary");
+        self.rebuild_path_values_classified(dirty, doc, &map);
+    }
+
+    /// [`Self::rebuild_path_values`] against a precomputed classification
+    /// of `doc` (`map[node] = summary path`).
+    pub fn rebuild_path_values_classified(
+        &mut self,
+        dirty: &[NodeId],
+        doc: &Document,
+        map: &[NodeId],
+    ) {
+        let mut is_dirty = vec![false; self.nodes.len()];
+        for &p in dirty {
+            self.nodes[p.idx()].distinct = ValueSketch::default();
+            self.nodes[p.idx()].values = 0;
+            is_dirty[p.idx()] = true;
+        }
+        for dn in doc.iter() {
+            let sn = map[dn.idx()];
+            if !is_dirty[sn.idx()] {
+                continue;
+            }
+            if let Some(v) = doc.value(dn) {
+                self.nodes[sn.idx()].values += 1;
+                self.nodes[sn.idx()].distinct.insert(v);
+            }
+        }
+    }
+
+    /// Recomputes the strong / one-to-one edge classes from the current
+    /// counts. Call once after a round of maintenance deltas (the delta
+    /// methods leave classes untouched so a batch pays the O(|S|) sweep
+    /// once, not per operation).
+    pub fn refresh_stats(&mut self) {
+        self.refresh_edge_classes();
+    }
+
+    /// Maintains this summary across one applied live-document batch
+    /// ([`smv_xml::LiveDoc::apply`]): prunes deleted subtrees, grafts
+    /// inserted fragments, settles the boundary fan-out deltas from the
+    /// parents' before/after child sets, rebuilds dirty value sketches
+    /// from the surviving document, and refreshes edge classes. Returns
+    /// `true` when the batch introduced new paths (geometry changed, so
+    /// anything stamped with the old [`Summary::geometry_token`] is now
+    /// stale).
+    ///
+    /// Statistics come out exactly as additive arithmetic dictates:
+    /// counts, value counts, fan-outs and unsaturated distinct sets all
+    /// equal what from-scratch summarization of `new_doc` yields on the
+    /// paths `new_doc` still uses. The one deliberate difference is that
+    /// paths are append-only — a path whose last node died keeps its
+    /// summary node at count zero, preserving summary `NodeId` stability
+    /// for everything keyed on it.
+    pub fn apply_update(&mut self, applied: &smv_xml::AppliedBatch, new_doc: &Document) -> bool {
+        let old_map = self
+            .classify(&applied.old_doc)
+            .expect("the maintained document conforms to its summary");
+        self.apply_update_with(applied, new_doc, &old_map).0
+    }
+
+    /// [`Self::apply_update`] with the pre-update document's
+    /// classification supplied by the caller — maintainers that keep the
+    /// live document's classification across batches (e.g. to derive
+    /// shard-pruning intervals for deletions) skip an O(doc) pass. Hands
+    /// back the post-update classification of `new_doc`, derived
+    /// incrementally rather than re-searched: paths are append-only, so
+    /// surviving nodes keep their summary nodes, and only inserted
+    /// subtrees classify against the freshly grafted geometry. The
+    /// returned map is taken after all prune/graft geometry changes and
+    /// stays valid afterwards — callers can cache it for the next batch
+    /// and re-shard extents against the updated summary with it.
+    pub fn apply_update_with(
+        &mut self,
+        applied: &smv_xml::AppliedBatch,
+        new_doc: &Document,
+        old_map: &[NodeId],
+    ) -> (bool, Vec<NodeId>) {
+        let old_doc = &applied.old_doc;
+        let mut new_to_old: Vec<Option<NodeId>> = vec![None; new_doc.len()];
+        for (o, n) in applied.old_to_new.iter().enumerate() {
+            if let Some(n) = n {
+                new_to_old[n.idx()] = Some(NodeId(o as u32));
+            }
+        }
+        let mut dirty: Vec<NodeId> = Vec::new();
+        for &r in &applied.deleted_roots {
+            for p in self.prune_subtree(old_doc, old_map, r) {
+                if !dirty.contains(&p) {
+                    dirty.push(p);
+                }
+            }
+        }
+        let mut created = false;
+        for &r in &applied.inserted_roots {
+            let p_new = new_doc.parent(r).expect("fragment root has a parent");
+            let p_old = new_to_old[p_new.idx()].expect("insert parents survive");
+            created |= self.graft_subtree(new_doc, r, old_map[p_old.idx()]);
+        }
+        // boundary fan-out: for every (surviving parent, child label)
+        // touched by the batch, compare had-a-child before vs after
+        let mut touched: Vec<(NodeId, Label)> = Vec::new();
+        for &r in &applied.deleted_roots {
+            let p_old = old_doc.parent(r).expect("cover roots keep their parent");
+            let pair = (p_old, old_doc.label(r));
+            if !touched.contains(&pair) {
+                touched.push(pair);
+            }
+        }
+        for &r in &applied.inserted_roots {
+            let p_new = new_doc.parent(r).expect("fragment root has a parent");
+            let p_old = new_to_old[p_new.idx()].expect("insert parents survive");
+            let pair = (p_old, new_doc.label(r));
+            if !touched.contains(&pair) {
+                touched.push(pair);
+            }
+        }
+        for (p_old, label) in touched {
+            let before = old_doc
+                .children(p_old)
+                .iter()
+                .any(|&c| old_doc.label(c) == label);
+            let p_new = applied.old_to_new[p_old.idx()].expect("parent survives");
+            let after = new_doc
+                .children(p_new)
+                .iter()
+                .any(|&c| new_doc.label(c) == label);
+            if before != after {
+                let q = self
+                    .children(old_map[p_old.idx()])
+                    .iter()
+                    .copied()
+                    .find(|&c| self.label(c) == label)
+                    .expect("touched path exists after prune/graft");
+                self.adjust_parents_with(q, if after { 1 } else { -1 });
+            }
+        }
+        // post-update classification, derived incrementally: survivors
+        // keep their summary node (paths are append-only), and inserted
+        // subtrees classify top-down — pre-order guarantees a node's
+        // parent is mapped first, and fragment roots hang under survivors
+        let mut new_map = vec![NodeId(0); new_doc.len()];
+        for (o, n) in applied.old_to_new.iter().enumerate() {
+            if let Some(n) = n {
+                new_map[n.idx()] = old_map[o];
+            }
+        }
+        for &r in &applied.inserted_roots {
+            for dn in (r.0..=new_doc.last_descendant(r).0).map(NodeId) {
+                let sp = new_map[new_doc
+                    .parent(dn)
+                    .expect("inserted nodes have parents")
+                    .idx()];
+                let label = new_doc.label(dn);
+                new_map[dn.idx()] = self
+                    .children(sp)
+                    .iter()
+                    .copied()
+                    .find(|&c| self.label(c) == label)
+                    .expect("grafted path exists");
+            }
+        }
+        if !dirty.is_empty() {
+            self.rebuild_path_values_classified(&dirty, new_doc, &new_map);
+        }
+        self.refresh_edge_classes();
+        (created, new_map)
+    }
 }
 
 impl LabeledTree for Summary {

@@ -1,0 +1,162 @@
+//! Incremental summary maintenance equals from-scratch summarization.
+
+use smv_summary::Summary;
+use smv_xml::{Document, IdScheme, LiveDoc, StructId, UpdateBatch};
+
+/// Asserts the maintained summary agrees with `Summary::of(new_doc)` on
+/// every path the new document still uses: counts, value counts,
+/// distinct values, fan-outs and edge classes. (The maintained summary
+/// may additionally hold dead paths at count zero — append-only by
+/// design.)
+fn assert_stats_match(maintained: &Summary, doc: &Document) {
+    let fresh = Summary::of(doc);
+    for n in fresh.iter() {
+        let path = fresh.path_string(n);
+        let m = maintained
+            .node_by_path(&path)
+            .unwrap_or_else(|| panic!("maintained summary lost path {path}"));
+        assert_eq!(maintained.count(m), fresh.count(n), "count at {path}");
+        assert_eq!(
+            maintained.value_count(m),
+            fresh.value_count(n),
+            "values at {path}"
+        );
+        assert_eq!(
+            maintained.distinct_values(m),
+            fresh.distinct_values(n),
+            "distinct at {path}"
+        );
+        assert_eq!(
+            maintained.is_strong_edge(m),
+            fresh.is_strong_edge(n),
+            "strong at {path}"
+        );
+        assert_eq!(
+            maintained.is_one_to_one_edge(m),
+            fresh.is_one_to_one_edge(n),
+            "one-to-one at {path}"
+        );
+        assert!(
+            (maintained.avg_fanout(m) - fresh.avg_fanout(n)).abs() < 1e-12,
+            "fanout at {path}"
+        );
+    }
+    // dead paths carry no mass
+    for n in maintained.iter() {
+        if fresh.node_by_path(&maintained.path_string(n)).is_none() {
+            assert_eq!(maintained.count(n), 0, "live path missing from fresh");
+        }
+    }
+}
+
+fn id_by_path(live: &LiveDoc, path: &[&str]) -> StructId {
+    let mut n = live.doc().root();
+    for step in path {
+        n = *live
+            .doc()
+            .children(n)
+            .iter()
+            .find(|&&c| live.doc().label(c).as_str() == *step)
+            .unwrap_or_else(|| panic!("no child {step}"));
+    }
+    live.ids().id(n).clone()
+}
+
+#[test]
+fn insert_maintains_stats_exactly() {
+    let mut live = LiveDoc::new(
+        Document::from_parens(r#"r(a(b="1" c) a(b="2" c))"#),
+        IdScheme::OrdPath,
+    );
+    let mut s = Summary::of(live.doc());
+    let a0 = id_by_path(&live, &["a"]);
+    let mut batch = UpdateBatch::new();
+    // grows an existing path (b), adds a new path (d/e), revisits c
+    batch.insert(a0, Document::from_parens(r#"d(e="9")"#));
+    batch.insert(
+        live.ids().id(live.doc().root()).clone(),
+        Document::from_parens(r#"a(b="3" c)"#),
+    );
+    let applied = live.apply(&batch).unwrap();
+    let created = s.apply_update(&applied, live.doc());
+    assert!(created, "d/e are new paths");
+    assert_stats_match(&s, live.doc());
+}
+
+#[test]
+fn delete_maintains_stats_and_keeps_dead_paths() {
+    let mut live = LiveDoc::new(
+        Document::from_parens(r#"r(a(b="1" c(d="7")) a(b="2" c(d="8")) a(b="2"))"#),
+        IdScheme::Dewey,
+    );
+    let mut s = Summary::of(live.doc());
+    let token_before = s.geometry_token();
+    // delete both c subtrees: path /r/a/c/d dies entirely
+    let mut batch = UpdateBatch::new();
+    for n in live.doc().iter() {
+        if live.doc().label(n).as_str() == "c" {
+            batch.delete(live.ids().id(n).clone());
+        }
+    }
+    let applied = live.apply(&batch).unwrap();
+    let created = s.apply_update(&applied, live.doc());
+    assert!(!created, "deletions never create paths");
+    assert_eq!(
+        s.geometry_token(),
+        token_before,
+        "count-only maintenance must not invalidate the geometry"
+    );
+    assert_stats_match(&s, live.doc());
+    let dead = s
+        .node_by_path("/r/a/c/d")
+        .expect("path survives at count 0");
+    assert_eq!(s.count(dead), 0);
+}
+
+#[test]
+fn mixed_batches_match_from_scratch_across_schemes() {
+    for scheme in [IdScheme::OrdPath, IdScheme::Dewey, IdScheme::Sequential] {
+        let mut live = LiveDoc::new(
+            Document::from_parens(r#"r(a(b="1" b="1" c) a(b="2" c) x(y="5"))"#),
+            scheme,
+        );
+        let mut s = Summary::of(live.doc());
+        // batch 1: delete one b (a value duplicated elsewhere), insert under x
+        let b0 = id_by_path(&live, &["a", "b"]);
+        let x = id_by_path(&live, &["x"]);
+        let mut batch = UpdateBatch::new();
+        batch.delete(b0);
+        batch.insert(x.clone(), Document::from_parens(r#"y="6""#));
+        let applied = live.apply(&batch).unwrap();
+        s.apply_update(&applied, live.doc());
+        assert_stats_match(&s, live.doc());
+        // batch 2: modify = delete + insert under the same parent
+        let y = id_by_path(&live, &["x", "y"]);
+        let mut batch = UpdateBatch::new();
+        batch.delete(y);
+        batch.insert(x, Document::from_parens(r#"y="7""#));
+        let applied = live.apply(&batch).unwrap();
+        s.apply_update(&applied, live.doc());
+        assert_stats_match(&s, live.doc());
+    }
+}
+
+#[test]
+fn snapshot_preserves_token_and_freezes_stats() {
+    let mut live = LiveDoc::new(
+        Document::from_parens(r#"r(a="1" a="2")"#),
+        IdScheme::OrdPath,
+    );
+    let mut s = Summary::of(live.doc());
+    let snap = s.snapshot();
+    assert_eq!(snap.geometry_token(), s.geometry_token());
+    // maintenance that creates a path bumps the live token, not the snapshot
+    let r = live.ids().id(live.doc().root()).clone();
+    let mut batch = UpdateBatch::new();
+    batch.insert(r, Document::from_parens("z"));
+    let applied = live.apply(&batch).unwrap();
+    assert!(s.apply_update(&applied, live.doc()));
+    assert_ne!(snap.geometry_token(), s.geometry_token());
+    let a = snap.node_by_path("/r/a").unwrap();
+    assert_eq!(snap.count(a), 2, "snapshot stats frozen");
+}

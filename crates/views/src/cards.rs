@@ -11,7 +11,7 @@
 //! Both annotate every scan column with its candidate summary paths via
 //! [`col_cards`], mirroring the [`schema_of`] column layout.
 
-use crate::catalog::{Catalog, View};
+use crate::catalog::{Catalog, View, ViewStore};
 use crate::materialize::schema_of;
 use smv_algebra::{CardSource, ColCard, ScanCard};
 use smv_pattern::{associated_paths, PNodeId, Pattern};
@@ -174,24 +174,31 @@ pub fn estimate_extent_bytes(p: &Pattern, s: &Summary) -> f64 {
     estimate_extent_rows(&p.unnest_copy(), s) * row_width(p)
 }
 
-/// [`CardSource`] over a materialized catalog: actual extent sizes plus
-/// definition-derived column paths.
+/// [`CardSource`] over a materialized view store: actual extent sizes
+/// plus definition-derived column paths. Works over the mutable
+/// [`Catalog`] and over epoch snapshots ([`crate::CatalogEpoch`]) alike
+/// — anything implementing [`ViewStore`].
 pub struct CatalogCards<'a> {
-    catalog: &'a Catalog,
+    store: &'a dyn ViewStore,
     summary: &'a Summary,
 }
 
 impl<'a> CatalogCards<'a> {
     /// Builds a source over `catalog` under `summary`.
     pub fn new(catalog: &'a Catalog, summary: &'a Summary) -> CatalogCards<'a> {
-        CatalogCards { catalog, summary }
+        CatalogCards::over(catalog, summary)
+    }
+
+    /// Builds a source over any [`ViewStore`] under `summary`.
+    pub fn over(store: &'a dyn ViewStore, summary: &'a Summary) -> CatalogCards<'a> {
+        CatalogCards { store, summary }
     }
 }
 
 impl CardSource for CatalogCards<'_> {
     fn scan_card(&self, view: &str) -> Option<ScanCard> {
-        let v = self.catalog.view(view)?;
-        let rows = self.catalog.extent_rows(view)? as f64;
+        let v = self.store.view(view)?;
+        let rows = self.store.extent_rows(view)? as f64;
         Some(ScanCard {
             rows,
             cols: col_cards(&v.pattern, self.summary),

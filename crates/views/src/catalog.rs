@@ -55,11 +55,21 @@ impl Catalog {
     /// Registers a view and materializes it over `doc`.
     pub fn add(&mut self, view: View, doc: &Document) {
         let extent = materialize(&view.pattern, doc, view.scheme);
-        // a replaced extent invalidates any partition built for the old
-        // one (its row indices would dangle into the new extent)
-        self.shards.remove(&view.name);
+        self.retire_view_state(&view.name);
         self.extents.insert(view.name.clone(), extent);
         self.views.push(view);
+    }
+
+    /// Drops every piece of per-registration state a previous view of
+    /// this name left behind: its definition entry, extent, and shard
+    /// partition. Every registration path funnels through this before
+    /// inserting, so a re-registered name can neither resolve to a stale
+    /// definition (`view()` returns the first name match) nor leave a
+    /// partition whose row indices dangle into the replaced extent.
+    fn retire_view_state(&mut self, name: &str) {
+        self.views.retain(|v| v.name != name);
+        self.extents.remove(name);
+        self.shards.remove(name);
     }
 
     /// Registers a view, materializes it over `doc`, and partitions the
@@ -98,15 +108,10 @@ impl Catalog {
     pub fn add_sharded(&mut self, view: View, doc: &Document, summary: &Summary) {
         let mut extent = materialize(&view.pattern, doc, view.scheme);
         extent.normalize();
-        match shard_extent(&extent, doc, view.scheme, summary) {
-            Some(partition) => {
-                self.shards.insert(view.name.clone(), partition);
-            }
-            // also drops any partition left by a previous registration
-            // of this name (it would index the replaced extent)
-            None => {
-                self.shards.remove(&view.name);
-            }
+        let partition = shard_extent(&extent, doc, view.scheme, summary);
+        self.retire_view_state(&view.name);
+        if let Some(partition) = partition {
+            self.shards.insert(view.name.clone(), partition);
         }
         self.extents.insert(view.name.clone(), extent);
         self.views.push(view);
@@ -134,13 +139,9 @@ impl Catalog {
             (extent, partition)
         });
         for (view, (extent, partition)) in views.into_iter().zip(built) {
-            match partition {
-                Some(p) => {
-                    self.shards.insert(view.name.clone(), p);
-                }
-                None => {
-                    self.shards.remove(&view.name);
-                }
+            self.retire_view_state(&view.name);
+            if let Some(p) = partition {
+                self.shards.insert(view.name.clone(), p);
             }
             self.extents.insert(view.name.clone(), extent);
             self.views.push(view);
@@ -149,8 +150,7 @@ impl Catalog {
 
     /// Registers a view with a precomputed extent (tests / remote stores).
     pub fn add_with_extent(&mut self, view: View, extent: NestedRelation) {
-        // a replaced extent invalidates any partition built for the old one
-        self.shards.remove(&view.name);
+        self.retire_view_state(&view.name);
         self.extents.insert(view.name.clone(), extent);
         self.views.push(view);
     }
@@ -223,6 +223,32 @@ impl Catalog {
     }
 }
 
+/// Read access to view definitions and extent sizes — the surface
+/// cardinality estimation needs, abstracted over the mutable [`Catalog`]
+/// and the immutable per-epoch snapshots of [`crate::epoch`].
+pub trait ViewStore {
+    /// All view definitions, in registration order.
+    fn views(&self) -> &[View];
+
+    /// Definition lookup by name.
+    fn view(&self, name: &str) -> Option<&View> {
+        self.views().iter().find(|v| v.name == name)
+    }
+
+    /// Row count of a materialized extent.
+    fn extent_rows(&self, name: &str) -> Option<usize>;
+}
+
+impl ViewStore for Catalog {
+    fn views(&self) -> &[View] {
+        Catalog::views(self)
+    }
+
+    fn extent_rows(&self, name: &str) -> Option<usize> {
+        Catalog::extent_rows(self, name)
+    }
+}
+
 /// Partitions a **normalized** extent's rows by the summary path of the
 /// first-column ID. Returns `None` — no partition, executor falls back
 /// to chunking — when the first column is not an ID column, the
@@ -234,20 +260,52 @@ fn shard_extent(
     scheme: IdScheme,
     summary: &Summary,
 ) -> Option<ShardPartition> {
+    shard_extent_with(extent, doc, &IdAssignment::assign(doc, scheme), summary)
+}
+
+/// [`shard_extent`] against an explicit ID assignment — required for live
+/// documents, whose maintained IDs diverge from a fresh positional
+/// assignment after the first update batch.
+pub(crate) fn shard_extent_with(
+    extent: &NestedRelation,
+    doc: &Document,
+    ids: &IdAssignment,
+    summary: &Summary,
+) -> Option<ShardPartition> {
+    match extent.schema.cols.first() {
+        Some(c) if c.kind == ColKind::Atom(AttrKind::Id) => {}
+        _ => return None,
+    }
+    let classes = summary.classify(doc)?;
+    let id_to_node: HashMap<&StructId, NodeId> = doc.iter().map(|n| (ids.id(n), n)).collect();
+    shard_extent_classified(extent, &classes, &|id| id_to_node.get(id).copied(), summary)
+}
+
+/// [`shard_extent_with`] against a precomputed classification of the
+/// document and an ID index — the epoch store's form: `classes` falls
+/// out of summary maintenance and `node_of` is the live document's
+/// maintained ID index, so a re-shard costs O(extent rows) instead of
+/// O(document). An ID unknown to `node_of` aborts the partition (`None`),
+/// as does a first column that is not an ID column.
+pub(crate) fn shard_extent_classified(
+    extent: &NestedRelation,
+    classes: &[NodeId],
+    node_of: &dyn Fn(&StructId) -> Option<NodeId>,
+    summary: &Summary,
+) -> Option<ShardPartition> {
     match extent.schema.cols.first() {
         Some(c) if c.kind == ColKind::Atom(AttrKind::Id) => {}
         _ => return None,
     }
     debug_assert_eq!(extent.sorted_on, Some(0), "normalized id-first extent");
-    let classes = summary.classify(doc)?;
-    let ids = IdAssignment::assign(doc, scheme);
-    let id_to_path: HashMap<&StructId, NodeId> =
-        doc.iter().map(|n| (ids.id(n), classes[n.idx()])).collect();
     let mut by_path: HashMap<NodeId, Vec<usize>> = HashMap::new();
     let mut unclassified = Vec::new();
     for (i, row) in extent.rows.iter().enumerate() {
         match &row.cells[0] {
-            Cell::Id(id) => by_path.entry(*id_to_path.get(id)?).or_default().push(i),
+            Cell::Id(id) => by_path
+                .entry(classes[node_of(id)?.idx()])
+                .or_default()
+                .push(i),
             _ => unclassified.push(i),
         }
     }
@@ -411,6 +469,45 @@ mod tests {
             .unwrap();
             assert_eq!(seq.len(), 2, "the replaced extent is the one served");
             assert_eq!(seq.rows, par.rows);
+        }
+    }
+
+    #[test]
+    fn re_registering_a_view_replaces_its_definition_everywhere() {
+        let doc = Document::from_parens(r#"a(p(k="1") p(k="2"))"#);
+        let s = Summary::of(&doc);
+        let old = || {
+            View::new(
+                "v",
+                parse_pattern("a(//k{id,v})").unwrap(),
+                IdScheme::OrdPath,
+            )
+        };
+        let new = || View::new("v", parse_pattern("a(//p{id})").unwrap(), IdScheme::Dewey);
+        let pool = smv_xml::par::WorkerPool::new(2);
+        type Register<'a> = &'a dyn Fn(&mut Catalog, View);
+        let register: [Register; 4] = [
+            &|c, v| c.add(v, &doc),
+            &|c, v| c.add_sharded(v, &doc, &s),
+            &|c, v| c.add_sharded_batch(vec![v], &doc, &s, &pool),
+            &|c, v| {
+                let mut e = materialize(&v.pattern, &doc, v.scheme);
+                e.normalize();
+                c.add_with_extent(v, e);
+            },
+        ];
+        for reg in register {
+            let mut cat = Catalog::new();
+            cat.add_sharded(old(), &doc, &s);
+            reg(&mut cat, new());
+            assert_eq!(cat.len(), 1, "no duplicate definition entries");
+            let v = cat.view("v").expect("still registered");
+            assert_eq!(
+                (v.scheme, v.pattern.iter().count()),
+                (IdScheme::Dewey, new().pattern.iter().count()),
+                "lookup resolves to the new definition, not the stale one"
+            );
+            assert_eq!(cat.extent_rows("v"), Some(2), "extent is the new one");
         }
     }
 

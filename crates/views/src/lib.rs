@@ -7,12 +7,19 @@
 //! optional subtrees that did not bind.
 //!
 //! The [`Catalog`] holds view definitions and extents and serves as the
-//! `ViewProvider` plans execute against.
+//! `ViewProvider` plans execute against. The [`epoch`] module is its
+//! live-store counterpart: an [`EpochCatalog`] maintains extents under
+//! document update batches and publishes immutable [`CatalogEpoch`]
+//! snapshots for queries.
 
 pub mod cards;
 pub mod catalog;
+pub mod epoch;
 pub mod materialize;
 
 pub use cards::{col_cards, estimate_extent_bytes, estimate_extent_rows, CatalogCards, DefCards};
-pub use catalog::{Catalog, View};
-pub use materialize::{materialize, schema_of};
+pub use catalog::{Catalog, View, ViewStore};
+pub use epoch::{
+    refresh_class, CatalogEpoch, EpochCatalog, MaintenanceReport, RefreshClass, RefreshPolicy,
+};
+pub use materialize::{materialize, materialize_with, schema_of};

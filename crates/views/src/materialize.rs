@@ -89,28 +89,56 @@ fn width(p: &Pattern, n: PNodeId) -> usize {
 /// ```
 pub fn materialize(p: &Pattern, doc: &Document, scheme: IdScheme) -> NestedRelation {
     let ids = IdAssignment::assign(doc, scheme);
+    materialize_with(p, doc, &ids)
+}
+
+/// [`materialize`] against an explicit ID assignment instead of a fresh
+/// positional one — the form live stores use: a maintained document's
+/// IDs are carried across updates ([`smv_xml::LiveDoc`]), so re-assigning
+/// them positionally would sever extent rows from their node identity.
+pub fn materialize_with(p: &Pattern, doc: &Document, ids: &IdAssignment) -> NestedRelation {
     let matcher = Matcher::new(p, doc);
-    let schema = schema_of(p);
-    let mut rows = Vec::new();
-    for &x in matcher.candidates(p.root()) {
-        rows.extend(eval_node(p, p.root(), doc, &ids, &matcher, x));
-    }
-    let mut rel = NestedRelation::new(schema, rows);
+    let mut rel = NestedRelation::new(
+        schema_of(p),
+        eval_embeddings(p, doc, ids, &matcher, &|_, _| true),
+    );
     rel.normalize();
     rel
 }
 
-/// Rows (fragments) for the subtree rooted at pattern node `n` bound to
-/// document node `x`.
-fn eval_node(
+/// Raw (un-normalized) embedding rows of `p` over `doc`, with each
+/// pattern node's document-node candidates additionally filtered by
+/// `allowed`. With an always-true filter this is exactly the row set
+/// [`materialize_with`] normalizes; restricted filters are the delta
+/// evaluator's tool (smv-views epoch maintenance): pinning one pattern
+/// node to freshly inserted nodes (and its pattern-ancestors to the
+/// insertion spine) yields precisely the embeddings an update batch
+/// added.
+pub(crate) fn eval_embeddings(
+    p: &Pattern,
+    doc: &Document,
+    ids: &IdAssignment,
+    matcher: &Matcher<'_, '_, Document>,
+    allowed: &dyn Fn(PNodeId, NodeId) -> bool,
+) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &x in matcher.candidates(p.root()) {
+        if allowed(p.root(), x) {
+            rows.extend(eval_node(p, p.root(), doc, ids, matcher, x, allowed));
+        }
+    }
+    rows
+}
+
+/// The attribute cells pattern node `n` contributes when bound to
+/// document node `x`, in schema order (`ID`, `L`, `V`, `C`).
+pub(crate) fn own_cells(
     p: &Pattern,
     n: PNodeId,
     doc: &Document,
     ids: &IdAssignment,
-    matcher: &Matcher<'_, '_, Document>,
     x: NodeId,
-) -> Vec<Row> {
-    // own attribute cells
+) -> Vec<Cell> {
     let nd = p.node(n);
     let mut own = Vec::new();
     if nd.attrs.id {
@@ -129,20 +157,38 @@ fn eval_node(
     if nd.attrs.content {
         own.push(Cell::Content(serialize_subtree(doc, x)));
     }
-    let mut fragments: Vec<Vec<Cell>> = vec![own];
+    own
+}
+
+/// Rows (fragments) for the subtree rooted at pattern node `n` bound to
+/// document node `x`.
+#[allow(clippy::too_many_arguments)]
+fn eval_node(
+    p: &Pattern,
+    n: PNodeId,
+    doc: &Document,
+    ids: &IdAssignment,
+    matcher: &Matcher<'_, '_, Document>,
+    x: NodeId,
+    allowed: &dyn Fn(PNodeId, NodeId) -> bool,
+) -> Vec<Row> {
+    let mut fragments: Vec<Vec<Cell>> = vec![own_cells(p, n, doc, ids, x)];
     for &c in p.children(n) {
         let ys: Vec<NodeId> = matcher
             .candidates(c)
             .iter()
             .copied()
-            .filter(|&y| match p.node(c).axis {
-                Axis::Child => doc.is_parent(x, y),
-                Axis::Descendant => doc.is_ancestor(x, y),
+            .filter(|&y| {
+                allowed(c, y)
+                    && match p.node(c).axis {
+                        Axis::Child => doc.is_parent(x, y),
+                        Axis::Descendant => doc.is_ancestor(x, y),
+                    }
             })
             .collect();
         let mut sub_rows: Vec<Row> = Vec::new();
         for y in &ys {
-            sub_rows.extend(eval_node(p, c, doc, ids, matcher, *y));
+            sub_rows.extend(eval_node(p, c, doc, ids, matcher, *y, allowed));
         }
         if p.node(c).nested {
             // one table-valued cell per outer fragment (§4.5); empty table

@@ -457,9 +457,35 @@ impl IdAssignment {
         }
     }
 
+    /// Wraps an explicit per-node ID vector (document order). Used by the
+    /// live-update rebuild, which carries surviving IDs across re-ingest
+    /// instead of re-deriving them positionally.
+    pub fn from_ids(scheme: IdScheme, ids: Vec<StructId>) -> IdAssignment {
+        IdAssignment { scheme, ids }
+    }
+
     /// The scheme used.
     pub fn scheme(&self) -> IdScheme {
         self.scheme
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no nodes are covered.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Builds a hash index from ID to node for O(1) reverse lookup.
+    pub fn index(&self) -> std::collections::HashMap<StructId, NodeId> {
+        self.ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (id.clone(), NodeId(i as u32)))
+            .collect()
     }
 
     /// The ID of node `n`.

@@ -17,6 +17,7 @@
 
 pub mod ids;
 pub mod label;
+pub mod live;
 pub mod par;
 pub mod parser;
 pub mod tree;
@@ -26,6 +27,7 @@ pub mod writer;
 
 pub use ids::{DeweyId, IdAssignment, IdScheme, OrdPath, StructId};
 pub use label::{Label, Symbol};
+pub use live::{AppliedBatch, LiveDoc, LiveError, Update, UpdateBatch};
 pub use parser::{parse_document, ParseError};
 pub use tree::{Document, NodeId, TreeBuilder};
 pub use treelike::LabeledTree;

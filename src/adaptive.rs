@@ -14,12 +14,12 @@
 
 use smv_algebra::{
     execute_profiled_with, ExecError, ExecOpts, FeedbackCards, FeedbackStore, NestedRelation,
-    ParHints, Plan, PlanEstimate,
+    ParHints, Plan, PlanEstimate, ViewProvider,
 };
 use smv_core::{rewrite_with_feedback, RewriteOpts, RewriteResult};
 use smv_pattern::Pattern;
 use smv_summary::Summary;
-use smv_views::{Catalog, CatalogCards};
+use smv_views::{Catalog, CatalogCards, EpochCatalog, ViewStore};
 use std::sync::Arc;
 
 /// One execution of the adaptive loop.
@@ -63,11 +63,52 @@ pub struct AdaptiveRun {
 /// assert!(session.store().ingests() >= 1, "the profile was fed back");
 /// ```
 pub struct AdaptiveSession<'a> {
-    summary: &'a Summary,
-    catalog: &'a Catalog,
+    source: Source<'a>,
     opts: RewriteOpts,
     exec_opts: ExecOpts,
     store: FeedbackStore,
+    /// For epoch sources: the newest epoch whose maintenance reports
+    /// have been folded into the feedback store (as invalidations).
+    seen_epoch: u64,
+}
+
+/// The portable learned state of a session: its feedback store plus the
+/// epoch watermark of the maintenance reports already folded into it.
+///
+/// An epoch session borrows its [`EpochCatalog`] shared, so applying an
+/// update batch (which needs `&mut`) means ending the session first.
+/// [`AdaptiveSession::into_feedback`] and
+/// [`AdaptiveSession::over_epochs_resuming`] carry what was learned
+/// across that gap — the resumed session's first `run` invalidates the
+/// memos of every view maintained while it was detached, and keeps the
+/// rest.
+#[derive(Default)]
+pub struct SessionFeedback {
+    store: FeedbackStore,
+    seen_epoch: u64,
+}
+
+impl SessionFeedback {
+    /// The carried feedback store.
+    pub fn store(&self) -> &FeedbackStore {
+        &self.store
+    }
+}
+
+/// Where a session's views, extents and statistics come from.
+#[derive(Clone, Copy)]
+enum Source<'a> {
+    /// A build-once catalog and summary: nothing changes between runs.
+    Static {
+        summary: &'a Summary,
+        catalog: &'a Catalog,
+    },
+    /// A live epoch store: every run re-resolves the current epoch
+    /// snapshot (ranking and execution share one consistent version) and
+    /// first drops feedback memos touching views maintained since the
+    /// last run — observations against replaced extents would otherwise
+    /// keep steering plans.
+    Epochs(&'a EpochCatalog),
 }
 
 impl<'a> AdaptiveSession<'a> {
@@ -87,11 +128,57 @@ impl<'a> AdaptiveSession<'a> {
     ) -> AdaptiveSession<'a> {
         opts.rank_by_cost = true;
         AdaptiveSession {
-            summary,
-            catalog,
+            source: Source::Static { summary, catalog },
             opts,
             exec_opts: ExecOpts::default(),
             store: FeedbackStore::new(),
+            seen_epoch: 0,
+        }
+    }
+
+    /// A fresh session over a live [`EpochCatalog`]. Each `run`
+    /// re-resolves the store's current epoch — queries between update
+    /// batches see the data as of their epoch, and feedback memos for
+    /// views a batch maintained are invalidated before the next ranking.
+    pub fn over_epochs(epochs: &'a EpochCatalog) -> AdaptiveSession<'a> {
+        AdaptiveSession::over_epochs_with_opts(epochs, RewriteOpts::default())
+    }
+
+    /// [`Self::over_epochs`] with explicit rewrite options.
+    pub fn over_epochs_with_opts(
+        epochs: &'a EpochCatalog,
+        mut opts: RewriteOpts,
+    ) -> AdaptiveSession<'a> {
+        opts.rank_by_cost = true;
+        AdaptiveSession {
+            source: Source::Epochs(epochs),
+            opts,
+            exec_opts: ExecOpts::default(),
+            store: FeedbackStore::new(),
+            seen_epoch: epochs.epoch(),
+        }
+    }
+
+    /// A session over `epochs` picking up where a previous one left off:
+    /// the carried store keeps steering plan choice, and the first `run`
+    /// invalidates memos for views maintained since `fb` was detached.
+    pub fn over_epochs_resuming(
+        epochs: &'a EpochCatalog,
+        fb: SessionFeedback,
+    ) -> AdaptiveSession<'a> {
+        let mut session = AdaptiveSession::over_epochs(epochs);
+        session.store = fb.store;
+        session.seen_epoch = fb.seen_epoch;
+        session
+    }
+
+    /// Ends the session, handing back its learned state for a later
+    /// [`Self::over_epochs_resuming`] (e.g. after applying update batches
+    /// to the epoch store this session borrowed).
+    pub fn into_feedback(self) -> SessionFeedback {
+        SessionFeedback {
+            store: self.store,
+            seen_epoch: self.seen_epoch,
         }
     }
 
@@ -115,26 +202,68 @@ impl<'a> AdaptiveSession<'a> {
         &mut self.store
     }
 
-    /// Ranks the rewritings of `q` under the current feedback without
-    /// executing anything.
-    pub fn rank(&self, q: &Pattern) -> RewriteResult {
-        let cards = CatalogCards::new(self.catalog, self.summary);
+    /// Ranks `q`'s rewritings against a view store and summary under the
+    /// current feedback.
+    fn rank_store(&self, q: &Pattern, store: &dyn ViewStore, summary: &Summary) -> RewriteResult {
+        let cards = CatalogCards::over(store, summary);
         let fb_cards = FeedbackCards::new(&cards, &self.store);
         rewrite_with_feedback(
             q,
-            self.catalog.views(),
-            self.summary,
+            store.views(),
+            summary,
             &self.opts,
             &fb_cards,
             &self.store,
         )
     }
 
-    /// Runs one loop iteration for `q`: rank, execute the winner
-    /// profiled, ingest the profile. Returns `None` when the bounded
-    /// search finds no rewriting.
+    /// Ranks the rewritings of `q` under the current feedback without
+    /// executing anything. Epoch sources rank against the current
+    /// snapshot (without catching up on maintenance reports — only
+    /// [`Self::run`] mutates the feedback store).
+    pub fn rank(&self, q: &Pattern) -> RewriteResult {
+        match self.source {
+            Source::Static { summary, catalog } => self.rank_store(q, catalog, summary),
+            Source::Epochs(epochs) => {
+                let snap = epochs.snapshot();
+                self.rank_store(q, &*snap, snap.summary())
+            }
+        }
+    }
+
+    /// Runs one loop iteration for `q`: re-resolve the data source,
+    /// rank, execute the winner profiled, ingest the profile. Returns
+    /// `None` when the bounded search finds no rewriting.
+    ///
+    /// Over an epoch source, ranking and execution both use the epoch
+    /// current at entry, and feedback memos touching views maintained
+    /// since the previous run are invalidated first.
     pub fn run(&mut self, q: &Pattern) -> Option<Result<AdaptiveRun, ExecError>> {
-        let ranked = self.rank(q);
+        if let Source::Epochs(epochs) = self.source {
+            let mut touched: Vec<String> = epochs
+                .reports_since(self.seen_epoch)
+                .flat_map(|r| r.refreshed.iter().chain(r.deferred_stale.iter()).cloned())
+                .collect();
+            touched.sort();
+            touched.dedup();
+            if !touched.is_empty() {
+                self.store.invalidate_fingerprints_touching(&touched);
+            }
+            self.seen_epoch = epochs.epoch();
+        }
+        let snap = match self.source {
+            Source::Epochs(epochs) => Some(epochs.snapshot()),
+            Source::Static { .. } => None,
+        };
+        let (ranked, provider): (RewriteResult, &dyn ViewProvider) = match (self.source, &snap) {
+            (Source::Static { summary, catalog }, _) => {
+                (self.rank_store(q, catalog, summary), catalog)
+            }
+            (Source::Epochs(_), Some(snap)) => {
+                (self.rank_store(q, &**snap, snap.summary()), &**snap)
+            }
+            (Source::Epochs(_), None) => unreachable!("epoch source always snapshots"),
+        };
         let candidates = ranked.rewritings.len();
         let best = ranked.rewritings.into_iter().next()?;
         // parallel sessions execute with measured per-fragment output
@@ -148,7 +277,7 @@ impl<'a> AdaptiveSession<'a> {
             }
         }
         Some(
-            match execute_profiled_with(&best.plan, self.catalog, &exec_opts) {
+            match execute_profiled_with(&best.plan, provider, &exec_opts) {
                 Ok((result, profile)) => {
                     self.store.ingest(&best.plan, &profile);
                     Ok(AdaptiveRun {

@@ -60,7 +60,7 @@ pub use smv_xquery as xquery;
 
 /// The commonly used surface of the library, re-exported flat.
 pub mod prelude {
-    pub use crate::adaptive::{AdaptiveRun, AdaptiveSession};
+    pub use crate::adaptive::{AdaptiveRun, AdaptiveSession, SessionFeedback};
     pub use smv_advisor::{
         advise, advise_exhaustive, mine_candidates, Advice, AdvisorOpts, Workload,
     };
@@ -73,10 +73,18 @@ pub mod prelude {
         best_rewriting_cost, contained, contained_in_union, equivalent, is_satisfiable, rewrite,
         rewrite_with_cards, rewrite_with_feedback, ContainOpts, Decision, RewriteOpts,
     };
-    pub use smv_datagen::{xmark, xmark_query_patterns, XmarkConfig};
+    pub use smv_datagen::{
+        pr7_document, pr7_views, xmark, xmark_query_patterns, Pr7Stream, XmarkConfig,
+    };
     pub use smv_pattern::{canonical_model, evaluate, parse_pattern, CanonOpts, Formula, Pattern};
     pub use smv_summary::{Summary, SummaryStats};
-    pub use smv_views::{materialize, Catalog, CatalogCards, DefCards, View};
-    pub use smv_xml::{parse_document, serialize_document, Document, IdScheme, Label, Value};
+    pub use smv_views::{
+        materialize, materialize_with, refresh_class, Catalog, CatalogCards, CatalogEpoch,
+        DefCards, EpochCatalog, MaintenanceReport, RefreshClass, RefreshPolicy, View, ViewStore,
+    };
+    pub use smv_xml::{
+        parse_document, serialize_document, Document, IdScheme, Label, LiveDoc, LiveError,
+        UpdateBatch, Value,
+    };
     pub use smv_xquery::{parse_xquery, translate};
 }

@@ -1,0 +1,137 @@
+//! Workspace-level maintenance equivalence: under interleavings of
+//! update batches and queries, an epoch store's delta-maintained
+//! extents answer **byte-identically** — same rows in the same order,
+//! same execution-profile counters — to a from-scratch rebuild, for
+//! every ID scheme and at every thread count. Plus the adaptive loop
+//! across maintenance: a session resumed after update batches drops
+//! exactly the feedback memos its maintained views invalidated.
+
+use smv::prelude::*;
+
+/// The pr7 workload queries: a direct view scan, a structural join over
+/// two views, and an online selection over a stored-value view.
+const QUERIES: &[&str] = &[
+    "site(//name{id,v})",
+    "site(//item{id}(/name{id,v}))",
+    "site(//quantity{id,v}[v<=3])",
+];
+
+fn profile_entries(p: &ExecProfile) -> Vec<(String, u64)> {
+    let mut v: Vec<_> = p.iter().map(|(k, r)| (k.to_string(), r)).collect();
+    v.sort();
+    v
+}
+
+/// Delta maintenance ≡ rebuild, observed through the query path: every
+/// rewriting of every workload query, executed against the maintained
+/// snapshot and against a from-scratch oracle, returns identical rows
+/// *and* identical per-operator profiles — serial and parallel alike.
+#[test]
+fn interleaved_updates_answer_like_a_from_scratch_rebuild() {
+    for scheme in [IdScheme::OrdPath, IdScheme::Dewey, IdScheme::Sequential] {
+        for threads in [1usize, 4] {
+            let exec_opts = ExecOpts::with_threads(threads);
+            let mut epochs = EpochCatalog::new(pr7_document(0.05, 21), scheme);
+            for v in pr7_views(scheme) {
+                epochs.add_view(v, RefreshPolicy::Eager);
+            }
+            let mut stream = Pr7Stream::new(33);
+            for round in 0..3 {
+                let batch = stream.next_batch(epochs.live(), 0.15);
+                epochs.apply(&batch).expect("stream batches apply");
+                let snap = epochs.snapshot();
+                let oracle = epochs.rebuild_from_scratch();
+                for q in QUERIES {
+                    let q = parse_pattern(q).unwrap();
+                    let ranked = rewrite(&q, snap.views(), snap.summary(), &RewriteOpts::default());
+                    assert!(
+                        !ranked.rewritings.is_empty(),
+                        "{scheme:?} round {round}: {q} has a rewriting"
+                    );
+                    for rw in &ranked.rewritings {
+                        let (rows, prof) =
+                            execute_profiled_with(&rw.plan, &*snap, &exec_opts).unwrap();
+                        let (orows, oprof) =
+                            execute_profiled_with(&rw.plan, &oracle, &exec_opts).unwrap();
+                        assert_eq!(rows.schema, orows.schema);
+                        assert_eq!(
+                            rows.rows, orows.rows,
+                            "{scheme:?} t={threads} round {round}: {q} rows diverge\n{}",
+                            rw.plan
+                        );
+                        assert_eq!(
+                            profile_entries(&prof),
+                            profile_entries(&oprof),
+                            "{scheme:?} t={threads} round {round}: {q} profiles diverge"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// An adaptive session detached across maintenance and resumed: memos
+/// for the maintained views are invalidated (the relearned scan card is
+/// *exactly* the new count — a decayed blend with the stale value would
+/// differ), and answers match the new epoch's oracle.
+#[test]
+fn resumed_adaptive_session_drops_stale_feedback() {
+    let scheme = IdScheme::OrdPath;
+    let mut epochs = EpochCatalog::new(pr7_document(0.05, 5), scheme);
+    for v in pr7_views(scheme) {
+        epochs.add_view(v, RefreshPolicy::Eager);
+    }
+    let q = parse_pattern("site(//name{id,v})").unwrap();
+    let (fb, before) = {
+        let mut session = AdaptiveSession::over_epochs(&epochs);
+        let run = session.run(&q).expect("rewritable").expect("executes");
+        assert_eq!(
+            session.store().scan_rows("names"),
+            Some(run.actual_rows as f64),
+            "the cheapest plan scans the names view"
+        );
+        (session.into_feedback(), run.actual_rows)
+    };
+    // maintenance while detached: drop a few items (each carries a name,
+    // so the names extent strictly shrinks)
+    let mut batch = UpdateBatch::new();
+    {
+        let live = epochs.live();
+        let doc = live.doc();
+        for n in doc
+            .iter()
+            .filter(|&n| doc.label(n).as_str() == "item")
+            .take(5)
+        {
+            batch.delete(live.ids().id(n).clone());
+        }
+    }
+    let report = epochs.apply(&batch).expect("deletes apply");
+    assert!(report.refreshed.contains(&"names".to_string()));
+    assert!(
+        fb.store().scan_rows("names").is_some(),
+        "memo still carried"
+    );
+    let mut session = AdaptiveSession::over_epochs_resuming(&epochs, fb);
+    let run = session.run(&q).expect("rewritable").expect("executes");
+    assert!(run.actual_rows < before, "names shrank with the items");
+    assert_eq!(
+        session.store().scan_rows("names"),
+        Some(run.actual_rows as f64),
+        "stale memo was dropped, not blended into"
+    );
+    let oracle = epochs.rebuild_from_scratch();
+    assert_eq!(
+        run.result.rows,
+        execute_profiled_with(
+            &session.rank(&q).rewritings[0].plan,
+            &oracle,
+            &ExecOpts::default()
+        )
+        .unwrap()
+        .0
+        .rows,
+        "the resumed session answers at the new epoch"
+    );
+}
