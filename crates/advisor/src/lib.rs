@@ -28,6 +28,7 @@
 //!    subsets as a test oracle for small candidate sets
 //!    ([`advise_exhaustive`]).
 
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 pub mod candidates;
 pub mod select;
 

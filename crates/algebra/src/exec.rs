@@ -16,7 +16,7 @@
 //!   and grouping hashes rows structurally; no cell is ever encoded into
 //!   a string to be compared.
 
-use crate::feedback::{ExecProfile, ParHints};
+use crate::feedback::{ExecProfile, OpPath, ParHints};
 use crate::plan::{NavStep, Plan, Predicate};
 use crate::relation::{AttrKind, Cell, ColKind, Column, NestedRelation, Row, Schema};
 use crate::struct_join::StructRel;
@@ -30,6 +30,7 @@ use std::borrow::Cow;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Execution options: how many worker threads, on which pool, gated how.
 ///
@@ -312,7 +313,10 @@ impl ViewProvider for MapProvider {
     }
 }
 
-/// Execution failure.
+/// Execution failure. The executor wraps every failure in
+/// [`ExecError::At`] carrying the failing operator's positional
+/// [`OpPath`] and rendered name, so errors are diagnosable without a
+/// debugger; match on [`ExecError::kind`] when only the cause matters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecError {
     /// The plan scans a view the provider does not know.
@@ -321,6 +325,54 @@ pub enum ExecError {
     Schema(String),
     /// A cell had an unexpected type for the operator.
     Type(String),
+    /// A failure located at one operator of the plan tree.
+    At {
+        /// Positional path of the failing operator (`""` = the root).
+        path: OpPath,
+        /// The operator's rendered head, e.g. `Scan(v_item)`.
+        op: String,
+        /// What went wrong there.
+        source: Box<ExecError>,
+    },
+}
+
+impl ExecError {
+    /// The underlying cause, with any [`ExecError::At`] location peeled.
+    pub fn kind(&self) -> &ExecError {
+        match self {
+            ExecError::At { source, .. } => source.kind(),
+            e => e,
+        }
+    }
+
+    /// The failing operator's positional path, when located.
+    pub fn op_path(&self) -> Option<&str> {
+        match self {
+            ExecError::At { path, .. } => Some(path),
+            _ => None,
+        }
+    }
+
+    /// The failing operator's rendered head, when located.
+    pub fn op_name(&self) -> Option<&str> {
+        match self {
+            ExecError::At { op, .. } => Some(op),
+            _ => None,
+        }
+    }
+
+    /// Wraps a bare error with the operator it surfaced at; an error
+    /// already located (by a deeper frame) passes through unchanged.
+    fn locate(self, path: &[u32], plan: &Plan) -> ExecError {
+        match self {
+            e @ ExecError::At { .. } => e,
+            e => ExecError::At {
+                path: crate::feedback::path_key(path),
+                op: plan.op_label(),
+                source: Box::new(e),
+            },
+        }
+    }
 }
 
 impl std::fmt::Display for ExecError {
@@ -329,6 +381,10 @@ impl std::fmt::Display for ExecError {
             ExecError::UnknownView(v) => write!(f, "unknown view `{v}`"),
             ExecError::Schema(m) => write!(f, "schema error: {m}"),
             ExecError::Type(m) => write!(f, "type error: {m}"),
+            ExecError::At { path, op, source } => {
+                let at = if path.is_empty() { "root" } else { path };
+                write!(f, "{source} at operator {at} ({op})")
+            }
         }
     }
 }
@@ -370,7 +426,8 @@ pub fn execute_with(
     opts: &ExecOpts,
 ) -> Result<NestedRelation, ExecError> {
     let opts = opts.resolved();
-    let mut rel = eval(plan, views, &mut None, &opts)?.into_owned();
+    let mut prof = Profiler::unprofiled();
+    let mut rel = eval(plan, views, &mut prof, &opts)?.into_owned();
     normalize_with(&mut rel, &opts);
     Ok(rel)
 }
@@ -416,34 +473,58 @@ pub fn execute_profiled_with(
     opts: &ExecOpts,
 ) -> Result<(NestedRelation, ExecProfile), ExecError> {
     let opts = opts.resolved();
-    let mut prof = Some(Profiler {
-        profile: ExecProfile::default(),
+    let t0 = Instant::now();
+    let mut prof = Profiler {
+        profile: Some(ExecProfile::default()),
         path: Vec::new(),
-    });
+    };
     let mut rel = eval(plan, views, &mut prof, &opts)?.into_owned();
     normalize_with(&mut rel, &opts);
-    let mut profile = prof.expect("profiler survives eval").profile;
+    let mut profile = prof.profile.expect("profiler survives eval");
     profile.record(&[], rel.len() as u64);
+    // root time spans the whole execution, final normalization included
+    profile.record_time(&[], t0.elapsed().as_nanos() as u64);
     Ok((rel, profile))
 }
 
-/// In-flight profiling state: the profile under construction plus the
-/// positional path of the operator currently being evaluated.
+/// In-flight execution state: the profile under construction (when
+/// profiling) plus the positional path of the operator currently being
+/// evaluated. The path is maintained even unprofiled — it is what ties
+/// an [`ExecError`] to the operator that raised it — at the cost of one
+/// integer push/pop per operator.
 struct Profiler {
-    profile: ExecProfile,
+    profile: Option<ExecProfile>,
     path: Vec<u32>,
 }
 
-/// Evaluates one operator and records its output size when profiling.
+impl Profiler {
+    fn unprofiled() -> Profiler {
+        Profiler {
+            profile: None,
+            path: Vec::new(),
+        }
+    }
+}
+
+/// Evaluates one operator; when profiling, records its output size and
+/// inclusive wall time. Failures get located at the deepest operator
+/// that raised them (parent frames pass an already-located error on).
 fn eval<'a>(
     plan: &Plan,
     views: &'a dyn ViewProvider,
-    prof: &mut Option<Profiler>,
+    prof: &mut Profiler,
     opts: &ExecOpts,
 ) -> Result<Cow<'a, NestedRelation>, ExecError> {
-    let out = eval_op(plan, views, prof, opts)?;
-    if let Some(p) = prof {
-        p.profile.record(&p.path, out.len() as u64);
+    let t = prof.profile.as_ref().map(|_| Instant::now());
+    let out = match eval_op(plan, views, prof, opts) {
+        Ok(out) => out,
+        Err(e) => return Err(e.locate(&prof.path, plan)),
+    };
+    if let Some(p) = &mut prof.profile {
+        p.record(&prof.path, out.len() as u64);
+        if let Some(t) = t {
+            p.record_time(&prof.path, t.elapsed().as_nanos() as u64);
+        }
     }
     Ok(out)
 }
@@ -452,24 +533,20 @@ fn eval<'a>(
 fn eval_child<'a>(
     plan: &Plan,
     views: &'a dyn ViewProvider,
-    prof: &mut Option<Profiler>,
+    prof: &mut Profiler,
     opts: &ExecOpts,
     idx: u32,
 ) -> Result<Cow<'a, NestedRelation>, ExecError> {
-    if let Some(p) = prof {
-        p.path.push(idx);
-    }
+    prof.path.push(idx);
     let r = eval(plan, views, prof, opts);
-    if let Some(p) = prof {
-        p.path.pop();
-    }
+    prof.path.pop();
     r
 }
 
 fn eval_op<'a>(
     plan: &Plan,
     views: &'a dyn ViewProvider,
-    prof: &mut Option<Profiler>,
+    prof: &mut Profiler,
     opts: &ExecOpts,
 ) -> Result<Cow<'a, NestedRelation>, ExecError> {
     match plan {
@@ -515,6 +592,9 @@ fn eval_op<'a>(
                     if opts.engage(rel.rows.len(), None) {
                         let ranges =
                             morsel_ranges(rel.rows.len(), opts.morsel_rows(rel.rows.len()));
+                        if let Some(p) = &mut prof.profile {
+                            p.add_morsels(&prof.path, ranges.len() as u64);
+                        }
                         let outs: Vec<Result<Vec<Row>, ExecError>> =
                             run_par(opts, ranges.len(), |i| {
                                 let mut kept = Vec::new();
@@ -624,6 +704,9 @@ fn eval_op<'a>(
             // output covers the explosive-small-inputs case
             let rows = if opts.engage(l.rows.len() + r.rows.len(), Some(plan)) {
                 let ranges = morsel_ranges(r.rows.len(), opts.morsel_rows(r.rows.len()));
+                if let Some(p) = &mut prof.profile {
+                    p.add_morsels(&prof.path, ranges.len() as u64);
+                }
                 let outs = run_par(opts, ranges.len(), |i| probe_range(ranges[i].clone()));
                 // probe order is right-row order; morsel concatenation in
                 // range order reproduces it exactly
@@ -650,7 +733,7 @@ fn eval_op<'a>(
             let l = eval_child(left, views, prof, opts, 0)?;
             let r = eval_child(right, views, prof, opts, 1)?;
             let rows = if opts.engage(l.rows.len() + r.rows.len(), Some(plan)) {
-                match (
+                let (rows, tasks) = match (
                     scan_partition(left, views, *lcol, &l),
                     scan_partition(right, views, *rcol, &r),
                 ) {
@@ -661,7 +744,11 @@ fn eval_op<'a>(
                         shard_pair_join(&l, &r, *rel, lp, rp, opts)
                     }
                     _ => chunked_struct_join(&l, &r, *lcol, *rcol, *rel, opts),
+                };
+                if let Some(p) = &mut prof.profile {
+                    p.add_morsels(&prof.path, tasks as u64);
                 }
+                rows
             } else {
                 let (lids, lrows) = gather_ids_sorted(&l, *lcol);
                 let (rids, rrows) = gather_ids_sorted(&r, *rcol);
@@ -1011,7 +1098,7 @@ fn shard_pair_join(
     lp: &ShardPartition,
     rp: &ShardPartition,
     opts: &ExecOpts,
-) -> Vec<Row> {
+) -> (Vec<Row>, usize) {
     let lsh: Vec<(&ExtentShard, Vec<&StructId>, Vec<usize>)> = lp
         .shards
         .iter()
@@ -1070,7 +1157,7 @@ fn shard_pair_join(
     // each (left row, right row) pair comes from exactly one morsel, so
     // keys are unique and the unstable sort is deterministic
     keyed.sort_unstable_by_key(|&(k, _)| k);
-    keyed.into_iter().map(|(_, row)| row).collect()
+    (keyed.into_iter().map(|(_, row)| row).collect(), tasks.len())
 }
 
 /// General parallel structural join for arbitrary inputs: the sorted
@@ -1087,7 +1174,7 @@ fn chunked_struct_join(
     rcol: usize,
     rel: StructRel,
     opts: &ExecOpts,
-) -> Vec<Row> {
+) -> (Vec<Row>, usize) {
     let (lids, lrows) = gather_ids_sorted(l, lcol);
     let (rids, rrows) = gather_ids_sorted(r, rcol);
     // a few ranges per worker so uneven per-range output balances — but
@@ -1113,11 +1200,12 @@ fn chunked_struct_join(
             .map(|(a, b)| joined_row(&l.rows[lrows[a]], &r.rows[rrows[b]], width))
             .collect()
     });
+    let tasks = ranges.len();
     let mut rows = Vec::with_capacity(outs.iter().map(Vec::len).sum());
     for o in outs {
         rows.extend(o);
     }
-    rows
+    (rows, tasks)
 }
 
 /// Normalization (the dedup sort) with `opts`'s parallelism: rows split
@@ -1403,7 +1491,7 @@ mod tests {
             rcol: 0,
             rel: StructRel::Parent,
         };
-        let out = eval(&plan, &p, &mut None, &ExecOpts::default()).unwrap();
+        let out = eval(&plan, &p, &mut Profiler::unprofiled(), &ExecOpts::default()).unwrap();
         assert_eq!(out.sorted_on, Some(1), "sorted on the right join column");
         // rows really are in document order on that column
         let ids: Vec<&StructId> = out
@@ -1692,11 +1780,17 @@ mod tests {
             }
             .resolved();
             // pre-normalization outputs, byte for byte
-            let seq = eval(&plan, &plain, &mut None, &ExecOpts::default()).unwrap();
+            let seq = eval(
+                &plan,
+                &plain,
+                &mut Profiler::unprofiled(),
+                &ExecOpts::default(),
+            )
+            .unwrap();
             assert!(!seq.rows.is_empty());
             for p in [&sharded, &plain] {
                 // sharded provider → per-path-pair tasks; plain → chunked
-                let par = eval(&plan, p, &mut None, &opts).unwrap();
+                let par = eval(&plan, p, &mut Profiler::unprofiled(), &opts).unwrap();
                 assert_eq!(seq.rows, par.rows, "{rel:?} rows");
                 assert_eq!(seq.sorted_on, par.sorted_on, "{rel:?} sortedness");
             }
@@ -1713,6 +1807,68 @@ mod tests {
     fn unknown_view_errors() {
         let p = MapProvider::default();
         let e = execute(&Plan::Scan { view: "zz".into() }, &p).unwrap_err();
-        assert_eq!(e, ExecError::UnknownView("zz".into()));
+        assert_eq!(e.kind(), &ExecError::UnknownView("zz".into()));
+        assert_eq!(e.op_path(), Some(""), "root operator");
+        assert_eq!(e.op_name(), Some("Scan(zz)"));
+    }
+
+    #[test]
+    fn errors_locate_the_deepest_failing_operator() {
+        // the bad scan sits at path 0.1 (select → join right)
+        let plan = Plan::Select {
+            input: Box::new(Plan::IdJoin {
+                left: Box::new(Plan::Scan {
+                    view: "items".into(),
+                }),
+                right: Box::new(Plan::Scan { view: "zz".into() }),
+                lcol: 0,
+                rcol: 0,
+            }),
+            pred: Predicate::NotNull { col: 0 },
+        };
+        let e = execute(&plan, &provider().0).unwrap_err();
+        assert_eq!(e.kind(), &ExecError::UnknownView("zz".into()));
+        assert_eq!(e.op_path(), Some("0.1"));
+        assert_eq!(e.op_name(), Some("Scan(zz)"));
+        let msg = e.to_string();
+        assert!(msg.contains("unknown view `zz`"), "{msg}");
+        assert!(msg.contains("0.1"), "{msg}");
+        assert!(msg.contains("Scan(zz)"), "{msg}");
+    }
+
+    #[test]
+    fn profiled_run_records_operator_times_and_morsels() {
+        let prov = provider().0;
+        let plan = Plan::Select {
+            input: Box::new(Plan::Scan {
+                view: "names".into(),
+            }),
+            pred: Predicate::NotNull { col: 0 },
+        };
+        // explicit threads: 1 — a defaulted ExecOpts may be rerouted
+        // through the pool by SMV_TEST_THREADS in debug CI runs
+        let seq_opts = ExecOpts {
+            threads: 1,
+            ..ExecOpts::default()
+        };
+        let (_, prof) = execute_profiled_with(&plan, &prov, &seq_opts).unwrap();
+        // every profiled operator has an inclusive wall time
+        for (path, _) in prof.iter() {
+            assert!(prof.time_ns_at(path).is_some(), "no time at `{path}`");
+        }
+        // sequential run: no operator fanned out morsels
+        assert_eq!(prof.morsels_at(""), None);
+        // forced-parallel run: the selection splits into ≥1 morsel, and
+        // row counters stay identical to the sequential run
+        let opts = ExecOpts {
+            threads: 2,
+            min_par_rows: 0,
+            ..ExecOpts::default()
+        };
+        let (_, prof_par) = execute_profiled_with(&plan, &prov, &opts).unwrap();
+        assert!(prof_par.morsels_at("").unwrap_or(0) >= 1, "select morsels");
+        for (path, rows) in prof.iter() {
+            assert_eq!(prof_par.rows_at(path), Some(rows), "rows at `{path}`");
+        }
     }
 }

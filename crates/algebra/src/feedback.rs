@@ -35,7 +35,7 @@ use std::collections::{HashMap, HashSet};
 /// union branches are numbered in order.
 pub type OpPath = String;
 
-fn path_key(path: &[u32]) -> OpPath {
+pub(crate) fn path_key(path: &[u32]) -> OpPath {
     let mut s = String::new();
     for (i, p) in path.iter().enumerate() {
         if i > 0 {
@@ -46,16 +46,35 @@ fn path_key(path: &[u32]) -> OpPath {
     s
 }
 
-/// Per-operator actual output row counts of one plan execution.
+/// Per-operator observations of one plan execution: actual output row
+/// counts (the feedback loop's input), plus — same keys — inclusive
+/// per-operator wall time and the number of parallel morsels/tasks the
+/// operator fanned out. Row counters are deterministic at every thread
+/// count; times and morsel counts are runtime artifacts and take no part
+/// in equivalence comparisons ([`ExecProfile::len`]/[`ExecProfile::iter`]
+/// remain row-only).
 #[derive(Clone, Debug, Default)]
 pub struct ExecProfile {
     rows: HashMap<OpPath, u64>,
+    time_ns: HashMap<OpPath, u64>,
+    morsels: HashMap<OpPath, u64>,
 }
 
 impl ExecProfile {
     /// Records (or overwrites) the output rows of the operator at `path`.
     pub fn record(&mut self, path: &[u32], out_rows: u64) {
         self.rows.insert(path_key(path), out_rows);
+    }
+
+    /// Records (or overwrites) the operator's inclusive wall time —
+    /// the operator together with its inputs, as a parent frame sees it.
+    pub fn record_time(&mut self, path: &[u32], ns: u64) {
+        self.time_ns.insert(path_key(path), ns);
+    }
+
+    /// Adds `n` parallel morsels/tasks executed by the operator at `path`.
+    pub fn add_morsels(&mut self, path: &[u32], n: u64) {
+        *self.morsels.entry(path_key(path)).or_insert(0) += n;
     }
 
     /// Output rows of the operator at `path`, if recorded.
@@ -66,6 +85,17 @@ impl ExecProfile {
     /// Output rows by rendered path string (`""` = the plan root).
     pub fn rows_at(&self, path: &str) -> Option<u64> {
         self.rows.get(path).copied()
+    }
+
+    /// Inclusive wall time (ns) by rendered path string, if recorded.
+    pub fn time_ns_at(&self, path: &str) -> Option<u64> {
+        self.time_ns.get(path).copied()
+    }
+
+    /// Parallel morsels/tasks fanned out by the operator at `path`;
+    /// `None` when the operator ran sequentially.
+    pub fn morsels_at(&self, path: &str) -> Option<u64> {
+        self.morsels.get(path).copied()
     }
 
     /// Number of operators profiled.
@@ -278,6 +308,50 @@ fn join_key(left: &Plan, right: &Plan, lcol: usize, rcol: usize, rel: Option<Str
 /// Default EWMA weight of a fresh observation.
 const DEFAULT_DECAY: f64 = 0.5;
 
+/// A relaxed atomic event counter that clones by value, so the store's
+/// `derive(Clone)` keeps working while `&self` lookup methods can count.
+#[derive(Debug, Default)]
+struct EventCounter(std::sync::atomic::AtomicU64);
+
+impl EventCounter {
+    fn bump(&self) {
+        self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+    fn add(&self, n: u64) {
+        self.0.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+    fn get(&self) -> u64 {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl Clone for EventCounter {
+    fn clone(&self) -> Self {
+        EventCounter(std::sync::atomic::AtomicU64::new(self.get()))
+    }
+}
+
+/// A snapshot of the store's event counters — the "is the adaptive loop
+/// actually firing" numbers, also exported to a registry by
+/// [`FeedbackStore::export_metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedbackStats {
+    /// Lookups that found a memo (scan rows, fragment rows, selection or
+    /// join selectivity).
+    pub hits: u64,
+    /// Lookups that found nothing — the cost model fell back to its
+    /// static guess.
+    pub misses: u64,
+    /// EWMA blends onto an *existing* memo entry: each one decayed an
+    /// older observation toward a fresh one.
+    pub decays: u64,
+    /// Memo entries dropped by
+    /// [`FeedbackStore::invalidate_fingerprints_touching`].
+    pub invalidated: u64,
+    /// Profiles ingested.
+    pub ingests: u64,
+}
+
 /// Accumulates execution feedback across queries: per-view actual scan
 /// rows, selection pass-rates and join selectivities, each maintained as
 /// an exponentially-decayed moving average over ingests so drifting data
@@ -303,6 +377,10 @@ pub struct FeedbackStore {
     /// walks when a view's extent changes under maintenance.
     by_view: HashMap<String, HashSet<u64>>,
     ingests: u64,
+    hits: EventCounter,
+    misses: EventCounter,
+    decays: EventCounter,
+    invalidated: EventCounter,
 }
 
 impl Default for FeedbackStore {
@@ -328,7 +406,35 @@ impl FeedbackStore {
             frags: HashMap::new(),
             by_view: HashMap::new(),
             ingests: 0,
+            hits: EventCounter::default(),
+            misses: EventCounter::default(),
+            decays: EventCounter::default(),
+            invalidated: EventCounter::default(),
         }
+    }
+
+    /// Event counters since construction (hits, misses, decays, …).
+    pub fn stats(&self) -> FeedbackStats {
+        FeedbackStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            decays: self.decays.get(),
+            invalidated: self.invalidated.get(),
+            ingests: self.ingests,
+        }
+    }
+
+    /// Writes the event counters and memo sizes into `reg` under the
+    /// `feedback.*` namespace, so a metrics snapshot answers "is the
+    /// adaptive loop firing" without rerunning the feedback tests.
+    pub fn export_metrics(&self, reg: &smv_obs::MetricsRegistry) {
+        let s = self.stats();
+        reg.gauge_set("feedback.hits", s.hits as i64);
+        reg.gauge_set("feedback.misses", s.misses as i64);
+        reg.gauge_set("feedback.decays", s.decays as i64);
+        reg.gauge_set("feedback.invalidated", s.invalidated as i64);
+        reg.gauge_set("feedback.ingests", s.ingests as i64);
+        reg.gauge_set("feedback.memo_entries", self.len() as i64);
     }
 
     /// Number of profiles ingested.
@@ -346,10 +452,25 @@ impl FeedbackStore {
         self.scans.len() + self.selects.len() + self.joins.len()
     }
 
-    fn blend(decay: f64, slot: &mut HashMap<u64, f64>, key: u64, obs: f64) {
+    fn blend(decay: f64, slot: &mut HashMap<u64, f64>, key: u64, obs: f64, decays: &EventCounter) {
         slot.entry(key)
-            .and_modify(|v| *v = decay * obs + (1.0 - decay) * *v)
+            .and_modify(|v| {
+                *v = decay * obs + (1.0 - decay) * *v;
+                decays.bump();
+            })
             .or_insert(obs);
+    }
+
+    /// Counts a memo lookup, both locally and (when tracing is enabled)
+    /// into the global registry.
+    fn count_lookup(&self, hit: bool) {
+        if hit {
+            self.hits.bump();
+            smv_obs::counter_add("feedback.lookup.hit", 1);
+        } else {
+            self.misses.bump();
+            smv_obs::counter_add("feedback.lookup.miss", 1);
+        }
     }
 
     /// Folds one execution profile into the memos. The profile must come
@@ -419,7 +540,7 @@ impl FeedbackStore {
         let out = profile.rows(path);
         if let Some(out) = out {
             let key = plan_fingerprint(plan);
-            Self::blend(self.decay, &mut self.frags, key, out as f64);
+            Self::blend(self.decay, &mut self.frags, key, out as f64, &self.decays);
             self.index_key(key, &views);
         }
         let child = |path: &mut Vec<u32>, i: u32, profile: &ExecProfile| {
@@ -432,9 +553,13 @@ impl FeedbackStore {
             Plan::Scan { view } => {
                 if let Some(out) = out {
                     let decay = self.decay;
+                    let decays = &self.decays;
                     self.scans
                         .entry(view.clone())
-                        .and_modify(|v| *v = decay * out as f64 + (1.0 - decay) * *v)
+                        .and_modify(|v| {
+                            *v = decay * out as f64 + (1.0 - decay) * *v;
+                            decays.bump();
+                        })
                         .or_insert(out as f64);
                 }
             }
@@ -442,7 +567,13 @@ impl FeedbackStore {
                 if let (Some(out), Some(inp)) = (out, child(path, 0, profile)) {
                     if inp > 0 {
                         let key = select_key(input, pred);
-                        Self::blend(self.decay, &mut self.selects, key, out as f64 / inp as f64);
+                        Self::blend(
+                            self.decay,
+                            &mut self.selects,
+                            key,
+                            out as f64 / inp as f64,
+                            &self.decays,
+                        );
                         self.index_key(key, &views);
                     }
                 }
@@ -463,6 +594,7 @@ impl FeedbackStore {
                             &mut self.joins,
                             key,
                             out as f64 / (l as f64 * r as f64),
+                            &self.decays,
                         );
                         self.index_key(key, &views);
                     }
@@ -485,6 +617,7 @@ impl FeedbackStore {
                             &mut self.joins,
                             key,
                             out as f64 / (l as f64 * r as f64),
+                            &self.decays,
                         );
                         self.index_key(key, &views);
                     }
@@ -519,23 +652,31 @@ impl FeedbackStore {
             removed += usize::from(self.joins.remove(&k).is_some());
             removed += usize::from(self.frags.remove(&k).is_some());
         }
+        self.invalidated.add(removed as u64);
+        smv_obs::counter_add("feedback.invalidated", removed as u64);
         removed
     }
 
     /// Decayed actual scan rows observed for `view`.
     pub fn scan_rows(&self, view: &str) -> Option<f64> {
-        self.scans.get(view).copied()
+        let r = self.scans.get(view).copied();
+        self.count_lookup(r.is_some());
+        r
     }
 
     /// Decayed actual *output rows* observed for the plan fragment
     /// `fragment` (any operator — keyed by [`plan_fingerprint`]).
     pub fn measured_rows(&self, fragment: &Plan) -> Option<f64> {
-        self.frags.get(&plan_fingerprint(fragment)).copied()
+        let r = self.frags.get(&plan_fingerprint(fragment)).copied();
+        self.count_lookup(r.is_some());
+        r
     }
 
     /// Memoized pass-rate of selecting `pred` over `input`.
     pub fn select_selectivity(&self, input: &Plan, pred: &Predicate) -> Option<f64> {
-        self.selects.get(&select_key(input, pred)).copied()
+        let r = self.selects.get(&select_key(input, pred)).copied();
+        self.count_lookup(r.is_some());
+        r
     }
 
     /// Memoized join selectivity (`out / (|left| · |right|)`) of joining
@@ -548,9 +689,12 @@ impl FeedbackStore {
         rcol: usize,
         rel: Option<StructRel>,
     ) -> Option<f64> {
-        self.joins
+        let r = self
+            .joins
             .get(&join_key(left, right, lcol, rcol, rel))
-            .copied()
+            .copied();
+        self.count_lookup(r.is_some());
+        r
     }
 }
 

@@ -7,9 +7,11 @@
 //! derivation (§4.6), plus the nested-relation values views materialize.
 
 #![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod cost;
 pub mod exec;
+pub mod explain;
 pub mod feedback;
 pub mod plan;
 pub mod relation;
@@ -23,7 +25,10 @@ pub use exec::{
     execute, execute_profiled, execute_profiled_with, execute_with, ExecError, ExecOpts,
     ExtentShard, MapProvider, ShardPartition, ViewProvider,
 };
-pub use feedback::{plan_fingerprint, ExecProfile, FeedbackCards, FeedbackStore, OpPath, ParHints};
+pub use explain::{explain, explain_analyze, Explain, ExplainNode};
+pub use feedback::{
+    plan_fingerprint, ExecProfile, FeedbackCards, FeedbackStats, FeedbackStore, OpPath, ParHints,
+};
 pub use plan::{NavStep, Plan, Predicate};
 pub use relation::{AttrKind, Cell, ColKind, Column, NestedRelation, Row, Schema};
 pub use smv_xml::par;

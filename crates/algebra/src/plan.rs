@@ -203,77 +203,63 @@ impl Plan {
         out
     }
 
-    fn fmt_indent(&self, f: &mut std::fmt::Formatter<'_>, indent: usize) -> std::fmt::Result {
-        let pad = "  ".repeat(indent);
+    /// The operator's direct inputs, in child-index order — the same
+    /// numbering [`crate::feedback::OpPath`] uses: unary inputs are child
+    /// `0`, joins are left `0` / right `1`, union branches in order.
+    pub fn children(&self) -> Vec<&Plan> {
         match self {
-            Plan::Scan { view } => writeln!(f, "{pad}Scan({view})"),
-            Plan::Select { input, pred } => {
+            Plan::Scan { .. } => Vec::new(),
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Nest { input, .. }
+            | Plan::Unnest { input, .. }
+            | Plan::NavigateContent { input, .. }
+            | Plan::DeriveParentId { input, .. }
+            | Plan::DupElim { input } => vec![input],
+            Plan::IdJoin { left, right, .. } | Plan::StructJoin { left, right, .. } => {
+                vec![left, right]
+            }
+            Plan::Union { inputs } => inputs.iter().collect(),
+        }
+    }
+
+    /// The operator's rendered head, without inputs — one line of the
+    /// indented [`std::fmt::Display`] tree, e.g. `Scan(v_item)` or
+    /// `StructJoin[#0 ≺≺ #0]`. Shared by the plan printer, `EXPLAIN`,
+    /// and located execution errors.
+    pub fn op_label(&self) -> String {
+        match self {
+            Plan::Scan { view } => format!("Scan({view})"),
+            Plan::Select { pred, .. } => {
                 let p = match pred {
                     Predicate::Value { col, formula } => format!("#{col} sat {formula}"),
                     Predicate::LabelEq { col, label } => format!("#{col} = <{label}>"),
                     Predicate::NotNull { col } => format!("#{col} not null"),
                 };
-                writeln!(f, "{pad}Select[{p}]")?;
-                input.fmt_indent(f, indent + 1)
+                format!("Select[{p}]")
             }
-            Plan::Project { input, cols } => {
-                writeln!(f, "{pad}Project{cols:?}")?;
-                input.fmt_indent(f, indent + 1)
-            }
-            Plan::IdJoin {
-                left,
-                right,
-                lcol,
-                rcol,
-            } => {
-                writeln!(f, "{pad}IdJoin[#{lcol} = #{rcol}]")?;
-                left.fmt_indent(f, indent + 1)?;
-                right.fmt_indent(f, indent + 1)
-            }
+            Plan::Project { cols, .. } => format!("Project{cols:?}"),
+            Plan::IdJoin { lcol, rcol, .. } => format!("IdJoin[#{lcol} = #{rcol}]"),
             Plan::StructJoin {
-                left,
-                right,
-                lcol,
-                rcol,
-                rel,
+                lcol, rcol, rel, ..
             } => {
                 let sym = match rel {
                     StructRel::Parent => "≺",
                     StructRel::Ancestor => "≺≺",
                 };
-                writeln!(f, "{pad}StructJoin[#{lcol} {sym} #{rcol}]")?;
-                left.fmt_indent(f, indent + 1)?;
-                right.fmt_indent(f, indent + 1)
+                format!("StructJoin[#{lcol} {sym} #{rcol}]")
             }
-            Plan::Union { inputs } => {
-                writeln!(f, "{pad}Union")?;
-                for i in inputs {
-                    i.fmt_indent(f, indent + 1)?;
-                }
-                Ok(())
-            }
+            Plan::Union { .. } => "Union".to_string(),
             Plan::Nest {
-                input,
                 key_cols,
                 nested_cols,
                 name,
-            } => {
-                writeln!(
-                    f,
-                    "{pad}Nest[key={key_cols:?} nest={nested_cols:?} as {name}]"
-                )?;
-                input.fmt_indent(f, indent + 1)
-            }
-            Plan::Unnest { input, col, outer } => {
-                writeln!(
-                    f,
-                    "{pad}Unnest[#{col}{}]",
-                    if *outer { " outer" } else { "" }
-                )?;
-                input.fmt_indent(f, indent + 1)
+                ..
+            } => format!("Nest[key={key_cols:?} nest={nested_cols:?} as {name}]"),
+            Plan::Unnest { col, outer, .. } => {
+                format!("Unnest[#{col}{}]", if *outer { " outer" } else { "" })
             }
             Plan::NavigateContent {
-                input,
                 content_col,
                 steps,
                 attrs,
@@ -291,27 +277,24 @@ impl Plan {
                         )
                     })
                     .collect();
-                writeln!(
-                    f,
-                    "{pad}NavigateC[#{content_col}{path} → {name}.{attrs:?}{}]",
+                format!(
+                    "NavigateC[#{content_col}{path} → {name}.{attrs:?}{}]",
                     if *optional { " optional" } else { "" }
-                )?;
-                input.fmt_indent(f, indent + 1)
+                )
             }
             Plan::DeriveParentId {
-                input,
-                col,
-                levels,
-                name,
-            } => {
-                writeln!(f, "{pad}navfID[#{col} ↑{levels} as {name}]")?;
-                input.fmt_indent(f, indent + 1)
-            }
-            Plan::DupElim { input } => {
-                writeln!(f, "{pad}DupElim")?;
-                input.fmt_indent(f, indent + 1)
-            }
+                col, levels, name, ..
+            } => format!("navfID[#{col} ↑{levels} as {name}]"),
+            Plan::DupElim { .. } => "DupElim".to_string(),
         }
+    }
+
+    fn fmt_indent(&self, f: &mut std::fmt::Formatter<'_>, indent: usize) -> std::fmt::Result {
+        writeln!(f, "{}{}", "  ".repeat(indent), self.op_label())?;
+        for c in self.children() {
+            c.fmt_indent(f, indent + 1)?;
+        }
+        Ok(())
     }
 }
 

@@ -12,6 +12,7 @@
 //! * **Figure 15** — rewriting the 20 XMark queries against the §5 view
 //!   set (setup/prune time, time to first rewriting, total time).
 
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 use smv_core::{contained, ContainOpts, Decision};
 use smv_datagen::{
     random_patterns, random_views, seed_views, xmark, xmark_query_patterns, SynthConfig,

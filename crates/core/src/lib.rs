@@ -12,6 +12,7 @@
 //!   derivation (§4.6).
 
 #![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod containment;
 

@@ -373,6 +373,8 @@ impl<'a> Rewriter<'a> {
     /// Runs Algorithm 1.
     pub fn run(&self) -> RewriteResult {
         let t0 = Instant::now();
+        let mut run_span = smv_obs::SpanGuard::enter("rewrite.run");
+        let mut setup_span = smv_obs::SpanGuard::enter("rewrite.setup");
         let mut result = RewriteResult::default();
         result.stats.views_total = self.views.len();
 
@@ -419,6 +421,9 @@ impl<'a> Rewriter<'a> {
         }
         result.stats.views_kept = m0.len();
         result.stats.setup = t0.elapsed();
+        setup_span.field("views_total", self.views.len() as u64);
+        setup_span.field("views_kept", m0.len() as u64);
+        drop(setup_span);
 
         // Prop 3.6 plan-size bound
         let bound = ((self.q.len().saturating_sub(1)) * self.s.len()).max(1);
@@ -542,6 +547,14 @@ impl<'a> Rewriter<'a> {
                 .sort_by(|a, b| a.est.cost.total_cmp(&b.est.cost));
         }
         result.stats.total = t0.elapsed();
+        run_span.field("pairs_explored", result.stats.pairs_explored as u64);
+        run_span.field("pairs_pruned", result.stats.pairs_pruned as u64);
+        run_span.field("rewritings", result.rewritings.len() as u64);
+        drop(run_span);
+        smv_obs::counter_add("rewrite.pairs_explored", result.stats.pairs_explored as u64);
+        smv_obs::counter_add("rewrite.pairs_pruned", result.stats.pairs_pruned as u64);
+        smv_obs::counter_add("rewrite.rewritings_found", result.rewritings.len() as u64);
+        smv_obs::observe("rewrite.total_ns", result.stats.total.as_nanos() as u64);
         result
     }
 

@@ -11,6 +11,7 @@
 //!
 //! All generators are deterministic given a seed.
 
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 pub mod corpora;
 pub mod dblp;
 pub mod pr2;

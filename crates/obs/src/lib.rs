@@ -1,0 +1,589 @@
+//! # smv-obs — zero-dependency tracing spans and metrics
+//!
+//! The observability layer the rest of the workspace reports into. Two
+//! halves, both built on `std` alone so the crate stays offline-friendly
+//! like `crates/shims`:
+//!
+//! * **Spans** — [`SpanGuard`] RAII timers (made with the [`span!`]
+//!   macro) that record nanosecond durations plus integer fields into a
+//!   global collector. The collector is gated on a single global flag:
+//!   while tracing is disabled (the default), entering a span is one
+//!   relaxed atomic load and no clock read, so instrumented hot paths
+//!   cost near-nothing in production.
+//! * **Metrics** — a [`MetricsRegistry`] of named counters, gauges and
+//!   log-bucketed histograms (for p50/p99 latency) that snapshots to
+//!   JSON. A process-wide registry is reachable through [`global`]; the
+//!   free functions [`counter_add`], [`gauge_set`], [`gauge_max`] and
+//!   [`observe`] write to it only while tracing is enabled, so they are
+//!   safe to call from hot paths.
+//!
+//! ```
+//! let _g = smv_obs::ScopedEnable::new(); // tracing on for this scope
+//! {
+//!     let mut s = smv_obs::span!("rewrite.run");
+//!     s.field("pairs_explored", 12);
+//! }
+//! smv_obs::observe("query.latency_ns", 1500);
+//! let spans = smv_obs::drain_spans();
+//! assert_eq!(spans.len(), 1);
+//! assert_eq!(spans[0].name, "rewrite.run");
+//! assert!(smv_obs::global().snapshot_json().contains("query.latency_ns"));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// global enable flag
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Is tracing globally enabled? One relaxed atomic load — callers may
+/// use this to skip metric computation entirely on hot paths.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn the global subscriber on or off. Spans entered while disabled
+/// never read the clock and are dropped without locking.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// RAII guard that enables tracing for a scope and restores the previous
+/// state on drop — what tests and `EXPLAIN ANALYZE` drivers use so they
+/// cannot leave the global flag flipped.
+pub struct ScopedEnable {
+    was: bool,
+}
+
+impl ScopedEnable {
+    /// Enable tracing until the guard drops.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let was = enabled();
+        set_enabled(true);
+        ScopedEnable { was }
+    }
+}
+
+impl Drop for ScopedEnable {
+    fn drop(&mut self) {
+        set_enabled(self.was);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// spans
+
+/// A finished span: name, wall time, and any integer fields attached
+/// while it was open.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Static name given at [`SpanGuard::enter`] (dot-separated by
+    /// convention, e.g. `"rewrite.run"`).
+    pub name: &'static str,
+    /// Wall-clock duration from enter to drop, in nanoseconds.
+    pub dur_ns: u64,
+    /// Integer fields recorded with [`SpanGuard::field`].
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+impl SpanRecord {
+    /// The value of field `key`, if recorded.
+    pub fn field(&self, key: &str) -> Option<u64> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    }
+}
+
+static SPANS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// An open span. Created by [`span!`] / [`SpanGuard::enter`]; on drop,
+/// if tracing was enabled at enter time, pushes a [`SpanRecord`] with
+/// the elapsed nanoseconds into the global collector.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+    fields: Vec<(&'static str, u64)>,
+}
+
+impl SpanGuard {
+    /// Open a span named `name`. When tracing is disabled this reads no
+    /// clock and allocates nothing.
+    #[inline]
+    pub fn enter(name: &'static str) -> SpanGuard {
+        SpanGuard {
+            name,
+            start: if enabled() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attach an integer field (no-op while the span is inert).
+    #[inline]
+    pub fn field(&mut self, key: &'static str, value: u64) {
+        if self.start.is_some() {
+            self.fields.push((key, value));
+        }
+    }
+
+    /// Is this span live (tracing was enabled when it opened)?
+    #[inline]
+    pub fn is_live(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(t) = self.start {
+            let rec = SpanRecord {
+                name: self.name,
+                dur_ns: t.elapsed().as_nanos() as u64,
+                fields: std::mem::take(&mut self.fields),
+            };
+            lock(&SPANS).push(rec);
+        }
+    }
+}
+
+/// Open a [`SpanGuard`] with an optional list of initial fields:
+/// `span!("exec.run")` or `span!("rewrite.run", "views" = n)`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+    ($name:expr, $($k:literal = $v:expr),+ $(,)?) => {{
+        let mut __s = $crate::SpanGuard::enter($name);
+        $(__s.field($k, $v as u64);)+
+        __s
+    }};
+}
+
+/// Take every finished span out of the global collector.
+pub fn drain_spans() -> Vec<SpanRecord> {
+    std::mem::take(&mut *lock(&SPANS))
+}
+
+// ---------------------------------------------------------------------------
+// histograms
+
+const BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram of `u64` samples. Bucket *i* holds values
+/// whose bit length is *i*, so relative error of a quantile estimate is
+/// bounded by 2× — plenty for latency p50/p99 — while recording is two
+/// adds and an increment.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Histogram {
+    const fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let idx = (u64::BITS - v.leading_zeros()) as usize; // bit length, 0 for v=0
+        self.buckets[idx.min(BUCKETS - 1)] += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0,1]`: the upper bound of the
+    /// bucket holding the q-th sample, clamped to the observed min/max.
+    /// Within 2× of the true value by construction.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // bucket i holds values of bit length i: [2^(i-1), 2^i - 1]
+                let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+// ---------------------------------------------------------------------------
+// metrics registry
+
+#[derive(Debug)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Named counters, gauges and log-bucketed histograms behind one mutex,
+/// snapshotable as JSON. Construct locally for scoped measurement (the
+/// bench harness does) or use the process-wide [`global`] registry.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry. `const`, so it can back a `static`.
+    pub const fn new() -> Self {
+        MetricsRegistry {
+            inner: Mutex::new(Inner {
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Add `delta` to counter `name` (created at 0 on first touch).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut g = lock(&self.inner);
+        match g.counters.get_mut(name) {
+            Some(c) => *c += delta,
+            None => {
+                g.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Set gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        lock(&self.inner).gauges.insert(name.to_string(), value);
+    }
+
+    /// Raise gauge `name` to `value` if higher (high-water marks).
+    pub fn gauge_max(&self, name: &str, value: i64) {
+        let mut g = lock(&self.inner);
+        match g.gauges.get_mut(name) {
+            Some(v) => *v = (*v).max(value),
+            None => {
+                g.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Record `value` into histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut g = lock(&self.inner);
+        match g.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::new();
+                h.record(value);
+                g.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        lock(&self.inner).counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        lock(&self.inner).gauges.get(name).copied()
+    }
+
+    /// A clone of histogram `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        lock(&self.inner).histograms.get(name).cloned()
+    }
+
+    /// Drop every metric.
+    pub fn reset(&self) {
+        let mut g = lock(&self.inner);
+        g.counters.clear();
+        g.gauges.clear();
+        g.histograms.clear();
+    }
+
+    /// Serialize every metric as a JSON object: counters and gauges as
+    /// numbers, histograms as `{count, sum, min, max, mean, p50, p90,
+    /// p99}` summaries. Keys are sorted, so output is deterministic.
+    pub fn snapshot_json(&self) -> String {
+        let g = lock(&self.inner);
+        let mut out = String::from("{\n  \"counters\": {");
+        push_entries(&mut out, g.counters.iter().map(|(k, v)| (k, v.to_string())));
+        out.push_str("},\n  \"gauges\": {");
+        push_entries(&mut out, g.gauges.iter().map(|(k, v)| (k, v.to_string())));
+        out.push_str("},\n  \"histograms\": {");
+        push_entries(
+            &mut out,
+            g.histograms.iter().map(|(k, h)| {
+                (
+                    k,
+                    format!(
+                        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                        h.count(),
+                        h.sum(),
+                        h.min(),
+                        h.max(),
+                        h.mean(),
+                        h.quantile(0.50),
+                        h.quantile(0.90),
+                        h.quantile(0.99),
+                    ),
+                )
+            }),
+        );
+        out.push_str("}\n}");
+        out
+    }
+}
+
+fn push_entries<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, String)>) {
+    let mut first = true;
+    for (k, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    \"");
+        for ch in k.chars() {
+            match ch {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push_str("\": ");
+        out.push_str(&v);
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+static GLOBAL: MetricsRegistry = MetricsRegistry::new();
+
+/// The process-wide registry that instrumented subsystems report into.
+pub fn global() -> &'static MetricsRegistry {
+    &GLOBAL
+}
+
+/// Add to a global counter — only while tracing is [`enabled`].
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if enabled() {
+        GLOBAL.counter_add(name, delta);
+    }
+}
+
+/// Set a global gauge — only while tracing is [`enabled`].
+#[inline]
+pub fn gauge_set(name: &str, value: i64) {
+    if enabled() {
+        GLOBAL.gauge_set(name, value);
+    }
+}
+
+/// Raise a global high-water gauge — only while tracing is [`enabled`].
+#[inline]
+pub fn gauge_max(name: &str, value: i64) {
+    if enabled() {
+        GLOBAL.gauge_max(name, value);
+    }
+}
+
+/// Record into a global histogram — only while tracing is [`enabled`].
+#[inline]
+pub fn observe(name: &str, value: u64) {
+    if enabled() {
+        GLOBAL.observe(name, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The span/metric tests share the process-global flag and sinks, so
+    /// they serialize on one mutex instead of racing under `cargo test`.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _s = lock(&SERIAL);
+        set_enabled(false);
+        drain_spans();
+        {
+            let mut g = span!("quiet");
+            g.field("x", 1);
+            assert!(!g.is_live());
+        }
+        assert!(drain_spans().is_empty());
+    }
+
+    #[test]
+    fn enabled_span_records_duration_and_fields() {
+        let _s = lock(&SERIAL);
+        drain_spans();
+        {
+            let _e = ScopedEnable::new();
+            let mut g = span!("work", "a" = 7);
+            g.field("b", 9);
+            std::hint::black_box(());
+        }
+        let spans = drain_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "work");
+        assert_eq!(spans[0].field("a"), Some(7));
+        assert_eq!(spans[0].field("b"), Some(9));
+    }
+
+    #[test]
+    fn scoped_enable_restores_prior_state() {
+        let _s = lock(&SERIAL);
+        set_enabled(false);
+        {
+            let _e = ScopedEnable::new();
+            assert!(enabled());
+            {
+                let _e2 = ScopedEnable::new();
+                assert!(enabled());
+            }
+            assert!(enabled());
+        }
+        assert!(!enabled());
+        drain_spans();
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000, 10_000, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100_000);
+        let p50 = h.quantile(0.5);
+        assert!((3..=127).contains(&p50), "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= 65_536, "p99={p99}");
+        assert!(p99 <= h.max());
+        // degenerate cases
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+        let mut z = Histogram::new();
+        z.record(0);
+        assert_eq!(z.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn registry_counts_gauges_and_snapshots() {
+        let r = MetricsRegistry::new();
+        r.counter_add("c", 2);
+        r.counter_add("c", 3);
+        r.gauge_set("g", -4);
+        r.gauge_max("hw", 5);
+        r.gauge_max("hw", 2);
+        r.observe("h", 1500);
+        assert_eq!(r.counter("c"), 5);
+        assert_eq!(r.gauge("g"), Some(-4));
+        assert_eq!(r.gauge("hw"), Some(5));
+        assert_eq!(r.histogram("h").unwrap().count(), 1);
+        let json = r.snapshot_json();
+        assert!(json.contains("\"c\": 5"), "{json}");
+        assert!(json.contains("\"g\": -4"), "{json}");
+        assert!(json.contains("\"count\": 1"), "{json}");
+        r.reset();
+        assert_eq!(r.counter("c"), 0);
+        assert!(r.histogram("h").is_none());
+    }
+
+    #[test]
+    fn guarded_free_functions_respect_the_flag() {
+        let _s = lock(&SERIAL);
+        set_enabled(false);
+        global().reset();
+        counter_add("off", 1);
+        observe("off.h", 10);
+        assert_eq!(global().counter("off"), 0);
+        {
+            let _e = ScopedEnable::new();
+            counter_add("on", 1);
+            gauge_max("on.g", 3);
+            observe("on.h", 10);
+        }
+        assert_eq!(global().counter("on"), 1);
+        assert_eq!(global().gauge("on.g"), Some(3));
+        global().reset();
+        drain_spans();
+    }
+}

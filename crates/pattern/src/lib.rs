@@ -9,6 +9,7 @@
 //!
 //! Containment and rewriting build on these primitives in `smv-core`.
 
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 pub mod annotate;
 pub mod ast;
 pub mod canonical;

@@ -17,6 +17,7 @@
 //! pretty-printing, incremental extension, and the statistics reported in
 //! the paper's Table 1.
 
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 pub mod dataguide;
 pub mod stats;
 

@@ -159,8 +159,12 @@ pub struct MaintenanceReport {
     /// maintenance strategy, delta or rebuild, pays before view work.
     pub ingest_ns: u64,
     /// Nanoseconds on maintenance proper: summary update, extent
-    /// delta/rebuild work, re-sharding and epoch publication.
+    /// delta/rebuild work and re-sharding (publication excluded —
+    /// see [`publish_ns`](Self::publish_ns)).
     pub maintain_ns: u64,
+    /// Nanoseconds atomically publishing the new epoch (snapshot
+    /// assembly and pointer swap) — the readers-visible cutover cost.
+    pub publish_ns: u64,
 }
 
 struct Registered {
@@ -308,6 +312,7 @@ impl EpochCatalog {
     /// and publishes the next epoch. Errors from [`LiveDoc::apply`]
     /// leave the store untouched (same epoch, same snapshot).
     pub fn apply(&mut self, batch: &UpdateBatch) -> Result<MaintenanceReport, LiveError> {
+        let mut apply_span = smv_obs::SpanGuard::enter("epoch.apply");
         let token_before = self.summary.geometry_token();
         let t_ingest = Instant::now();
         let applied = self.live.apply(batch)?;
@@ -376,6 +381,7 @@ impl EpochCatalog {
             geometry_changed,
             ingest_ns,
             maintain_ns: 0, // stamped before return
+            publish_ns: 0,  // stamped at publish
         };
 
         let mut new_extents: Vec<(String, NestedRelation, bool)> = Vec::new();
@@ -464,9 +470,21 @@ impl EpochCatalog {
             self.extents.insert(name, Arc::new(extent));
         }
 
-        self.publish();
-        report.epoch = self.epoch;
         report.maintain_ns = t_maintain.elapsed().as_nanos() as u64;
+        let t_publish = Instant::now();
+        self.publish();
+        report.publish_ns = t_publish.elapsed().as_nanos() as u64;
+        report.epoch = self.epoch;
+        apply_span.field("epoch", report.epoch);
+        apply_span.field("rows_killed", report.rows_killed as u64);
+        apply_span.field("rows_added", report.rows_added as u64);
+        drop(apply_span);
+        smv_obs::observe("epoch.ingest_ns", report.ingest_ns);
+        smv_obs::observe("epoch.maintain_ns", report.maintain_ns);
+        smv_obs::observe("epoch.publish_ns", report.publish_ns);
+        smv_obs::counter_add("epoch.batches_applied", 1);
+        smv_obs::counter_add("epoch.rows_killed", report.rows_killed as u64);
+        smv_obs::counter_add("epoch.rows_added", report.rows_added as u64);
         self.reports.push(report.clone());
         Ok(report)
     }

@@ -12,6 +12,7 @@
 //! document update batches and publishes immutable [`CatalogEpoch`]
 //! snapshots for queries.
 
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 pub mod cards;
 pub mod catalog;
 pub mod epoch;

@@ -15,6 +15,7 @@
 //! summary's batched ingest and the algebra's parallel structural joins
 //! share it without a dependency cycle.
 
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 pub mod ids;
 pub mod label;
 pub mod live;

@@ -9,6 +9,7 @@
 //! nested `for` inside a `return` becomes a **nested, optional** edge —
 //! the `n`-edge of Figure 1's view `V1`.
 
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 pub mod parser;
 pub mod translate;
 

@@ -13,8 +13,8 @@
 //! true best plan within a few executions.
 
 use smv_algebra::{
-    execute_profiled_with, ExecError, ExecOpts, FeedbackCards, FeedbackStore, NestedRelation,
-    ParHints, Plan, PlanEstimate, ViewProvider,
+    execute_profiled_with, explain_analyze, CostModel, ExecError, ExecOpts, Explain, FeedbackCards,
+    FeedbackStore, NestedRelation, ParHints, Plan, PlanEstimate, ViewProvider,
 };
 use smv_core::{rewrite_with_feedback, RewriteOpts, RewriteResult};
 use smv_pattern::Pattern;
@@ -35,6 +35,12 @@ pub struct AdaptiveRun {
     pub result: NestedRelation,
     /// How many equivalent rewritings were ranked.
     pub candidates: usize,
+    /// `EXPLAIN ANALYZE` of the executed plan: per-operator estimated
+    /// rows at *choice time* (the same feedback-corrected model that
+    /// ranked the candidates, before this run's profile was ingested)
+    /// against profiled actual rows, wall time and q-error. Render it
+    /// with `Display`.
+    pub explain: Explain,
 }
 
 /// A self-tuning query session over a materialized catalog.
@@ -279,13 +285,32 @@ impl<'a> AdaptiveSession<'a> {
         Some(
             match execute_profiled_with(&best.plan, provider, &exec_opts) {
                 Ok((result, profile)) => {
+                    // choice-time model: the q-errors in the explain show
+                    // exactly the misestimates this run's feedback corrects
+                    let explain = {
+                        let (vstore, summary): (&dyn ViewStore, &Summary) =
+                            match (self.source, &snap) {
+                                (Source::Static { summary, catalog }, _) => (catalog, summary),
+                                (Source::Epochs(_), Some(snap)) => (&**snap, snap.summary()),
+                                (Source::Epochs(_), None) => {
+                                    unreachable!("epoch source always snapshots")
+                                }
+                            };
+                        let cards = CatalogCards::over(vstore, summary);
+                        let fb_cards = FeedbackCards::new(&cards, &self.store);
+                        let model = CostModel::new(summary, &fb_cards).with_feedback(&self.store);
+                        explain_analyze(&best.plan, &model, &profile)
+                    };
                     self.store.ingest(&best.plan, &profile);
+                    smv_obs::counter_add("adaptive.runs", 1);
+                    smv_obs::observe("adaptive.result_rows", result.len() as u64);
                     Ok(AdaptiveRun {
                         actual_rows: result.len(),
                         est: best.est,
                         plan: best.plan,
                         result,
                         candidates,
+                        explain,
                     })
                 }
                 Err(e) => Err(e),
@@ -354,5 +379,20 @@ mod tests {
             second.actual_rows
         );
         assert!(session.store().ingests() >= 2);
+        // each run carries its EXPLAIN ANALYZE: choice-time estimates
+        // joined with the profiled actuals of the executed plan
+        assert!(first.explain.analyzed);
+        assert_eq!(
+            first.explain.root.actual_rows,
+            Some(first.actual_rows as u64)
+        );
+        assert!(
+            second.explain.max_q_error().unwrap() < first.explain.max_q_error().unwrap(),
+            "feedback tightened the estimates: {} -> {}",
+            first.explain.max_q_error().unwrap(),
+            second.explain.max_q_error().unwrap()
+        );
+        let txt = second.explain.to_string();
+        assert!(txt.contains("q-err"), "{txt}");
     }
 }

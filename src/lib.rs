@@ -45,13 +45,16 @@
 //! | [`advisor`] | workload-driven view selection (greedy benefit/byte) |
 //! | [`xquery`] | FLWR-subset parser + pattern translation (§1) |
 //! | [`datagen`] | XMark/DBLP/… generators and §5 workloads |
+//! | [`obs`] | zero-dependency tracing spans + metrics registry |
 
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 pub mod adaptive;
 
 pub use smv_advisor as advisor;
 pub use smv_algebra as algebra;
 pub use smv_core as core;
 pub use smv_datagen as datagen;
+pub use smv_obs as obs;
 pub use smv_pattern as pattern;
 pub use smv_summary as summary;
 pub use smv_views as views;
@@ -65,9 +68,9 @@ pub mod prelude {
         advise, advise_exhaustive, mine_candidates, Advice, AdvisorOpts, Workload,
     };
     pub use smv_algebra::{
-        execute, execute_profiled, execute_profiled_with, execute_with, CostModel, ExecOpts,
-        ExecProfile, FeedbackCards, FeedbackStore, NestedRelation, ParHints, Plan, PlanEstimate,
-        StructRel, WorkerPool,
+        execute, execute_profiled, execute_profiled_with, execute_with, explain, explain_analyze,
+        CostModel, ExecOpts, ExecProfile, Explain, ExplainNode, FeedbackCards, FeedbackStats,
+        FeedbackStore, NestedRelation, ParHints, Plan, PlanEstimate, StructRel, WorkerPool,
     };
     pub use smv_core::{
         best_rewriting_cost, contained, contained_in_union, equivalent, is_satisfiable, rewrite,
@@ -76,6 +79,7 @@ pub mod prelude {
     pub use smv_datagen::{
         pr7_document, pr7_views, xmark, xmark_query_patterns, Pr7Stream, XmarkConfig,
     };
+    pub use smv_obs::{MetricsRegistry, ScopedEnable, SpanRecord};
     pub use smv_pattern::{canonical_model, evaluate, parse_pattern, CanonOpts, Formula, Pattern};
     pub use smv_summary::{Summary, SummaryStats};
     pub use smv_views::{

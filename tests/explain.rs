@@ -1,0 +1,165 @@
+//! `EXPLAIN` / `EXPLAIN ANALYZE` surface tests.
+//!
+//! * Golden files: the rendered `EXPLAIN` of the best rewriting for each
+//!   bench-pr2 XMark query is pinned under `tests/golden/`. The renderer,
+//!   cost model, and plan choice are all deterministic for a fixed
+//!   document, so any drift in these files is a real behavior change.
+//!   Regenerate intentionally with `SMV_BLESS=1 cargo test --test explain`.
+//! * Property: `EXPLAIN ANALYZE` joins actuals to operators purely by
+//!   positional path, so every node's actual-row count must equal the
+//!   `ExecProfile` counter at that path — at every thread count, over
+//!   random documents and plan shapes covering the parallel code paths.
+
+use proptest::prelude::*;
+use smv::datagen::pr2_workload;
+use smv::prelude::*;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("explain_{name}.txt"))
+}
+
+fn golden_check(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("SMV_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).expect("bless golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden file {} — regenerate with SMV_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, want,
+        "EXPLAIN output drifted for `{name}` — if intended, rebless with SMV_BLESS=1"
+    );
+}
+
+/// The rendered `EXPLAIN` of each bench-pr2 XMark query's best (cost-
+/// ranked) rewriting matches its pinned golden file: operator heads,
+/// tree shape, and estimated rows are all stable.
+#[test]
+fn explain_golden_xmark_bench_queries() {
+    let doc = xmark(&XmarkConfig {
+        scale: 0.2,
+        ..Default::default()
+    });
+    let summary = Summary::of(&doc);
+    let cases = pr2_workload(IdScheme::OrdPath);
+    assert_eq!(cases.len(), 5, "golden set covers five bench queries");
+    for case in cases {
+        let mut catalog = Catalog::new();
+        for v in &case.views {
+            catalog.add(v.clone(), &doc);
+        }
+        let cards = CatalogCards::new(&catalog, &summary);
+        let ranked = rewrite_with_cards(
+            &case.query,
+            &case.views,
+            &summary,
+            &RewriteOpts::default(),
+            &cards,
+        );
+        assert!(
+            !ranked.rewritings.is_empty(),
+            "case {} must rewrite",
+            case.name
+        );
+        let model = CostModel::new(&summary, &cards);
+        let ex = explain(&ranked.rewritings[0].plan, &model);
+        assert!(!ex.analyzed);
+        let txt = ex.to_string();
+        assert!(!txt.contains("actual"), "plain EXPLAIN carries no actuals");
+        golden_check(case.name, &txt);
+    }
+}
+
+/// A strategy for small random labeled trees in parenthesized notation.
+fn tree_strategy() -> impl Strategy<Value = String> {
+    let leaf = (0u8..4, proptest::option::of(0i64..5)).prop_map(|(l, v)| match v {
+        Some(v) => format!("{}=\"{v}\"", (b'a' + l) as char),
+        None => format!("{}", (b'a' + l) as char),
+    });
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        (0u8..4, proptest::collection::vec(inner, 1..4))
+            .prop_map(|(l, kids)| format!("{}({})", (b'a' + l) as char, kids.join(" ")))
+    })
+    .prop_map(|body| format!("r({body})"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `EXPLAIN ANALYZE` is a faithful join against the profile: at every
+    /// thread count, every operator's `actual_rows` equals the
+    /// `ExecProfile` row counter at its path, the walk covers exactly the
+    /// profiled operators, and the root actual equals the result size.
+    #[test]
+    fn analyze_actuals_equal_profile_at_every_thread_count(
+        doc_src in tree_strategy(),
+        threads in 1usize..5,
+    ) {
+        use smv::algebra::{NoCards, Predicate};
+        let d = Document::from_parens(&doc_src);
+        let s = Summary::of(&d);
+        let mut catalog = Catalog::new();
+        for (name, pat) in [("va", "r(//a{id})"), ("vb", "r(//b{id,v})"), ("vc", "r(//*{id,l})")] {
+            catalog.add(View::new(name, parse_pattern(pat).unwrap(), IdScheme::OrdPath), &d);
+        }
+        let scan = |v: &str| Box::new(Plan::Scan { view: v.into() });
+        let plans = vec![
+            Plan::StructJoin {
+                left: scan("va"),
+                right: scan("vb"),
+                lcol: 0,
+                rcol: 0,
+                rel: StructRel::Ancestor,
+            },
+            Plan::Select {
+                input: Box::new(Plan::StructJoin {
+                    left: scan("va"),
+                    right: scan("vc"),
+                    lcol: 0,
+                    rcol: 0,
+                    rel: StructRel::Parent,
+                }),
+                pred: Predicate::NotNull { col: 0 },
+            },
+            Plan::Union {
+                inputs: vec![
+                    Plan::Project { input: scan("vb"), cols: vec![0] },
+                    Plan::Project { input: scan("va"), cols: vec![0] },
+                ],
+            },
+        ];
+        let model = CostModel::new(&s, &NoCards);
+        let opts = ExecOpts { threads, min_par_rows: 0, ..ExecOpts::default() };
+        for plan in &plans {
+            let (out, prof) = execute_profiled_with(plan, &catalog, &opts).unwrap();
+            let ex = explain_analyze(plan, &model, &prof);
+            prop_assert!(ex.analyzed);
+            let ops = ex.operators();
+            prop_assert_eq!(ops.len(), prof.len(), "walk covers the profile for\n{}", plan);
+            prop_assert_eq!(
+                ex.root.actual_rows,
+                Some(out.len() as u64),
+                "root actual is the result size at {} threads",
+                threads
+            );
+            for n in &ops {
+                prop_assert_eq!(
+                    n.actual_rows,
+                    prof.rows_at(&n.path),
+                    "actuals diverge at `{}` ({} threads) for\n{}",
+                    n.path, threads, plan
+                );
+                prop_assert!(n.q_error().is_some(), "analyzed node has a q-error");
+            }
+        }
+    }
+}

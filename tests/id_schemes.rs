@@ -131,10 +131,9 @@ fn executor_failure_injection() {
     let bad = Plan::Scan {
         view: "nope".into(),
     };
-    assert!(matches!(
-        execute(&bad, &catalog),
-        Err(ExecError::UnknownView(_))
-    ));
+    let err = execute(&bad, &catalog).unwrap_err();
+    assert!(matches!(err.kind(), ExecError::UnknownView(_)));
+    assert_eq!(err.op_path(), Some(""), "located at the root operator");
     // value predicate on an ID column is a type error
     let typed = Plan::Select {
         input: Box::new(Plan::Scan { view: "v".into() }),
@@ -143,13 +142,19 @@ fn executor_failure_injection() {
             formula: Formula::eq(Value::int(1)),
         },
     };
-    assert!(matches!(execute(&typed, &catalog), Err(ExecError::Type(_))));
+    assert!(matches!(
+        execute(&typed, &catalog).unwrap_err().kind(),
+        ExecError::Type(_)
+    ));
     // projecting a column out of range is a schema error
     let oob = Plan::Project {
         input: Box::new(Plan::Scan { view: "v".into() }),
         cols: vec![7],
     };
-    assert!(matches!(execute(&oob, &catalog), Err(ExecError::Schema(_))));
+    assert!(matches!(
+        execute(&oob, &catalog).unwrap_err().kind(),
+        ExecError::Schema(_)
+    ));
 }
 
 /// The catalog materializes per-scheme, and extents differ only in ID
