@@ -2,7 +2,7 @@
 //! in the paper's layout.
 //!
 //! ```text
-//! experiments [table1|fig13|fig14|fig15|bench-pr1|bench-pr2|bench-pr3|bench-pr4|all] [--scale <f>] [--out <path>]
+//! experiments [table1|fig13|fig14|fig15|bench-pr1|…|bench-pr9|all] [--scale <f>] [--out <path>]
 //! ```
 //!
 //! `bench-pr1` micro-benchmarks the executor hot paths this repo's PR 1
@@ -80,6 +80,20 @@
 //! embeds a snapshot of the metrics registry (rewriter counters, pool
 //! gauges, feedback hit/miss) in `BENCH_PR8.json`.
 //!
+//! `bench-pr9` measures the PR 9 multi-client query service: (a) a
+//! hot-query microbench — a Zipf-skewed mix served with the full cache
+//! stack (pattern / plan / result) against the same service with plan
+//! and result caching disabled, the headline being the cached speedup
+//! (CI asserts ≥5×); (b) a coherence run — every response, cold or
+//! cached, interleaved with `Pr7Stream` maintenance batches, is compared
+//! byte-for-byte against a fresh rank + sequential execute on the exact
+//! epoch snapshot it was served from (`cache_results_equivalent`,
+//! CI-asserted); (c) a simulated-client sweep at 1/2/4/8 concurrent
+//! clients with an updater thread applying batches mid-load, recording
+//! throughput and p50/p99 latency from the smv-obs `serve.latency_ns`
+//! histogram plus the admission scheduler's inter/intra verdict counts
+//! per scale. Results land in `BENCH_PR9.json`.
+//!
 //! `bench-pr3` exercises the PR 3 view advisor: it advises on the
 //! weighted `smv_datagen::pr3` XMark workload under a storage budget (90%
 //! of the all-singleton estimate), materializes the chosen set, and
@@ -122,6 +136,7 @@ fn main() {
         "bench-pr6" => bench_pr6(scale, &out.unwrap_or_else(|| "BENCH_PR6.json".into())),
         "bench-pr7" => bench_pr7(scale, &out.unwrap_or_else(|| "BENCH_PR7.json".into())),
         "bench-pr8" => bench_pr8(scale, &out.unwrap_or_else(|| "BENCH_PR8.json".into())),
+        "bench-pr9" => bench_pr9(scale, &out.unwrap_or_else(|| "BENCH_PR9.json".into())),
         "all" => {
             table1(scale);
             fig13();
@@ -130,7 +145,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use table1|fig13|fig14|fig15|bench-pr1|bench-pr2|bench-pr3|bench-pr4|bench-pr5|bench-pr6|bench-pr7|bench-pr8|all"
+                "unknown experiment `{other}`; use table1|fig13|fig14|fig15|bench-pr1|bench-pr2|bench-pr3|bench-pr4|bench-pr5|bench-pr6|bench-pr7|bench-pr8|bench-pr9|all"
             );
             std::process::exit(2);
         }
@@ -428,6 +443,192 @@ fn bench_pr7(scale: f64, out: &str) {
     );
     let json = format!(
         "{{\n  \"pr\": 7,\n  \"doc_nodes\": {doc_nodes},\n  \"host_cores\": {host_cores},\n  \"rounds\": {rounds},\n  \"maintenance_equivalent\": {maintenance_equivalent},\n  \"low_churn_speedup_ok\": {low_churn_speedup_ok},\n  \"churns\": [\n{}\n  ]\n}}\n",
+        lines.join(",\n"),
+    );
+    std::fs::write(out, json).expect("write bench json");
+    println!("wrote {out}");
+}
+
+/// PR 9 multi-client query-service benchmark → `BENCH_PR9.json`.
+fn bench_pr9(scale: f64, out: &str) {
+    use smv_algebra::{execute_with, ExecOpts};
+    use smv_core::{rewrite, RewriteOpts};
+    use smv_datagen::{pr7_document, pr7_views, Pr7Stream};
+    use smv_pattern::parse_pattern;
+    use smv_serve::{QueryService, ServiceConfig};
+    use smv_views::{RefreshPolicy, ViewStore};
+    use smv_xml::IdScheme;
+    use std::sync::Arc;
+
+    println!("== PR 9: multi-client query service, layered caches + admission scheduling ==");
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Zipf-skewed query mix over the pr7 views: rank-r weight ∝ 1/r. The
+    // last two entries are whitespace respellings of the two hottest
+    // texts, so the pattern cache's canonical-form sharing is on the hot
+    // path too.
+    const MIX: &[&str] = &[
+        "site(//name{id,v})",
+        "site(//item{id}(/name{id,v}))",
+        "site(//quantity{id,v})",
+        "site(//item{id}(?/name{id,v}))",
+        "site( // name { id , v } )",
+        "site( //item{id} ( /name{id,v} ) )",
+    ];
+    let weights: Vec<f64> = (0..MIX.len()).map(|r| 1.0 / (r + 1) as f64).collect();
+    let total_w: f64 = weights.iter().sum();
+    let cum: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w / total_w;
+            Some(*acc)
+        })
+        .collect();
+    // xorshift64* — deterministic Zipf sampling without an external RNG
+    let pick = |state: &mut u64| -> usize {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        let u = (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64;
+        cum.iter().position(|&c| u < c).unwrap_or(MIX.len() - 1)
+    };
+
+    let fresh = |threads: usize, plan_cache: bool, result_cache: bool| {
+        let svc = QueryService::new(
+            pr7_document(scale, 42),
+            IdScheme::OrdPath,
+            ServiceConfig {
+                threads,
+                plan_cache,
+                result_cache,
+                ..ServiceConfig::default()
+            },
+        );
+        svc.add_views(pr7_views(IdScheme::OrdPath), RefreshPolicy::Eager);
+        svc
+    };
+
+    // ---- (a) hot-query speedup: full cache stack vs caches disabled.
+    let cached = fresh(1, true, true);
+    let uncached = fresh(1, false, false);
+    let doc_nodes = cached.with_catalog(|c| c.live().doc().len());
+    println!(
+        "(pr7 XMark: {doc_nodes} nodes, {} queries in mix, host cores {host_cores})",
+        MIX.len()
+    );
+    for q in MIX {
+        cached.query(q).expect("mix query rewrites");
+        uncached.query(q).expect("mix query rewrites");
+    }
+    let samples = 15;
+    let cached_hot_ns = measure(samples, || {
+        for q in MIX {
+            cached.query(q).unwrap();
+        }
+    });
+    let uncached_hot_ns = measure(samples, || {
+        for q in MIX {
+            uncached.query(q).unwrap();
+        }
+    });
+    let cached_hot_speedup = uncached_hot_ns as f64 / cached_hot_ns.max(1) as f64;
+    let cached_hot_speedup_ok = cached_hot_speedup >= 5.0;
+    println!(
+        "hot mix: cached={cached_hot_ns}ns uncached={uncached_hot_ns}ns \
+         speedup={cached_hot_speedup:.1}x (>=5x: {cached_hot_speedup_ok})"
+    );
+
+    // ---- (b) cache coherence under interleaved maintenance: every
+    // response (cold and hot) must be byte-identical to a fresh rank +
+    // sequential execute against the exact snapshot it was served from.
+    let svc = fresh(0, true, true);
+    let mut stream = Pr7Stream::new(7);
+    let mut cache_results_equivalent = true;
+    let seq = ExecOpts {
+        threads: 1,
+        min_par_rows: 4096,
+        pool: None,
+        par_hints: None,
+    };
+    for _round in 0..5 {
+        for q in MIX {
+            for _ in 0..2 {
+                let resp = svc.query(q).expect("mix query rewrites");
+                let p = parse_pattern(q).unwrap();
+                let snap = &*resp.snapshot;
+                let r = rewrite(&p, snap.views(), snap.summary(), &RewriteOpts::default());
+                let oracle = execute_with(&r.rewritings[0].plan, snap, &seq)
+                    .expect("oracle executes")
+                    .rows;
+                cache_results_equivalent &= resp.rows.rows == oracle;
+            }
+        }
+        let batch = svc.with_catalog(|c| stream.next_batch(c.live(), 0.1));
+        svc.apply(&batch).expect("stream batches apply");
+    }
+    let coh = svc.stats();
+    println!(
+        "coherence across {} interleaved batches: {cache_results_equivalent} \
+         ({} result hits, {} entries invalidated)",
+        coh.batches_applied, coh.result_hits, coh.results_invalidated
+    );
+
+    // ---- (c) simulated-client sweep: Zipf mix + an updater thread
+    // interleaving maintenance batches, p50/p99 from the smv-obs
+    // latency histogram, scheduler verdicts per scale.
+    let client_scales = [1usize, 2, 4, 8];
+    let requests_total = 1200usize;
+    let mut lines: Vec<String> = Vec::new();
+    for &clients in &client_scales {
+        let svc = Arc::new(fresh(0, true, true));
+        let _e = smv_obs::ScopedEnable::new();
+        smv_obs::global().reset();
+        let per_client = requests_total / clients;
+        let t = Instant::now();
+        std::thread::scope(|s| {
+            for c in 0..clients {
+                let svc = Arc::clone(&svc);
+                let pick = &pick;
+                s.spawn(move || {
+                    let mut rng = 0x9e37_79b9_7f4a_7c15u64 ^ (c as u64 + 1);
+                    for _ in 0..per_client {
+                        svc.query(MIX[pick(&mut rng)]).expect("mix query rewrites");
+                    }
+                });
+            }
+            let upd = Arc::clone(&svc);
+            s.spawn(move || {
+                let mut stream = Pr7Stream::new(99);
+                for _ in 0..3 {
+                    let batch = upd.with_catalog(|c| stream.next_batch(c.live(), 0.05));
+                    upd.apply(&batch).expect("stream batches apply");
+                }
+            });
+        });
+        let wall_ns = t.elapsed().as_nanos().max(1) as u64;
+        let h = smv_obs::global()
+            .histogram("serve.latency_ns")
+            .expect("service records latency");
+        let (p50, p99) = (h.quantile(0.5), h.quantile(0.99));
+        let st = svc.stats();
+        let served = per_client * clients;
+        let throughput = served as f64 * 1e9 / wall_ns as f64;
+        println!(
+            "clients {clients}: {throughput:>9.0} q/s p50={p50:>8}ns p99={p99:>9}ns \
+             sched inter/intra={}/{} ({} update batches)",
+            st.sched_inter, st.sched_intra, st.batches_applied
+        );
+        lines.push(format!(
+            "    {{\"clients\": {clients}, \"requests\": {served}, \"throughput_qps\": {throughput:.1}, \
+             \"p50_ns\": {p50}, \"p99_ns\": {p99}, \"sched_inter\": {}, \"sched_intra\": {}, \
+             \"batches_applied\": {}}}",
+            st.sched_inter, st.sched_intra, st.batches_applied
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"pr\": 9,\n  \"doc_nodes\": {doc_nodes},\n  \"host_cores\": {host_cores},\n  \"mix_queries\": {},\n  \"samples\": {samples},\n  \"cached_hot_ns\": {cached_hot_ns},\n  \"uncached_hot_ns\": {uncached_hot_ns},\n  \"cached_hot_speedup\": {cached_hot_speedup:.3},\n  \"cached_hot_speedup_ok\": {cached_hot_speedup_ok},\n  \"cache_results_equivalent\": {cache_results_equivalent},\n  \"scales\": [\n{}\n  ]\n}}\n",
+        MIX.len(),
         lines.join(",\n"),
     );
     std::fs::write(out, json).expect("write bench json");

@@ -34,8 +34,8 @@
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 // ---------------------------------------------------------------------------
@@ -279,8 +279,28 @@ impl Histogram {
 #[derive(Debug)]
 struct Inner {
     counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, i64>,
+    /// Gauges are atomic cells so high-water updates ([`MetricsRegistry::gauge_max`])
+    /// are a lock-free CAS once the cell exists — concurrent clients
+    /// racing to raise the same mark (p99 queue depth, in-flight count)
+    /// always converge on the true maximum, and never serialize on the
+    /// map mutex for the update itself.
+    gauges: BTreeMap<String, Arc<AtomicI64>>,
     histograms: BTreeMap<String, Histogram>,
+}
+
+impl Inner {
+    /// The gauge cell for `name`, created at `init` on first touch.
+    fn gauge_cell(map: &Mutex<Inner>, name: &str, init: i64) -> (Arc<AtomicI64>, bool) {
+        let mut g = lock(map);
+        match g.gauges.get(name) {
+            Some(cell) => (Arc::clone(cell), false),
+            None => {
+                let cell = Arc::new(AtomicI64::new(init));
+                g.gauges.insert(name.to_string(), Arc::clone(&cell));
+                (cell, true)
+            }
+        }
+    }
 }
 
 /// Named counters, gauges and log-bucketed histograms behind one mutex,
@@ -322,16 +342,28 @@ impl MetricsRegistry {
 
     /// Set gauge `name` to `value`.
     pub fn gauge_set(&self, name: &str, value: i64) {
-        lock(&self.inner).gauges.insert(name.to_string(), value);
+        let (cell, created) = Inner::gauge_cell(&self.inner, name, value);
+        if !created {
+            cell.store(value, Ordering::Relaxed);
+        }
     }
 
     /// Raise gauge `name` to `value` if higher (high-water marks).
+    ///
+    /// The raise is a CAS loop on the gauge's atomic cell, so concurrent
+    /// writers always settle on the true maximum: a writer whose value is
+    /// already beaten retries against the observed current value and
+    /// gives up only when the cell holds something at least as high.
     pub fn gauge_max(&self, name: &str, value: i64) {
-        let mut g = lock(&self.inner);
-        match g.gauges.get_mut(name) {
-            Some(v) => *v = (*v).max(value),
-            None => {
-                g.gauges.insert(name.to_string(), value);
+        let (cell, created) = Inner::gauge_cell(&self.inner, name, value);
+        if created {
+            return;
+        }
+        let mut cur = cell.load(Ordering::Relaxed);
+        while value > cur {
+            match cell.compare_exchange_weak(cur, value, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
             }
         }
     }
@@ -356,7 +388,10 @@ impl MetricsRegistry {
 
     /// Current value of gauge `name`, if set.
     pub fn gauge(&self, name: &str) -> Option<i64> {
-        lock(&self.inner).gauges.get(name).copied()
+        lock(&self.inner)
+            .gauges
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
     }
 
     /// A clone of histogram `name`, if any samples were recorded.
@@ -380,7 +415,12 @@ impl MetricsRegistry {
         let mut out = String::from("{\n  \"counters\": {");
         push_entries(&mut out, g.counters.iter().map(|(k, v)| (k, v.to_string())));
         out.push_str("},\n  \"gauges\": {");
-        push_entries(&mut out, g.gauges.iter().map(|(k, v)| (k, v.to_string())));
+        push_entries(
+            &mut out,
+            g.gauges
+                .iter()
+                .map(|(k, v)| (k, v.load(Ordering::Relaxed).to_string())),
+        );
         out.push_str("},\n  \"histograms\": {");
         push_entries(
             &mut out,
@@ -565,6 +605,39 @@ mod tests {
         r.reset();
         assert_eq!(r.counter("c"), 0);
         assert!(r.histogram("h").is_none());
+    }
+
+    #[test]
+    fn gauge_max_is_exact_under_concurrent_writers() {
+        // Regression: the high-water update is a CAS loop, so N threads
+        // racing to publish their own maxima must leave exactly the
+        // global maximum behind — no lost update may shadow it. Values
+        // are interleaved so every thread both wins and loses races.
+        let r = MetricsRegistry::new();
+        let threads = 8usize;
+        let per_thread = 5_000i64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let r = &r;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        // thread t's sequence peaks at t's stripe of the
+                        // global range; the overall max is written exactly
+                        // once, by one thread, mid-stream
+                        let v = i * threads as i64 + t as i64;
+                        r.gauge_max("hw", v);
+                        r.gauge_max("hw", v / 2); // stale re-publishes must lose
+                    }
+                });
+            }
+        });
+        let want = (per_thread - 1) * threads as i64 + (threads as i64 - 1);
+        assert_eq!(r.gauge("hw"), Some(want));
+        // gauge_set still overwrites unconditionally
+        r.gauge_set("hw", -1);
+        assert_eq!(r.gauge("hw"), Some(-1));
+        r.gauge_max("hw", 0);
+        assert_eq!(r.gauge("hw"), Some(0));
     }
 
     #[test]

@@ -359,6 +359,32 @@ impl Pattern {
     }
 }
 
+/// The canonical textual form of a pattern — the cache key the query
+/// service's pattern and plan caches are built on.
+///
+/// The rendering is **injective up to pattern identity**: it serializes
+/// every semantically meaningful part of the pattern (labels, axes,
+/// optional/nested edge flags, stored attributes, return marks, value
+/// predicates in the parser's own grammar) in a fixed traversal order, so
+///
+/// * two patterns with equal canonical form are semantically identical —
+///   they annotate, rewrite and execute identically (the property
+///   `tests/properties.rs` pins), and
+/// * the round-trip is idempotent: `parse_pattern(canonical_form(p))`
+///   yields a pattern with the same canonical form and the same
+///   semantics as `p`. (The one normalization the round-trip performs is
+///   dropping a redundant explicit `ret` mark from a node that already
+///   stores attributes — attribute-bearing nodes are return nodes either
+///   way.)
+///
+/// Sibling order is deliberately **preserved**, not sorted: return-node
+/// order (and therefore output column order) follows pattern node order,
+/// so patterns differing only in sibling order produce differently laid
+/// out results and must not share a cache entry.
+pub fn canonical_form(p: &Pattern) -> String {
+    p.to_string()
+}
+
 impl std::fmt::Display for Pattern {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         fn write_node(
@@ -501,6 +527,30 @@ mod tests {
         let grafted = host.graft(host.root(), &p, b);
         assert_eq!(host.node(grafted).axis, Axis::Descendant);
         assert_eq!(host.to_string(), "r(//b{id}(?/*))");
+    }
+
+    #[test]
+    fn canonical_form_round_trips_and_normalizes_redundant_ret() {
+        use crate::parser::parse_pattern;
+        // A node carrying both stored attrs and an explicit ret mark: the
+        // canonical form absorbs the redundant mark (attrs imply return),
+        // and the round-trip is idempotent and semantics-preserving.
+        let mut p = Pattern::new(Some(Label::intern("a")));
+        let b = p.add_child(p.root(), Axis::Descendant, Some(Label::intern("b")));
+        p.node_mut(b).attrs.value = true;
+        p.node_mut(b).ret = true;
+        let form = canonical_form(&p);
+        assert_eq!(form, "a(//b{v})");
+        let p2 = parse_pattern(&form).unwrap();
+        assert_eq!(canonical_form(&p2), form, "idempotent under reparse");
+        assert_eq!(p2.return_nodes(), p.return_nodes());
+        assert_eq!(p2.arity(), p.arity());
+
+        // Sibling order is preserved, not sorted: swapped children must
+        // produce distinct canonical forms (output column order differs).
+        let left = parse_pattern("r(/a{v}, /b{v})").unwrap();
+        let right = parse_pattern("r(/b{v}, /a{v})").unwrap();
+        assert_ne!(canonical_form(&left), canonical_form(&right));
     }
 
     #[test]

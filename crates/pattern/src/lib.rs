@@ -18,7 +18,7 @@ pub mod matching;
 pub mod parser;
 
 pub use annotate::{associated_paths, return_paths};
-pub use ast::{Attrs, Axis, PNode, PNodeId, Pattern};
+pub use ast::{canonical_form, Attrs, Axis, PNode, PNodeId, Pattern};
 pub use canonical::{canonical_model, CTree, CanonOpts, CanonicalModel};
 pub use formula::{Bound, Formula, Interval};
 pub use matching::{evaluate, Assignment, MatchTarget, Matcher};

@@ -1,0 +1,471 @@
+//! The service's three cache layers.
+//!
+//! Each layer is an independently locked, capacity-bounded map — the
+//! service composes them per request, and nothing here knows about
+//! epochs beyond what its keys encode:
+//!
+//! * [`PatternCache`] — query text → parsed pattern, with spellings that
+//!   render to the same canonical form sharing one entry;
+//! * [`PlanCache`] — keyed by canonical-form fingerprint × summary
+//!   geometry token × epoch, so an entry can never outlive the statistics
+//!   and view set it was ranked against;
+//! * [`ResultCache`] — keyed by canonical-form fingerprint × plan
+//!   fingerprint, with a view → keys reverse index (the
+//!   `FeedbackStore::invalidate_fingerprints_touching` idea applied to
+//!   rows): maintenance kills exactly the entries whose read set was
+//!   touched, and untouched entries keep serving across epoch bumps —
+//!   their extents are `Arc`-identical to the live ones, so the cached
+//!   bytes equal a fresh execution.
+//!
+//! Eviction is insertion-order (FIFO) everywhere: the service's hot set
+//! is refreshed by re-insertion after invalidation, and FIFO avoids
+//! per-hit bookkeeping on the fast path.
+
+use smv_algebra::{NestedRelation, Plan, PlanEstimate};
+use smv_pattern::{canonical_form, parse_pattern, Pattern, PatternParseError};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a over a byte string — the same hash family as
+/// [`smv_algebra::plan_fingerprint`], applied to canonical pattern text.
+pub fn text_fingerprint(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// A parsed, canonicalized query pattern — what the pattern cache hands
+/// to the planning layers.
+pub struct CachedPattern {
+    /// The parsed pattern.
+    pub pattern: Pattern,
+    /// Its canonical form ([`smv_pattern::canonical_form`]).
+    pub canon: String,
+    /// [`text_fingerprint`] of the canonical form — the key the plan and
+    /// result caches build on.
+    pub canon_fp: u64,
+}
+
+struct PatternCacheInner {
+    by_text: HashMap<String, Arc<CachedPattern>>,
+    by_canon: HashMap<String, Arc<CachedPattern>>,
+    text_order: VecDeque<String>,
+    canon_order: VecDeque<String>,
+}
+
+/// Layer 1: query text → parsed pattern. Two spellings with the same
+/// canonical form (whitespace, a redundant explicit `ret`) share one
+/// [`CachedPattern`].
+pub struct PatternCache {
+    inner: Mutex<PatternCacheInner>,
+    capacity: usize,
+}
+
+impl PatternCache {
+    /// An empty cache evicting (FIFO) beyond `capacity` entries.
+    pub fn new(capacity: usize) -> PatternCache {
+        PatternCache {
+            inner: Mutex::new(PatternCacheInner {
+                by_text: HashMap::new(),
+                by_canon: HashMap::new(),
+                text_order: VecDeque::new(),
+                canon_order: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Resolves `text` to a parsed pattern, parsing at most once per
+    /// spelling. Returns the entry and whether it was a hit.
+    pub fn get_or_parse(
+        &self,
+        text: &str,
+    ) -> Result<(Arc<CachedPattern>, bool), PatternParseError> {
+        {
+            let inner = self.inner.lock().expect("pattern cache lock");
+            if let Some(e) = inner.by_text.get(text) {
+                return Ok((Arc::clone(e), true));
+            }
+        }
+        let pattern = parse_pattern(text)?;
+        let canon = canonical_form(&pattern);
+        let mut inner = self.inner.lock().expect("pattern cache lock");
+        // share the entry of an equal-canonical-form spelling seen before
+        let entry = match inner.by_canon.get(&canon) {
+            Some(e) => Arc::clone(e),
+            None => {
+                let e = Arc::new(CachedPattern {
+                    canon_fp: text_fingerprint(&canon),
+                    canon: canon.clone(),
+                    pattern,
+                });
+                if inner.by_canon.len() >= self.capacity {
+                    if let Some(old) = inner.canon_order.pop_front() {
+                        inner.by_canon.remove(&old);
+                    }
+                }
+                inner.by_canon.insert(canon.clone(), Arc::clone(&e));
+                inner.canon_order.push_back(canon);
+                e
+            }
+        };
+        if inner.by_text.len() >= self.capacity {
+            if let Some(old) = inner.text_order.pop_front() {
+                inner.by_text.remove(&old);
+            }
+        }
+        inner.by_text.insert(text.to_string(), Arc::clone(&entry));
+        inner.text_order.push_back(text.to_string());
+        Ok((entry, false))
+    }
+
+    /// Number of distinct spellings cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("pattern cache lock").by_text.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The plan-cache key: which canonical query, ranked against which
+/// summary geometry, at which epoch. The epoch component makes every
+/// entry stale the moment stats or views change — `apply`, `refresh` and
+/// view registration all publish a new epoch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PlanKey {
+    /// [`text_fingerprint`] of the pattern's canonical form.
+    pub canon_fp: u64,
+    /// [`smv_summary::Summary::geometry_token`] of the ranked-against
+    /// summary snapshot.
+    pub geometry: (u64, u64),
+    /// The epoch the ranking saw.
+    pub epoch: u64,
+}
+
+/// A ranked rewriting, ready to execute.
+pub struct RankedPlan {
+    /// The cheapest plan found.
+    pub plan: Plan,
+    /// [`smv_algebra::plan_fingerprint`] of [`Self::plan`].
+    pub fingerprint: u64,
+    /// Its estimate at ranking time.
+    pub est: PlanEstimate,
+    /// How many equivalent rewritings were ranked.
+    pub candidates: usize,
+}
+
+struct PlanCacheInner {
+    map: HashMap<PlanKey, Arc<RankedPlan>>,
+    order: VecDeque<PlanKey>,
+}
+
+/// Layer 2: ranked rewritings, reused until stats or views change.
+pub struct PlanCache {
+    inner: Mutex<PlanCacheInner>,
+    capacity: usize,
+}
+
+impl PlanCache {
+    /// An empty cache evicting (FIFO) beyond `capacity` entries.
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(PlanCacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The cached ranking for `key`, if present.
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<RankedPlan>> {
+        self.inner
+            .lock()
+            .expect("plan cache lock")
+            .map
+            .get(key)
+            .map(Arc::clone)
+    }
+
+    /// Caches a ranking.
+    pub fn insert(&self, key: PlanKey, plan: Arc<RankedPlan>) {
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        while inner.map.len() >= self.capacity {
+            match inner.order.pop_front() {
+                Some(old) => {
+                    inner.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+        if inner.map.insert(key, plan).is_none() {
+            inner.order.push_back(key);
+        }
+    }
+
+    /// Drops every entry ranked before `epoch` (their key can never be
+    /// looked up again — lookups always use the current epoch). Returns
+    /// how many entries died.
+    pub fn purge_below(&self, epoch: u64) -> usize {
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        let before = inner.map.len();
+        inner.map.retain(|k, _| k.epoch >= epoch);
+        let map = std::mem::take(&mut inner.map);
+        inner.order.retain(|k| map.contains_key(k));
+        inner.map = map;
+        before - inner.map.len()
+    }
+
+    /// Number of cached rankings.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache lock").map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The result-cache key. The *plan* fingerprint is part of the key: a
+/// cached row set is the deterministic output of one plan over extents
+/// that invalidation guarantees unchanged — if re-ranking after an epoch
+/// bump picks a different plan, the key misses and the query recomputes
+/// (row order may differ between equivalent plans).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ResultKey {
+    /// [`text_fingerprint`] of the pattern's canonical form.
+    pub canon_fp: u64,
+    /// [`smv_algebra::plan_fingerprint`] of the executed plan.
+    pub plan_fp: u64,
+}
+
+struct ResultEntry {
+    rows: Arc<NestedRelation>,
+    reads: Vec<String>,
+}
+
+struct ResultCacheInner {
+    map: HashMap<ResultKey, ResultEntry>,
+    by_view: HashMap<String, HashSet<ResultKey>>,
+    order: VecDeque<ResultKey>,
+}
+
+/// Layer 3: materialized answers of hot queries, killed by maintenance
+/// deltas through a view → keys reverse index.
+pub struct ResultCache {
+    inner: Mutex<ResultCacheInner>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// An empty cache evicting (FIFO) beyond `capacity` entries.
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(ResultCacheInner {
+                map: HashMap::new(),
+                by_view: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The cached rows for `key`, if alive.
+    pub fn get(&self, key: &ResultKey) -> Option<Arc<NestedRelation>> {
+        self.inner
+            .lock()
+            .expect("result cache lock")
+            .map
+            .get(key)
+            .map(|e| Arc::clone(&e.rows))
+    }
+
+    /// Caches `rows` under `key` with its read set, but only if `admit`
+    /// still holds under the cache lock. The service passes a
+    /// mutation-sequence check: a result computed against a snapshot
+    /// that maintenance has since invalidated must not slip in *after*
+    /// the invalidation sweep — evaluating the check and inserting as
+    /// one critical section closes that race. Returns whether the entry
+    /// was admitted.
+    pub fn insert_if(
+        &self,
+        key: ResultKey,
+        rows: Arc<NestedRelation>,
+        reads: Vec<String>,
+        admit: &dyn Fn() -> bool,
+    ) -> bool {
+        let mut inner = self.inner.lock().expect("result cache lock");
+        if !admit() {
+            return false;
+        }
+        while inner.map.len() >= self.capacity {
+            match inner.order.pop_front() {
+                Some(old) => {
+                    Self::remove_locked(&mut inner, &old);
+                }
+                None => break,
+            }
+        }
+        if let Some(prev) = inner.map.insert(key, ResultEntry { rows, reads }) {
+            for v in prev.reads {
+                if let Some(set) = inner.by_view.get_mut(&v) {
+                    set.remove(&key);
+                }
+            }
+        } else {
+            inner.order.push_back(key);
+        }
+        let reads: Vec<String> = inner.map[&key].reads.clone();
+        for v in reads {
+            inner.by_view.entry(v).or_default().insert(key);
+        }
+        true
+    }
+
+    fn remove_locked(inner: &mut ResultCacheInner, key: &ResultKey) {
+        if let Some(e) = inner.map.remove(key) {
+            for v in e.reads {
+                if let Some(set) = inner.by_view.get_mut(&v) {
+                    set.remove(key);
+                    if set.is_empty() {
+                        inner.by_view.remove(&v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Kills every entry whose read set meets `views` — the maintenance
+    /// delta → cache invalidation edge. Returns how many entries died.
+    pub fn invalidate_views<S: AsRef<str>>(&self, views: &[S]) -> usize {
+        let mut inner = self.inner.lock().expect("result cache lock");
+        let mut doomed: HashSet<ResultKey> = HashSet::new();
+        for v in views {
+            if let Some(set) = inner.by_view.get(v.as_ref()) {
+                doomed.extend(set.iter().copied());
+            }
+        }
+        for key in &doomed {
+            Self::remove_locked(&mut inner, key);
+        }
+        let map = std::mem::take(&mut inner.map);
+        inner.order.retain(|k| map.contains_key(k));
+        inner.map = map;
+        doomed.len()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("result cache lock").map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smv_algebra::{Plan, Schema};
+
+    fn rel() -> Arc<NestedRelation> {
+        Arc::new(NestedRelation::new(Schema { cols: Vec::new() }, Vec::new()))
+    }
+
+    #[test]
+    fn pattern_cache_shares_by_canonical_form() {
+        let cache = PatternCache::new(8);
+        let (a, hit_a) = cache.get_or_parse("a(/b{v})").unwrap();
+        assert!(!hit_a);
+        let (b, hit_b) = cache.get_or_parse("a ( / b { v } )").unwrap();
+        assert!(!hit_b, "different spelling: a text miss");
+        assert!(Arc::ptr_eq(&a, &b), "…but the same shared entry");
+        let (c, hit_c) = cache.get_or_parse("a(/b{v})").unwrap();
+        assert!(hit_c);
+        assert!(Arc::ptr_eq(&a, &c));
+        assert!(cache.get_or_parse("a(/b{").is_err());
+    }
+
+    #[test]
+    fn plan_cache_purges_stale_epochs() {
+        let cache = PlanCache::new(8);
+        let key = |epoch| PlanKey {
+            canon_fp: 1,
+            geometry: (0, 0),
+            epoch,
+        };
+        for e in 1..=3 {
+            cache.insert(
+                key(e),
+                Arc::new(RankedPlan {
+                    plan: Plan::Scan { view: "v".into() },
+                    fingerprint: e,
+                    est: PlanEstimate {
+                        rows: 0.0,
+                        cost: 0.0,
+                    },
+                    candidates: 1,
+                }),
+            );
+        }
+        assert_eq!(cache.purge_below(3), 2);
+        assert!(cache.get(&key(2)).is_none());
+        assert_eq!(cache.get(&key(3)).unwrap().fingerprint, 3);
+    }
+
+    #[test]
+    fn result_cache_reverse_index_kills_only_touched_entries() {
+        let cache = ResultCache::new(8);
+        let k1 = ResultKey {
+            canon_fp: 1,
+            plan_fp: 1,
+        };
+        let k2 = ResultKey {
+            canon_fp: 2,
+            plan_fp: 2,
+        };
+        assert!(cache.insert_if(k1, rel(), vec!["va".into(), "vb".into()], &|| true));
+        assert!(cache.insert_if(k2, rel(), vec!["vc".into()], &|| true));
+        assert_eq!(cache.invalidate_views(&["vb"]), 1);
+        assert!(cache.get(&k1).is_none(), "touched entry dies");
+        assert!(cache.get(&k2).is_some(), "untouched entry survives");
+        assert!(
+            !cache.insert_if(k1, rel(), vec!["va".into()], &|| false),
+            "failed admission check rejects the insert"
+        );
+        assert!(cache.get(&k1).is_none());
+    }
+
+    #[test]
+    fn result_cache_evicts_fifo_at_capacity() {
+        let cache = ResultCache::new(2);
+        for i in 0..3u64 {
+            let k = ResultKey {
+                canon_fp: i,
+                plan_fp: i,
+            };
+            assert!(cache.insert_if(k, rel(), vec![format!("v{i}")], &|| true));
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(
+            cache
+                .get(&ResultKey {
+                    canon_fp: 0,
+                    plan_fp: 0
+                })
+                .is_none(),
+            "oldest evicted"
+        );
+        // the evicted entry's reverse-index edges are gone too
+        assert_eq!(cache.invalidate_views(&["v0"]), 0);
+    }
+}

@@ -1,0 +1,726 @@
+//! The long-running query service.
+//!
+//! [`QueryService`] owns an [`EpochCatalog`], an explicitly sized
+//! [`WorkerPool`] shared by ingest and queries, the three cache layers
+//! of [`crate::cache`], an [`AdmissionScheduler`] and a
+//! [`FeedbackStore`]. It is `Sync`: clients call [`QueryService::query`]
+//! from any number of threads while maintenance runs through
+//! [`QueryService::apply`] on another.
+//!
+//! A request flows pattern cache → snapshot → plan cache → scheduler →
+//! result cache → execute, and every response reports which layers hit,
+//! the epoch served, and the scheduling decision.
+//!
+//! **Coherence.** A cached result must be byte-identical to a fresh
+//! execution against the current snapshot. Three mechanisms compose to
+//! guarantee that:
+//!
+//! 1. results are keyed by *plan* fingerprint — equivalent plans may
+//!    order rows differently, so a re-ranked plan misses rather than
+//!    serving another plan's bytes;
+//! 2. maintenance kills every entry whose read set it touched (the
+//!    reverse index in [`crate::cache::ResultCache`]), so a surviving
+//!    entry's extents are `Arc`-identical to the live ones and
+//!    re-executing its plan would reproduce its bytes;
+//! 3. an entry computed against a pre-maintenance snapshot can't be
+//!    inserted *after* the kill sweep: mutators bump a mutation sequence
+//!    before sweeping, and inserts re-check the sequence under the cache
+//!    lock ([`crate::cache::ResultCache::insert_if`]).
+
+use crate::cache::{PatternCache, PlanCache, PlanKey, RankedPlan, ResultCache, ResultKey};
+use crate::scheduler::{AdmissionScheduler, SchedDecision, SchedMode};
+use smv_algebra::{
+    execute_profiled_with, plan_fingerprint, ExecError, ExecOpts, FeedbackCards, FeedbackStore,
+    NestedRelation, ParHints, PlanEstimate, WorkerPool,
+};
+use smv_core::{rewrite_with_feedback, RewriteOpts};
+use smv_pattern::PatternParseError;
+use smv_views::{
+    CatalogCards, CatalogEpoch, EpochCatalog, MaintenanceReport, RefreshPolicy, View, ViewStore,
+};
+use smv_xml::{Document, IdScheme, LiveError, UpdateBatch};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Everything a request can fail with.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The query text does not parse.
+    Parse(PatternParseError),
+    /// The bounded search found no rewriting over the registered views.
+    NoRewriting,
+    /// The chosen plan failed to execute.
+    Exec(ExecError),
+    /// An update batch was rejected by the live document.
+    Update(LiveError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Parse(e) => write!(f, "parse error: {e}"),
+            ServeError::NoRewriting => f.write_str("no rewriting over the registered views"),
+            ServeError::Exec(e) => write!(f, "execution error: {e}"),
+            ServeError::Update(e) => write!(f, "update rejected: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<PatternParseError> for ServeError {
+    fn from(e: PatternParseError) -> ServeError {
+        ServeError::Parse(e)
+    }
+}
+
+impl From<ExecError> for ServeError {
+    fn from(e: ExecError) -> ServeError {
+        ServeError::Exec(e)
+    }
+}
+
+impl From<LiveError> for ServeError {
+    fn from(e: LiveError) -> ServeError {
+        ServeError::Update(e)
+    }
+}
+
+/// Service construction knobs. `..Default::default()` is a sensible
+/// serving configuration; benchmarks flip the cache switches off to
+/// measure what each layer buys.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker-pool size (`0` = the host's available parallelism). The
+    /// one pool this creates executes queries *and* materializes views
+    /// registered through [`QueryService::add_views`].
+    pub threads: usize,
+    /// [`ExecOpts::min_par_rows`] for executed plans, and the
+    /// scheduler's fan-out floor.
+    pub min_par_rows: usize,
+    /// Pattern-cache capacity (distinct spellings / canonical forms).
+    pub pattern_cache_capacity: usize,
+    /// Plan-cache capacity (rankings).
+    pub plan_cache_capacity: usize,
+    /// Result-cache capacity (materialized answers).
+    pub result_cache_capacity: usize,
+    /// Master switch for the plan cache (layer 2).
+    pub plan_cache: bool,
+    /// Master switch for the result cache (layer 3).
+    pub result_cache: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            threads: 0,
+            min_par_rows: ExecOpts::default().min_par_rows,
+            pattern_cache_capacity: 1024,
+            plan_cache_capacity: 1024,
+            result_cache_capacity: 256,
+            plan_cache: true,
+            result_cache: true,
+        }
+    }
+}
+
+/// One served answer.
+pub struct QueryResponse {
+    /// The result rows (shared with the cache — cheap to clone).
+    pub rows: Arc<NestedRelation>,
+    /// The epoch snapshot the answer is consistent with — clients that
+    /// need follow-up reads at the same version keep it; coherence tests
+    /// re-execute against it.
+    pub snapshot: Arc<CatalogEpoch>,
+    /// The epoch the answer is consistent with.
+    pub epoch: u64,
+    /// Fingerprint of the executed (or cached) plan.
+    pub plan_fingerprint: u64,
+    /// The plan's estimate at ranking time.
+    pub est: PlanEstimate,
+    /// Equivalent rewritings ranked when the plan was chosen.
+    pub candidates: usize,
+    /// Layer 1 hit: the query text (or its canonical form) was already
+    /// parsed.
+    pub pattern_cache_hit: bool,
+    /// Layer 2 hit: the ranking was reused.
+    pub plan_cache_hit: bool,
+    /// Layer 3 hit: the answer was served without executing.
+    pub result_cache_hit: bool,
+    /// The admission scheduler's verdict for this request.
+    pub scheduling: SchedDecision,
+    /// Wall-clock from request entry to response.
+    pub latency_ns: u64,
+}
+
+/// A point-in-time snapshot of the service's counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Requests served (successful responses).
+    pub queries: u64,
+    /// Layer 1 (pattern) hits.
+    pub pattern_hits: u64,
+    /// Layer 2 (plan) hits.
+    pub plan_hits: u64,
+    /// Layer 3 (result) hits.
+    pub result_hits: u64,
+    /// Requests scheduled inter-query (`threads: 1`).
+    pub sched_inter: u64,
+    /// Requests scheduled intra-query (morsel fan-out).
+    pub sched_intra: u64,
+    /// Result-cache entries killed by maintenance.
+    pub results_invalidated: u64,
+    /// Update batches applied.
+    pub batches_applied: u64,
+}
+
+struct Counters {
+    queries: AtomicU64,
+    pattern_hits: AtomicU64,
+    plan_hits: AtomicU64,
+    result_hits: AtomicU64,
+    sched_inter: AtomicU64,
+    sched_intra: AtomicU64,
+    results_invalidated: AtomicU64,
+    batches_applied: AtomicU64,
+}
+
+impl Counters {
+    fn new() -> Counters {
+        Counters {
+            queries: AtomicU64::new(0),
+            pattern_hits: AtomicU64::new(0),
+            plan_hits: AtomicU64::new(0),
+            result_hits: AtomicU64::new(0),
+            sched_inter: AtomicU64::new(0),
+            sched_intra: AtomicU64::new(0),
+            results_invalidated: AtomicU64::new(0),
+            batches_applied: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The multi-client query service. See the module docs for the request
+/// flow and the coherence argument.
+pub struct QueryService {
+    catalog: RwLock<EpochCatalog>,
+    pool: Arc<WorkerPool>,
+    patterns: PatternCache,
+    plans: PlanCache,
+    results: ResultCache,
+    feedback: Mutex<FeedbackStore>,
+    scheduler: AdmissionScheduler,
+    rewrite_opts: RewriteOpts,
+    config: ServiceConfig,
+    /// In-flight requests, counted around [`Self::query`].
+    active: AtomicUsize,
+    /// Bumped by every mutation *before* its cache sweep; result-cache
+    /// inserts re-check it under the cache lock (coherence point 3).
+    mutation_seq: AtomicU64,
+    counters: Counters,
+}
+
+struct ActiveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl QueryService {
+    /// A service over `doc`, constructing its own pool of
+    /// `config.threads` (the [`WorkerPool::global`] size is decided once
+    /// per process — a service decides for itself).
+    pub fn new(doc: Document, scheme: IdScheme, config: ServiceConfig) -> QueryService {
+        let pool = Arc::new(WorkerPool::new(config.threads));
+        QueryService::with_pool(doc, scheme, config, pool)
+    }
+
+    /// A service sharing an existing pool — several services (or a
+    /// service and ad-hoc executors) drawing from one set of workers.
+    pub fn with_pool(
+        doc: Document,
+        scheme: IdScheme,
+        config: ServiceConfig,
+        pool: Arc<WorkerPool>,
+    ) -> QueryService {
+        let rewrite_opts = RewriteOpts {
+            rank_by_cost: true,
+            ..RewriteOpts::default()
+        };
+        QueryService {
+            catalog: RwLock::new(EpochCatalog::new(doc, scheme)),
+            patterns: PatternCache::new(config.pattern_cache_capacity),
+            plans: PlanCache::new(config.plan_cache_capacity),
+            results: ResultCache::new(config.result_cache_capacity),
+            feedback: Mutex::new(FeedbackStore::new()),
+            scheduler: AdmissionScheduler::new(config.min_par_rows),
+            rewrite_opts,
+            pool,
+            config,
+            active: AtomicUsize::new(0),
+            mutation_seq: AtomicU64::new(0),
+            counters: Counters::new(),
+        }
+    }
+
+    /// The pool queries and ingest share.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.catalog.read().expect("catalog lock").epoch()
+    }
+
+    /// The current epoch snapshot — what a query entering now would see.
+    pub fn snapshot(&self) -> Arc<CatalogEpoch> {
+        self.catalog.read().expect("catalog lock").snapshot()
+    }
+
+    /// Runs `f` under the catalog read lock — update drivers use this to
+    /// build batches against the live document's IDs.
+    pub fn with_catalog<R>(&self, f: impl FnOnce(&EpochCatalog) -> R) -> R {
+        f(&self.catalog.read().expect("catalog lock"))
+    }
+
+    /// Registers one view (materialized inline; see [`Self::add_views`]
+    /// for the pool-parallel bulk path).
+    pub fn add_view(&self, view: View, policy: RefreshPolicy) {
+        let mut cat = self.catalog.write().expect("catalog lock");
+        cat.add_view(view, policy);
+        self.mutation_seq.fetch_add(1, Ordering::AcqRel);
+        let epoch = cat.epoch();
+        drop(cat);
+        self.plans.purge_below(epoch);
+    }
+
+    /// Bulk-registers views, materializing extents in parallel on the
+    /// service's own pool ([`EpochCatalog::add_views_on`]) and
+    /// publishing one epoch — ingest and queries share workers, so one
+    /// `threads` knob governs both.
+    pub fn add_views(&self, views: Vec<View>, policy: RefreshPolicy) {
+        let mut cat = self.catalog.write().expect("catalog lock");
+        cat.add_views_on(views, policy, &self.pool);
+        self.mutation_seq.fetch_add(1, Ordering::AcqRel);
+        let epoch = cat.epoch();
+        drop(cat);
+        self.plans.purge_below(epoch);
+    }
+
+    /// Applies an update batch and sweeps every cache entry the
+    /// maintenance delta touched: result-cache entries reading a
+    /// refreshed or newly stale view die, stale-epoch plan rankings are
+    /// purged, and feedback memos for touched views are invalidated.
+    /// Untouched result entries survive — their extents are untouched
+    /// `Arc`s in the new epoch.
+    pub fn apply(&self, batch: &UpdateBatch) -> Result<MaintenanceReport, ServeError> {
+        let mut cat = self.catalog.write().expect("catalog lock");
+        let report = cat.apply(batch)?;
+        // bump before sweeping (under the write lock): an in-flight
+        // query's insert either lands before the sweep (and is swept if
+        // touched) or sees the new sequence and is refused
+        self.mutation_seq.fetch_add(1, Ordering::AcqRel);
+        drop(cat);
+        let touched: Vec<String> = report
+            .refreshed
+            .iter()
+            .chain(report.deferred_stale.iter())
+            .cloned()
+            .collect();
+        let killed = self.results.invalidate_views(&touched);
+        self.plans.purge_below(report.epoch);
+        self.feedback
+            .lock()
+            .expect("feedback lock")
+            .invalidate_fingerprints_touching(&touched);
+        self.counters
+            .results_invalidated
+            .fetch_add(killed as u64, Ordering::Relaxed);
+        self.counters
+            .batches_applied
+            .fetch_add(1, Ordering::Relaxed);
+        smv_obs::counter_add("serve.batches_applied", 1);
+        smv_obs::counter_add("serve.results_invalidated", killed as u64);
+        Ok(report)
+    }
+
+    /// Refreshes a deferred view ([`EpochCatalog::refresh`]) and sweeps
+    /// cache entries that read it (its extent may have been rebuilt).
+    pub fn refresh(&self, name: &str) -> bool {
+        let mut cat = self.catalog.write().expect("catalog lock");
+        if !cat.refresh(name) {
+            return false;
+        }
+        self.mutation_seq.fetch_add(1, Ordering::AcqRel);
+        let epoch = cat.epoch();
+        drop(cat);
+        self.results.invalidate_views(&[name]);
+        self.plans.purge_below(epoch);
+        self.feedback
+            .lock()
+            .expect("feedback lock")
+            .invalidate_fingerprints_touching(&[name]);
+        true
+    }
+
+    /// Serves one query. See the module docs for the layer flow; the
+    /// response says which layers hit and how the request was scheduled.
+    pub fn query(&self, text: &str) -> Result<QueryResponse, ServeError> {
+        let t0 = Instant::now();
+        let active = self.active.fetch_add(1, Ordering::Relaxed) + 1;
+        let _guard = ActiveGuard(&self.active);
+        smv_obs::gauge_max("serve.active_clients_max", active as i64);
+
+        // the admission sequence this request races against mutators on
+        let seq = self.mutation_seq.load(Ordering::Acquire);
+
+        // layer 1: pattern
+        let (pat, pattern_cache_hit) = self.patterns.get_or_parse(text)?;
+        if pattern_cache_hit {
+            self.counters.pattern_hits.fetch_add(1, Ordering::Relaxed);
+            smv_obs::counter_add("serve.pattern_hits", 1);
+        }
+
+        let snap = self.snapshot();
+        let epoch = snap.epoch();
+
+        // layer 2: plan
+        let plan_key = PlanKey {
+            canon_fp: pat.canon_fp,
+            geometry: snap.summary().geometry_token(),
+            epoch,
+        };
+        let (ranked, plan_cache_hit) = match self
+            .config
+            .plan_cache
+            .then(|| self.plans.get(&plan_key))
+            .flatten()
+        {
+            Some(r) => (r, true),
+            None => {
+                let r = self.rank(&pat.pattern, &snap)?;
+                if self.config.plan_cache {
+                    self.plans.insert(plan_key, Arc::clone(&r));
+                }
+                (r, false)
+            }
+        };
+        if plan_cache_hit {
+            self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
+            smv_obs::counter_add("serve.plan_hits", 1);
+        }
+
+        // scheduler: measured cardinality when feedback has seen this
+        // plan, the ranking-time estimate otherwise
+        let expected_rows = {
+            let fb = self.feedback.lock().expect("feedback lock");
+            fb.measured_rows(&ranked.plan).unwrap_or(ranked.est.rows)
+        };
+        let scheduling = self.scheduler.decide(active, &self.pool, expected_rows);
+        match scheduling.mode {
+            SchedMode::Inter => {
+                self.counters.sched_inter.fetch_add(1, Ordering::Relaxed);
+                smv_obs::counter_add("serve.sched_inter", 1);
+            }
+            SchedMode::Intra => {
+                self.counters.sched_intra.fetch_add(1, Ordering::Relaxed);
+                smv_obs::counter_add("serve.sched_intra", 1);
+            }
+        }
+
+        // layer 3: result
+        let result_key = ResultKey {
+            canon_fp: pat.canon_fp,
+            plan_fp: ranked.fingerprint,
+        };
+        if self.config.result_cache {
+            if let Some(rows) = self.results.get(&result_key) {
+                self.counters.result_hits.fetch_add(1, Ordering::Relaxed);
+                smv_obs::counter_add("serve.result_hits", 1);
+                return Ok(self.respond(
+                    rows,
+                    snap,
+                    &ranked,
+                    pattern_cache_hit,
+                    plan_cache_hit,
+                    true,
+                    scheduling,
+                    t0,
+                ));
+            }
+        }
+
+        // execute on the shared pool at the granted parallelism
+        let mut exec_opts = ExecOpts {
+            threads: scheduling.threads,
+            min_par_rows: self.config.min_par_rows,
+            pool: (scheduling.threads != 1).then(|| Arc::clone(&self.pool)),
+            par_hints: None,
+        };
+        if scheduling.threads != 1 {
+            let fb = self.feedback.lock().expect("feedback lock");
+            if !fb.is_empty() {
+                let hints = ParHints::for_plan(&ranked.plan, &fb);
+                if !hints.is_empty() {
+                    exec_opts.par_hints = Some(Arc::new(hints));
+                }
+            }
+        }
+        let (rel, profile) = execute_profiled_with(&ranked.plan, &*snap, &exec_opts)?;
+        self.feedback
+            .lock()
+            .expect("feedback lock")
+            .ingest(&ranked.plan, &profile);
+        let rows = Arc::new(rel);
+        if self.config.result_cache {
+            self.results.insert_if(
+                result_key,
+                Arc::clone(&rows),
+                ranked.plan.views_used(),
+                &|| self.mutation_seq.load(Ordering::Acquire) == seq,
+            );
+        }
+        Ok(self.respond(
+            rows,
+            snap,
+            &ranked,
+            pattern_cache_hit,
+            plan_cache_hit,
+            false,
+            scheduling,
+            t0,
+        ))
+    }
+
+    /// Ranks a query's rewritings against a snapshot under the current
+    /// feedback — the plan-cache miss path.
+    fn rank(
+        &self,
+        q: &smv_pattern::Pattern,
+        snap: &CatalogEpoch,
+    ) -> Result<Arc<RankedPlan>, ServeError> {
+        let fb = self.feedback.lock().expect("feedback lock");
+        let cards = CatalogCards::over(snap, snap.summary());
+        let fb_cards = FeedbackCards::new(&cards, &fb);
+        let ranked = rewrite_with_feedback(
+            q,
+            snap.views(),
+            snap.summary(),
+            &self.rewrite_opts,
+            &fb_cards,
+            &fb,
+        );
+        let candidates = ranked.rewritings.len();
+        let best = ranked
+            .rewritings
+            .into_iter()
+            .next()
+            .ok_or(ServeError::NoRewriting)?;
+        Ok(Arc::new(RankedPlan {
+            fingerprint: plan_fingerprint(&best.plan),
+            plan: best.plan,
+            est: best.est,
+            candidates,
+        }))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn respond(
+        &self,
+        rows: Arc<NestedRelation>,
+        snapshot: Arc<CatalogEpoch>,
+        ranked: &RankedPlan,
+        pattern_cache_hit: bool,
+        plan_cache_hit: bool,
+        result_cache_hit: bool,
+        scheduling: SchedDecision,
+        t0: Instant,
+    ) -> QueryResponse {
+        let latency_ns = t0.elapsed().as_nanos() as u64;
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        smv_obs::counter_add("serve.queries", 1);
+        smv_obs::observe("serve.latency_ns", latency_ns);
+        smv_obs::observe("serve.result_rows", rows.len() as u64);
+        QueryResponse {
+            rows,
+            epoch: snapshot.epoch(),
+            snapshot,
+            plan_fingerprint: ranked.fingerprint,
+            est: ranked.est,
+            candidates: ranked.candidates,
+            pattern_cache_hit,
+            plan_cache_hit,
+            result_cache_hit,
+            scheduling,
+            latency_ns,
+        }
+    }
+
+    /// Point-in-time counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            pattern_hits: self.counters.pattern_hits.load(Ordering::Relaxed),
+            plan_hits: self.counters.plan_hits.load(Ordering::Relaxed),
+            result_hits: self.counters.result_hits.load(Ordering::Relaxed),
+            sched_inter: self.counters.sched_inter.load(Ordering::Relaxed),
+            sched_intra: self.counters.sched_intra.load(Ordering::Relaxed),
+            results_invalidated: self.counters.results_invalidated.load(Ordering::Relaxed),
+            batches_applied: self.counters.batches_applied.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of live result-cache entries (benchmark/test telemetry).
+    pub fn cached_results(&self) -> usize {
+        self.results.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smv_pattern::parse_pattern;
+    use smv_xml::StructId;
+
+    fn service(threads: usize) -> QueryService {
+        let doc = Document::from_parens(r#"r(a(b="1" b="2" c(b="3")) a(b="4") x(y="9"))"#);
+        let svc = QueryService::new(
+            doc,
+            IdScheme::OrdPath,
+            ServiceConfig {
+                threads,
+                ..ServiceConfig::default()
+            },
+        );
+        svc.add_views(
+            vec![
+                View::new(
+                    "vb",
+                    parse_pattern("r(//b{id,v})").unwrap(),
+                    IdScheme::OrdPath,
+                ),
+                View::new(
+                    "vy",
+                    parse_pattern("r(/x{id}(?/y{id,v}))").unwrap(),
+                    IdScheme::OrdPath,
+                ),
+            ],
+            RefreshPolicy::Eager,
+        );
+        svc
+    }
+
+    fn sid(svc: &QueryService, label: &str, nth: usize) -> StructId {
+        let cat = svc.catalog.read().unwrap();
+        let doc = cat.live().doc();
+        let n = doc
+            .iter()
+            .filter(|&n| doc.label(n).as_str() == label)
+            .nth(nth)
+            .expect("labeled node");
+        cat.live().ids().id(n).clone()
+    }
+
+    #[test]
+    fn layers_hit_in_order_and_results_match() {
+        let svc = service(1);
+        let q = "r(//b{id,v})";
+        let first = svc.query(q).unwrap();
+        assert!(!first.pattern_cache_hit && !first.plan_cache_hit && !first.result_cache_hit);
+        assert_eq!(first.rows.len(), 4);
+        let second = svc.query(q).unwrap();
+        assert!(second.pattern_cache_hit && second.plan_cache_hit && second.result_cache_hit);
+        assert_eq!(second.rows.rows, first.rows.rows, "cached bytes identical");
+        // a different spelling shares every layer below the text map
+        let respelled = svc.query("r ( // b { id , v } )").unwrap();
+        assert!(respelled.result_cache_hit);
+        assert_eq!(respelled.plan_fingerprint, first.plan_fingerprint);
+        let stats = svc.stats();
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.result_hits, 2);
+    }
+
+    #[test]
+    fn maintenance_kills_touched_entries_and_spares_the_rest() {
+        let svc = service(1);
+        let hot = svc.query("r(//b{id,v})").unwrap();
+        let cold = svc.query("r(/x{id}(?/y{id,v}))").unwrap();
+        assert_eq!(svc.cached_results(), 2);
+        // delete a b-subtree: vb refreshed; vy is Rebuild-class so it
+        // refreshes too — target the check at epoch/plan keys instead
+        let mut batch = UpdateBatch::new();
+        batch.delete(sid(&svc, "c", 0));
+        let report = svc.apply(&batch).unwrap();
+        assert!(report.refreshed.iter().any(|v| v == "vb"));
+        let after = svc.query("r(//b{id,v})").unwrap();
+        assert!(!after.result_cache_hit, "touched entry was killed");
+        assert_eq!(after.rows.len(), hot.rows.len() - 1);
+        assert_eq!(after.epoch, hot.epoch + 1);
+        assert!(!cold.rows.is_empty());
+    }
+
+    #[test]
+    fn untouched_entries_survive_epoch_bumps() {
+        let svc = service(1);
+        svc.query("r(/x{id}(?/y{id,v}))").unwrap();
+        // vy is Rebuild-class: every apply refreshes it. Register a
+        // second document region's view and update only the other side.
+        let before = svc.query("r(//b{id,v})").unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.insert(sid(&svc, "x", 0), Document::from_parens(r#"y="10""#));
+        let report = svc.apply(&batch).unwrap();
+        // vb is Incremental and the batch never touches b-rows — but the
+        // epoch still advanced
+        assert!(report.epoch > before.epoch);
+        if report.refreshed.iter().all(|v| v != "vb") {
+            let again = svc.query("r(//b{id,v})").unwrap();
+            assert!(
+                again.result_cache_hit,
+                "untouched entry survives the epoch bump"
+            );
+            assert_eq!(again.rows.rows, before.rows.rows);
+            assert_eq!(again.epoch, report.epoch, "served as current");
+        }
+    }
+
+    #[test]
+    fn unknown_patterns_and_unrewritable_queries_error() {
+        let svc = service(1);
+        assert!(matches!(svc.query("r(//b{"), Err(ServeError::Parse(_))));
+        assert!(matches!(
+            svc.query("r(//nosuch{id,c})"),
+            Err(ServeError::NoRewriting)
+        ));
+    }
+
+    #[test]
+    fn pool_is_shared_and_sized_explicitly() {
+        let svc = service(3);
+        assert_eq!(svc.pool().size(), 3);
+        let r = svc.query("r(//b{id,v})").unwrap();
+        assert_eq!(r.rows.len(), 4);
+        // an explicitly shared pool serves a second service too
+        let pool = Arc::clone(svc.pool());
+        let doc = Document::from_parens(r#"r(a(b="7"))"#);
+        let other = QueryService::with_pool(
+            doc,
+            IdScheme::OrdPath,
+            ServiceConfig::default(),
+            Arc::clone(&pool),
+        );
+        other.add_views(
+            vec![View::new(
+                "vb",
+                parse_pattern("r(//b{id,v})").unwrap(),
+                IdScheme::OrdPath,
+            )],
+            RefreshPolicy::Eager,
+        );
+        assert!(Arc::ptr_eq(other.pool(), &pool));
+        assert_eq!(other.query("r(//b{id,v})").unwrap().rows.len(), 1);
+    }
+}

@@ -307,6 +307,69 @@ impl EpochCatalog {
         self.publish();
     }
 
+    /// Registers a batch of views at once, materializing and
+    /// shard-partitioning eager extents in parallel on `pool` (one
+    /// morsel per view, like [`crate::Catalog::add_sharded_batch`]),
+    /// then publishes a **single** epoch covering the whole batch —
+    /// [`Self::add_view`] in a loop would publish one epoch per view.
+    /// This is the query service's ingest path: the same explicitly
+    /// sized pool that executes queries does the materialization work,
+    /// so one knob governs both kinds of parallelism.
+    ///
+    /// # Panics
+    ///
+    /// If any view's scheme differs from the store's scheme (see
+    /// [`Self::add_view`]).
+    pub fn add_views_on(
+        &mut self,
+        views: Vec<View>,
+        policy: RefreshPolicy,
+        pool: &smv_xml::par::WorkerPool,
+    ) {
+        for view in &views {
+            assert_eq!(
+                view.scheme,
+                self.live.scheme(),
+                "epoch store holds {:?} identities; register views in that scheme",
+                self.live.scheme()
+            );
+        }
+        let built: Vec<Option<(NestedRelation, Option<ShardPartition>)>> = match policy {
+            RefreshPolicy::Eager => pool.pool_map(0, views.len(), |i| {
+                let view = &views[i];
+                let extent = materialize_with(&view.pattern, self.live.doc(), self.live.ids());
+                let partition =
+                    shard_extent_with(&extent, self.live.doc(), self.live.ids(), &self.summary);
+                Some((extent, partition))
+            }),
+            RefreshPolicy::Deferred => views.iter().map(|_| None).collect(),
+        };
+        for (view, built) in views.into_iter().zip(built) {
+            let name = view.name.clone();
+            self.registered.retain(|r| r.view.name != name);
+            self.extents.remove(&name);
+            self.shards.remove(&name);
+            let class = refresh_class(&view.pattern);
+            let stale = match built {
+                Some((extent, partition)) => {
+                    if let Some(p) = partition {
+                        self.shards.insert(name.clone(), Arc::new(p));
+                    }
+                    self.extents.insert(name, Arc::new(extent));
+                    false
+                }
+                None => true,
+            };
+            self.registered.push(Registered {
+                view,
+                policy,
+                class,
+                stale,
+            });
+        }
+        self.publish();
+    }
+
     /// Applies one update batch: mutates the live document, maintains
     /// the summary and every eager extent, marks deferred views stale,
     /// and publishes the next epoch. Errors from [`LiveDoc::apply`]
@@ -931,6 +994,65 @@ mod tests {
             ec.apply(&batch).unwrap();
             assert_epoch_matches_oracle(&ec);
         }
+    }
+
+    #[test]
+    fn bulk_registration_matches_sequential_and_publishes_once() {
+        let pool = smv_xml::par::WorkerPool::new(3);
+        let src = r#"r(a(b="1" b="2" c(b="3")) a(b="4") x(y="9"))"#;
+        let views = || {
+            vec![
+                View::new(
+                    "vb",
+                    parse_pattern("r(//b{id,v})").unwrap(),
+                    IdScheme::OrdPath,
+                ),
+                View::new(
+                    "vab",
+                    parse_pattern("r(/a{id}(//b{id,v}))").unwrap(),
+                    IdScheme::OrdPath,
+                ),
+                View::new(
+                    "vy",
+                    parse_pattern("r(/x{id}(?/y{id,v}))").unwrap(),
+                    IdScheme::OrdPath,
+                ),
+            ]
+        };
+        let mut bulk = EpochCatalog::new(Document::from_parens(src), IdScheme::OrdPath);
+        bulk.add_views_on(views(), RefreshPolicy::Eager, &pool);
+        assert_eq!(bulk.epoch(), 1, "one epoch for the whole batch");
+        let mut seq = EpochCatalog::new(Document::from_parens(src), IdScheme::OrdPath);
+        for v in views() {
+            seq.add_view(v, RefreshPolicy::Eager);
+        }
+        assert_eq!(seq.epoch(), 3);
+        let (b, s) = (bulk.snapshot(), seq.snapshot());
+        assert_eq!(ViewStore::views(&*b).len(), ViewStore::views(&*s).len());
+        for v in ViewStore::views(&*s) {
+            assert_eq!(
+                b.extent(&v.name).unwrap().rows,
+                s.extent(&v.name).unwrap().rows,
+                "bulk extent of {}",
+                v.name
+            );
+            assert_eq!(
+                b.shard_partition(&v.name).is_some(),
+                s.shard_partition(&v.name).is_some()
+            );
+        }
+        // maintenance still exact after bulk registration
+        let mut batch = UpdateBatch::new();
+        batch.delete(sid(&bulk, "c", 0));
+        batch.insert(sid(&bulk, "r", 0), Document::from_parens(r#"a(b="6")"#));
+        bulk.apply(&batch).unwrap();
+        assert_epoch_matches_oracle(&bulk);
+        // deferred bulk registration: stale, excluded from the epoch
+        let mut def = EpochCatalog::new(Document::from_parens(src), IdScheme::OrdPath);
+        def.add_views_on(views(), RefreshPolicy::Deferred, &pool);
+        assert!(def.snapshot().extent("vb").is_none());
+        assert!(def.refresh("vb"));
+        assert!(def.snapshot().extent("vb").is_some());
     }
 
     #[test]

@@ -44,6 +44,7 @@
 //! | [`adaptive`] | the feedback loop: profile → memoize → re-rank |
 //! | [`advisor`] | workload-driven view selection (greedy benefit/byte) |
 //! | [`xquery`] | FLWR-subset parser + pattern translation (§1) |
+//! | [`serve`] | multi-client query service: layered caches + scheduling |
 //! | [`datagen`] | XMark/DBLP/… generators and §5 workloads |
 //! | [`obs`] | zero-dependency tracing spans + metrics registry |
 
@@ -56,6 +57,7 @@ pub use smv_core as core;
 pub use smv_datagen as datagen;
 pub use smv_obs as obs;
 pub use smv_pattern as pattern;
+pub use smv_serve as serve;
 pub use smv_summary as summary;
 pub use smv_views as views;
 pub use smv_xml as xml;
@@ -80,7 +82,13 @@ pub mod prelude {
         pr7_document, pr7_views, xmark, xmark_query_patterns, Pr7Stream, XmarkConfig,
     };
     pub use smv_obs::{MetricsRegistry, ScopedEnable, SpanRecord};
-    pub use smv_pattern::{canonical_model, evaluate, parse_pattern, CanonOpts, Formula, Pattern};
+    pub use smv_pattern::{
+        canonical_form, canonical_model, evaluate, parse_pattern, CanonOpts, Formula, Pattern,
+    };
+    pub use smv_serve::{
+        AdmissionScheduler, QueryResponse, QueryService, SchedDecision, SchedMode, ServeError,
+        ServiceConfig, ServiceStats,
+    };
     pub use smv_summary::{Summary, SummaryStats};
     pub use smv_views::{
         materialize, materialize_with, refresh_class, Catalog, CatalogCards, CatalogEpoch,

@@ -179,6 +179,63 @@ fn results_survive_pool_drop() {
 }
 
 #[test]
+fn query_service_runs_ingest_and_queries_on_one_explicit_pool() {
+    let pool = Arc::new(WorkerPool::new(3));
+    let views = || {
+        vec![
+            View::new(
+                "va",
+                parse_pattern("r(//a{id})").unwrap(),
+                IdScheme::OrdPath,
+            ),
+            View::new(
+                "vb",
+                parse_pattern("r(//b{id,v})").unwrap(),
+                IdScheme::OrdPath,
+            ),
+        ]
+    };
+    let svc = QueryService::with_pool(
+        fixture_doc(40),
+        IdScheme::OrdPath,
+        ServiceConfig {
+            threads: 3,
+            min_par_rows: 0,
+            ..ServiceConfig::default()
+        },
+        Arc::clone(&pool),
+    );
+    assert_eq!(svc.pool().size(), 3, "explicitly sized pool");
+    svc.add_views(views(), RefreshPolicy::Eager);
+    let after_ingest = pool.jobs_dispatched();
+    assert!(
+        after_ingest > 0,
+        "bulk ingest dispatched to the shared pool"
+    );
+
+    // an uncontended client gets morsel fan-out — on that same pool
+    let resp = svc.query("r(//b{id,v})").unwrap();
+    assert_eq!(resp.scheduling.mode, SchedMode::Intra);
+    assert!(
+        pool.jobs_dispatched() > after_ingest,
+        "query execution dispatched to the shared pool"
+    );
+
+    // results match a strictly sequential service over the same data
+    let seq_svc = QueryService::new(
+        fixture_doc(40),
+        IdScheme::OrdPath,
+        ServiceConfig {
+            threads: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    seq_svc.add_views(views(), RefreshPolicy::Eager);
+    let seq = seq_svc.query("r(//b{id,v})").unwrap();
+    assert_eq!(resp.rows.rows, seq.rows.rows);
+}
+
+#[test]
 fn adaptive_session_hints_keep_results_identical() {
     let doc = fixture_doc(50);
     let s = Summary::of(&doc);

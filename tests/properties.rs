@@ -521,4 +521,71 @@ proptest! {
             .collect();
         prop_assert_eq!(labels.len(), model.size(), "models are duplicate-free");
     }
+
+    /// Plan-cache safety (PR 9): two patterns with equal canonical form
+    /// rewrite identically — same plans, same order, same fingerprints —
+    /// so the service may key its pattern and plan caches on
+    /// `canonical_form` without changing any query's answer.
+    #[test]
+    fn equal_canonical_form_rewrites_identically(
+        doc_src in tree_strategy(),
+        q_src in pattern_strategy(),
+    ) {
+        use smv::algebra::plan_fingerprint;
+        use smv::pattern::canonical_form;
+        let d = Document::from_parens(&doc_src);
+        let s = Summary::of(&d);
+        let mut q = parse_pattern(&q_src).unwrap();
+        let leaves: Vec<_> = q.iter().filter(|&n| q.children(n).is_empty()).collect();
+        for leaf in leaves {
+            q.node_mut(leaf).attrs.id = true;
+        }
+        prop_assume!(q.arity() > 0);
+        // Reparsing the canonical form yields a distinct `Pattern` value
+        // with the same canonical form — exactly what the pattern cache
+        // equates on a hit.
+        let q2 = parse_pattern(&canonical_form(&q)).unwrap();
+        prop_assert_eq!(canonical_form(&q), canonical_form(&q2));
+        let view = View::new("v", q.clone(), IdScheme::OrdPath);
+        let r1 = rewrite(&q, std::slice::from_ref(&view), &s, &RewriteOpts::default());
+        let r2 = rewrite(&q2, std::slice::from_ref(&view), &s, &RewriteOpts::default());
+        prop_assert_eq!(r1.rewritings.len(), r2.rewritings.len());
+        for (a, b) in r1.rewritings.iter().zip(&r2.rewritings) {
+            prop_assert_eq!(plan_fingerprint(&a.plan), plan_fingerprint(&b.plan));
+            prop_assert_eq!(a.plan.to_string(), b.plan.to_string());
+        }
+    }
+}
+
+/// Plan-cache safety, the other direction: `plan_fingerprint` must tell
+/// the benchmark query sets apart, or the plan cache would serve one
+/// query's ranked plan for another. Every bench-pr2 and bench-pr4 query's
+/// best plan gets a distinct fingerprint.
+#[test]
+fn plan_fingerprint_distinguishes_bench_workloads() {
+    use smv::algebra::plan_fingerprint;
+    use smv::datagen::{pr2_workload, pr4_workload};
+    let mut fps: Vec<(String, u64)> = Vec::new();
+    let s2 = Summary::of(&xmark(&XmarkConfig::default()));
+    for c in pr2_workload(IdScheme::OrdPath) {
+        let r = rewrite(&c.query, &c.views, &s2, &RewriteOpts::default());
+        let rw = r.rewritings.first().expect("pr2 case rewrites");
+        fps.push((format!("pr2/{}", c.name), plan_fingerprint(&rw.plan)));
+    }
+    let wl = pr4_workload(0.05, IdScheme::OrdPath);
+    let s4 = Summary::of(&wl.doc);
+    for q in &wl.queries {
+        let r = rewrite(&q.pattern, &wl.views, &s4, &RewriteOpts::default());
+        let rw = r.rewritings.first().expect("pr4 query rewrites");
+        fps.push((format!("pr4/{}", q.name), plan_fingerprint(&rw.plan)));
+    }
+    for i in 0..fps.len() {
+        for j in i + 1..fps.len() {
+            assert_ne!(
+                fps[i].1, fps[j].1,
+                "fingerprint collision between {} and {}",
+                fps[i].0, fps[j].0
+            );
+        }
+    }
 }

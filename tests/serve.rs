@@ -1,0 +1,127 @@
+//! Cache-coherence tests for the smv-serve query service.
+//!
+//! The contract under test: a result served from the cache at epoch N is
+//! **byte-identical** to a fresh rank + execute against the same epoch
+//! snapshot — across thread counts, ID schemes, interleaved maintenance
+//! batches, and genuinely concurrent clients. Execution output is
+//! canonically normalized (sorted, deduplicated), so the fresh oracle
+//! may pick any equivalent plan and byte equality is still the bar.
+
+use smv::prelude::*;
+use std::sync::Arc;
+
+/// The pr7 workload queries: three exact view matches (one per
+/// maintenance class) plus the optional-edge view's own pattern.
+const QUERIES: &[&str] = &[
+    "site(//name{id,v})",
+    "site(//item{id}(/name{id,v}))",
+    "site(//quantity{id,v})",
+    "site(//item{id}(?/name{id,v}))",
+];
+
+fn service(scale: f64, seed: u64, scheme: IdScheme, threads: usize) -> QueryService {
+    let svc = QueryService::new(
+        pr7_document(scale, seed),
+        scheme,
+        ServiceConfig {
+            threads,
+            ..ServiceConfig::default()
+        },
+    );
+    svc.add_views(pr7_views(scheme), RefreshPolicy::Eager);
+    svc
+}
+
+/// Fresh-execution oracle against the exact snapshot a response was
+/// served from: rank without feedback, execute strictly sequentially.
+fn oracle_rows(q: &str, snap: &CatalogEpoch) -> Vec<smv::algebra::Row> {
+    let p = parse_pattern(q).expect("test query parses");
+    let r = rewrite(&p, snap.views(), snap.summary(), &RewriteOpts::default());
+    let plan = &r.rewritings.first().expect("oracle rewriting").plan;
+    let opts = ExecOpts {
+        threads: 1,
+        min_par_rows: 4096,
+        pool: None,
+        par_hints: None,
+    };
+    execute_with(plan, snap, &opts)
+        .expect("oracle executes")
+        .rows
+}
+
+#[test]
+fn cached_results_match_fresh_execution_across_schemes_and_threads() {
+    for scheme in [IdScheme::OrdPath, IdScheme::Dewey] {
+        for threads in [1, 2, 4] {
+            let svc = service(0.03, 11, scheme, threads);
+            let mut stream = Pr7Stream::new(7);
+            for round in 0..3 {
+                for q in QUERIES {
+                    let cold = svc.query(q).unwrap();
+                    assert_eq!(
+                        cold.rows.rows,
+                        oracle_rows(q, &cold.snapshot),
+                        "{scheme:?}/t{threads} round {round}: {q}"
+                    );
+                    let hot = svc.query(q).unwrap();
+                    assert_eq!(
+                        hot.rows.rows, cold.rows.rows,
+                        "{scheme:?}/t{threads} round {round}: hot path of {q}"
+                    );
+                    assert_eq!(
+                        hot.epoch,
+                        svc.epoch(),
+                        "hot answers serve the current epoch"
+                    );
+                }
+                let batch = svc.with_catalog(|cat| stream.next_batch(cat.live(), 0.2));
+                svc.apply(&batch).unwrap();
+            }
+            let stats = svc.stats();
+            assert!(stats.result_hits > 0, "the hot path was exercised");
+            assert!(
+                stats.results_invalidated > 0,
+                "maintenance killed touched entries"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_clients_with_interleaved_updates_stay_coherent() {
+    let svc = Arc::new(service(0.04, 5, IdScheme::OrdPath, 4));
+    std::thread::scope(|s| {
+        for c in 0..3usize {
+            let svc = Arc::clone(&svc);
+            s.spawn(move || {
+                for i in 0..8usize {
+                    let q = QUERIES[(c + i) % QUERIES.len()];
+                    let resp = svc.query(q).unwrap();
+                    // every response is checked against its own snapshot
+                    // — whatever epoch the concurrent updater left it
+                    assert_eq!(
+                        resp.rows.rows,
+                        oracle_rows(q, &resp.snapshot),
+                        "client {c} iteration {i}: {q}"
+                    );
+                }
+            });
+        }
+        let updater = Arc::clone(&svc);
+        s.spawn(move || {
+            let mut stream = Pr7Stream::new(13);
+            for _ in 0..4 {
+                let batch = updater.with_catalog(|cat| stream.next_batch(cat.live(), 0.15));
+                updater.apply(&batch).unwrap();
+                std::thread::yield_now();
+            }
+        });
+    });
+    // quiesced: cached answers equal fresh execution at the final epoch
+    for q in QUERIES {
+        let resp = svc.query(q).unwrap();
+        assert_eq!(resp.rows.rows, oracle_rows(q, &resp.snapshot), "{q}");
+        assert_eq!(resp.epoch, svc.epoch());
+    }
+    assert_eq!(svc.stats().batches_applied, 4);
+}
