@@ -696,6 +696,173 @@ impl FeedbackStore {
         self.count_lookup(r.is_some());
         r
     }
+
+    // ---- persistence --------------------------------------------------
+    //
+    // The memo keys are FNV-1a fingerprints, stable across runs and
+    // platforms by construction (see `Fnv` above), so persisting the raw
+    // u64 keys is sound: a warm-started session fingerprints its plans to
+    // the same values and hits the restored memos immediately.
+
+    /// Serializes the learned state — decay, every memo map, the
+    /// view→fingerprint reverse index, and the ingest count — with all
+    /// map keys sorted so the bytes are deterministic for a given state.
+    /// The session-local event counters (hits/misses/…) are not stored.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        fn put_uv(buf: &mut Vec<u8>, mut x: u64) {
+            loop {
+                let b = (x & 0x7f) as u8;
+                x >>= 7;
+                if x == 0 {
+                    buf.push(b);
+                    return;
+                }
+                buf.push(b | 0x80);
+            }
+        }
+        fn put_str(buf: &mut Vec<u8>, s: &str) {
+            put_uv(buf, s.len() as u64);
+            buf.extend_from_slice(s.as_bytes());
+        }
+        fn put_u64_map(buf: &mut Vec<u8>, m: &HashMap<u64, f64>) {
+            let mut keys: Vec<u64> = m.keys().copied().collect();
+            keys.sort_unstable();
+            put_uv(buf, keys.len() as u64);
+            for k in keys {
+                put_uv(buf, k);
+                buf.extend_from_slice(&m[&k].to_bits().to_le_bytes());
+            }
+        }
+        let mut buf = vec![1u8]; // wire version
+        buf.extend_from_slice(&self.decay.to_bits().to_le_bytes());
+        let mut scans: Vec<&String> = self.scans.keys().collect();
+        scans.sort();
+        put_uv(&mut buf, scans.len() as u64);
+        for k in scans {
+            put_str(&mut buf, k);
+            buf.extend_from_slice(&self.scans[k].to_bits().to_le_bytes());
+        }
+        put_u64_map(&mut buf, &self.selects);
+        put_u64_map(&mut buf, &self.joins);
+        put_u64_map(&mut buf, &self.frags);
+        let mut views: Vec<&String> = self.by_view.keys().collect();
+        views.sort();
+        put_uv(&mut buf, views.len() as u64);
+        for v in views {
+            put_str(&mut buf, v);
+            let mut fps: Vec<u64> = self.by_view[v].iter().copied().collect();
+            fps.sort_unstable();
+            put_uv(&mut buf, fps.len() as u64);
+            for fp in fps {
+                put_uv(&mut buf, fp);
+            }
+        }
+        put_uv(&mut buf, self.ingests);
+        buf
+    }
+
+    /// Reconstructs a store serialized by [`FeedbackStore::to_bytes`].
+    /// Event counters start at zero (they describe a session, not the
+    /// learned state).
+    pub fn from_bytes(bytes: &[u8]) -> Result<FeedbackStore, String> {
+        struct R<'a> {
+            buf: &'a [u8],
+            pos: usize,
+        }
+        impl R<'_> {
+            fn u8(&mut self) -> Result<u8, String> {
+                let b = *self.buf.get(self.pos).ok_or("truncated feedback bytes")?;
+                self.pos += 1;
+                Ok(b)
+            }
+            fn uv(&mut self) -> Result<u64, String> {
+                let mut x = 0u64;
+                let mut shift = 0u32;
+                loop {
+                    let b = self.u8()?;
+                    if shift >= 64 {
+                        return Err("varint overflow".into());
+                    }
+                    x |= ((b & 0x7f) as u64) << shift;
+                    if b & 0x80 == 0 {
+                        return Ok(x);
+                    }
+                    shift += 7;
+                }
+            }
+            fn f64(&mut self) -> Result<f64, String> {
+                let end = self.pos + 8;
+                let s = self.buf.get(self.pos..end).ok_or("truncated f64")?;
+                self.pos = end;
+                Ok(f64::from_bits(u64::from_le_bytes(s.try_into().unwrap())))
+            }
+            fn str(&mut self) -> Result<String, String> {
+                let n = self.uv()? as usize;
+                let end = self.pos.checked_add(n).ok_or("length overflow")?;
+                let s = self.buf.get(self.pos..end).ok_or("truncated string")?;
+                self.pos = end;
+                String::from_utf8(s.to_vec()).map_err(|_| "invalid utf-8".to_string())
+            }
+            fn u64_map(&mut self) -> Result<HashMap<u64, f64>, String> {
+                let n = self.uv()? as usize;
+                let mut m = HashMap::with_capacity(n);
+                for _ in 0..n {
+                    let k = self.uv()?;
+                    m.insert(k, self.f64()?);
+                }
+                Ok(m)
+            }
+        }
+        let mut r = R { buf: bytes, pos: 0 };
+        let version = r.u8()?;
+        if version != 1 {
+            return Err(format!("unsupported feedback wire version {version}"));
+        }
+        let decay = r.f64()?;
+        if !(decay > 0.0 && decay <= 1.0) {
+            return Err(format!("decay {decay} outside (0, 1]"));
+        }
+        let n_scans = r.uv()? as usize;
+        let mut scans = HashMap::with_capacity(n_scans);
+        for _ in 0..n_scans {
+            let k = r.str()?;
+            scans.insert(k, r.f64()?);
+        }
+        let selects = r.u64_map()?;
+        let joins = r.u64_map()?;
+        let frags = r.u64_map()?;
+        let n_views = r.uv()? as usize;
+        let mut by_view = HashMap::with_capacity(n_views);
+        for _ in 0..n_views {
+            let v = r.str()?;
+            let n = r.uv()? as usize;
+            let mut fps = HashSet::with_capacity(n);
+            for _ in 0..n {
+                fps.insert(r.uv()?);
+            }
+            by_view.insert(v, fps);
+        }
+        let ingests = r.uv()?;
+        if r.pos != bytes.len() {
+            return Err(format!(
+                "{} trailing bytes after feedback store",
+                bytes.len() - r.pos
+            ));
+        }
+        Ok(FeedbackStore {
+            decay,
+            scans,
+            selects,
+            joins,
+            frags,
+            by_view,
+            ingests,
+            hits: EventCounter::default(),
+            misses: EventCounter::default(),
+            decays: EventCounter::default(),
+            invalidated: EventCounter::default(),
+        })
+    }
 }
 
 /// A [`CardSource`] decorator replacing estimated scan rows with the

@@ -2,7 +2,7 @@
 //! in the paper's layout.
 //!
 //! ```text
-//! experiments [table1|fig13|fig14|fig15|bench-pr1|…|bench-pr9|all] [--scale <f>] [--out <path>]
+//! experiments [table1|fig13|fig14|fig15|bench-pr1|…|bench-pr10|all] [--scale <f>] [--out <path>]
 //! ```
 //!
 //! `bench-pr1` micro-benchmarks the executor hot paths this repo's PR 1
@@ -94,6 +94,22 @@
 //! histogram plus the admission scheduler's inter/intra verdict counts
 //! per scale. Results land in `BENCH_PR9.json`.
 //!
+//! `bench-pr10` measures the PR 10 on-disk columnar store: (a) per-query
+//! cold-open (fresh `DiskStore::open` + decode) vs warm (resident pages
+//! and extents) vs in-memory execution times on the bench-pr2 workload;
+//! (b) a buffer-pool hit-rate sweep — repeated sequential segment scans
+//! under shrinking pool budgets, recording hits/misses/evictions from
+//! the pool stats; (c) a `disk_results_equivalent` flag — every checked
+//! rewriting answered byte-identically by the in-memory, sharded,
+//! cold-disk and warm-disk providers at 1 and 4 threads (CI-asserted);
+//! (d) a `recovery_ok` flag — a condensed crash sweep injecting
+//! stop/torn-write/dropped-fsync faults at every operation index of an
+//! epoch publish, asserting the reopened store always serves a complete
+//! epoch (CI-asserted); (e) warm-start — an adaptive session seeded from
+//! the persisted summary + feedback store must pick its converged plans
+//! from iteration 1, vs the iterations the cold session needed. Results
+//! land in `BENCH_PR10.json`.
+//!
 //! `bench-pr3` exercises the PR 3 view advisor: it advises on the
 //! weighted `smv_datagen::pr3` XMark workload under a storage budget (90%
 //! of the all-singleton estimate), materializes the chosen set, and
@@ -137,6 +153,7 @@ fn main() {
         "bench-pr7" => bench_pr7(scale, &out.unwrap_or_else(|| "BENCH_PR7.json".into())),
         "bench-pr8" => bench_pr8(scale, &out.unwrap_or_else(|| "BENCH_PR8.json".into())),
         "bench-pr9" => bench_pr9(scale, &out.unwrap_or_else(|| "BENCH_PR9.json".into())),
+        "bench-pr10" => bench_pr10(scale, &out.unwrap_or_else(|| "BENCH_PR10.json".into())),
         "all" => {
             table1(scale);
             fig13();
@@ -145,7 +162,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use table1|fig13|fig14|fig15|bench-pr1|bench-pr2|bench-pr3|bench-pr4|bench-pr5|bench-pr6|bench-pr7|bench-pr8|bench-pr9|all"
+                "unknown experiment `{other}`; use table1|fig13|fig14|fig15|bench-pr1|bench-pr2|bench-pr3|bench-pr4|bench-pr5|bench-pr6|bench-pr7|bench-pr8|bench-pr9|bench-pr10|all"
             );
             std::process::exit(2);
         }
@@ -1742,4 +1759,248 @@ fn fig15() {
         100.0 * kept_sum / rows.len() as f64
     );
     println!();
+}
+
+/// PR 10 on-disk columnar store benchmark → `BENCH_PR10.json`.
+fn bench_pr10(scale: f64, out: &str) {
+    use smv::adaptive::AdaptiveSession;
+    use smv::store::{
+        DiskStore, DiskVfs, FaultKind, FaultPlan, ProviderMatrix, SimVfs, StoreOptions,
+    };
+    use smv_algebra::{execute, plan_fingerprint};
+    use smv_core::{rewrite, RewriteOpts};
+    use smv_datagen::{pr2_workload, pr4_workload};
+    use smv_pattern::parse_pattern;
+    use smv_views::{Catalog, View};
+    use smv_xml::{Document, IdScheme};
+    use std::panic::AssertUnwindSafe;
+    use std::sync::Arc;
+
+    println!("== PR 10: on-disk columnar extents behind a buffer pool ==");
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let doc = xmark(&XmarkConfig {
+        scale,
+        ..Default::default()
+    });
+    let doc_nodes = doc.len();
+    let summary = Summary::of(&doc);
+    let cases = pr2_workload(IdScheme::OrdPath);
+    let mut catalog = Catalog::new();
+    for case in &cases {
+        for v in &case.views {
+            catalog.add_sharded(v.clone(), &doc, &summary);
+        }
+    }
+
+    // ---- (a) cold-open vs warm vs in-memory, per bench-pr2 query, on a
+    // real directory (DiskVfs): cold pays open + page reads + decode
+    // every sample, warm reuses resident pages and decoded extents.
+    let dir = std::env::temp_dir().join("smv-bench-pr10-store");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench store dir");
+    let disk = DiskStore::new(Arc::new(
+        DiskVfs::new(dir.clone()).expect("open bench store dir"),
+    ));
+    disk.publish(&catalog, Some(&summary), None, 1)
+        .expect("publish epoch 1");
+    let warm_cat = disk.open().expect("open warm catalog");
+    warm_cat.warm().expect("decode all extents");
+    let mut case_lines: Vec<String> = Vec::new();
+    for case in &cases {
+        let r = rewrite(&case.query, &case.views, &summary, &RewriteOpts::default());
+        assert!(!r.rewritings.is_empty(), "pr2 case {} rewrites", case.name);
+        let plan = &r.rewritings[0].plan;
+        let mem_ns = measure(7, || execute(plan, &catalog).unwrap().len());
+        let warm_ns = measure(7, || execute(plan, &warm_cat).unwrap().len());
+        let cold_ns = measure(3, || {
+            let cat = disk.open().expect("cold open");
+            execute(plan, &cat).unwrap().len()
+        });
+        println!(
+            "{:<13} in-memory={mem_ns:>9}ns disk-warm={warm_ns:>9}ns disk-cold={cold_ns:>10}ns (cold/warm {:.1}x)",
+            case.name,
+            cold_ns as f64 / warm_ns.max(1) as f64
+        );
+        case_lines.push(format!(
+            "    {{\"query\": \"{}\", \"in_memory_ns\": {mem_ns}, \"disk_warm_ns\": {warm_ns}, \"disk_cold_ns\": {cold_ns}}}",
+            case.name
+        ));
+    }
+
+    // ---- (b) buffer-pool hit-rate sweep: four sequential scans of every
+    // segment under shrinking pool budgets. Large budgets converge to a
+    // 3/4 hit rate (only the first scan misses); tiny budgets thrash.
+    let scans = 4usize;
+    let mut sweep_lines: Vec<String> = Vec::new();
+    for budget in [2usize, 4, 8, 16, 64, 256] {
+        let store_b = DiskStore::with_options(
+            disk.vfs().clone(),
+            StoreOptions {
+                pool_pages: budget,
+                ..disk.options()
+            },
+        );
+        let cat = store_b.open().expect("open for pool sweep");
+        let mut bytes = 0u64;
+        for _ in 0..scans {
+            bytes = cat.scan_segments().expect("sequential scan");
+        }
+        let st = cat.pool().stats();
+        let hit_rate = st.hits as f64 / (st.hits + st.misses).max(1) as f64;
+        println!(
+            "pool budget {budget:>4} pages: hits={:>6} misses={:>6} evictions={:>6} hit_rate={hit_rate:.3}",
+            st.hits, st.misses, st.evictions
+        );
+        sweep_lines.push(format!(
+            "    {{\"pool_pages\": {budget}, \"scans\": {scans}, \"payload_bytes\": {bytes}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {hit_rate:.4}}}",
+            st.hits, st.misses, st.evictions
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- (c) differential equivalence: the provider matrix (in-memory
+    // map, sharded, disk-cold, disk-warm × 1/4 threads) must answer every
+    // checked rewriting identically — this is the CI gate.
+    let matrix = ProviderMatrix::from_views(&doc, catalog.views().to_vec());
+    let mut disk_results_equivalent = true;
+    let mut checked_plans = 0usize;
+    for case in &cases {
+        let r = rewrite(
+            &case.query,
+            matrix.views(),
+            matrix.summary(),
+            &RewriteOpts::default(),
+        );
+        for rw in r.rewritings.iter().take(2) {
+            disk_results_equivalent &=
+                std::panic::catch_unwind(AssertUnwindSafe(|| matrix.check(&rw.plan, &[1, 4])))
+                    .is_ok();
+            checked_plans += 1;
+        }
+    }
+    println!(
+        "disk results equivalent across {checked_plans} plans x 4 providers x 2 thread counts: \
+         {disk_results_equivalent}"
+    );
+
+    // ---- (d) crash recovery: publish epoch 2 over epoch 1 with a fault
+    // injected at every operation index, for all three fault kinds, and
+    // reopen after the crash. The reopened store must always serve a
+    // complete epoch — 2 iff the publish reported durable success.
+    let scheme = IdScheme::OrdPath;
+    let mk = |src: &str| {
+        let d = Document::from_parens(src);
+        let s = Summary::of(&d);
+        let mut c = Catalog::new();
+        for (name, p) in [("bs", "r(//b{id,v})"), ("all", "r(//*{id,l,v})")] {
+            c.add_sharded(View::new(name, parse_pattern(p).unwrap(), scheme), &d, &s);
+        }
+        (c, s)
+    };
+    let (cat1, sum1) = mk(r#"r(a(b="1" b="2") d(c="x" b="3"))"#);
+    let (cat2, sum2) = mk(r#"r(a(b="9") d(b="7" c="y") a(b="8"))"#);
+    let sim_opts = StoreOptions {
+        page_size: 64,
+        pool_pages: 4,
+    };
+    let total_ops = {
+        let vfs = SimVfs::new();
+        let store = DiskStore::with_options(Arc::new(vfs.clone()), sim_opts);
+        store.publish(&cat1, Some(&sum1), None, 1).unwrap();
+        vfs.reset_ops();
+        store.publish(&cat2, Some(&sum2), None, 2).unwrap();
+        vfs.op_count()
+    };
+    let mut recovery_ok = true;
+    let mut fault_points = 0u64;
+    for fail_at in 0..=total_ops {
+        for kind in [
+            FaultKind::Stop,
+            FaultKind::TornWrite,
+            FaultKind::DroppedFsync,
+        ] {
+            let vfs = SimVfs::new();
+            let store = DiskStore::with_options(Arc::new(vfs.clone()), sim_opts);
+            store.publish(&cat1, Some(&sum1), None, 1).unwrap();
+            vfs.reset_ops();
+            vfs.set_fault(Some(FaultPlan { fail_at, kind }));
+            let published = store.publish(&cat2, Some(&sum2), None, 2).is_ok();
+            vfs.crash();
+            fault_points += 1;
+            match store.open() {
+                Ok(cat) => {
+                    let epoch = cat.epoch();
+                    recovery_ok &= (epoch == 1 || epoch == 2) && cat.warm().is_ok();
+                    if published && kind != FaultKind::DroppedFsync {
+                        recovery_ok &= epoch == 2;
+                    }
+                    if !published {
+                        recovery_ok &= epoch == 1;
+                    }
+                }
+                Err(_) => recovery_ok = false,
+            }
+        }
+    }
+    println!("crash recovery across {fault_points} fault points ({total_ops} publish ops x 3 kinds): {recovery_ok}");
+
+    // ---- (e) warm start vs re-learn: a cold adaptive session learns the
+    // bench-pr4 misrank workload over several iterations; its feedback
+    // store + summary are published, reopened, and must make a fresh
+    // session pick the converged plans from iteration 1.
+    let wl = pr4_workload(scale.max(0.05), IdScheme::OrdPath);
+    let s4 = Summary::of(&wl.doc);
+    let mut cat4 = Catalog::new();
+    for v in &wl.views {
+        cat4.add(v.clone(), &wl.doc);
+    }
+    let iters = 4usize;
+    let mut cold_fp: Vec<Vec<u64>> = vec![Vec::new(); wl.queries.len()];
+    let mut session = AdaptiveSession::new(&s4, &cat4);
+    for _ in 0..iters {
+        for (qi, q) in wl.queries.iter().enumerate() {
+            let run = session
+                .run(&q.pattern)
+                .expect("rewrites")
+                .expect("executes");
+            cold_fp[qi].push(plan_fingerprint(&run.plan));
+        }
+    }
+    // 1-based iteration from which the cold choice never changed again
+    let cold_iters: Vec<usize> = cold_fp
+        .iter()
+        .map(|fps| {
+            let last = *fps.last().unwrap();
+            fps.iter().rposition(|f| *f != last).map_or(1, |i| i + 2)
+        })
+        .collect();
+    let fstore = DiskStore::new(Arc::new(SimVfs::new()));
+    fstore
+        .publish(&cat4, Some(&s4), Some(session.store()), 1)
+        .expect("publish learned feedback");
+    let mut reopened = fstore.open().expect("reopen feedback epoch");
+    let loaded_fb = reopened.take_feedback().expect("feedback persisted");
+    let loaded_summary = reopened.summary().expect("summary persisted");
+    let mut warm_sess = AdaptiveSession::new(loaded_summary, &cat4);
+    *warm_sess.store_mut() = loaded_fb;
+    let mut warm_start_converged = true;
+    for (qi, q) in wl.queries.iter().enumerate() {
+        let run = warm_sess
+            .run(&q.pattern)
+            .expect("rewrites")
+            .expect("executes");
+        warm_start_converged &= plan_fingerprint(&run.plan) == *cold_fp[qi].last().unwrap();
+    }
+    println!(
+        "cold session converged at iterations {cold_iters:?}; warm-started session converged \
+         from iteration 1: {warm_start_converged}"
+    );
+
+    let json = format!(
+        "{{\n  \"pr\": 10,\n  \"doc_nodes\": {doc_nodes},\n  \"host_cores\": {host_cores},\n  \"disk_results_equivalent\": {disk_results_equivalent},\n  \"recovery_ok\": {recovery_ok},\n  \"warm_start_converged\": {warm_start_converged},\n  \"checked_plans\": {checked_plans},\n  \"fault_points\": {fault_points},\n  \"cold_converge_iters\": {cold_iters:?},\n  \"queries\": [\n{}\n  ],\n  \"pool_sweep\": [\n{}\n  ]\n}}\n",
+        case_lines.join(",\n"),
+        sweep_lines.join(",\n"),
+    );
+    std::fs::write(out, json).expect("write bench json");
+    println!("wrote {out}");
 }

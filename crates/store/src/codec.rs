@@ -1,0 +1,737 @@
+//! Columnar segment codec for normalized extents.
+//!
+//! A [`NestedRelation`] serializes column-at-a-time:
+//!
+//! * every column carries a run-length-encoded stream of *cell tags*
+//!   (null / id / label / atom / content / table), so optional columns
+//!   cost one run per null stretch;
+//! * **ID columns** are delta-coded in document order — ORDPATH ids
+//!   front-code against the previous id's byte label (shared prefix
+//!   length + suffix), Dewey ids against the previous rank vector, and
+//!   sequential ids as zigzag deltas — which is where
+//!   document-order-sorted extents compress best;
+//! * **labels, string values and serialized content** go through an
+//!   in-segment string dictionary (strings are stored once and cells
+//!   store dictionary slots, label slots additionally run-length
+//!   encoded). The dictionary stores *strings*, not interned
+//!   [`Symbol`] indexes: symbol numbering is
+//!   process-local, so the decoder re-interns on load;
+//! * nested table cells recurse with the same codec.
+//!
+//! Decoding is checked end to end: every length and tag is validated and
+//! truncated or mismatched bytes surface as
+//! [`StoreError::Corrupt`](crate::StoreError) — never as garbage rows.
+
+use crate::io::{Result, StoreError};
+use smv_algebra::{
+    AttrKind, Cell, ColKind, Column, ExtentShard, NestedRelation, Row, Schema, ShardPartition,
+};
+use smv_xml::{DeweyId, Label, NodeId, OrdPath, StructId, Symbol, Value};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// byte stream primitives
+
+/// FNV-1a 64 — the workspace's stable hash (same constants as the
+/// feedback fingerprints), used for page and manifest checksums.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A growable little-endian byte sink.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// The bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One raw byte.
+    pub fn put_u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    /// Fixed-width little-endian u64.
+    pub fn put_u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// LEB128 varint.
+    pub fn put_uv(&mut self, mut x: u64) {
+        loop {
+            let b = (x & 0x7f) as u8;
+            x >>= 7;
+            if x == 0 {
+                self.buf.push(b);
+                return;
+            }
+            self.buf.push(b | 0x80);
+        }
+    }
+
+    /// Zigzag varint for signed values.
+    pub fn put_iv(&mut self, x: i64) {
+        self.put_uv(((x << 1) ^ (x >> 63)) as u64);
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_uv(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Raw bytes, no length prefix.
+    pub fn put_raw(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// A checked little-endian byte cursor; every read validates bounds and
+/// returns [`StoreError::Corrupt`] on overrun.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A cursor over `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StoreError::Corrupt(format!(
+                "truncated stream: wanted {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// One raw byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Fixed-width little-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// LEB128 varint.
+    pub fn get_uv(&mut self) -> Result<u64> {
+        let mut x = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.get_u8()?;
+            if shift >= 64 {
+                return Err(StoreError::Corrupt("varint overflow".into()));
+            }
+            x |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(x);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Zigzag varint.
+    pub fn get_iv(&mut self) -> Result<i64> {
+        let z = self.get_uv()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.get_uv()? as usize;
+        self.take(n)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let b = self.get_bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| StoreError::Corrupt("invalid utf-8".into()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// string dictionary
+
+#[derive(Default)]
+struct DictBuilder {
+    slots: HashMap<String, u64>,
+    strings: Vec<String>,
+}
+
+impl DictBuilder {
+    fn slot(&mut self, s: &str) -> u64 {
+        if let Some(&i) = self.slots.get(s) {
+            return i;
+        }
+        let i = self.strings.len() as u64;
+        self.slots.insert(s.to_string(), i);
+        self.strings.push(s.to_string());
+        i
+    }
+
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_uv(self.strings.len() as u64);
+        for s in &self.strings {
+            w.put_str(s);
+        }
+    }
+}
+
+fn decode_dict(r: &mut ByteReader) -> Result<Vec<String>> {
+    let n = r.get_uv()? as usize;
+    let mut strings = Vec::with_capacity(n);
+    for _ in 0..n {
+        strings.push(r.get_str()?);
+    }
+    Ok(strings)
+}
+
+fn dict_get(dict: &[String], slot: u64) -> Result<&str> {
+    dict.get(slot as usize)
+        .map(String::as_str)
+        .ok_or_else(|| StoreError::Corrupt(format!("dictionary slot {slot} out of range")))
+}
+
+// ---------------------------------------------------------------------------
+// schema
+
+const KIND_ID: u8 = 0;
+const KIND_LABEL: u8 = 1;
+const KIND_VALUE: u8 = 2;
+const KIND_CONTENT: u8 = 3;
+const KIND_NESTED: u8 = 4;
+
+fn encode_schema(w: &mut ByteWriter, s: &Schema) {
+    w.put_uv(s.cols.len() as u64);
+    for c in &s.cols {
+        w.put_str(c.name.as_str());
+        match &c.kind {
+            ColKind::Atom(AttrKind::Id) => w.put_u8(KIND_ID),
+            ColKind::Atom(AttrKind::Label) => w.put_u8(KIND_LABEL),
+            ColKind::Atom(AttrKind::Value) => w.put_u8(KIND_VALUE),
+            ColKind::Atom(AttrKind::Content) => w.put_u8(KIND_CONTENT),
+            ColKind::Nested(inner) => {
+                w.put_u8(KIND_NESTED);
+                encode_schema(w, inner);
+            }
+        }
+    }
+}
+
+fn decode_schema(r: &mut ByteReader) -> Result<Schema> {
+    let n = r.get_uv()? as usize;
+    let mut cols = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = Symbol::intern(&r.get_str()?);
+        let kind = match r.get_u8()? {
+            KIND_ID => ColKind::Atom(AttrKind::Id),
+            KIND_LABEL => ColKind::Atom(AttrKind::Label),
+            KIND_VALUE => ColKind::Atom(AttrKind::Value),
+            KIND_CONTENT => ColKind::Atom(AttrKind::Content),
+            KIND_NESTED => ColKind::Nested(decode_schema(r)?),
+            k => return Err(StoreError::Corrupt(format!("bad column kind {k}"))),
+        };
+        cols.push(Column { name, kind });
+    }
+    Ok(Schema { cols })
+}
+
+// ---------------------------------------------------------------------------
+// cell tags (match the Cell variant order)
+
+const TAG_NULL: u8 = 0;
+const TAG_ID: u8 = 1;
+const TAG_LABEL: u8 = 2;
+const TAG_ATOM: u8 = 3;
+const TAG_CONTENT: u8 = 4;
+const TAG_TABLE: u8 = 5;
+
+fn cell_tag(c: &Cell) -> u8 {
+    match c {
+        Cell::Null => TAG_NULL,
+        Cell::Id(_) => TAG_ID,
+        Cell::Label(_) => TAG_LABEL,
+        Cell::Atom(_) => TAG_ATOM,
+        Cell::Content(_) => TAG_CONTENT,
+        Cell::Table(_) => TAG_TABLE,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// id delta coding
+
+const ID_ORD: u8 = 0;
+const ID_DEWEY: u8 = 1;
+const ID_SEQ: u8 = 2;
+
+/// Per-column encoder state: the previous id's byte/rank label, for
+/// front-coding consecutive ids (document order shares long prefixes).
+#[derive(Default)]
+struct IdCoder {
+    prev_ord: Vec<u8>,
+    prev_dewey: Vec<u32>,
+    prev_seq: u64,
+}
+
+impl IdCoder {
+    fn encode(&mut self, w: &mut ByteWriter, id: &StructId) {
+        match id {
+            StructId::Ord(o) => {
+                w.put_u8(ID_ORD);
+                let bytes = o.to_bytes();
+                let shared = common_prefix(&self.prev_ord, &bytes);
+                w.put_uv(shared as u64);
+                w.put_bytes(&bytes[shared..]);
+                self.prev_ord = bytes;
+            }
+            StructId::Dewey(d) => {
+                w.put_u8(ID_DEWEY);
+                let ranks = d.ranks();
+                let shared = self
+                    .prev_dewey
+                    .iter()
+                    .zip(ranks)
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                w.put_uv(shared as u64);
+                w.put_uv((ranks.len() - shared) as u64);
+                for &rk in &ranks[shared..] {
+                    w.put_uv(rk as u64);
+                }
+                self.prev_dewey = ranks.to_vec();
+            }
+            StructId::Seq(s) => {
+                w.put_u8(ID_SEQ);
+                w.put_iv(*s as i64 - self.prev_seq as i64);
+                self.prev_seq = *s;
+            }
+        }
+    }
+
+    fn decode(&mut self, r: &mut ByteReader) -> Result<StructId> {
+        match r.get_u8()? {
+            ID_ORD => {
+                let shared = r.get_uv()? as usize;
+                if shared > self.prev_ord.len() {
+                    return Err(StoreError::Corrupt("ordpath prefix overrun".into()));
+                }
+                let suffix = r.get_bytes()?;
+                let mut bytes = self.prev_ord[..shared].to_vec();
+                bytes.extend_from_slice(suffix);
+                let id = OrdPath::from_bytes(&bytes);
+                self.prev_ord = bytes;
+                Ok(StructId::Ord(id))
+            }
+            ID_DEWEY => {
+                let shared = r.get_uv()? as usize;
+                if shared > self.prev_dewey.len() {
+                    return Err(StoreError::Corrupt("dewey prefix overrun".into()));
+                }
+                let extra = r.get_uv()? as usize;
+                let mut ranks = self.prev_dewey[..shared].to_vec();
+                for _ in 0..extra {
+                    ranks.push(r.get_uv()? as u32);
+                }
+                self.prev_dewey = ranks.clone();
+                Ok(StructId::Dewey(DeweyId::from_ranks(ranks)))
+            }
+            ID_SEQ => {
+                let delta = r.get_iv()?;
+                let s = (self.prev_seq as i64 + delta) as u64;
+                self.prev_seq = s;
+                Ok(StructId::Seq(s))
+            }
+            t => Err(StoreError::Corrupt(format!("bad id variant {t}"))),
+        }
+    }
+}
+
+fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+// ---------------------------------------------------------------------------
+// relation encode
+
+/// Serializes a relation column-at-a-time; see the module docs for the
+/// layout. The encoding is exact: rows, row order and `sorted_on` all
+/// round-trip identically through [`decode_relation`].
+pub fn encode_relation(rel: &NestedRelation) -> Vec<u8> {
+    let mut dict = DictBuilder::default();
+    let mut body = ByteWriter::new();
+    encode_rows(&mut body, &mut dict, &rel.schema, &rel.rows);
+    let mut w = ByteWriter::new();
+    encode_schema(&mut w, &rel.schema);
+    w.put_uv(rel.rows.len() as u64);
+    match rel.sorted_on {
+        None => w.put_uv(0),
+        Some(c) => w.put_uv(c as u64 + 1),
+    }
+    dict.encode(&mut w);
+    w.put_raw(&body.into_bytes());
+    w.into_bytes()
+}
+
+fn encode_rows(w: &mut ByteWriter, dict: &mut DictBuilder, schema: &Schema, rows: &[Row]) {
+    for (ci, _col) in schema.cols.iter().enumerate() {
+        // tag runs
+        let mut runs: Vec<(u8, u64)> = Vec::new();
+        for row in rows {
+            let t = cell_tag(&row.cells[ci]);
+            match runs.last_mut() {
+                Some((lt, n)) if *lt == t => *n += 1,
+                _ => runs.push((t, 1)),
+            }
+        }
+        w.put_uv(runs.len() as u64);
+        for &(t, n) in &runs {
+            w.put_u8(t);
+            w.put_uv(n);
+        }
+        // payloads, column order
+        let mut ids = IdCoder::default();
+        // run-length state for label/int payloads
+        let mut pending_label: Option<(u64, u64)> = None;
+        let flush_label = |w: &mut ByteWriter, p: &mut Option<(u64, u64)>| {
+            if let Some((slot, n)) = p.take() {
+                w.put_uv(slot);
+                w.put_uv(n);
+            }
+        };
+        for row in rows {
+            match &row.cells[ci] {
+                Cell::Null => {}
+                Cell::Id(id) => ids.encode(w, id),
+                Cell::Label(l) => {
+                    let slot = dict.slot(l.as_str());
+                    match &mut pending_label {
+                        Some((s, n)) if *s == slot => *n += 1,
+                        _ => {
+                            flush_label(w, &mut pending_label);
+                            pending_label = Some((slot, 1));
+                        }
+                    }
+                }
+                Cell::Atom(Value::Int(i)) => {
+                    w.put_u8(0);
+                    w.put_iv(*i);
+                }
+                Cell::Atom(Value::Str(s)) => {
+                    w.put_u8(1);
+                    w.put_uv(dict.slot(s));
+                }
+                Cell::Content(s) => w.put_uv(dict.slot(s)),
+                Cell::Table(t) => {
+                    // nested tables recurse with their own dictionary —
+                    // they are rare and keeping them self-contained lets
+                    // the decoder reuse decode_relation wholesale
+                    w.put_bytes(&encode_relation(t));
+                }
+            }
+            // a non-label cell breaks any label run
+            if !matches!(&row.cells[ci], Cell::Label(_)) {
+                flush_label(w, &mut pending_label);
+            }
+        }
+        flush_label(w, &mut pending_label);
+    }
+}
+
+/// Decodes a relation encoded by [`encode_relation`]; checked throughout.
+pub fn decode_relation(bytes: &[u8]) -> Result<NestedRelation> {
+    let mut r = ByteReader::new(bytes);
+    let rel = decode_relation_inner(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after relation",
+            r.remaining()
+        )));
+    }
+    Ok(rel)
+}
+
+fn decode_relation_inner(r: &mut ByteReader) -> Result<NestedRelation> {
+    let schema = decode_schema(r)?;
+    let n_rows = r.get_uv()? as usize;
+    let sorted_on = match r.get_uv()? {
+        0 => None,
+        c => Some(c as usize - 1),
+    };
+    let dict = decode_dict(r)?;
+    let n_cols = schema.cols.len();
+    let mut columns: Vec<Vec<Cell>> = Vec::with_capacity(n_cols);
+    for _ in 0..n_cols {
+        // tag runs
+        let n_runs = r.get_uv()? as usize;
+        let mut tags: Vec<u8> = Vec::with_capacity(n_rows);
+        for _ in 0..n_runs {
+            let t = r.get_u8()?;
+            let n = r.get_uv()? as usize;
+            if tags.len() + n > n_rows {
+                return Err(StoreError::Corrupt("tag runs exceed row count".into()));
+            }
+            tags.extend(std::iter::repeat_n(t, n));
+        }
+        if tags.len() != n_rows {
+            return Err(StoreError::Corrupt(format!(
+                "tag runs cover {} of {n_rows} rows",
+                tags.len()
+            )));
+        }
+        let mut ids = IdCoder::default();
+        let mut cells: Vec<Cell> = Vec::with_capacity(n_rows);
+        let mut label_run: Option<(u64, u64)> = None; // (slot, remaining)
+        for &t in &tags {
+            let cell = match t {
+                TAG_NULL => Cell::Null,
+                TAG_ID => Cell::Id(ids.decode(r)?),
+                TAG_LABEL => {
+                    let (slot, left) = match label_run.take() {
+                        Some((s, n)) if n > 0 => (s, n),
+                        _ => {
+                            let s = r.get_uv()?;
+                            let n = r.get_uv()?;
+                            if n == 0 {
+                                return Err(StoreError::Corrupt("empty label run".into()));
+                            }
+                            (s, n)
+                        }
+                    };
+                    label_run = Some((slot, left - 1));
+                    Cell::Label(Label::intern(dict_get(&dict, slot)?))
+                }
+                TAG_ATOM => match r.get_u8()? {
+                    0 => Cell::Atom(Value::Int(r.get_iv()?)),
+                    1 => Cell::Atom(Value::Str(dict_get(&dict, r.get_uv()?)?.into())),
+                    v => return Err(StoreError::Corrupt(format!("bad value variant {v}"))),
+                },
+                TAG_CONTENT => Cell::Content(dict_get(&dict, r.get_uv()?)?.to_string()),
+                TAG_TABLE => {
+                    let inner = r.get_bytes()?;
+                    Cell::Table(decode_relation(inner)?)
+                }
+                t => return Err(StoreError::Corrupt(format!("bad cell tag {t}"))),
+            };
+            // a non-label tag ends any label run
+            if t != TAG_LABEL {
+                match label_run.take() {
+                    None | Some((_, 0)) => {}
+                    Some(_) => return Err(StoreError::Corrupt("label run crosses cells".into())),
+                }
+            }
+            cells.push(cell);
+        }
+        if let Some((_, left)) = label_run {
+            if left != 0 {
+                return Err(StoreError::Corrupt("label run past column end".into()));
+            }
+        }
+        columns.push(cells);
+    }
+    // transpose back to rows
+    let mut rows: Vec<Row> = Vec::with_capacity(n_rows);
+    for i in 0..n_rows {
+        let mut cells = Vec::with_capacity(n_cols);
+        for col in &mut columns {
+            cells.push(std::mem::replace(&mut col[i], Cell::Null));
+        }
+        rows.push(Row::new(cells));
+    }
+    let mut rel = NestedRelation::new(schema, rows);
+    rel.sorted_on = sorted_on;
+    Ok(rel)
+}
+
+// ---------------------------------------------------------------------------
+// shard partitions
+
+/// Serializes a [`ShardPartition`] (the summary-free interval metadata the
+/// parallel executor shards joins on).
+pub fn encode_partition(p: &ShardPartition) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_uv(p.col as u64);
+    w.put_u64(p.token.0);
+    w.put_u64(p.token.1);
+    w.put_uv(p.shards.len() as u64);
+    for s in &p.shards {
+        w.put_uv(s.path.0 as u64);
+        w.put_uv(s.pre as u64);
+        w.put_uv(s.last_desc as u64);
+        w.put_uv(s.depth as u64);
+        put_index_list(&mut w, &s.rows);
+    }
+    put_index_list(&mut w, &p.unclassified);
+    w.into_bytes()
+}
+
+/// Decodes [`encode_partition`] bytes.
+pub fn decode_partition(bytes: &[u8]) -> Result<ShardPartition> {
+    let mut r = ByteReader::new(bytes);
+    let col = r.get_uv()? as usize;
+    let token = (r.get_u64()?, r.get_u64()?);
+    let n = r.get_uv()? as usize;
+    let mut shards = Vec::with_capacity(n);
+    for _ in 0..n {
+        shards.push(ExtentShard {
+            path: NodeId(r.get_uv()? as u32),
+            pre: r.get_uv()? as u32,
+            last_desc: r.get_uv()? as u32,
+            depth: r.get_uv()? as u32,
+            rows: get_index_list(&mut r)?,
+        });
+    }
+    let unclassified = get_index_list(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(StoreError::Corrupt("trailing bytes after partition".into()));
+    }
+    Ok(ShardPartition {
+        col,
+        token,
+        shards,
+        unclassified,
+    })
+}
+
+/// Row-index lists are ascending within a shard: delta-varint them.
+fn put_index_list(w: &mut ByteWriter, xs: &[usize]) {
+    w.put_uv(xs.len() as u64);
+    let mut prev = 0i64;
+    for &x in xs {
+        w.put_iv(x as i64 - prev);
+        prev = x as i64;
+    }
+}
+
+fn get_index_list(r: &mut ByteReader) -> Result<Vec<usize>> {
+    let n = r.get_uv()? as usize;
+    let mut xs = Vec::with_capacity(n);
+    let mut prev = 0i64;
+    for _ in 0..n {
+        prev += r.get_iv()?;
+        if prev < 0 {
+            return Err(StoreError::Corrupt("negative row index".into()));
+        }
+        xs.push(prev as usize);
+    }
+    Ok(xs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smv_algebra::AttrKind;
+
+    fn sample() -> NestedRelation {
+        let schema = Schema::atoms(&[
+            ("a.ID", AttrKind::Id),
+            ("a.L", AttrKind::Label),
+            ("a.V", AttrKind::Value),
+        ]);
+        let rows = vec![
+            Row::new(vec![
+                Cell::Id(StructId::Seq(3)),
+                Cell::Label(Label::intern("item")),
+                Cell::Atom(Value::int(7)),
+            ]),
+            Row::new(vec![
+                Cell::Id(StructId::Seq(9)),
+                Cell::Label(Label::intern("item")),
+                Cell::Atom(Value::str("x")),
+            ]),
+            Row::new(vec![
+                Cell::Id(StructId::Seq(12)),
+                Cell::Label(Label::intern("name")),
+                Cell::Null,
+            ]),
+        ];
+        let mut rel = NestedRelation::new(schema, rows);
+        rel.sorted_on = Some(0);
+        rel
+    }
+
+    #[test]
+    fn relation_round_trips() {
+        let rel = sample();
+        let bytes = encode_relation(&rel);
+        let back = decode_relation(&bytes).unwrap();
+        assert_eq!(back.schema, rel.schema);
+        assert_eq!(back.rows, rel.rows);
+        assert_eq!(back.sorted_on, rel.sorted_on);
+    }
+
+    #[test]
+    fn truncation_is_a_checked_error() {
+        let bytes = encode_relation(&sample());
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_relation(&bytes[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_round_trips() {
+        let p = ShardPartition {
+            col: 0,
+            token: (42, 7),
+            shards: vec![ExtentShard {
+                path: NodeId(3),
+                pre: 1,
+                last_desc: 5,
+                depth: 2,
+                rows: vec![0, 1, 4, 9],
+            }],
+            unclassified: vec![2, 3],
+        };
+        let bytes = encode_partition(&p);
+        let back = decode_partition(&bytes).unwrap();
+        assert_eq!(back.col, p.col);
+        assert_eq!(back.token, p.token);
+        assert_eq!(back.shards.len(), 1);
+        assert_eq!(back.shards[0].rows, p.shards[0].rows);
+        assert_eq!(back.unclassified, p.unclassified);
+    }
+}

@@ -1,0 +1,177 @@
+//! Differential provider matrix: one query, every provider, identical
+//! answers — the harness the storage engine is proven against.
+//!
+//! [`ProviderMatrix`] materializes one set of views over one document and
+//! exposes them through four provider arms:
+//!
+//! * `map` — a plain [`MapProvider`] holding the normalized extents;
+//! * `sharded` — the in-memory [`Catalog`] with shard partitions;
+//! * `disk-cold` — a [`DiskCatalog`] reopened fresh for every check, so
+//!   each read misses the buffer pool;
+//! * `disk-warm` — one long-lived [`DiskCatalog`] whose pages and decoded
+//!   extents stay resident across checks.
+//!
+//! [`ProviderMatrix::check`] executes a plan against every arm at every
+//! requested thread count and asserts byte-identical result rows, schema,
+//! `sorted_on` and per-operator [`ExecProfile`] row counters. Any
+//! divergence panics with the arm, thread count, and the first differing
+//! piece — which makes it usable both from `#[test]`s and from the
+//! `bench-pr10` gate.
+
+use crate::disk::{DiskCatalog, DiskStore, StoreOptions};
+use crate::io::SimVfs;
+use smv_algebra::{
+    execute_profiled_with, ExecOpts, ExecProfile, MapProvider, NestedRelation, Plan, ViewProvider,
+};
+use smv_summary::Summary;
+use smv_views::{Catalog, View};
+use smv_xml::{Document, IdScheme};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The four-arm differential harness; see the module docs.
+pub struct ProviderMatrix {
+    summary: Summary,
+    map: MapProvider,
+    sharded: Catalog,
+    store: DiskStore,
+    warm: DiskCatalog,
+}
+
+impl ProviderMatrix {
+    /// Materializes `views` over `doc` with `scheme` ids and builds all
+    /// four arms. The disk arms live on a [`SimVfs`] with a deliberately
+    /// tiny buffer pool, so segment reads exercise eviction even in small
+    /// tests.
+    pub fn new(doc: &Document, scheme: IdScheme, patterns: &[(&str, &str)]) -> ProviderMatrix {
+        let views: Vec<View> = patterns
+            .iter()
+            .map(|(name, p)| {
+                let pat = smv_pattern::parse_pattern(p)
+                    .unwrap_or_else(|e| panic!("bad pattern for view '{name}': {e}"));
+                View::new(name, pat, scheme)
+            })
+            .collect();
+        ProviderMatrix::from_views(doc, views)
+    }
+
+    /// [`ProviderMatrix::new`] over already-built views.
+    pub fn from_views(doc: &Document, views: Vec<View>) -> ProviderMatrix {
+        let summary = Summary::of(doc);
+        let mut sharded = Catalog::new();
+        for v in &views {
+            sharded.add_sharded(v.clone(), doc, &summary);
+        }
+        let mut map = MapProvider::default();
+        for v in &views {
+            let extent = sharded
+                .extent(&v.name)
+                .expect("sharded catalog materialized the view")
+                .clone();
+            map.insert(&v.name, extent);
+        }
+        let store = DiskStore::with_options(
+            Arc::new(SimVfs::new()),
+            StoreOptions {
+                page_size: 256,
+                pool_pages: 4,
+            },
+        );
+        store
+            .publish(&sharded, Some(&summary), None, 1)
+            .expect("publish to SimVfs");
+        let warm = store.open().expect("reopen published epoch");
+        warm.warm().expect("decode all extents");
+        ProviderMatrix {
+            summary,
+            map,
+            sharded,
+            store,
+            warm,
+        }
+    }
+
+    /// The summary the sharded arm was partitioned against.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// The sharded in-memory arm (e.g. to seed further harnesses).
+    pub fn sharded(&self) -> &Catalog {
+        &self.sharded
+    }
+
+    /// The warm disk arm.
+    pub fn disk(&self) -> &DiskCatalog {
+        &self.warm
+    }
+
+    /// Executes `plan` on every arm × every thread count and asserts all
+    /// answers identical; returns the baseline result and profile (map
+    /// arm, first thread count).
+    pub fn check(&self, plan: &Plan, threads: &[usize]) -> (NestedRelation, ExecProfile) {
+        let t0 = *threads.first().expect("at least one thread count");
+        let (base_rel, base_prof) =
+            execute_profiled_with(plan, &self.map, &ExecOpts::with_threads(t0))
+                .expect("baseline execution");
+        let base_rows = profile_rows(&base_prof);
+        for &t in threads {
+            let cold = self.store.open().expect("reopen for cold arm");
+            let arms: [(&str, &dyn ViewProvider); 4] = [
+                ("map", &self.map),
+                ("sharded", &self.sharded),
+                ("disk-cold", &cold),
+                ("disk-warm", &self.warm),
+            ];
+            for (arm, provider) in arms {
+                let (rel, prof) = execute_profiled_with(plan, provider, &ExecOpts::with_threads(t))
+                    .unwrap_or_else(|e| panic!("arm {arm} (threads={t}) failed: {e}"));
+                assert_eq!(
+                    rel.schema, base_rel.schema,
+                    "arm {arm} (threads={t}): schema diverged"
+                );
+                assert_eq!(
+                    rel.sorted_on, base_rel.sorted_on,
+                    "arm {arm} (threads={t}): sort marker diverged"
+                );
+                assert_eq!(
+                    rel.rows.len(),
+                    base_rel.rows.len(),
+                    "arm {arm} (threads={t}): row count diverged"
+                );
+                for (i, (got, want)) in rel.rows.iter().zip(&base_rel.rows).enumerate() {
+                    assert_eq!(got, want, "arm {arm} (threads={t}): row {i} diverged");
+                }
+                assert_eq!(
+                    profile_rows(&prof),
+                    base_rows,
+                    "arm {arm} (threads={t}): profile row counters diverged"
+                );
+            }
+        }
+        (base_rel, base_prof)
+    }
+
+    /// [`ProviderMatrix::check`] at the default thread ladder (1 and 4).
+    pub fn check_default(&self, plan: &Plan) -> (NestedRelation, ExecProfile) {
+        self.check(plan, &[1, 4])
+    }
+
+    /// Runs `check` over several plans; returns how many were checked.
+    pub fn check_all(&self, plans: &[Plan], threads: &[usize]) -> usize {
+        for plan in plans {
+            self.check(plan, threads);
+        }
+        plans.len()
+    }
+
+    /// All registered views, for building plans against the matrix.
+    pub fn views(&self) -> &[View] {
+        self.sharded.views()
+    }
+}
+
+/// An order-stable copy of the profile's per-operator row counters.
+fn profile_rows(p: &ExecProfile) -> BTreeMap<String, u64> {
+    p.iter().map(|(k, v)| (k.to_string(), v)).collect()
+}

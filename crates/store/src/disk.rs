@@ -1,0 +1,848 @@
+//! Epoch-versioned on-disk catalogs: segment files, the manifest swap,
+//! and the [`DiskCatalog`] provider.
+//!
+//! # File layout
+//!
+//! One published epoch `E` is a set of flat files in the store directory:
+//!
+//! ```text
+//! seg-{E}-{i}.smv     one columnar segment per view (header + pages)
+//! summary-{E}.smv     serialized Summary (checksum-trailed whole file)
+//! feedback-{E}.smv    serialized FeedbackStore (checksum-trailed)
+//! manifest-{E}.smv    the commit record naming all of the above
+//! ```
+//!
+//! A segment file is a 24-byte header (`SMVSEG1\n`, page size, page
+//! count, payload length) followed by fixed-size pages, each prefixed
+//! with an FNV-1a checksum of its payload. Reads go through the
+//! [`BufferPool`]; the last page may be short.
+//!
+//! # The epoch swap
+//!
+//! [`DiskStore::publish`] writes every segment, fsyncs each, writes the
+//! summary and feedback files, fsyncs those, then writes the manifest to
+//! `manifest-{E}.tmp`, fsyncs it, and **renames** it to
+//! `manifest-{E}.smv`. The rename is the commit point: a crash anywhere
+//! before it leaves the previous manifest (and every file it names)
+//! untouched, so [`DiskStore::open`] recovers the previous epoch exactly.
+//! A crash that loses un-fsynced data behind an already-renamed manifest
+//! (a lying disk) is caught structurally: `open` validates the manifest
+//! checksum and the existence + exact length of every referenced file,
+//! and falls back to the next older manifest when anything is off. No
+//! partial epoch is ever served.
+//!
+//! Replaced epochs are garbage-collected best-effort after a successful
+//! publish, keeping the two newest manifests so recovery always has a
+//! fallback.
+
+use crate::codec::{
+    decode_partition, decode_relation, encode_partition, encode_relation, fnv64, ByteReader,
+    ByteWriter,
+};
+use crate::io::{Result, StoreError, Vfs};
+use crate::pool::BufferPool;
+use smv_algebra::{FeedbackStore, NestedRelation, ShardPartition, ViewProvider};
+use smv_pattern::{canonical_form, parse_pattern};
+use smv_summary::Summary;
+use smv_views::epoch::{CatalogEpoch, EpochCatalog, MaintenanceReport};
+use smv_views::{View, ViewStore};
+use smv_xml::{IdScheme, LiveError, UpdateBatch};
+use std::sync::{Arc, OnceLock};
+
+const SEG_MAGIC: &[u8; 8] = b"SMVSEG1\n";
+const MAN_MAGIC: &[u8; 8] = b"SMVMAN1\n";
+const SEG_HEADER: u64 = 24;
+const PAGE_PREFIX: u64 = 8; // per-page checksum
+
+/// Tuning knobs for a [`DiskStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// Payload bytes per page.
+    pub page_size: usize,
+    /// Buffer-pool budget, in pages, for catalogs opened by this store.
+    pub pool_pages: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> StoreOptions {
+        StoreOptions {
+            page_size: 4096,
+            pool_pages: 128,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// file naming
+
+fn seg_name(epoch: u64, i: usize) -> String {
+    format!("seg-{epoch:020}-{i}.smv")
+}
+
+fn summary_name(epoch: u64) -> String {
+    format!("summary-{epoch:020}.smv")
+}
+
+fn feedback_name(epoch: u64) -> String {
+    format!("feedback-{epoch:020}.smv")
+}
+
+fn manifest_name(epoch: u64) -> String {
+    format!("manifest-{epoch:020}.smv")
+}
+
+fn manifest_tmp(epoch: u64) -> String {
+    format!("manifest-{epoch:020}.tmp")
+}
+
+/// Parses the epoch out of any store filename.
+fn file_epoch(name: &str) -> Option<u64> {
+    let rest = name
+        .strip_prefix("manifest-")
+        .or_else(|| name.strip_prefix("summary-"))
+        .or_else(|| name.strip_prefix("feedback-"))
+        .or_else(|| name.strip_prefix("seg-"))?;
+    rest.get(..20)?.parse().ok()
+}
+
+fn manifest_epoch(name: &str) -> Option<u64> {
+    if name.starts_with("manifest-") && name.ends_with(".smv") {
+        file_epoch(name)
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// checksum-trailed small files (summary / feedback / manifest)
+
+fn write_small(vfs: &dyn Vfs, name: &str, mut bytes: Vec<u8>) -> Result<()> {
+    let sum = fnv64(&bytes);
+    bytes.extend_from_slice(&sum.to_le_bytes());
+    vfs.write(name, &bytes)?;
+    vfs.fsync(name)
+}
+
+fn read_small(vfs: &dyn Vfs, name: &str) -> Result<Vec<u8>> {
+    let bytes = vfs.read(name)?;
+    if bytes.len() < 8 {
+        return Err(StoreError::Corrupt(format!("{name}: too short")));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let want = u64::from_le_bytes(trailer.try_into().unwrap());
+    if fnv64(body) != want {
+        return Err(StoreError::Corrupt(format!("{name}: checksum mismatch")));
+    }
+    Ok(body.to_vec())
+}
+
+// ---------------------------------------------------------------------------
+// segment files
+
+/// On-disk byte length of a segment holding `payload_len` payload bytes.
+fn segment_len(page_size: usize, payload_len: usize) -> u64 {
+    let n_pages = payload_len.div_ceil(page_size).max(1) as u64;
+    let last = if payload_len == 0 {
+        0
+    } else {
+        payload_len - (n_pages as usize - 1) * page_size
+    };
+    SEG_HEADER + (n_pages - 1) * (PAGE_PREFIX + page_size as u64) + PAGE_PREFIX + last as u64
+}
+
+/// Writes one segment through the pool: header, dirty pages, one flush.
+fn write_segment(
+    vfs: &dyn Vfs,
+    pool: &Arc<BufferPool>,
+    page_size: usize,
+    file: &str,
+    payload: &[u8],
+) -> Result<u64> {
+    let n_pages = payload.len().div_ceil(page_size).max(1);
+    let mut h = ByteWriter::new();
+    h.put_raw(SEG_MAGIC);
+    h.put_raw(&(page_size as u32).to_le_bytes());
+    h.put_raw(&(n_pages as u32).to_le_bytes());
+    h.put_raw(&(payload.len() as u64).to_le_bytes());
+    vfs.write(file, &h.into_bytes())?;
+    for i in 0..n_pages {
+        let start = i * page_size;
+        let end = (start + page_size).min(payload.len());
+        let offset = SEG_HEADER + i as u64 * (PAGE_PREFIX + page_size as u64);
+        pool.write_page(file, i as u32, offset, payload[start..end].to_vec())?;
+    }
+    pool.flush_file(file)?;
+    Ok(segment_len(page_size, payload.len()))
+}
+
+/// Reads a whole segment payload back through the pool, page by page.
+fn read_segment(vfs: &dyn Vfs, pool: &Arc<BufferPool>, file: &str) -> Result<Vec<u8>> {
+    let hdr = vfs.read_at(file, 0, SEG_HEADER as usize)?;
+    if hdr.len() != SEG_HEADER as usize || &hdr[..8] != SEG_MAGIC {
+        return Err(StoreError::Corrupt(format!("{file}: bad segment header")));
+    }
+    let page_size = u32::from_le_bytes(hdr[8..12].try_into().unwrap()) as usize;
+    let n_pages = u32::from_le_bytes(hdr[12..16].try_into().unwrap()) as usize;
+    let payload_len = u64::from_le_bytes(hdr[16..24].try_into().unwrap()) as usize;
+    if page_size == 0 || n_pages != payload_len.div_ceil(page_size).max(1) {
+        return Err(StoreError::Corrupt(format!(
+            "{file}: inconsistent segment geometry"
+        )));
+    }
+    let mut out = Vec::with_capacity(payload_len);
+    for i in 0..n_pages {
+        let start = i * page_size;
+        let len = (payload_len - start).min(page_size);
+        let offset = SEG_HEADER + i as u64 * (PAGE_PREFIX + page_size as u64);
+        let page = pool.get(file, i as u32, offset, len)?;
+        out.extend_from_slice(page.bytes());
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// manifest
+
+struct SegEntry {
+    name: String,
+    pattern: String,
+    scheme: IdScheme,
+    file: String,
+    payload_len: u64,
+    file_len: u64,
+}
+
+struct Manifest {
+    epoch: u64,
+    segs: Vec<SegEntry>,
+    summary: Option<(String, u64)>,
+    feedback: Option<(String, u64)>,
+}
+
+fn scheme_tag(s: IdScheme) -> u8 {
+    match s {
+        IdScheme::OrdPath => 0,
+        IdScheme::Dewey => 1,
+        IdScheme::Sequential => 2,
+    }
+}
+
+fn scheme_from_tag(t: u8) -> Result<IdScheme> {
+    match t {
+        0 => Ok(IdScheme::OrdPath),
+        1 => Ok(IdScheme::Dewey),
+        2 => Ok(IdScheme::Sequential),
+        t => Err(StoreError::Corrupt(format!("bad id scheme tag {t}"))),
+    }
+}
+
+fn encode_manifest(m: &Manifest) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_raw(MAN_MAGIC);
+    w.put_u64(m.epoch);
+    w.put_uv(m.segs.len() as u64);
+    for s in &m.segs {
+        w.put_str(&s.name);
+        w.put_str(&s.pattern);
+        w.put_u8(scheme_tag(s.scheme));
+        w.put_str(&s.file);
+        w.put_u64(s.payload_len);
+        w.put_u64(s.file_len);
+    }
+    for opt in [&m.summary, &m.feedback] {
+        match opt {
+            Some((name, len)) => {
+                w.put_u8(1);
+                w.put_str(name);
+                w.put_u64(*len);
+            }
+            None => w.put_u8(0),
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_manifest(bytes: &[u8]) -> Result<Manifest> {
+    let mut r = ByteReader::new(bytes);
+    let mut magic = [0u8; 8];
+    for b in &mut magic {
+        *b = r.get_u8()?;
+    }
+    if &magic != MAN_MAGIC {
+        return Err(StoreError::Corrupt("bad manifest magic".into()));
+    }
+    let epoch = r.get_u64()?;
+    let n = r.get_uv()? as usize;
+    let mut segs = Vec::with_capacity(n);
+    for _ in 0..n {
+        segs.push(SegEntry {
+            name: r.get_str()?,
+            pattern: r.get_str()?,
+            scheme: scheme_from_tag(r.get_u8()?)?,
+            file: r.get_str()?,
+            payload_len: r.get_u64()?,
+            file_len: r.get_u64()?,
+        });
+    }
+    let mut opts = [None, None];
+    for slot in &mut opts {
+        if r.get_u8()? == 1 {
+            *slot = Some((r.get_str()?, r.get_u64()?));
+        }
+    }
+    if r.remaining() != 0 {
+        return Err(StoreError::Corrupt("trailing bytes after manifest".into()));
+    }
+    let [summary, feedback] = opts;
+    Ok(Manifest {
+        epoch,
+        segs,
+        summary,
+        feedback,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// the store
+
+/// Handle on one store directory: publishes epochs and opens catalogs.
+pub struct DiskStore {
+    vfs: Arc<dyn Vfs>,
+    opts: StoreOptions,
+}
+
+impl DiskStore {
+    /// A store over `vfs` with default [`StoreOptions`].
+    pub fn new(vfs: Arc<dyn Vfs>) -> DiskStore {
+        DiskStore::with_options(vfs, StoreOptions::default())
+    }
+
+    /// A store with explicit page size and pool budget.
+    pub fn with_options(vfs: Arc<dyn Vfs>, opts: StoreOptions) -> DiskStore {
+        DiskStore { vfs, opts }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> StoreOptions {
+        self.opts
+    }
+
+    /// The underlying VFS.
+    pub fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
+    }
+
+    /// Publishes one epoch: every view extent (and shard partition) of
+    /// `src`, plus optionally the summary and feedback store. Durable at
+    /// return; a crash at any interior point leaves the previously
+    /// published epoch intact.
+    pub fn publish<S: ViewStore + ViewProvider>(
+        &self,
+        src: &S,
+        summary: Option<&Summary>,
+        feedback: Option<&FeedbackStore>,
+        epoch: u64,
+    ) -> Result<()> {
+        let pool = BufferPool::new(Arc::clone(&self.vfs), self.opts.pool_pages);
+        let mut segs = Vec::new();
+        for (i, view) in src.views().iter().enumerate() {
+            let extent = src.extent(&view.name).ok_or_else(|| {
+                StoreError::Io(format!("view '{}' has no materialized extent", view.name))
+            })?;
+            let mut pw = ByteWriter::new();
+            pw.put_bytes(&encode_relation(extent));
+            match src.shard_partition(&view.name) {
+                Some(p) => {
+                    pw.put_u8(1);
+                    pw.put_bytes(&encode_partition(p));
+                }
+                None => pw.put_u8(0),
+            }
+            let payload = pw.into_bytes();
+            let file = seg_name(epoch, i);
+            let file_len = write_segment(
+                self.vfs.as_ref(),
+                &pool,
+                self.opts.page_size,
+                &file,
+                &payload,
+            )?;
+            segs.push(SegEntry {
+                name: view.name.clone(),
+                pattern: canonical_form(&view.pattern),
+                scheme: view.scheme,
+                file,
+                payload_len: payload.len() as u64,
+                file_len,
+            });
+        }
+        let summary = match summary {
+            Some(s) => {
+                let name = summary_name(epoch);
+                write_small(self.vfs.as_ref(), &name, s.to_bytes())?;
+                Some((name.clone(), self.vfs.len(&name).unwrap_or(0)))
+            }
+            None => None,
+        };
+        let feedback = match feedback {
+            Some(f) => {
+                let name = feedback_name(epoch);
+                write_small(self.vfs.as_ref(), &name, f.to_bytes())?;
+                Some((name.clone(), self.vfs.len(&name).unwrap_or(0)))
+            }
+            None => None,
+        };
+        let manifest = Manifest {
+            epoch,
+            segs,
+            summary,
+            feedback,
+        };
+        let tmp = manifest_tmp(epoch);
+        write_small(self.vfs.as_ref(), &tmp, encode_manifest(&manifest))?;
+        // the commit point
+        self.vfs.rename(&tmp, &manifest_name(epoch))?;
+        self.gc();
+        Ok(())
+    }
+
+    /// Publishes an [`EpochCatalog`] snapshot (views, partitions, summary)
+    /// at its own epoch number.
+    pub fn publish_epoch(
+        &self,
+        snap: &CatalogEpoch,
+        feedback: Option<&FeedbackStore>,
+    ) -> Result<()> {
+        self.publish(snap, Some(snap.summary()), feedback, snap.epoch())
+    }
+
+    /// The newest epoch with a committed manifest, if any.
+    pub fn latest_epoch(&self) -> Option<u64> {
+        self.manifest_epochs().first().copied()
+    }
+
+    /// Committed manifest epochs, newest first.
+    fn manifest_epochs(&self) -> Vec<u64> {
+        let mut es: Vec<u64> = self
+            .vfs
+            .list()
+            .iter()
+            .filter_map(|n| manifest_epoch(n))
+            .collect();
+        es.sort_unstable_by(|a, b| b.cmp(a));
+        es
+    }
+
+    /// Opens the newest *recoverable* epoch: manifests are tried newest
+    /// first and an epoch is served only if its manifest checksum and
+    /// every referenced file (existence + exact length) validate.
+    pub fn open(&self) -> Result<DiskCatalog> {
+        let epochs = self.manifest_epochs();
+        if epochs.is_empty() {
+            return Err(StoreError::Corrupt("no published epoch in store".into()));
+        }
+        let mut last_err = None;
+        for e in epochs {
+            match self.open_epoch(e) {
+                Ok(cat) => return Ok(cat),
+                Err(err) => last_err = Some(err),
+            }
+        }
+        Err(last_err.unwrap())
+    }
+
+    fn open_epoch(&self, epoch: u64) -> Result<DiskCatalog> {
+        let bytes = read_small(self.vfs.as_ref(), &manifest_name(epoch))?;
+        let m = decode_manifest(&bytes)?;
+        if m.epoch != epoch {
+            return Err(StoreError::Corrupt(format!(
+                "manifest-{epoch} claims epoch {}",
+                m.epoch
+            )));
+        }
+        // structural validation: every referenced file, exact length
+        for (file, want) in m
+            .segs
+            .iter()
+            .map(|s| (&s.file, s.file_len))
+            .chain(m.summary.iter().map(|(n, l)| (n, *l)))
+            .chain(m.feedback.iter().map(|(n, l)| (n, *l)))
+        {
+            match self.vfs.len(file) {
+                Some(len) if len == want => {}
+                Some(len) => {
+                    return Err(StoreError::Corrupt(format!(
+                        "{file}: {len} bytes on disk, manifest says {want}"
+                    )))
+                }
+                None => {
+                    return Err(StoreError::Corrupt(format!(
+                        "{file}: named by manifest but missing"
+                    )))
+                }
+            }
+        }
+        let mut views = Vec::with_capacity(m.segs.len());
+        let mut segs = Vec::with_capacity(m.segs.len());
+        let mut cells = Vec::with_capacity(m.segs.len());
+        for s in &m.segs {
+            let pattern = parse_pattern(&s.pattern).map_err(|e| {
+                StoreError::Corrupt(format!("view '{}': unparseable pattern: {e}", s.name))
+            })?;
+            views.push(View::new(&s.name, pattern, s.scheme));
+            segs.push(SegMeta {
+                file: s.file.clone(),
+            });
+            cells.push(OnceLock::new());
+        }
+        let summary = match &m.summary {
+            Some((name, _)) => {
+                let body = read_small(self.vfs.as_ref(), name)?;
+                Some(Summary::from_bytes(&body).map_err(StoreError::Corrupt)?)
+            }
+            None => None,
+        };
+        let feedback = match &m.feedback {
+            Some((name, _)) => {
+                let body = read_small(self.vfs.as_ref(), name)?;
+                Some(FeedbackStore::from_bytes(&body).map_err(StoreError::Corrupt)?)
+            }
+            None => None,
+        };
+        Ok(DiskCatalog {
+            vfs: Arc::clone(&self.vfs),
+            pool: BufferPool::new(Arc::clone(&self.vfs), self.opts.pool_pages),
+            epoch,
+            views,
+            segs,
+            cells,
+            summary,
+            feedback,
+        })
+    }
+
+    /// Best-effort cleanup: keeps the two newest committed manifests and
+    /// every file of their epochs; removes everything older.
+    fn gc(&self) {
+        let epochs = self.manifest_epochs();
+        let Some(&floor) = epochs.get(1).or_else(|| epochs.first()) else {
+            return;
+        };
+        for name in self.vfs.list() {
+            if let Some(e) = file_epoch(&name) {
+                if e < floor {
+                    let _ = self.vfs.remove(&name);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the catalog
+
+struct SegMeta {
+    file: String,
+}
+
+struct LoadedView {
+    extent: NestedRelation,
+    partition: Option<ShardPartition>,
+}
+
+/// A read-only catalog over one published epoch. Extents decode lazily on
+/// first touch (page reads go through the buffer pool and are checksum
+/// verified); the summary and feedback store load eagerly at open.
+///
+/// `DiskCatalog` implements [`ViewProvider`], so it drops into the
+/// executor anywhere an in-memory [`Catalog`](smv_views::Catalog) does.
+/// Because that trait cannot express I/O failure, the trait methods
+/// **panic** on corrupt segments; use [`DiskCatalog::load_extent`] /
+/// [`DiskCatalog::warm`] first where a checked error is wanted.
+pub struct DiskCatalog {
+    vfs: Arc<dyn Vfs>,
+    pool: Arc<BufferPool>,
+    epoch: u64,
+    views: Vec<View>,
+    segs: Vec<SegMeta>,
+    cells: Vec<OnceLock<LoadedView>>,
+    summary: Option<Summary>,
+    feedback: Option<FeedbackStore>,
+}
+
+impl DiskCatalog {
+    /// The epoch this catalog serves.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The buffer pool (stats, eviction counters, cache resets).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// The persisted summary, if one was published.
+    pub fn summary(&self) -> Option<&Summary> {
+        self.summary.as_ref()
+    }
+
+    /// The persisted feedback store, if one was published.
+    pub fn feedback(&self) -> Option<&FeedbackStore> {
+        self.feedback.as_ref()
+    }
+
+    /// Takes ownership of the persisted feedback store (for warm-starting
+    /// an adaptive session).
+    pub fn take_feedback(&mut self) -> Option<FeedbackStore> {
+        self.feedback.take()
+    }
+
+    fn index_of(&self, name: &str) -> Option<usize> {
+        self.views.iter().position(|v| v.name == name)
+    }
+
+    fn load(&self, i: usize) -> Result<&LoadedView> {
+        if let Some(lv) = self.cells[i].get() {
+            return Ok(lv);
+        }
+        let payload = read_segment(self.vfs.as_ref(), &self.pool, &self.segs[i].file)?;
+        let mut r = ByteReader::new(&payload);
+        let extent = decode_relation(r.get_bytes()?)?;
+        let partition = match r.get_u8()? {
+            0 => None,
+            1 => Some(decode_partition(r.get_bytes()?)?),
+            t => {
+                return Err(StoreError::Corrupt(format!(
+                    "{}: bad partition flag {t}",
+                    self.segs[i].file
+                )))
+            }
+        };
+        if r.remaining() != 0 {
+            return Err(StoreError::Corrupt(format!(
+                "{}: trailing bytes after view payload",
+                self.segs[i].file
+            )));
+        }
+        Ok(self.cells[i].get_or_init(|| LoadedView { extent, partition }))
+    }
+
+    /// Checked extent read: `Ok(None)` for an unknown view, `Err` on
+    /// corruption.
+    pub fn load_extent(&self, name: &str) -> Result<Option<&NestedRelation>> {
+        match self.index_of(name) {
+            Some(i) => Ok(Some(&self.load(i)?.extent)),
+            None => Ok(None),
+        }
+    }
+
+    /// Decodes every view eagerly, surfacing any corruption up front.
+    pub fn warm(&self) -> Result<()> {
+        for i in 0..self.views.len() {
+            self.load(i)?;
+        }
+        Ok(())
+    }
+
+    /// Streams every segment of the epoch through the buffer pool once (a
+    /// sequential scan, no decoding), returning the total payload bytes
+    /// read. Repeated scans under different pool budgets expose the
+    /// pool's hit/eviction behavior — `bench-pr10`'s hit-rate sweep is
+    /// built on this.
+    pub fn scan_segments(&self) -> Result<u64> {
+        let mut bytes = 0u64;
+        for seg in &self.segs {
+            bytes += read_segment(self.vfs.as_ref(), &self.pool, &seg.file)?.len() as u64;
+        }
+        Ok(bytes)
+    }
+}
+
+impl ViewStore for DiskCatalog {
+    fn views(&self) -> &[View] {
+        &self.views
+    }
+
+    fn extent_rows(&self, name: &str) -> Option<usize> {
+        let i = self.index_of(name)?;
+        self.load(i).ok().map(|lv| lv.extent.len())
+    }
+}
+
+impl ViewProvider for DiskCatalog {
+    fn extent(&self, name: &str) -> Option<&NestedRelation> {
+        let i = self.index_of(name)?;
+        match self.load(i) {
+            Ok(lv) => Some(&lv.extent),
+            Err(e) => panic!(
+                "smv-store: loading extent '{name}' failed: {e} \
+                 (use DiskCatalog::load_extent for a checked read)"
+            ),
+        }
+    }
+
+    fn shard_partition(&self, name: &str) -> Option<&ShardPartition> {
+        let i = self.index_of(name)?;
+        match self.load(i) {
+            Ok(lv) => lv.partition.as_ref(),
+            Err(e) => panic!(
+                "smv-store: loading partition '{name}' failed: {e} \
+                 (use DiskCatalog::load_extent for a checked read)"
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// durable epoch maintenance
+
+/// Errors from [`PersistentEpochs`]: either the live-maintenance layer or
+/// the storage layer failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The in-memory epoch catalog rejected the update batch.
+    Live(LiveError),
+    /// Publishing the new epoch to disk failed; the in-memory catalog has
+    /// already advanced, the previous on-disk epoch remains current.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Live(e) => write!(f, "live maintenance: {e}"),
+            PersistError::Store(e) => write!(f, "store publish: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<LiveError> for PersistError {
+    fn from(e: LiveError) -> PersistError {
+        PersistError::Live(e)
+    }
+}
+
+impl From<StoreError> for PersistError {
+    fn from(e: StoreError) -> PersistError {
+        PersistError::Store(e)
+    }
+}
+
+/// An [`EpochCatalog`] whose epoch publications are durable: every
+/// successful [`PersistentEpochs::apply`] writes the new epoch's segments
+/// and swaps the manifest, so delta maintenance has a crash-consistent
+/// publish point.
+pub struct PersistentEpochs {
+    epochs: EpochCatalog,
+    store: DiskStore,
+}
+
+impl PersistentEpochs {
+    /// Wraps an epoch catalog over a store, publishing the current epoch
+    /// immediately so the disk starts in sync.
+    pub fn new(epochs: EpochCatalog, store: DiskStore) -> Result<PersistentEpochs> {
+        let pe = PersistentEpochs { epochs, store };
+        pe.publish(None)?;
+        Ok(pe)
+    }
+
+    /// The in-memory epoch catalog.
+    pub fn epochs(&self) -> &EpochCatalog {
+        &self.epochs
+    }
+
+    /// Mutable access (e.g. to add views); call
+    /// [`PersistentEpochs::publish`] afterwards to make changes durable.
+    pub fn epochs_mut(&mut self) -> &mut EpochCatalog {
+        &mut self.epochs
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &DiskStore {
+        &self.store
+    }
+
+    /// Publishes the current snapshot; returns its epoch.
+    pub fn publish(&self, feedback: Option<&FeedbackStore>) -> Result<u64> {
+        let snap = self.epochs.snapshot();
+        self.store.publish_epoch(&snap, feedback)?;
+        Ok(snap.epoch())
+    }
+
+    /// Applies an update batch and durably publishes the resulting epoch.
+    pub fn apply(
+        &mut self,
+        batch: &UpdateBatch,
+    ) -> std::result::Result<MaintenanceReport, PersistError> {
+        let report = self.epochs.apply(batch)?;
+        self.publish(None)?;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::SimVfs;
+    use smv_views::Catalog;
+    use smv_xml::parse_document;
+
+    const DOC: &str = "<lib><book><title>a</title><year>1</year></book>\
+                       <book><title>b</title><year>2</year></book></lib>";
+
+    fn catalog(scheme: IdScheme) -> Catalog {
+        let doc = parse_document(DOC).unwrap();
+        let mut cat = Catalog::new();
+        let v = View::new(
+            "titles",
+            parse_pattern("lib(/book{id}(/title{v}))").unwrap(),
+            scheme,
+        );
+        cat.add(v, &doc);
+        cat
+    }
+
+    #[test]
+    fn publish_then_open_round_trips() {
+        let vfs = SimVfs::new();
+        let store = DiskStore::new(Arc::new(vfs));
+        let cat = catalog(IdScheme::OrdPath);
+        store.publish(&cat, None, None, 1).unwrap();
+        let disk = store.open().unwrap();
+        assert_eq!(disk.epoch(), 1);
+        assert_eq!(disk.views().len(), 1);
+        let want = cat.extent("titles").unwrap();
+        let got = disk.load_extent("titles").unwrap().unwrap();
+        assert_eq!(want.rows, got.rows);
+        assert_eq!(want.schema, got.schema);
+    }
+
+    #[test]
+    fn newer_epoch_wins_and_gc_keeps_two() {
+        let vfs = SimVfs::new();
+        let store = DiskStore::new(Arc::new(vfs.clone()));
+        let cat = catalog(IdScheme::Sequential);
+        for e in 1..=4 {
+            store.publish(&cat, None, None, e).unwrap();
+        }
+        assert_eq!(store.open().unwrap().epoch(), 4);
+        let epochs: Vec<_> = vfs.list().iter().filter_map(|n| file_epoch(n)).collect();
+        assert!(
+            epochs.iter().all(|&e| e >= 3),
+            "old epochs gone: {epochs:?}"
+        );
+    }
+
+    #[test]
+    fn missing_segment_falls_back_to_previous_epoch() {
+        let vfs = SimVfs::new();
+        let store = DiskStore::new(Arc::new(vfs.clone()));
+        let cat = catalog(IdScheme::Dewey);
+        store.publish(&cat, None, None, 1).unwrap();
+        store.publish(&cat, None, None, 2).unwrap();
+        vfs.remove(&seg_name(2, 0)).unwrap();
+        assert_eq!(store.open().unwrap().epoch(), 1);
+    }
+}

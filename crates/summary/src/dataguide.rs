@@ -1329,6 +1329,317 @@ impl LabeledTree for Summary {
     }
 }
 
+// ---- persistence ------------------------------------------------------
+//
+// A self-contained binary serialization so the summary can be published
+// to the on-disk store (smv-store wraps these bytes in a checksummed
+// file). The format is structural and deterministic: node vectors in
+// arena order, sketch samples sorted, histogram masses as exact f64 bit
+// patterns. The process-unique instance id is deliberately NOT stored —
+// a deserialized summary is a new instance and gets a fresh id, exactly
+// like [`Clone`].
+
+mod wire {
+    //! Minimal varint byte stream, private to the summary serializer.
+
+    pub fn put_uv(buf: &mut Vec<u8>, mut x: u64) {
+        loop {
+            let b = (x & 0x7f) as u8;
+            x >>= 7;
+            if x == 0 {
+                buf.push(b);
+                return;
+            }
+            buf.push(b | 0x80);
+        }
+    }
+
+    pub fn put_iv(buf: &mut Vec<u8>, x: i64) {
+        put_uv(buf, ((x << 1) ^ (x >> 63)) as u64);
+    }
+
+    pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+        put_uv(buf, s.len() as u64);
+        buf.extend_from_slice(s.as_bytes());
+    }
+
+    pub fn get_u8(buf: &[u8], pos: &mut usize) -> Result<u8, String> {
+        let b = *buf.get(*pos).ok_or("truncated stream")?;
+        *pos += 1;
+        Ok(b)
+    }
+
+    pub fn get_uv(buf: &[u8], pos: &mut usize) -> Result<u64, String> {
+        let mut x = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = get_u8(buf, pos)?;
+            if shift >= 64 {
+                return Err("varint overflow".into());
+            }
+            x |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(x);
+            }
+            shift += 7;
+        }
+    }
+
+    pub fn get_iv(buf: &[u8], pos: &mut usize) -> Result<i64, String> {
+        let z = get_uv(buf, pos)?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    pub fn get_str(buf: &[u8], pos: &mut usize) -> Result<String, String> {
+        let n = get_uv(buf, pos)? as usize;
+        let end = pos.checked_add(n).ok_or("length overflow")?;
+        let s = buf.get(*pos..end).ok_or("truncated string")?;
+        *pos = end;
+        String::from_utf8(s.to_vec()).map_err(|_| "invalid utf-8".to_string())
+    }
+
+    pub fn put_f64(buf: &mut Vec<u8>, x: f64) {
+        buf.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+
+    pub fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64, String> {
+        let end = *pos + 8;
+        let s = buf.get(*pos..end).ok_or("truncated f64")?;
+        *pos = end;
+        Ok(f64::from_bits(u64::from_le_bytes(s.try_into().unwrap())))
+    }
+}
+
+const WIRE_VERSION: u8 = 1;
+
+fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            buf.push(0);
+            wire::put_iv(buf, *i);
+        }
+        Value::Str(s) => {
+            buf.push(1);
+            wire::put_str(buf, s);
+        }
+    }
+}
+
+fn get_value(buf: &[u8], pos: &mut usize) -> Result<Value, String> {
+    match wire::get_u8(buf, pos)? {
+        0 => Ok(Value::Int(wire::get_iv(buf, pos)?)),
+        1 => Ok(Value::Str(wire::get_str(buf, pos)?.into())),
+        t => Err(format!("bad value tag {t}")),
+    }
+}
+
+impl ValueHistogram {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        wire::put_iv(buf, self.lo);
+        wire::put_iv(buf, self.width);
+        wire::put_uv(buf, self.buckets.len() as u64);
+        for &b in &self.buckets {
+            wire::put_f64(buf, b);
+        }
+        wire::put_f64(buf, self.below);
+        wire::put_iv(buf, self.below_min);
+        wire::put_f64(buf, self.above);
+        wire::put_iv(buf, self.above_max);
+        wire::put_uv(buf, self.strings);
+        wire::put_uv(buf, self.total);
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Result<ValueHistogram, String> {
+        let lo = wire::get_iv(buf, pos)?;
+        let width = wire::get_iv(buf, pos)?;
+        if width < 1 {
+            return Err("histogram width < 1".into());
+        }
+        let n = wire::get_uv(buf, pos)? as usize;
+        if n > 1 << 20 {
+            return Err("implausible bucket count".into());
+        }
+        let mut buckets = Vec::with_capacity(n);
+        for _ in 0..n {
+            buckets.push(wire::get_f64(buf, pos)?);
+        }
+        Ok(ValueHistogram {
+            lo,
+            width,
+            buckets,
+            below: wire::get_f64(buf, pos)?,
+            below_min: wire::get_iv(buf, pos)?,
+            above: wire::get_f64(buf, pos)?,
+            above_max: wire::get_iv(buf, pos)?,
+            strings: wire::get_uv(buf, pos)?,
+            total: wire::get_uv(buf, pos)?,
+        })
+    }
+}
+
+impl ValueSketch {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(self.saturated as u8);
+        if self.saturated {
+            match &self.hist {
+                Some(h) => {
+                    buf.push(1);
+                    h.encode(buf);
+                }
+                None => buf.push(0),
+            }
+        } else {
+            // the exact set is a HashSet: sort for deterministic bytes
+            let mut vals: Vec<&Value> = self.seen.iter().collect();
+            vals.sort_by(|a, b| match (a, b) {
+                (Value::Int(x), Value::Int(y)) => x.cmp(y),
+                (Value::Str(x), Value::Str(y)) => x.cmp(y),
+                (Value::Int(_), Value::Str(_)) => std::cmp::Ordering::Less,
+                (Value::Str(_), Value::Int(_)) => std::cmp::Ordering::Greater,
+            });
+            wire::put_uv(buf, vals.len() as u64);
+            for v in vals {
+                put_value(buf, v);
+            }
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Result<ValueSketch, String> {
+        let saturated = wire::get_u8(buf, pos)? != 0;
+        if saturated {
+            let hist = match wire::get_u8(buf, pos)? {
+                0 => None,
+                1 => Some(ValueHistogram::decode(buf, pos)?),
+                t => return Err(format!("bad histogram flag {t}")),
+            };
+            Ok(ValueSketch {
+                seen: HashSet::new(),
+                saturated: true,
+                hist,
+            })
+        } else {
+            let n = wire::get_uv(buf, pos)? as usize;
+            if n > DISTINCT_CAP {
+                return Err("unsaturated sketch above the distinct cap".into());
+            }
+            let mut seen = HashSet::with_capacity(n);
+            for _ in 0..n {
+                seen.insert(get_value(buf, pos)?);
+            }
+            Ok(ValueSketch {
+                seen,
+                saturated: false,
+                hist: None,
+            })
+        }
+    }
+}
+
+impl Summary {
+    /// Serializes the summary for persistence. Deterministic for a given
+    /// summary state; the process-unique instance id is not stored (a
+    /// reloaded summary is a fresh instance, like a clone).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.push(WIRE_VERSION);
+        wire::put_uv(&mut buf, self.docs as u64);
+        wire::put_uv(&mut buf, self.geometry_gen);
+        wire::put_uv(&mut buf, self.nodes.len() as u64);
+        for n in &self.nodes {
+            wire::put_str(&mut buf, n.label.as_str());
+            match n.parent {
+                None => wire::put_uv(&mut buf, 0),
+                Some(p) => wire::put_uv(&mut buf, p.0 as u64 + 1),
+            }
+            wire::put_uv(&mut buf, n.children.len() as u64);
+            for c in &n.children {
+                wire::put_uv(&mut buf, c.0 as u64);
+            }
+            wire::put_uv(&mut buf, n.pre as u64);
+            wire::put_uv(&mut buf, n.last_desc as u64);
+            wire::put_uv(&mut buf, n.depth as u64);
+            wire::put_uv(&mut buf, n.count);
+            wire::put_uv(&mut buf, n.parents_with);
+            wire::put_uv(&mut buf, n.values);
+            buf.push(n.strong as u8);
+            buf.push(n.one_to_one as u8);
+            n.distinct.encode(&mut buf);
+        }
+        buf
+    }
+
+    /// Reconstructs a summary serialized by [`Summary::to_bytes`]. The
+    /// result carries a fresh instance id, so its
+    /// [`Summary::geometry_token`] differs from the publisher's — shard
+    /// partitions persisted alongside it keep their original (mutually
+    /// equal) tokens, which is all the sharded executor compares.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Summary, String> {
+        let pos = &mut 0usize;
+        let version = wire::get_u8(bytes, pos)?;
+        if version != WIRE_VERSION {
+            return Err(format!("unsupported summary wire version {version}"));
+        }
+        let docs = wire::get_uv(bytes, pos)? as usize;
+        let geometry_gen = wire::get_uv(bytes, pos)?;
+        let n_nodes = wire::get_uv(bytes, pos)? as usize;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let label = Label::intern(&wire::get_str(bytes, pos)?);
+            let parent = match wire::get_uv(bytes, pos)? {
+                0 => None,
+                p => Some(NodeId((p - 1) as u32)),
+            };
+            let n_children = wire::get_uv(bytes, pos)? as usize;
+            let mut children = Vec::with_capacity(n_children);
+            for _ in 0..n_children {
+                children.push(NodeId(wire::get_uv(bytes, pos)? as u32));
+            }
+            let pre = wire::get_uv(bytes, pos)? as u32;
+            let last_desc = wire::get_uv(bytes, pos)? as u32;
+            let depth = wire::get_uv(bytes, pos)? as u32;
+            let count = wire::get_uv(bytes, pos)?;
+            let parents_with = wire::get_uv(bytes, pos)?;
+            let values = wire::get_uv(bytes, pos)?;
+            let strong = wire::get_u8(bytes, pos)? != 0;
+            let one_to_one = wire::get_u8(bytes, pos)? != 0;
+            let distinct = ValueSketch::decode(bytes, pos)?;
+            nodes.push(SNode {
+                label,
+                parent,
+                children,
+                pre,
+                last_desc,
+                depth,
+                count,
+                parents_with,
+                values,
+                distinct,
+                strong,
+                one_to_one,
+            });
+        }
+        if *pos != bytes.len() {
+            return Err(format!(
+                "{} trailing bytes after summary",
+                bytes.len() - *pos
+            ));
+        }
+        // structural sanity: every referenced node id must be in range
+        for (i, n) in nodes.iter().enumerate() {
+            let in_range = |id: NodeId| (id.0 as usize) < nodes.len();
+            if n.parent.is_some_and(|p| !in_range(p)) || n.children.iter().any(|&c| !in_range(c)) {
+                return Err(format!("summary node {i} references out-of-range ids"));
+            }
+        }
+        Ok(Summary {
+            nodes,
+            docs,
+            id: next_summary_id(),
+            geometry_gen,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -40,6 +40,7 @@
 //! | [`pattern`] | extended tree patterns, embeddings, canonical models |
 //! | [`algebra`] | logical plans, structural joins, nested relations |
 //! | [`views`] | view definitions, materialization, catalog |
+//! | [`store`] | on-disk columnar segments, buffer pool, epoch manifests |
 //! | [`core`] | containment (§3-§4) and rewriting (Algorithm 1) |
 //! | [`adaptive`] | the feedback loop: profile → memoize → re-rank |
 //! | [`advisor`] | workload-driven view selection (greedy benefit/byte) |
@@ -58,6 +59,7 @@ pub use smv_datagen as datagen;
 pub use smv_obs as obs;
 pub use smv_pattern as pattern;
 pub use smv_serve as serve;
+pub use smv_store as store;
 pub use smv_summary as summary;
 pub use smv_views as views;
 pub use smv_xml as xml;
@@ -88,6 +90,9 @@ pub mod prelude {
     pub use smv_serve::{
         AdmissionScheduler, QueryResponse, QueryService, SchedDecision, SchedMode, ServeError,
         ServiceConfig, ServiceStats,
+    };
+    pub use smv_store::{
+        DiskCatalog, DiskStore, DiskVfs, PersistentEpochs, ProviderMatrix, SimVfs, StoreOptions,
     };
     pub use smv_summary::{Summary, SummaryStats};
     pub use smv_views::{

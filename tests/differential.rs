@@ -1,0 +1,155 @@
+//! Differential suite: every query answered identically by every
+//! provider arm — in-memory map, sharded catalog, cold disk, warm disk —
+//! at every thread count. This is the harness that proves the on-disk
+//! columnar store is a drop-in [`ViewProvider`](smv::algebra::ViewProvider).
+//!
+//! The suite checks *provider equivalence* for every rewriting the
+//! rewriter emits (all arms byte-identical), plus *semantic soundness*
+//! for the best matching rewriting (some rewriting reproduces direct
+//! evaluation). Rewriter completeness itself is covered by
+//! `tests/end_to_end.rs`.
+
+use proptest::prelude::*;
+use smv::prelude::*;
+use smv::store::ProviderMatrix;
+
+const SCHEMES: [IdScheme; 3] = [IdScheme::OrdPath, IdScheme::Dewey, IdScheme::Sequential];
+
+/// Small random labeled trees in parenthesized notation (mirrors
+/// `tests/properties.rs`).
+fn tree_strategy() -> impl Strategy<Value = String> {
+    let leaf = (0u8..4, proptest::option::of(0i64..5)).prop_map(|(l, v)| match v {
+        Some(v) => format!("{}=\"{v}\"", (b'a' + l) as char),
+        None => format!("{}", (b'a' + l) as char),
+    });
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        (0u8..4, proptest::collection::vec(inner, 1..4))
+            .prop_map(|(l, kids)| format!("{}({})", (b'a' + l) as char, kids.join(" ")))
+    })
+    .prop_map(|body| format!("r({body})"))
+}
+
+/// The paper's Figure 1 document, in parenthesized form.
+fn figure1_doc() -> Document {
+    Document::from_parens(
+        r#"site(regions(asia(item(name="one" description="cheap"))
+                       europe(item(name="two" description="dear")
+                              item(name="three")))
+             people(person(name="alice" emailaddress="a@x")
+                    person(name="bob")))"#,
+    )
+}
+
+/// Runs every rewriting of `query` through the full matrix and asserts
+/// at least one rewriting reproduces direct evaluation. Returns how many
+/// rewritings were checked.
+fn check_query(matrix: &ProviderMatrix, doc: &Document, scheme: IdScheme, query: &str) -> usize {
+    let q = parse_pattern(query).unwrap();
+    let res = rewrite(
+        &q,
+        matrix.views(),
+        matrix.summary(),
+        &RewriteOpts::default(),
+    );
+    if res.rewritings.is_empty() {
+        return 0;
+    }
+    let direct = materialize(&q, doc, scheme);
+    let mut any_sound = false;
+    for rw in res.rewritings.iter().take(4) {
+        let (rel, _) = matrix.check(&rw.plan, &[1, 4]);
+        any_sound |= rel.set_eq(&direct);
+    }
+    assert!(
+        any_sound,
+        "query {query} ({scheme:?}): no checked rewriting reproduces direct evaluation"
+    );
+    res.rewritings.len().min(4)
+}
+
+/// A handful of rewritable queries over Figure 1, checked across the
+/// full provider matrix under every ID scheme.
+#[test]
+fn figure1_queries_are_provider_invariant() {
+    let doc = figure1_doc();
+    for scheme in SCHEMES {
+        let matrix = ProviderMatrix::new(
+            &doc,
+            scheme,
+            &[
+                ("everything", "site(//*{id,l,v})"),
+                ("names", "site(//name{id,v})"),
+                ("items", "site(//item{id}(/name{v}))"),
+            ],
+        );
+        let mut checked = 0;
+        for query in [
+            "site(//name{id,v})",
+            "site(//item{id}(/name{v}))",
+            "site(//description{id,v})",
+        ] {
+            checked += check_query(&matrix, &doc, scheme, query);
+        }
+        assert!(checked >= 3, "most figure-1 queries should rewrite");
+    }
+}
+
+/// The bench-pr2 workload (wide + exact views per XMark query): every
+/// rewriting of every case returns the same rows from every arm, and
+/// some rewriting matches direct evaluation.
+#[test]
+fn pr2_workload_is_provider_invariant_on_xmark() {
+    let doc = xmark(&XmarkConfig {
+        scale: 0.05,
+        ..Default::default()
+    });
+    for case in smv::datagen::pr2_workload(IdScheme::OrdPath) {
+        let matrix = ProviderMatrix::from_views(&doc, case.views.clone());
+        let res = rewrite(
+            &case.query,
+            matrix.views(),
+            matrix.summary(),
+            &RewriteOpts::default(),
+        );
+        assert!(
+            !res.rewritings.is_empty(),
+            "pr2 case {} should rewrite",
+            case.name
+        );
+        let direct = materialize(&case.query, &doc, IdScheme::OrdPath);
+        let mut any_sound = false;
+        for rw in res.rewritings.iter().take(4) {
+            let (rel, _) = matrix.check(&rw.plan, &[1, 4]);
+            any_sound |= rel.set_eq(&direct);
+        }
+        assert!(
+            any_sound,
+            "pr2 case {}: no rewriting reproduces direct evaluation",
+            case.name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random documents, all three ID schemes: every rewriting found over
+    /// a wide view + a label view answers identically on every arm.
+    #[test]
+    fn random_trees_are_provider_invariant(src in tree_strategy(), scheme_ix in 0usize..3) {
+        let doc = Document::from_parens(&src);
+        let scheme = SCHEMES[scheme_ix];
+        let matrix = ProviderMatrix::new(
+            &doc,
+            scheme,
+            &[("all", "r(//*{id,l,v})"), ("bs", "r(//b{id,v})")],
+        );
+        for query in ["r(//b{id,v})", "r(//a{id}(//b{v}))", "r(//*{id,l})"] {
+            let q = parse_pattern(query).unwrap();
+            let res = rewrite(&q, matrix.views(), matrix.summary(), &RewriteOpts::default());
+            for rw in res.rewritings.iter().take(3) {
+                matrix.check(&rw.plan, &[1, 4]);
+            }
+        }
+    }
+}

@@ -345,3 +345,32 @@ fn serializer_parser_round_trip_on_xmark() {
     let s2 = Summary::of(&doc2);
     assert_eq!(s1.len(), s2.len());
 }
+
+#[test]
+fn xquery_pipeline_answers_identically_from_disk() {
+    // The §1 pipeline again, but executed through the full provider
+    // matrix: the on-disk columnar store (cold and warm) must answer the
+    // translated XQuery exactly like the in-memory providers.
+    let doc = figure1_doc();
+    let flwr = parse_xquery(
+        r#"for $x in doc("x")//item[//mail] return
+           <res>{ $x/name/text() }</res>"#,
+    )
+    .unwrap();
+    let q = translate(&flwr).unwrap();
+    let matrix = smv::store::ProviderMatrix::new(
+        &doc,
+        IdScheme::OrdPath,
+        &[("v1", "*(//item{id}(//mail, ?/name{v}))")],
+    );
+    let r = rewrite(
+        &q,
+        matrix.views(),
+        matrix.summary(),
+        &RewriteOpts::default(),
+    );
+    assert!(!r.rewritings.is_empty());
+    let (out, _) = matrix.check(&r.rewritings[0].plan, &[1, 2, 4]);
+    assert!(out.set_eq(&materialize(&q, &doc, IdScheme::OrdPath)));
+    assert_eq!(out.len(), 1, "only the mail-ed item qualifies");
+}

@@ -589,3 +589,22 @@ fn plan_fingerprint_distinguishes_bench_workloads() {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The provider matrix holds on this file's random trees too: a
+    /// wide-view scan answers identically from the in-memory, sharded,
+    /// cold-disk and warm-disk providers at 1 and 4 threads.
+    #[test]
+    fn providers_agree_on_random_trees(src in tree_strategy()) {
+        let doc = Document::from_parens(&src);
+        let matrix =
+            smv::store::ProviderMatrix::new(&doc, IdScheme::OrdPath, &[("all", "r(//*{id,l,v})")]);
+        let q = parse_pattern("r(//*{id,l,v})").unwrap();
+        let res = rewrite(&q, matrix.views(), matrix.summary(), &RewriteOpts::default());
+        prop_assert!(!res.rewritings.is_empty());
+        let (rel, _) = matrix.check(&res.rewritings[0].plan, &[1, 4]);
+        prop_assert!(rel.set_eq(&materialize(&q, &doc, IdScheme::OrdPath)));
+    }
+}

@@ -1,0 +1,470 @@
+//! The storage engine's proof obligations: codec round-trips on random
+//! extents, corruption surfacing as checked errors, query equivalence
+//! under buffer-pool pressure, crash recovery at every injected fault
+//! point, and warm-start of the persisted summary + feedback store.
+
+use proptest::prelude::*;
+use smv::algebra::relation::{Cell, ColKind, Column, NestedRelation, Row, Schema};
+use smv::algebra::{AttrKind, ViewProvider};
+use smv::prelude::*;
+use smv::store::{
+    decode_partition, decode_relation, encode_partition, encode_relation, DiskStore, FaultKind,
+    FaultPlan, SimVfs, StoreError, StoreOptions, Vfs,
+};
+use smv::xml::{Label, StructId, Symbol};
+use std::sync::Arc;
+
+/// Small random labeled trees in parenthesized notation (mirrors
+/// `tests/properties.rs`).
+fn tree_strategy() -> impl Strategy<Value = String> {
+    let leaf = (0u8..4, proptest::option::of(0i64..5)).prop_map(|(l, v)| match v {
+        Some(v) => format!("{}=\"{v}\"", (b'a' + l) as char),
+        None => format!("{}", (b'a' + l) as char),
+    });
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        (0u8..4, proptest::collection::vec(inner, 1..4))
+            .prop_map(|(l, kids)| format!("{}({})", (b'a' + l) as char, kids.join(" ")))
+    })
+    .prop_map(|body| format!("r({body})"))
+}
+
+const SCHEMES: [IdScheme; 3] = [IdScheme::OrdPath, IdScheme::Dewey, IdScheme::Sequential];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Dictionary/RLE/delta encode→decode is the identity on extents
+    /// materialized from random documents, across all three ID schemes —
+    /// rows, schema and sort marker all byte-identical.
+    #[test]
+    fn codec_round_trips_random_extents(src in tree_strategy()) {
+        let doc = Document::from_parens(&src);
+        let summary = Summary::of(&doc);
+        for scheme in SCHEMES {
+            let mut cat = Catalog::new();
+            cat.add_sharded(
+                View::new("v", parse_pattern("r(//*{id,l,v})").unwrap(), scheme),
+                &doc,
+                &summary,
+            );
+            let extent = cat.extent("v").expect("materialized");
+            let back = decode_relation(&encode_relation(extent)).expect("decodes");
+            prop_assert_eq!(&back.schema, &extent.schema);
+            prop_assert_eq!(&back.rows, &extent.rows);
+            prop_assert_eq!(back.sorted_on, extent.sorted_on);
+            if let Some(p) = cat.shard_partition("v") {
+                let bp = decode_partition(&encode_partition(p)).expect("decodes");
+                prop_assert_eq!(bp.col, p.col);
+                prop_assert_eq!(bp.token, p.token);
+                prop_assert_eq!(bp.shards.len(), p.shards.len());
+                prop_assert_eq!(&bp.unclassified, &p.unclassified);
+            }
+        }
+    }
+
+    /// The summary serialization is a lossless fixpoint: serialize →
+    /// deserialize → serialize yields identical bytes, and the geometry
+    /// generation survives (only the process-unique id is fresh).
+    #[test]
+    fn summary_bytes_round_trip(src in tree_strategy()) {
+        let summary = Summary::of(&Document::from_parens(&src));
+        let bytes = summary.to_bytes();
+        let back = Summary::from_bytes(&bytes).expect("deserializes");
+        prop_assert_eq!(back.to_bytes(), bytes);
+        prop_assert_eq!(back.geometry_token().1, summary.geometry_token().1);
+        assert_ne!(
+            back.geometry_token().0,
+            summary.geometry_token().0,
+            "a reloaded summary is a fresh instance"
+        );
+    }
+}
+
+/// Null, content and nested-table cells also survive the codec (shapes
+/// the view materializer rarely produces but the relation model allows).
+#[test]
+fn codec_round_trips_nested_and_content_cells() {
+    let inner_schema = Schema::atoms(&[("i.ID", AttrKind::Id), ("i.V", AttrKind::Value)]);
+    let inner = NestedRelation::new(
+        inner_schema.clone(),
+        vec![
+            Row::new(vec![Cell::Id(StructId::Seq(1)), Cell::Atom(Value::int(10))]),
+            Row::new(vec![
+                Cell::Id(StructId::Seq(4)),
+                Cell::Atom(Value::str("x")),
+            ]),
+        ],
+    );
+    let schema = Schema {
+        cols: vec![
+            Column {
+                name: Symbol::intern("o.ID"),
+                kind: ColKind::Atom(AttrKind::Id),
+            },
+            Column {
+                name: Symbol::intern("o.C"),
+                kind: ColKind::Atom(AttrKind::Content),
+            },
+            Column {
+                name: Symbol::intern("o.T"),
+                kind: ColKind::Nested(inner_schema),
+            },
+        ],
+    };
+    let rel = NestedRelation::new(
+        schema,
+        vec![
+            Row::new(vec![
+                Cell::Id(StructId::Seq(2)),
+                Cell::Content("<a>text</a>".into()),
+                Cell::Table(inner),
+            ]),
+            Row::new(vec![
+                Cell::Label(Label::intern("odd")),
+                Cell::Null,
+                Cell::Null,
+            ]),
+        ],
+    );
+    let back = decode_relation(&encode_relation(&rel)).expect("decodes");
+    assert_eq!(back.rows, rel.rows);
+    assert_eq!(back.schema, rel.schema);
+}
+
+/// The learned feedback state round-trips losslessly (the stable FNV
+/// fingerprints make the raw memo keys portable across sessions).
+#[test]
+fn feedback_bytes_round_trip() {
+    let scheme = IdScheme::OrdPath;
+    let doc = pr7_document(0.02, 7);
+    let summary = Summary::of(&doc);
+    let mut cat = Catalog::new();
+    for v in pr7_views(scheme) {
+        cat.add_sharded(v, &doc, &summary);
+    }
+    let mut session = AdaptiveSession::new(&summary, &cat);
+    for q in ["site(//name{id,v})", "site(//item{id}(/name{v}))"] {
+        session
+            .run(&parse_pattern(q).unwrap())
+            .expect("rewritable")
+            .expect("executes");
+    }
+    let store = session.store();
+    assert!(store.stats().ingests > 0, "session learned something");
+    let bytes = store.to_bytes();
+    let back = FeedbackStore::from_bytes(&bytes).expect("deserializes");
+    assert_eq!(back.to_bytes(), bytes, "serialize∘deserialize is identity");
+    assert_eq!(back.scan_rows("names"), store.scan_rows("names"));
+}
+
+fn small_matrix_doc() -> Document {
+    Document::from_parens(r#"r(a(b="1" b="2" c(b="3")) a(c(b="4") b="5") d(b="6" c="x"))"#)
+}
+
+/// A bit-flipped page fails its checksum and surfaces as a checked
+/// [`StoreError::Corrupt`] — never as garbage rows.
+#[test]
+fn corrupt_page_is_a_checked_error_not_garbage_rows() {
+    let doc = small_matrix_doc();
+    let summary = Summary::of(&doc);
+    let mut cat = Catalog::new();
+    cat.add_sharded(
+        View::new(
+            "v",
+            parse_pattern("r(//b{id,v})").unwrap(),
+            IdScheme::OrdPath,
+        ),
+        &doc,
+        &summary,
+    );
+    let vfs = SimVfs::new();
+    let store = DiskStore::with_options(
+        Arc::new(vfs.clone()),
+        StoreOptions {
+            page_size: 64,
+            pool_pages: 8,
+        },
+    );
+    store.publish(&cat, Some(&summary), None, 1).unwrap();
+    let seg = vfs
+        .list()
+        .into_iter()
+        .find(|n| n.starts_with("seg-"))
+        .expect("one segment file");
+    let mut bytes = vfs.read(&seg).unwrap();
+    let flip_at = 24 + 8 + 3; // inside the first page's payload
+    bytes[flip_at] ^= 0x10;
+    vfs.write(&seg, &bytes).unwrap();
+    vfs.fsync(&seg).unwrap();
+    // the manifest still validates (same lengths), so the epoch opens …
+    let disk = store.open().expect("structure still validates");
+    // … but touching the damaged extent is a checked error
+    let err = match disk.load_extent("v") {
+        Err(e) => e,
+        Ok(_) => panic!("checksum catches the flip"),
+    };
+    assert!(matches!(err, StoreError::Corrupt(_)), "got: {err}");
+    assert!(disk.warm().is_err(), "warm() surfaces the same error");
+}
+
+/// A transient short read is caught by the page-length check and does not
+/// poison the catalog: the next read of the same page succeeds.
+#[test]
+fn short_read_is_caught_and_retryable() {
+    let doc = small_matrix_doc();
+    let summary = Summary::of(&doc);
+    let mut cat = Catalog::new();
+    cat.add_sharded(
+        View::new("v", parse_pattern("r(//b{id,v})").unwrap(), IdScheme::Dewey),
+        &doc,
+        &summary,
+    );
+    let vfs = SimVfs::new();
+    let store = DiskStore::with_options(
+        Arc::new(vfs.clone()),
+        StoreOptions {
+            page_size: 64,
+            pool_pages: 8,
+        },
+    );
+    store.publish(&cat, None, None, 1).unwrap();
+    let disk = store.open().unwrap();
+    // arm a one-shot short read on the next VFS operation (the segment
+    // header read of the first load)
+    vfs.set_fault(Some(FaultPlan {
+        fail_at: vfs.op_count(),
+        kind: FaultKind::ShortRead,
+    }));
+    assert!(disk.load_extent("v").is_err(), "short read is checked");
+    let rows = disk.load_extent("v").expect("retry succeeds").unwrap();
+    assert_eq!(rows.rows.len(), cat.extent("v").unwrap().rows.len());
+}
+
+/// Queries answer identically with a buffer pool of only two pages
+/// (every scan fights for frames), and the evictions show up in the
+/// smv-obs registry snapshot.
+#[test]
+fn pool_pressure_preserves_results_and_counts_evictions() {
+    let doc = small_matrix_doc();
+    let summary = Summary::of(&doc);
+    let scheme = IdScheme::OrdPath;
+    let views = vec![
+        View::new("all", parse_pattern("r(//*{id,l,v})").unwrap(), scheme),
+        View::new("bs", parse_pattern("r(//b{id,v})").unwrap(), scheme),
+        View::new("cs", parse_pattern("r(//c{id}(/b{v}))").unwrap(), scheme),
+    ];
+    let mut cat = Catalog::new();
+    for v in &views {
+        cat.add_sharded(v.clone(), &doc, &summary);
+    }
+    let store = DiskStore::with_options(
+        Arc::new(SimVfs::new()),
+        StoreOptions {
+            page_size: 32,
+            pool_pages: 2,
+        },
+    );
+    store.publish(&cat, Some(&summary), None, 1).unwrap();
+
+    let _obs = ScopedEnable::new();
+    smv::obs::global().reset();
+    let disk = store.open().unwrap();
+    for q in ["r(//b{id,v})", "r(//c{id})", "r(//*{id,l})"] {
+        let query = parse_pattern(q).unwrap();
+        let rewritten = rewrite(&query, &views, &summary, &RewriteOpts::default());
+        assert!(!rewritten.rewritings.is_empty(), "{q} rewritable");
+        let plan = &rewritten.rewritings[0].plan;
+        let want = execute(plan, &cat).unwrap();
+        let got = execute(plan, &disk).unwrap();
+        assert_eq!(got.schema, want.schema, "{q}: schema");
+        assert_eq!(got.rows, want.rows, "{q}: rows under pool pressure");
+    }
+    let stats = disk.pool().stats();
+    assert!(
+        stats.evictions > 0,
+        "a 2-page budget must evict, got {stats:?}"
+    );
+    let snapshot = smv::obs::global().snapshot_json();
+    assert!(
+        snapshot.contains("store.pool.evict"),
+        "evictions visible in the registry snapshot: {snapshot}"
+    );
+    assert!(smv::obs::global().counter("store.pool.evict") > 0);
+}
+
+/// The crash-recovery property: a publish interrupted at *any* operation
+/// index — hard stop, torn page write, or lying fsync — leaves the store
+/// recoverable, and recovery always lands on a fully published epoch
+/// (the previous one, or the new one if it became durable). No partial
+/// epoch is ever visible.
+#[test]
+fn crash_recovery_at_every_injected_fault_point() {
+    let scheme = IdScheme::OrdPath;
+    let doc1 = small_matrix_doc();
+    let doc2 = Document::from_parens(r#"r(a(b="1" b="9") d(c="y" b="7") a(b="8"))"#);
+    let build = |doc: &Document| {
+        let summary = Summary::of(doc);
+        let mut cat = Catalog::new();
+        for (name, p) in [("bs", "r(//b{id,v})"), ("all", "r(//*{id,l,v})")] {
+            cat.add_sharded(
+                View::new(name, parse_pattern(p).unwrap(), scheme),
+                doc,
+                &summary,
+            );
+        }
+        (cat, summary)
+    };
+    let (cat1, sum1) = build(&doc1);
+    let (cat2, sum2) = build(&doc2);
+    let opts = StoreOptions {
+        page_size: 64,
+        pool_pages: 4,
+    };
+
+    // rehearsal: count the operations a clean two-epoch history takes
+    let total_ops = {
+        let vfs = SimVfs::new();
+        let store = DiskStore::with_options(Arc::new(vfs.clone()), opts);
+        store.publish(&cat1, Some(&sum1), None, 1).unwrap();
+        vfs.reset_ops();
+        store.publish(&cat2, Some(&sum2), None, 2).unwrap();
+        vfs.op_count()
+    };
+    assert!(total_ops > 10, "publish is a multi-op sequence");
+
+    let mut outcomes = [0u64; 2]; // recovered epoch 1 / epoch 2
+                                  // 0..total_ops are interior faults; fail_at == total_ops never fires,
+                                  // proving the clean publish commits
+    for fail_at in 0..=total_ops {
+        for kind in [
+            FaultKind::Stop,
+            FaultKind::TornWrite,
+            FaultKind::DroppedFsync,
+        ] {
+            let vfs = SimVfs::new();
+            let store = DiskStore::with_options(Arc::new(vfs.clone()), opts);
+            store.publish(&cat1, Some(&sum1), None, 1).unwrap();
+            vfs.reset_ops();
+            vfs.set_fault(Some(FaultPlan { fail_at, kind }));
+            let published = store.publish(&cat2, Some(&sum2), None, 2).is_ok();
+            vfs.crash();
+
+            let disk = store
+                .open()
+                .unwrap_or_else(|e| panic!("unrecoverable after {kind:?}@{fail_at}: {e}"));
+            let epoch = disk.epoch();
+            assert!(
+                epoch == 1 || epoch == 2,
+                "{kind:?}@{fail_at}: recovered epoch {epoch}"
+            );
+            // a *real* crash fault that still reported success must have
+            // committed; only a lying fsync may report Ok and roll back
+            if published && kind != FaultKind::DroppedFsync {
+                assert_eq!(epoch, 2, "{kind:?}@{fail_at}: Ok publish must be durable");
+            }
+            if !published {
+                assert_eq!(
+                    epoch, 1,
+                    "{kind:?}@{fail_at}: failed publish must roll back"
+                );
+            }
+            // whichever epoch recovered, it is complete and byte-exact
+            let (cat, summary) = if epoch == 1 {
+                (&cat1, &sum1)
+            } else {
+                (&cat2, &sum2)
+            };
+            disk.warm().unwrap_or_else(|e| {
+                panic!("{kind:?}@{fail_at}: recovered epoch {epoch} not loadable: {e}")
+            });
+            for name in ["bs", "all"] {
+                let want = cat.extent(name).unwrap();
+                let got = disk.load_extent(name).unwrap().unwrap();
+                assert_eq!(got.rows, want.rows, "{kind:?}@{fail_at}: extent {name}");
+            }
+            let restored = disk.summary().expect("summary published");
+            assert_eq!(
+                restored.to_bytes(),
+                summary.to_bytes(),
+                "{kind:?}@{fail_at}: summary restored exactly"
+            );
+            outcomes[(epoch - 1) as usize] += 1;
+        }
+    }
+    assert!(outcomes[0] > 0, "some faults must roll back: {outcomes:?}");
+    assert!(outcomes[1] > 0, "some faults must commit: {outcomes:?}");
+}
+
+/// Reopening a store warm-starts both the summary and the feedback
+/// store, and `PersistentEpochs::apply` makes maintenance durable: after
+/// an update batch + crash, the reopened catalog serves the new epoch.
+#[test]
+fn warm_start_and_durable_maintenance() {
+    let scheme = IdScheme::OrdPath;
+    let doc = pr7_document(0.02, 11);
+    let epochs = EpochCatalog::new(doc, scheme);
+    let mut epochs = epochs;
+    for v in pr7_views(scheme) {
+        epochs.add_view(v, RefreshPolicy::Eager);
+    }
+    // learn something worth persisting
+    let feedback = {
+        let mut session = AdaptiveSession::over_epochs(&epochs);
+        session
+            .run(&parse_pattern("site(//name{id,v})").unwrap())
+            .expect("rewritable")
+            .expect("executes");
+        session.store().clone()
+    };
+    let vfs = SimVfs::new();
+    let mut persistent =
+        smv::store::PersistentEpochs::new(epochs, DiskStore::new(Arc::new(vfs.clone())))
+            .expect("initial publish");
+    persistent
+        .publish(Some(&feedback))
+        .expect("publish with feedback");
+
+    // maintenance: drop a few items, then publish durably
+    let mut batch = UpdateBatch::new();
+    {
+        let live = persistent.epochs().live();
+        let doc = live.doc();
+        for n in doc
+            .iter()
+            .filter(|&n| doc.label(n).as_str() == "item")
+            .take(3)
+        {
+            batch.delete(live.ids().id(n).clone());
+        }
+    }
+    persistent
+        .apply(&batch)
+        .expect("maintenance applies and publishes");
+    let live_epoch = persistent.epochs().epoch();
+    // re-publish the maintained epoch with the session's feedback so a
+    // future session warm-starts from it
+    persistent
+        .publish(Some(&feedback))
+        .expect("feedback rides the epoch");
+
+    // crash: only fsynced state survives
+    vfs.crash();
+    let mut disk = persistent.store().open().expect("reopen after crash");
+    assert_eq!(disk.epoch(), live_epoch, "maintained epoch is durable");
+    let snap = persistent.epochs().snapshot();
+    for v in snap.views() {
+        let want = snap.extent(&v.name).unwrap();
+        let got = disk.load_extent(&v.name).unwrap().unwrap();
+        assert_eq!(got.rows, want.rows, "view {} after maintenance", v.name);
+    }
+    assert_eq!(
+        disk.summary()
+            .expect("summary travels with the epoch")
+            .to_bytes(),
+        snap.summary().to_bytes()
+    );
+    let fb = disk
+        .take_feedback()
+        .expect("feedback travels with the epoch");
+    assert_eq!(fb.to_bytes(), feedback.to_bytes(), "feedback warm-starts");
+}
